@@ -1,0 +1,211 @@
+package mapcomp_test
+
+// One benchmark per table/figure of the paper's evaluation (§4). Each
+// benchmark runs a scaled-down version of the corresponding experiment so
+// `go test -bench=.` completes in minutes; cmd/experiments reproduces the
+// figures at paper scale (100 runs × 100 edits, 500 reconciliation tasks
+// per point) and EXPERIMENTS.md records the paper-vs-measured comparison.
+
+import (
+	"fmt"
+	"testing"
+
+	"mapcomp"
+	"mapcomp/internal/core"
+	"mapcomp/internal/evolution"
+	"mapcomp/internal/experiment"
+	"mapcomp/internal/parser"
+	"mapcomp/internal/suite"
+)
+
+// benchRuns/benchEdits scale the editing scenario for benchmarking.
+const (
+	benchRuns  = 4
+	benchEdits = 50
+	benchSize  = 30
+)
+
+// BenchmarkFigure2 measures the per-primitive elimination study under each
+// of the four §4.2 configurations (Figures 2 and 3 share this workload).
+func BenchmarkFigure2(b *testing.B) {
+	for _, cfg := range experiment.EditingConfigs {
+		b.Run(cfg, func(b *testing.B) {
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				agg := experiment.EditingStudy(cfg, benchRuns, benchEdits, benchSize, nil, int64(i+1))
+				frac = agg.Fraction()
+			}
+			b.ReportMetric(frac, "frac-eliminated")
+		})
+	}
+}
+
+// BenchmarkFigure3 measures composition time per edit in the default
+// configuration (the quantity plotted in Figure 3).
+func BenchmarkFigure3(b *testing.B) {
+	var ms float64
+	for i := 0; i < b.N; i++ {
+		agg := experiment.EditingStudy(experiment.CfgNoKeys, benchRuns, benchEdits, benchSize, nil, int64(i+1))
+		edits := 0
+		for _, ps := range agg.PerPrimitive {
+			edits += ps.Edits
+		}
+		var total float64
+		for _, ps := range agg.PerPrimitive {
+			total += float64(ps.Duration.Microseconds())
+		}
+		if edits > 0 {
+			ms = total / float64(edits) / 1000
+		}
+	}
+	b.ReportMetric(ms, "ms/edit")
+}
+
+// BenchmarkFigure4 measures one full editing run ('no keys'), the unit
+// whose sorted distribution Figure 4 plots.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := &evolution.EditingConfig{
+			SchemaSize: benchSize, Edits: benchEdits,
+			Core: core.DefaultConfig(), Seed: int64(i + 1),
+		}
+		evolution.RunEditing(cfg)
+	}
+}
+
+// BenchmarkFigure5 sweeps the proportion of inclusion primitives.
+func BenchmarkFigure5(b *testing.B) {
+	for _, prop := range []float64{0, 0.10, 0.20} {
+		b.Run(fmt.Sprintf("inclusion=%.0f%%", prop*100), func(b *testing.B) {
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				points := experiment.Figure5([]float64{prop}, benchRuns, benchEdits, benchSize, int64(i+1))
+				frac = points[0].Total
+			}
+			b.ReportMetric(frac, "frac-eliminated")
+		})
+	}
+}
+
+// BenchmarkFigure6 measures reconciliation composition at two intermediate
+// schema sizes (the Figure 6 x-axis endpoints).
+func BenchmarkFigure6(b *testing.B) {
+	for _, size := range []int{10, 50} {
+		b.Run(fmt.Sprintf("schema=%d", size), func(b *testing.B) {
+			task, ok := evolution.GenerateReconciliation(size, 50, false, core.DefaultConfig(), 7, 25)
+			if !ok {
+				b.Skip("no first-order reconciliation task generated")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := evolution.ComposeReconciliation(task, core.DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure7 measures reconciliation composition as the number of
+// edits grows (the Figure 7 x-axis).
+func BenchmarkFigure7(b *testing.B) {
+	for _, edits := range []int{10, 50, 90} {
+		b.Run(fmt.Sprintf("edits=%d", edits), func(b *testing.B) {
+			task, ok := evolution.GenerateReconciliation(benchSize, edits, false, core.DefaultConfig(), 11, 25)
+			if !ok {
+				b.Skip("no first-order reconciliation task generated")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := evolution.ComposeReconciliation(task, core.DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNoLeftCompose measures the §4.2 remark that "disabling
+// left compose does not have a noticeable impact" — the reported
+// frac-eliminated should track BenchmarkFigure2/no_keys closely.
+func BenchmarkAblationNoLeftCompose(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		agg := experiment.EditingStudy(experiment.CfgNoLeftCompose, benchRuns, benchEdits, benchSize, nil, int64(i+1))
+		frac = agg.Fraction()
+	}
+	b.ReportMetric(frac, "frac-eliminated")
+}
+
+// BenchmarkAblationNoSimplify measures the cost/benefit of the cleanup
+// passes (§3.4.3/§3.5.4): without simplification mappings grow and later
+// eliminations slow down.
+func BenchmarkAblationNoSimplify(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Simplify = false
+	var size int
+	for i := 0; i < b.N; i++ {
+		run := evolution.RunEditing(&evolution.EditingConfig{
+			SchemaSize: benchSize, Edits: benchEdits, Core: cfg, Seed: int64(i + 1),
+		})
+		size = run.Constraints.Size()
+	}
+	b.ReportMetric(float64(size), "mapping-operators")
+}
+
+// BenchmarkLiteratureSuite runs the 22-problem suite (§4's first data set).
+func BenchmarkLiteratureSuite(b *testing.B) {
+	problems := suite.Problems()
+	for i := 0; i < b.N; i++ {
+		for _, p := range problems {
+			out := p.Run(nil)
+			if out.Err != nil {
+				b.Fatal(out.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkEliminate measures single-symbol elimination on the three
+// strategies' canonical inputs.
+func BenchmarkEliminate(b *testing.B) {
+	cases := []struct {
+		name, src string
+		sig       mapcomp.Signature
+	}{
+		{"unfold", "S = R * T; proj[1,2](U) - S <= U",
+			mapcomp.NewSignature("R", 1, "T", 1, "S", 2, "U", 2)},
+		{"left-compose", "R <= S & V; S <= T * U",
+			mapcomp.NewSignature("R", 2, "S", 2, "V", 2, "T", 1, "U", 1)},
+		{"right-compose-skolem", "R <= proj[1](S); S <= T * U",
+			mapcomp.NewSignature("R", 1, "S", 2, "T", 1, "U", 1)},
+	}
+	for _, c := range cases {
+		cs := parser.MustParseConstraints(c.src)
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, ok := mapcomp.Eliminate(c.sig, cs, "S", nil); !ok {
+					b.Fatal("elimination failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParser measures parsing of a mid-sized composition task.
+func BenchmarkParser(b *testing.B) {
+	src := `
+schema s1 { R/3 key[1]; T/2; }
+schema s2 { S/3; U/2; }
+map m : s1 -> s2 {
+  proj[1,2,3](sel[#2='x'](R)) <= S;
+  T = proj[1,2](sel[#1=#3](S * U));
+  R - proj[1,2,3](S * D) <= sel[#1!=#2](D^3);
+}
+`
+	for i := 0; i < b.N; i++ {
+		if _, err := mapcomp.ParseProblem(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

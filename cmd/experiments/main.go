@@ -1,0 +1,95 @@
+// Command experiments regenerates the figures of the paper's experimental
+// study (§4, Figures 2–7) plus the two textual results (blow-up rate and
+// order invariance).
+//
+// Usage:
+//
+//	experiments -figure all            # everything, paper-scale where feasible
+//	experiments -figure 2 -runs 100    # one figure at explicit scale
+//
+// Paper-scale parameters are 100 runs × 100 edits on schemas of size 30
+// for Figures 2–4, and 500 reconciliation tasks per point for Figures 6–7;
+// -runs/-tasks scale these down for quick looks. EXPERIMENTS.md records a
+// full paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mapcomp/internal/experiment"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "which figure to run: 2,3,4,5,6,7,blowup,order,all")
+	runs := flag.Int("runs", 100, "editing-scenario runs (Figures 2-5)")
+	edits := flag.Int("edits", 100, "edits per run (Figures 2-5)")
+	size := flag.Int("size", 30, "schema size (Figures 2-5, 7)")
+	tasks := flag.Int("tasks", 50, "reconciliation tasks per point (Figures 6-7)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	run2and3 := func() map[string]*experiment.EditingAggregate {
+		return experiment.Figure2(*runs, *edits, *size, *seed)
+	}
+
+	switch *figure {
+	case "2":
+		fmt.Print(experiment.RenderFigure2(run2and3()))
+	case "3":
+		fmt.Print(experiment.RenderFigure3(run2and3()))
+	case "4":
+		fmt.Print(experiment.RenderFigure4(experiment.Figure4(*runs, *edits, *size, *seed)))
+	case "5":
+		props := []float64{0, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16, 0.18, 0.20}
+		fmt.Print(experiment.RenderFigure5(experiment.Figure5(props, *runs, *edits, *size, *seed)))
+	case "6":
+		sizes := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+		fmt.Print(experiment.RenderFigure6(experiment.Figure6(sizes, *tasks, 100, *seed)))
+	case "7":
+		counts := []int{10, 30, 50, 70, 90, 110, 130, 150, 170, 190, 210}
+		fmt.Print(experiment.RenderFigure7(experiment.Figure7(counts, *tasks, *size, *seed)))
+	case "blowup":
+		blowup, attempted := experiment.BlowupStudy(*runs, *edits, *size, *seed)
+		fmt.Printf("blow-up study: %d of %d eliminations (%.2f%%) aborted by the size bound\n",
+			blowup, attempted, 100*float64(blowup)/float64(maxInt(attempted, 1)))
+	case "order":
+		variant, total := experiment.OrderInvariance(*tasks, *size, 50, 5, *seed)
+		fmt.Printf("order invariance: %d of %d tasks eliminated a different number of symbols under shuffled orders\n",
+			variant, total)
+	case "all":
+		data := run2and3()
+		fmt.Print(experiment.RenderFigure2(data))
+		fmt.Println()
+		fmt.Print(experiment.RenderFigure3(data))
+		fmt.Println()
+		fmt.Print(experiment.RenderFigure4(experiment.Figure4(*runs, *edits, *size, *seed)))
+		fmt.Println()
+		props := []float64{0, 0.04, 0.08, 0.12, 0.16, 0.20}
+		fmt.Print(experiment.RenderFigure5(experiment.Figure5(props, *runs, *edits, *size, *seed)))
+		fmt.Println()
+		sizes := []int{10, 30, 50, 70, 90}
+		fmt.Print(experiment.RenderFigure6(experiment.Figure6(sizes, *tasks, 100, *seed)))
+		fmt.Println()
+		counts := []int{10, 50, 90, 130, 170, 210}
+		fmt.Print(experiment.RenderFigure7(experiment.Figure7(counts, *tasks, *size, *seed)))
+		fmt.Println()
+		blowup, attempted := experiment.BlowupStudy(*runs, *edits, *size, *seed)
+		fmt.Printf("blow-up study: %d of %d eliminations (%.2f%%) aborted by the size bound\n",
+			blowup, attempted, 100*float64(blowup)/float64(maxInt(attempted, 1)))
+		variant, total := experiment.OrderInvariance(*tasks, *size, 50, 5, *seed)
+		fmt.Printf("order invariance: %d of %d tasks varied under shuffled elimination orders\n",
+			variant, total)
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

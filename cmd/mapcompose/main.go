@@ -1,0 +1,76 @@
+// Command mapcompose composes the mappings declared in a composition task
+// file (the plain-text format of §4 of the paper) and prints the results.
+//
+// Usage:
+//
+//	mapcompose [-v] file.mc
+//	mapcompose [-v] < file.mc
+//
+// The file declares schemas, maps and compose statements; see
+// internal/parser for the grammar and examples/quickstart for a worked
+// file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"mapcomp"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print per-symbol elimination steps")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if flag.NArg() >= 1 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	problem, err := mapcomp.ParseProblem(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if len(problem.Compositions) == 0 {
+		fatal(fmt.Errorf("no compose declarations in input"))
+	}
+	results, err := mapcomp.Run(problem)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("-- compose %s\n", r.Name)
+		if *verbose {
+			names := make([]string, 0, len(r.Result.Eliminated))
+			for s := range r.Result.Eliminated {
+				names = append(names, s)
+			}
+			sort.Strings(names)
+			for _, s := range names {
+				fmt.Printf("--   eliminated %s via %s\n", s, r.Result.Eliminated[s])
+			}
+			for _, s := range r.Result.Remaining {
+				fmt.Printf("--   kept %s (not eliminable)\n", s)
+			}
+		} else if len(r.Result.Remaining) > 0 {
+			fmt.Printf("--   kept: %v\n", r.Result.Remaining)
+		}
+		for _, c := range r.Result.Constraints {
+			fmt.Printf("%s;\n", c)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mapcompose:", err)
+	os.Exit(1)
+}

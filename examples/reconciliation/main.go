@@ -1,0 +1,63 @@
+// Schema reconciliation: "an initial schema σ1 is modified by two
+// independent designers, producing schemas σ2 and σ3. To merge them into a
+// single schema, we need a mapping between σ2 and σ3 that describes their
+// overlapping content. This σ2-σ3 mapping can be obtained by composing the
+// σ1-σ2 and σ1-σ3 mappings. Even if the latter two mappings are functions,
+// one of them needs to be inverted" (§1.1).
+//
+// In the constraint representation inversion is free: a mapping is just a
+// set of constraints, so Compose(σ2, σ1, σ3) treats the first mapping
+// "backwards" and eliminates the shared original schema.
+//
+// Run with: go run ./examples/reconciliation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mapcomp"
+)
+
+func main() {
+	// Original schema: Product(pid, name, price).
+	original := mapcomp.NewSignature("Product", 3)
+	// Designer A renames and drops price: CatalogA(pid, name).
+	schemaA := mapcomp.NewSignature("CatalogA", 2)
+	// Designer B keeps everything but partitions by a price band.
+	schemaB := mapcomp.NewSignature("Cheap", 3, "Expensive", 3)
+
+	mapA, err := mapcomp.ParseConstraints(`
+		proj[1,2](Product) = CatalogA;
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapB, err := mapcomp.ParseConstraints(`
+		sel[#3='low'](Product)  = Cheap;
+		sel[#3='high'](Product) = Expensive;
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compose A⁻¹ with B: schemaA is the input, schemaB the output, and
+	// the original schema is the intermediate signature to eliminate.
+	m1 := &mapcomp.Mapping{In: schemaA, Out: original, Constraints: mapA}
+	m2 := &mapcomp.Mapping{In: original, Out: schemaB, Constraints: mapB}
+	res, err := mapcomp.Compose(m1, m2, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("reconciliation mapping between the two designers' schemas:")
+	for sym, step := range res.Eliminated {
+		fmt.Printf("  eliminated original symbol %s via %s\n", sym, step)
+	}
+	if len(res.Remaining) > 0 {
+		fmt.Printf("  kept (best effort): %v\n", res.Remaining)
+	}
+	for _, c := range res.Constraints {
+		fmt.Printf("  %s\n", c)
+	}
+}

@@ -1,0 +1,316 @@
+package algebra
+
+import (
+	"testing"
+)
+
+func TestTupleKeyAndEqual(t *testing.T) {
+	a := Tuple{"x", "y"}
+	b := Tuple{"x", "y"}
+	c := Tuple{"xy", ""}
+	if a.Key() != b.Key() {
+		t.Error("equal tuples must share a key")
+	}
+	if a.Key() == c.Key() {
+		t.Error("distinct tuples collided on key")
+	}
+	if !a.Equal(b) || a.Equal(c) || a.Equal(Tuple{"x"}) {
+		t.Error("Tuple.Equal misbehaves")
+	}
+	if got := a.Concat(c); len(got) != 4 || got[2] != "xy" {
+		t.Errorf("Concat = %v", got)
+	}
+}
+
+func TestRelationSetSemantics(t *testing.T) {
+	r := NewRelation(2)
+	r.Add(Tuple{"a", "b"})
+	r.Add(Tuple{"a", "b"}) // duplicate: set semantics
+	r.Add(Tuple{"c", "d"})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if !r.Has(Tuple{"a", "b"}) || r.Has(Tuple{"b", "a"}) {
+		t.Error("Has misbehaves")
+	}
+	s := r.Clone()
+	s.Add(Tuple{"e", "f"})
+	if r.Len() != 2 {
+		t.Error("Clone is not independent")
+	}
+	if !r.SubsetOf(s) || s.SubsetOf(r) {
+		t.Error("SubsetOf misbehaves")
+	}
+	if r.EqualTo(s) || !r.EqualTo(r.Clone()) {
+		t.Error("EqualTo misbehaves")
+	}
+}
+
+func TestRelationTuplesDeterministic(t *testing.T) {
+	r := NewRelation(1)
+	r.Add(Tuple{"b"})
+	r.Add(Tuple{"a"})
+	ts := r.Tuples()
+	if len(ts) != 2 || ts[0][0] != "a" || ts[1][0] != "b" {
+		t.Errorf("Tuples not sorted: %v", ts)
+	}
+}
+
+func TestAddPanicsOnArityMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on arity mismatch")
+		}
+	}()
+	NewRelation(2).Add(Tuple{"a"})
+}
+
+func TestExprStringRoundTripPrecedence(t *testing.T) {
+	// Union/Diff bind loosest, then Inter, then Cross.
+	cases := []struct{ in, want string }{
+		{"a", "(R + S) * T needs parens"},
+	}
+	_ = cases
+	e := Cross{L: Union{L: R("R"), R: R("S")}, R: R("T")}
+	if got := e.String(); got != "(R + S) * T" {
+		t.Errorf("got %q", got)
+	}
+	e2 := Union{L: R("R"), R: Cross{L: R("S"), R: R("T")}}
+	if got := e2.String(); got != "R + S * T" {
+		t.Errorf("got %q", got)
+	}
+	// Diff is not associative: right operand needs parens.
+	e3 := Diff{L: R("R"), R: Diff{L: R("S"), R: R("T")}}
+	if got := e3.String(); got != "R - (S - T)" {
+		t.Errorf("got %q", got)
+	}
+	e4 := Diff{L: Diff{L: R("R"), R: R("S")}, R: R("T")}
+	if got := e4.String(); got != "R - S - T" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestArityBasic(t *testing.T) {
+	sig := NewSignature("R", 2, "S", 3)
+	cases := []struct {
+		e    Expr
+		want int
+	}{
+		{R("R"), 2},
+		{Domain{N: 4}, 4},
+		{Empty{N: 1}, 1},
+		{Lit{Width: 2, Tuples: []Tuple{{"a", "b"}}}, 2},
+		{Cross{L: R("R"), R: R("S")}, 5},
+		{Proj(R("S"), 3, 1), 2},
+		{Sel(EqCols(1, 2), R("R")), 2},
+		{Skolem{Fn: "f", Deps: []int{1}, E: R("R")}, 3},
+		{Union{L: R("R"), R: Proj(R("S"), 1, 2)}, 2},
+	}
+	for _, c := range cases {
+		got, err := Arity(c.e, sig)
+		if err != nil {
+			t.Errorf("Arity(%s): %v", c.e, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Arity(%s) = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestArityErrors(t *testing.T) {
+	sig := NewSignature("R", 2)
+	bad := []Expr{
+		R("Unknown"),
+		Union{L: R("R"), R: Domain{N: 3}},          // arity mismatch
+		Proj(R("R"), 3),                            // column out of range
+		Proj(R("R")),                               // empty projection
+		Sel(EqCols(1, 5), R("R")),                  // condition out of range
+		Skolem{Fn: "f", Deps: []int{9}, E: R("R")}, // dep out of range
+		App{Op: "nonexistent-operator"},
+		Domain{N: 0},
+	}
+	for _, e := range bad {
+		if _, err := Arity(e, sig); err == nil {
+			t.Errorf("Arity(%s) succeeded, want error", e)
+		}
+	}
+}
+
+func TestWalkRewriteSubstitute(t *testing.T) {
+	e := Union{L: R("S"), R: Proj(Sel(EqConst(1, "v"), R("S")), 1)}
+	if !ContainsRel(e, "S") || ContainsRel(e, "T") {
+		t.Error("ContainsRel misbehaves")
+	}
+	rels := Rels(e)
+	if len(rels) != 1 || !rels["S"] {
+		t.Errorf("Rels = %v", rels)
+	}
+	sub := SubstituteRel(e, "S", Cross{L: R("A"), R: R("B")})
+	if ContainsRel(sub, "S") || !ContainsRel(sub, "A") {
+		t.Errorf("SubstituteRel result: %s", sub)
+	}
+	// The original expression is unchanged (expressions are immutable).
+	if !ContainsRel(e, "S") {
+		t.Error("SubstituteRel mutated its input")
+	}
+	count := 0
+	Walk(e, func(Expr) bool { count++; return true })
+	if count != 5 { // Union, Rel, Project, Select, Rel
+		t.Errorf("Walk visited %d nodes, want 5", count)
+	}
+}
+
+func TestSizeCountsOperators(t *testing.T) {
+	e := Sel(And{L: EqCols(1, 2), R: EqConst(1, "a")}, Cross{L: R("R"), R: R("S")})
+	// Select(1) + 2 condition atoms + Cross(1) + 2 relations = 6
+	if got := Size(e); got != 6 {
+		t.Errorf("Size = %d, want 6", got)
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	tup := Tuple{"a", "b", "a"}
+	cases := []struct {
+		c    Condition
+		want bool
+	}{
+		{True, true},
+		{False, false},
+		{EqCols(1, 3), true},
+		{EqCols(1, 2), false},
+		{EqConst(2, "b"), true},
+		{Cmp{Op: CmpNe, L: ColRef(1), R: ColRef(2)}, true},
+		{Cmp{Op: CmpLt, L: ColRef(1), R: ColRef(2)}, true},
+		{Cmp{Op: CmpGe, L: ColRef(1), R: ColRef(2)}, false},
+		{And{L: EqCols(1, 3), R: EqConst(2, "b")}, true},
+		{Or{L: EqCols(1, 2), R: EqConst(1, "a")}, true},
+		{Not{C: EqCols(1, 2)}, true},
+	}
+	for _, c := range cases {
+		got, err := EvalCond(c.c, tup)
+		if err != nil {
+			t.Errorf("EvalCond(%s): %v", c.c, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("EvalCond(%s) = %v, want %v", c.c, got, c.want)
+		}
+	}
+	if _, err := EvalCond(EqCols(1, 9), tup); err == nil {
+		t.Error("out-of-range condition column must error")
+	}
+}
+
+func TestRemapCond(t *testing.T) {
+	c := And{L: EqCols(1, 2), R: EqConst(3, "x")}
+	shift := func(i int) int { return i + 10 }
+	got, err := RemapCond(c, shift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "(#11=#12 & #13='x')" {
+		t.Errorf("RemapCond = %s", got)
+	}
+	if _, err := RemapCond(c, func(int) int { return 0 }); err == nil {
+		t.Error("invalid remap must error")
+	}
+}
+
+func TestCondColsAndMax(t *testing.T) {
+	c := Or{L: EqCols(2, 5), R: Not{C: EqConst(3, "z")}}
+	cols := CondCols(c)
+	for _, want := range []int{2, 3, 5} {
+		if !cols[want] {
+			t.Errorf("missing column %d in %v", want, cols)
+		}
+	}
+	if CondMaxCol(c) != 5 {
+		t.Errorf("CondMaxCol = %d", CondMaxCol(c))
+	}
+	if CondMaxCol(True) != 0 {
+		t.Error("CondMaxCol(True) should be 0")
+	}
+}
+
+func TestSignatureMergeDisjoint(t *testing.T) {
+	a := NewSignature("R", 2)
+	b := NewSignature("S", 3)
+	m, err := a.Merge(b)
+	if err != nil || len(m) != 2 {
+		t.Fatalf("Merge: %v %v", m, err)
+	}
+	if !a.Disjoint(b) {
+		t.Error("Disjoint misbehaves")
+	}
+	conflict := NewSignature("R", 3)
+	if _, err := a.Merge(conflict); err == nil {
+		t.Error("conflicting arities must fail to merge")
+	}
+	if a.Disjoint(NewSignature("R", 2)) {
+		t.Error("overlapping signatures reported disjoint")
+	}
+}
+
+func TestConstraintCheckAndHelpers(t *testing.T) {
+	sig := NewSignature("R", 2, "S", 2)
+	ok := Contain(R("R"), R("S"))
+	if err := ok.Check(sig); err != nil {
+		t.Errorf("valid constraint rejected: %v", err)
+	}
+	bad := Contain(R("R"), Domain{N: 3})
+	if err := bad.Check(sig); err == nil {
+		t.Error("arity-mismatched constraint accepted")
+	}
+	if !ok.ContainsRel("R") || ok.ContainsRel("T") {
+		t.Error("ContainsRel misbehaves")
+	}
+	cs := ConstraintSet{ok, Equate(R("S"), R("R"))}
+	if cs.Size() != 4 {
+		t.Errorf("Size = %d, want 4", cs.Size())
+	}
+	sub := cs.SubstituteRel("S", Cross{L: R("R"), R: R("R")})
+	if !ContainsRel(sub[0].R, "R") || ContainsRel(sub[0].R, "S") {
+		t.Errorf("SubstituteRel: %s", sub)
+	}
+}
+
+func TestDesugarAll(t *testing.T) {
+	RegisterOp(&OpInfo{
+		Name: "twice", NArgs: 1,
+		Arity: func(a []int, _ []int) (int, error) { return a[0], nil },
+	})
+	RegisterDesugar("twice", func(_ []int, args []Expr, _ []int) (Expr, bool) {
+		return Union{L: args[0], R: args[0]}, true
+	})
+	sig := NewSignature("R", 1)
+	e := App{Op: "twice", Args: []Expr{R("R")}}
+	got := DesugarAll(e, sig)
+	if got.String() != "R + R" {
+		t.Errorf("DesugarAll = %s", got)
+	}
+	// Unknown operators are left intact.
+	u := App{Op: "never-registered", Args: []Expr{R("R")}}
+	if !Equal(DesugarAll(u, sig), u) {
+		t.Error("unregistered operator was rewritten")
+	}
+}
+
+func TestMonoCombineFlip(t *testing.T) {
+	if MonoM.Flip() != MonoA || MonoA.Flip() != MonoM || MonoI.Flip() != MonoI || MonoU.Flip() != MonoU {
+		t.Error("Flip misbehaves")
+	}
+	cases := []struct{ a, b, want Mono }{
+		{MonoM, MonoM, MonoM},
+		{MonoM, MonoI, MonoM},
+		{MonoI, MonoA, MonoA},
+		{MonoM, MonoA, MonoU},
+		{MonoU, MonoM, MonoU},
+		{MonoI, MonoI, MonoI},
+	}
+	for _, c := range cases {
+		if got := Combine(c.a, c.b); got != c.want {
+			t.Errorf("Combine(%s,%s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package algebra
+
+import "fmt"
+
+// CmpOp is a comparison operator usable in selection conditions.
+type CmpOp string
+
+// Comparison operators. The paper allows "an arbitrary boolean formula on
+// attributes (identified by index) and constants".
+const (
+	CmpEq CmpOp = "="
+	CmpNe CmpOp = "!="
+	CmpLt CmpOp = "<"
+	CmpLe CmpOp = "<="
+	CmpGt CmpOp = ">"
+	CmpGe CmpOp = ">="
+)
+
+// Operand is one side of a comparison: a column reference or a constant.
+type Operand struct {
+	// Col is the 1-based column index; 0 means the operand is the
+	// constant Const.
+	Col   int
+	Const Value
+}
+
+// ColRef returns an operand referencing column i (1-based).
+func ColRef(i int) Operand { return Operand{Col: i} }
+
+// ConstRef returns a constant operand.
+func ConstRef(v Value) Operand { return Operand{Const: v} }
+
+func (o Operand) String() string {
+	if o.Col > 0 {
+		return fmt.Sprintf("#%d", o.Col)
+	}
+	return "'" + string(o.Const) + "'"
+}
+
+// Condition is a boolean formula over comparisons of columns and constants.
+// The zero-value interface is not valid; use True for the trivial condition.
+type Condition interface {
+	condNode()
+	String() string
+}
+
+// TrueCond is the always-true condition.
+type TrueCond struct{}
+
+// FalseCond is the always-false condition.
+type FalseCond struct{}
+
+// Cmp is an atomic comparison L op R.
+type Cmp struct {
+	Op   CmpOp
+	L, R Operand
+}
+
+// And is conjunction.
+type And struct{ L, R Condition }
+
+// Or is disjunction.
+type Or struct{ L, R Condition }
+
+// Not is negation.
+type Not struct{ C Condition }
+
+func (TrueCond) condNode()  {}
+func (FalseCond) condNode() {}
+func (Cmp) condNode()       {}
+func (And) condNode()       {}
+func (Or) condNode()        {}
+func (Not) condNode()       {}
+
+func (TrueCond) String() string  { return "true" }
+func (FalseCond) String() string { return "false" }
+func (c Cmp) String() string     { return c.L.String() + string(c.Op) + c.R.String() }
+func (c And) String() string     { return "(" + c.L.String() + " & " + c.R.String() + ")" }
+func (c Or) String() string      { return "(" + c.L.String() + " | " + c.R.String() + ")" }
+func (c Not) String() string     { return "!(" + c.C.String() + ")" }
+
+// True is the shared trivial condition.
+var True Condition = TrueCond{}
+
+// False is the shared unsatisfiable condition.
+var False Condition = FalseCond{}
+
+// EqCols returns the condition #i = #j.
+func EqCols(i, j int) Condition { return Cmp{Op: CmpEq, L: ColRef(i), R: ColRef(j)} }
+
+// EqConst returns the condition #i = 'v'.
+func EqConst(i int, v Value) Condition { return Cmp{Op: CmpEq, L: ColRef(i), R: ConstRef(v)} }
+
+// AndAll folds a list of conditions into a conjunction; an empty list
+// yields True.
+func AndAll(cs ...Condition) Condition {
+	var out Condition
+	for _, c := range cs {
+		if _, ok := c.(TrueCond); ok {
+			continue
+		}
+		if out == nil {
+			out = c
+		} else {
+			out = And{out, c}
+		}
+	}
+	if out == nil {
+		return True
+	}
+	return out
+}
+
+// EvalCond evaluates the condition against a tuple. Comparisons are
+// lexicographic on the string values.
+func EvalCond(c Condition, t Tuple) (bool, error) {
+	switch c := c.(type) {
+	case TrueCond:
+		return true, nil
+	case FalseCond:
+		return false, nil
+	case Cmp:
+		l, err := operandValue(c.L, t)
+		if err != nil {
+			return false, err
+		}
+		r, err := operandValue(c.R, t)
+		if err != nil {
+			return false, err
+		}
+		switch c.Op {
+		case CmpEq:
+			return l == r, nil
+		case CmpNe:
+			return l != r, nil
+		case CmpLt:
+			return l < r, nil
+		case CmpLe:
+			return l <= r, nil
+		case CmpGt:
+			return l > r, nil
+		case CmpGe:
+			return l >= r, nil
+		}
+		return false, fmt.Errorf("algebra: unknown comparison operator %q", c.Op)
+	case And:
+		l, err := EvalCond(c.L, t)
+		if err != nil || !l {
+			return false, err
+		}
+		return EvalCond(c.R, t)
+	case Or:
+		l, err := EvalCond(c.L, t)
+		if err != nil || l {
+			return l, err
+		}
+		return EvalCond(c.R, t)
+	case Not:
+		v, err := EvalCond(c.C, t)
+		return !v, err
+	}
+	return false, fmt.Errorf("algebra: unknown condition %T", c)
+}
+
+func operandValue(o Operand, t Tuple) (Value, error) {
+	if o.Col == 0 {
+		return o.Const, nil
+	}
+	if o.Col < 1 || o.Col > len(t) {
+		return "", fmt.Errorf("algebra: condition references column %d of %d-tuple", o.Col, len(t))
+	}
+	return t[o.Col-1], nil
+}
+
+// CondCols returns the set of column indexes referenced by the condition.
+func CondCols(c Condition) map[int]bool {
+	cols := make(map[int]bool)
+	collectCondCols(c, cols)
+	return cols
+}
+
+func collectCondCols(c Condition, cols map[int]bool) {
+	switch c := c.(type) {
+	case Cmp:
+		if c.L.Col > 0 {
+			cols[c.L.Col] = true
+		}
+		if c.R.Col > 0 {
+			cols[c.R.Col] = true
+		}
+	case And:
+		collectCondCols(c.L, cols)
+		collectCondCols(c.R, cols)
+	case Or:
+		collectCondCols(c.L, cols)
+		collectCondCols(c.R, cols)
+	case Not:
+		collectCondCols(c.C, cols)
+	}
+}
+
+// CondMaxCol returns the largest column index referenced, or 0 when the
+// condition references no columns.
+func CondMaxCol(c Condition) int {
+	max := 0
+	for i := range CondCols(c) {
+		if i > max {
+			max = i
+		}
+	}
+	return max
+}
+
+// RemapCond returns a copy of the condition with every column index i
+// replaced by m(i). It is used to shift conditions through cross products
+// and projections. m must return a positive index for every referenced
+// column; RemapCond returns an error otherwise.
+func RemapCond(c Condition, m func(int) int) (Condition, error) {
+	switch c := c.(type) {
+	case TrueCond, FalseCond:
+		return c, nil
+	case Cmp:
+		l, r := c.L, c.R
+		if l.Col > 0 {
+			n := m(l.Col)
+			if n <= 0 {
+				return nil, fmt.Errorf("algebra: cannot remap column %d", l.Col)
+			}
+			l = ColRef(n)
+		}
+		if r.Col > 0 {
+			n := m(r.Col)
+			if n <= 0 {
+				return nil, fmt.Errorf("algebra: cannot remap column %d", r.Col)
+			}
+			r = ColRef(n)
+		}
+		return Cmp{Op: c.Op, L: l, R: r}, nil
+	case And:
+		l, err := RemapCond(c.L, m)
+		if err != nil {
+			return nil, err
+		}
+		r, err := RemapCond(c.R, m)
+		if err != nil {
+			return nil, err
+		}
+		return And{l, r}, nil
+	case Or:
+		l, err := RemapCond(c.L, m)
+		if err != nil {
+			return nil, err
+		}
+		r, err := RemapCond(c.R, m)
+		if err != nil {
+			return nil, err
+		}
+		return Or{l, r}, nil
+	case Not:
+		inner, err := RemapCond(c.C, m)
+		if err != nil {
+			return nil, err
+		}
+		return Not{inner}, nil
+	}
+	return nil, fmt.Errorf("algebra: unknown condition %T", c)
+}
+
+// CondEqual reports structural equality of conditions.
+func CondEqual(a, b Condition) bool {
+	return a.String() == b.String()
+}
+
+// condSize counts atoms in a condition; used for mapping-size accounting.
+func condSize(c Condition) int {
+	switch c := c.(type) {
+	case And:
+		return condSize(c.L) + condSize(c.R)
+	case Or:
+		return condSize(c.L) + condSize(c.R)
+	case Not:
+		return condSize(c.C)
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,168 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ConstraintKind distinguishes containment from equality constraints (§2).
+type ConstraintKind byte
+
+// Constraint kinds.
+const (
+	Containment ConstraintKind = iota // E1 ⊆ E2
+	Equality                          // E1 = E2
+)
+
+// Constraint is E1 ⊆ E2 or E1 = E2 for relational expressions E1, E2.
+type Constraint struct {
+	Kind ConstraintKind
+	L, R Expr
+}
+
+// Contain returns the containment constraint l ⊆ r.
+func Contain(l, r Expr) Constraint { return Constraint{Kind: Containment, L: l, R: r} }
+
+// Equate returns the equality constraint l = r.
+func Equate(l, r Expr) Constraint { return Constraint{Kind: Equality, L: l, R: r} }
+
+// String renders the constraint in concrete syntax.
+func (c Constraint) String() string {
+	op := " <= "
+	if c.Kind == Equality {
+		op = " = "
+	}
+	return c.L.String() + op + c.R.String()
+}
+
+// Size is the operator count of both sides (the paper's mapping-size
+// measure, §4.2).
+func (c Constraint) Size() int { return Size(c.L) + Size(c.R) }
+
+// Rels returns the relation symbols mentioned on either side.
+func (c Constraint) Rels() map[string]bool {
+	out := Rels(c.L)
+	for n := range Rels(c.R) {
+		out[n] = true
+	}
+	return out
+}
+
+// ContainsRel reports whether either side mentions name.
+func (c Constraint) ContainsRel(name string) bool {
+	return ContainsRel(c.L, name) || ContainsRel(c.R, name)
+}
+
+// ContainsSkolem reports whether either side contains a Skolem operator.
+func (c Constraint) ContainsSkolem() bool {
+	return ContainsSkolem(c.L) || ContainsSkolem(c.R)
+}
+
+// Check validates both sides under sig and, for containment/equality,
+// that the arities agree.
+func (c Constraint) Check(sig Signature) error {
+	l, err := Arity(c.L, sig)
+	if err != nil {
+		return err
+	}
+	r, err := Arity(c.R, sig)
+	if err != nil {
+		return err
+	}
+	if l != r {
+		return fmt.Errorf("algebra: constraint %s relates arities %d and %d", c, l, r)
+	}
+	return nil
+}
+
+// ConstraintSet is an ordered list of constraints. Order matters only for
+// reproducibility of the algorithm's output, not for semantics.
+type ConstraintSet []Constraint
+
+// String renders one constraint per line.
+func (cs ConstraintSet) String() string {
+	var b strings.Builder
+	for i, c := range cs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(c.String())
+	}
+	return b.String()
+}
+
+// Size is the total operator count (§4.2's mapping size).
+func (cs ConstraintSet) Size() int {
+	n := 0
+	for _, c := range cs {
+		n += c.Size()
+	}
+	return n
+}
+
+// Rels returns all relation symbols mentioned.
+func (cs ConstraintSet) Rels() map[string]bool {
+	out := make(map[string]bool)
+	for _, c := range cs {
+		for n := range c.Rels() {
+			out[n] = true
+		}
+	}
+	return out
+}
+
+// Clone returns a shallow copy of the list (expressions are immutable).
+func (cs ConstraintSet) Clone() ConstraintSet {
+	return append(ConstraintSet(nil), cs...)
+}
+
+// Check validates every constraint under sig.
+func (cs ConstraintSet) Check(sig Signature) error {
+	for _, c := range cs {
+		if err := c.Check(sig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ContainsSkolem reports whether any constraint contains a Skolem term.
+func (cs ConstraintSet) ContainsSkolem() bool {
+	for _, c := range cs {
+		if c.ContainsSkolem() {
+			return true
+		}
+	}
+	return false
+}
+
+// SubstituteRel replaces relation name with repl in every constraint.
+func (cs ConstraintSet) SubstituteRel(name string, repl Expr) ConstraintSet {
+	out := make(ConstraintSet, len(cs))
+	for i, c := range cs {
+		out[i] = Constraint{Kind: c.Kind, L: SubstituteRel(c.L, name, repl), R: SubstituteRel(c.R, name, repl)}
+	}
+	return out
+}
+
+// Mapping is a mapping given by (σ1, σ2, Σ12) as in §2: a set of
+// constraints over the disjoint union of an input and an output signature.
+type Mapping struct {
+	In, Out     Signature
+	Keys        Keys
+	Constraints ConstraintSet
+}
+
+// Sig returns the combined signature σ1 ∪ σ2.
+func (m *Mapping) Sig() (Signature, error) { return m.In.Merge(m.Out) }
+
+// Check validates the mapping: disjointness is not required (the schema
+// evolution scenario shares untouched symbols between versions), but every
+// constraint must be well-formed over the combined signature.
+func (m *Mapping) Check() error {
+	sig, err := m.Sig()
+	if err != nil {
+		return err
+	}
+	return m.Constraints.Check(sig)
+}

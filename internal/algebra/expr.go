@@ -1,0 +1,424 @@
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expr is a relational-algebra expression in the unnamed perspective (§2 of
+// the paper). The six basic operators have dedicated node types; every
+// other operator (join, semijoin, outer join, transitive closure, …) is an
+// App node resolved through the operator registry, mirroring the paper's
+// user-defined-operator extensibility.
+type Expr interface {
+	exprNode()
+	// String renders the expression in the library's concrete syntax,
+	// parseable by internal/parser.
+	String() string
+}
+
+// Rel is a reference to a base relation symbol.
+type Rel struct{ Name string }
+
+// Domain is D^N: the N-fold cross product of the active domain relation D
+// (§2). Domain{1} is D itself.
+type Domain struct{ N int }
+
+// Empty is the empty relation of arity N (§2).
+type Empty struct{ N int }
+
+// Lit is a literal (constant) relation: a fixed set of tuples of the given
+// width. It is used e.g. for the singleton {c} in the "add default"
+// evolution primitive (Figure 1).
+type Lit struct {
+	Width  int
+	Tuples []Tuple
+}
+
+// Union is E1 ∪ E2.
+type Union struct{ L, R Expr }
+
+// Inter is E1 ∩ E2.
+type Inter struct{ L, R Expr }
+
+// Cross is E1 × E2.
+type Cross struct{ L, R Expr }
+
+// Diff is E1 − E2.
+type Diff struct{ L, R Expr }
+
+// Select is σ_c(E).
+type Select struct {
+	Cond Condition
+	E    Expr
+}
+
+// Project is π_I(E) with I a list of 1-based column indexes. Indexes may
+// repeat and may reorder columns.
+type Project struct {
+	Cols []int
+	E    Expr
+}
+
+// Skolem is the Skolem-function operator f_I(E) of §2: it has arity
+// arity(E)+1, appending an attribute whose values are an unknown function
+// Fn of the columns listed in Deps. Skolem terms are introduced by
+// right-normalization and removed again by deskolemization (§3.5).
+type Skolem struct {
+	Fn   string
+	Deps []int
+	E    Expr
+}
+
+// App applies a registered (user-defined or derived) operator to argument
+// expressions. Params carries operator-specific integer parameters, e.g.
+// the column pairs of a join predicate.
+type App struct {
+	Op     string
+	Params []int
+	Args   []Expr
+}
+
+func (Rel) exprNode()     {}
+func (Domain) exprNode()  {}
+func (Empty) exprNode()   {}
+func (Lit) exprNode()     {}
+func (Union) exprNode()   {}
+func (Inter) exprNode()   {}
+func (Cross) exprNode()   {}
+func (Diff) exprNode()    {}
+func (Select) exprNode()  {}
+func (Project) exprNode() {}
+func (Skolem) exprNode()  {}
+func (App) exprNode()     {}
+
+// Precedence levels for printing with minimal parentheses.
+func precedence(e Expr) int {
+	switch e.(type) {
+	case Union, Diff:
+		return 1
+	case Inter:
+		return 2
+	case Cross:
+		return 3
+	default:
+		return 4
+	}
+}
+
+func child(parent Expr, e Expr, rightOperand bool) string {
+	p, c := precedence(parent), precedence(e)
+	s := e.String()
+	// Union/Diff and Inter are left-associative in the grammar; a right
+	// operand at the same level needs parentheses (and Diff is not
+	// associative at all).
+	if c < p || (rightOperand && c == p && p < 4) {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func (e Rel) String() string { return e.Name }
+
+func (e Domain) String() string {
+	if e.N == 1 {
+		return "D"
+	}
+	return "D^" + strconv.Itoa(e.N)
+}
+
+func (e Empty) String() string { return "empty^" + strconv.Itoa(e.N) }
+
+func (e Lit) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range e.Tuples {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte('}')
+	if len(e.Tuples) == 0 {
+		return "{}^" + strconv.Itoa(e.Width)
+	}
+	return b.String()
+}
+
+func (e Union) String() string { return child(e, e.L, false) + " + " + child(e, e.R, true) }
+func (e Inter) String() string { return child(e, e.L, false) + " & " + child(e, e.R, true) }
+func (e Cross) String() string { return child(e, e.L, false) + " * " + child(e, e.R, true) }
+func (e Diff) String() string  { return child(e, e.L, false) + " - " + child(e, e.R, true) }
+
+func (e Select) String() string {
+	return "sel[" + e.Cond.String() + "](" + e.E.String() + ")"
+}
+
+func (e Project) String() string {
+	return "proj[" + intList(e.Cols) + "](" + e.E.String() + ")"
+}
+
+func (e Skolem) String() string {
+	return "sk[" + e.Fn + ":" + intList(e.Deps) + "](" + e.E.String() + ")"
+}
+
+func (e App) String() string {
+	var b strings.Builder
+	b.WriteString(e.Op)
+	if len(e.Params) > 0 {
+		b.WriteByte('[')
+		b.WriteString(intList(e.Params))
+		b.WriteByte(']')
+	}
+	b.WriteByte('(')
+	for i, a := range e.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func intList(xs []int) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+	return b.String()
+}
+
+// Seq returns the column list [from, from+1, …, to] (inclusive, 1-based).
+func Seq(from, to int) []int {
+	if to < from {
+		return nil
+	}
+	out := make([]int, 0, to-from+1)
+	for i := from; i <= to; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Proj is shorthand for Project{Cols: cols, E: e}.
+func Proj(e Expr, cols ...int) Expr { return Project{Cols: cols, E: e} }
+
+// Sel is shorthand for Select{Cond: c, E: e}.
+func Sel(c Condition, e Expr) Expr { return Select{Cond: c, E: e} }
+
+// R is shorthand for Rel{name}.
+func R(name string) Expr { return Rel{Name: name} }
+
+// UnionAll folds expressions into a left-deep union; it panics on an empty
+// list because the arity would be unknown.
+func UnionAll(es ...Expr) Expr {
+	if len(es) == 0 {
+		panic("algebra: UnionAll of no expressions")
+	}
+	out := es[0]
+	for _, e := range es[1:] {
+		out = Union{out, e}
+	}
+	return out
+}
+
+// InterAll folds expressions into a left-deep intersection; it panics on an
+// empty list.
+func InterAll(es ...Expr) Expr {
+	if len(es) == 0 {
+		panic("algebra: InterAll of no expressions")
+	}
+	out := es[0]
+	for _, e := range es[1:] {
+		out = Inter{out, e}
+	}
+	return out
+}
+
+// Equal reports structural equality of expressions.
+func Equal(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.String() == b.String()
+}
+
+// Size counts operators in the expression: every non-leaf node and every
+// condition atom counts 1; relation symbols, D, ∅ and literals count 1.
+// This is the measure used for the paper's blow-up bound ("the size of
+// mappings is measured as the total number of operators across all
+// constraints", §4.2).
+func Size(e Expr) int {
+	switch e := e.(type) {
+	case Rel, Domain, Empty, Lit:
+		return 1
+	case Union:
+		return 1 + Size(e.L) + Size(e.R)
+	case Inter:
+		return 1 + Size(e.L) + Size(e.R)
+	case Cross:
+		return 1 + Size(e.L) + Size(e.R)
+	case Diff:
+		return 1 + Size(e.L) + Size(e.R)
+	case Select:
+		return 1 + condSize(e.Cond) + Size(e.E)
+	case Project:
+		return 1 + Size(e.E)
+	case Skolem:
+		return 1 + Size(e.E)
+	case App:
+		n := 1
+		for _, a := range e.Args {
+			n += Size(a)
+		}
+		return n
+	}
+	return 1
+}
+
+// Children returns the immediate sub-expressions of e.
+func Children(e Expr) []Expr {
+	switch e := e.(type) {
+	case Union:
+		return []Expr{e.L, e.R}
+	case Inter:
+		return []Expr{e.L, e.R}
+	case Cross:
+		return []Expr{e.L, e.R}
+	case Diff:
+		return []Expr{e.L, e.R}
+	case Select:
+		return []Expr{e.E}
+	case Project:
+		return []Expr{e.E}
+	case Skolem:
+		return []Expr{e.E}
+	case App:
+		return e.Args
+	default:
+		return nil
+	}
+}
+
+// WithChildren rebuilds e with new immediate sub-expressions. The number of
+// children must match Children(e).
+func WithChildren(e Expr, kids []Expr) Expr {
+	switch e := e.(type) {
+	case Union:
+		return Union{kids[0], kids[1]}
+	case Inter:
+		return Inter{kids[0], kids[1]}
+	case Cross:
+		return Cross{kids[0], kids[1]}
+	case Diff:
+		return Diff{kids[0], kids[1]}
+	case Select:
+		return Select{Cond: e.Cond, E: kids[0]}
+	case Project:
+		return Project{Cols: append([]int(nil), e.Cols...), E: kids[0]}
+	case Skolem:
+		return Skolem{Fn: e.Fn, Deps: append([]int(nil), e.Deps...), E: kids[0]}
+	case App:
+		return App{Op: e.Op, Params: append([]int(nil), e.Params...), Args: kids}
+	default:
+		if len(kids) != 0 {
+			panic(fmt.Sprintf("algebra: WithChildren on leaf %T", e))
+		}
+		return e
+	}
+}
+
+// Walk visits e and all sub-expressions in pre-order; it stops early if f
+// returns false.
+func Walk(e Expr, f func(Expr) bool) {
+	if !f(e) {
+		return
+	}
+	for _, c := range Children(e) {
+		Walk(c, f)
+	}
+}
+
+// Rewrite applies f bottom-up: children are rewritten first, then f is
+// applied to the rebuilt node.
+func Rewrite(e Expr, f func(Expr) Expr) Expr {
+	kids := Children(e)
+	if len(kids) > 0 {
+		newKids := make([]Expr, len(kids))
+		changed := false
+		for i, c := range kids {
+			newKids[i] = Rewrite(c, f)
+			if !Equal(newKids[i], c) {
+				changed = true
+			}
+		}
+		if changed {
+			e = WithChildren(e, newKids)
+		}
+	}
+	return f(e)
+}
+
+// Rels returns the set of base relation names referenced by e.
+func Rels(e Expr) map[string]bool {
+	out := make(map[string]bool)
+	Walk(e, func(x Expr) bool {
+		if r, ok := x.(Rel); ok {
+			out[r.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// ContainsRel reports whether e references relation name.
+func ContainsRel(e Expr, name string) bool {
+	found := false
+	Walk(e, func(x Expr) bool {
+		if r, ok := x.(Rel); ok && r.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ContainsSkolem reports whether e contains any Skolem operator.
+func ContainsSkolem(e Expr) bool {
+	found := false
+	Walk(e, func(x Expr) bool {
+		if _, ok := x.(Skolem); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// SkolemNames returns the set of Skolem function names occurring in e.
+func SkolemNames(e Expr) map[string]bool {
+	out := make(map[string]bool)
+	Walk(e, func(x Expr) bool {
+		if s, ok := x.(Skolem); ok {
+			out[s.Fn] = true
+		}
+		return true
+	})
+	return out
+}
+
+// SubstituteRel returns e with every occurrence of relation name replaced
+// by repl.
+func SubstituteRel(e Expr, name string, repl Expr) Expr {
+	return Rewrite(e, func(x Expr) Expr {
+		if r, ok := x.(Rel); ok && r.Name == name {
+			return repl
+		}
+		return x
+	})
+}

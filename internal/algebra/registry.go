@@ -1,0 +1,234 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Mono is the four-valued monotonicity status returned by the MONOTONE
+// procedure (§3.3): monotone, anti-monotone, independent, or unknown.
+type Mono byte
+
+// Monotonicity statuses.
+const (
+	MonoM Mono = 'm' // monotone
+	MonoA Mono = 'a' // anti-monotone
+	MonoI Mono = 'i' // independent of the symbol
+	MonoU Mono = 'u' // unknown
+)
+
+func (m Mono) String() string { return string(rune(m)) }
+
+// Flip exchanges monotone and anti-monotone; it is how negative positions
+// (e.g. the right argument of set difference) transform their operand's
+// status.
+func (m Mono) Flip() Mono {
+	switch m {
+	case MonoM:
+		return MonoA
+	case MonoA:
+		return MonoM
+	default:
+		return m
+	}
+}
+
+// Combine merges the statuses of two operands of an operator that is
+// monotone in both arguments (∪, ∩, ×, join, …): the result is monotone
+// only if no operand pulls the other way.
+func Combine(a, b Mono) Mono {
+	if a == MonoI {
+		return b
+	}
+	if b == MonoI {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	return MonoU
+}
+
+// OpInfo describes a registered operator: its signature discipline and the
+// monotonicity table used by MONOTONE. Normalization rewrite rules for
+// registered operators live in internal/core's rule tables; evaluation
+// lives here so the instance engine can execute registered operators.
+//
+// The registry is the paper's extensibility mechanism (§1.3
+// "Extensibility and modularity"): adding an operator means registering
+// OpInfo plus, optionally, normalization rules — no changes to the
+// algorithm itself.
+type OpInfo struct {
+	Name  string
+	NArgs int
+
+	// Arity computes the result arity from argument arities and the
+	// operator parameters; it reports an error for ill-formed uses.
+	Arity func(argArities []int, params []int) (int, error)
+
+	// Monotone combines the monotonicity statuses of the arguments into
+	// the status of the application, implementing one row-set of the
+	// table lookup of §3.3. A nil Monotone means the operator's
+	// behaviour is unknown and MONOTONE answers 'u' whenever the symbol
+	// occurs beneath it.
+	Monotone func(args []Mono) Mono
+
+	// Eval executes the operator on concrete relations (set semantics);
+	// nil means the instance engine cannot evaluate it.
+	Eval func(args []*Relation, params []int) (*Relation, error)
+}
+
+var (
+	opMu  sync.RWMutex
+	opTab = make(map[string]*OpInfo)
+)
+
+// RegisterOp installs an operator. Registering the same name twice
+// replaces the previous definition; this keeps tests independent.
+func RegisterOp(info *OpInfo) {
+	if info == nil || info.Name == "" {
+		panic("algebra: RegisterOp with empty name")
+	}
+	opMu.Lock()
+	defer opMu.Unlock()
+	opTab[info.Name] = info
+}
+
+// LookupOp returns the operator registration, or nil when unknown. Unknown
+// operators are tolerated everywhere (the algorithm "simply delays handling
+// such operators as long as possible", §1.3); only steps that need specific
+// knowledge fail.
+func LookupOp(name string) *OpInfo {
+	opMu.RLock()
+	defer opMu.RUnlock()
+	return opTab[name]
+}
+
+// RegisteredOps lists registered operator names, sorted.
+func RegisteredOps() []string {
+	opMu.RLock()
+	defer opMu.RUnlock()
+	out := make([]string, 0, len(opTab))
+	for n := range opTab {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Arity computes the arity of e under sig, validating the expression
+// bottom-up exactly as §2 prescribes for the basic operators.
+func Arity(e Expr, sig Signature) (int, error) {
+	switch e := e.(type) {
+	case Rel:
+		a, ok := sig[e.Name]
+		if !ok {
+			return 0, fmt.Errorf("algebra: unknown relation %s", e.Name)
+		}
+		return a, nil
+	case Domain:
+		if e.N < 1 {
+			return 0, fmt.Errorf("algebra: D^%d has non-positive arity", e.N)
+		}
+		return e.N, nil
+	case Empty:
+		if e.N < 1 {
+			return 0, fmt.Errorf("algebra: empty^%d has non-positive arity", e.N)
+		}
+		return e.N, nil
+	case Lit:
+		for _, t := range e.Tuples {
+			if len(t) != e.Width {
+				return 0, fmt.Errorf("algebra: literal tuple %v has arity %d, want %d", t, len(t), e.Width)
+			}
+		}
+		if e.Width < 1 {
+			return 0, fmt.Errorf("algebra: literal of non-positive width %d", e.Width)
+		}
+		return e.Width, nil
+	case Union:
+		return sameArity(e.L, e.R, sig, "union")
+	case Inter:
+		return sameArity(e.L, e.R, sig, "intersection")
+	case Diff:
+		return sameArity(e.L, e.R, sig, "difference")
+	case Cross:
+		l, err := Arity(e.L, sig)
+		if err != nil {
+			return 0, err
+		}
+		r, err := Arity(e.R, sig)
+		if err != nil {
+			return 0, err
+		}
+		return l + r, nil
+	case Select:
+		a, err := Arity(e.E, sig)
+		if err != nil {
+			return 0, err
+		}
+		if mc := CondMaxCol(e.Cond); mc > a {
+			return 0, fmt.Errorf("algebra: selection condition references column %d of arity-%d input", mc, a)
+		}
+		return a, nil
+	case Project:
+		a, err := Arity(e.E, sig)
+		if err != nil {
+			return 0, err
+		}
+		if len(e.Cols) == 0 {
+			return 0, fmt.Errorf("algebra: projection with empty column list")
+		}
+		for _, c := range e.Cols {
+			if c < 1 || c > a {
+				return 0, fmt.Errorf("algebra: projection column %d out of range 1..%d", c, a)
+			}
+		}
+		return len(e.Cols), nil
+	case Skolem:
+		a, err := Arity(e.E, sig)
+		if err != nil {
+			return 0, err
+		}
+		for _, d := range e.Deps {
+			if d < 1 || d > a {
+				return 0, fmt.Errorf("algebra: skolem %s dependency %d out of range 1..%d", e.Fn, d, a)
+			}
+		}
+		return a + 1, nil
+	case App:
+		info := LookupOp(e.Op)
+		if info == nil {
+			return 0, fmt.Errorf("algebra: unknown operator %s", e.Op)
+		}
+		if info.NArgs >= 0 && len(e.Args) != info.NArgs {
+			return 0, fmt.Errorf("algebra: operator %s wants %d args, got %d", e.Op, info.NArgs, len(e.Args))
+		}
+		arities := make([]int, len(e.Args))
+		for i, a := range e.Args {
+			n, err := Arity(a, sig)
+			if err != nil {
+				return 0, err
+			}
+			arities[i] = n
+		}
+		return info.Arity(arities, e.Params)
+	}
+	return 0, fmt.Errorf("algebra: unknown expression %T", e)
+}
+
+func sameArity(l, r Expr, sig Signature, op string) (int, error) {
+	a, err := Arity(l, sig)
+	if err != nil {
+		return 0, err
+	}
+	b, err := Arity(r, sig)
+	if err != nil {
+		return 0, err
+	}
+	if a != b {
+		return 0, fmt.Errorf("algebra: %s of arities %d and %d", op, a, b)
+	}
+	return a, nil
+}

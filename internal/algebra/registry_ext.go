@@ -1,0 +1,68 @@
+package algebra
+
+// Desugar support: a registered operator may declare itself a *derived*
+// operator by providing an expansion into more primitive expressions. The
+// composition algorithm uses the expansion only when a normalization step
+// needs to look inside the operator (e.g. to isolate a symbol); otherwise
+// the operator is left intact, as §1.3 prescribes ("delays handling such
+// operators as long as possible").
+
+// DesugarFunc expands an application of the operator into an equivalent
+// expression over more primitive operators. argArities are the computed
+// arities of the arguments. ok=false means the operator has no expansion.
+type DesugarFunc func(params []int, args []Expr, argArities []int) (Expr, bool)
+
+// desugarTab is keyed by operator name; kept separate from OpInfo so the
+// zero OpInfo stays useful.
+var desugarTab = map[string]DesugarFunc{}
+
+// RegisterDesugar installs an expansion rule for a registered operator.
+func RegisterDesugar(op string, f DesugarFunc) {
+	opMu.Lock()
+	defer opMu.Unlock()
+	desugarTab[op] = f
+}
+
+// Desugar expands a single App node one level, if an expansion rule exists.
+// sig is needed to compute argument arities. ok=false when the node is not
+// an App, the operator has no rule, or arities cannot be computed.
+func Desugar(e Expr, sig Signature) (Expr, bool) {
+	app, isApp := e.(App)
+	if !isApp {
+		return e, false
+	}
+	opMu.RLock()
+	f := desugarTab[app.Op]
+	opMu.RUnlock()
+	if f == nil {
+		return e, false
+	}
+	arities := make([]int, len(app.Args))
+	for i, a := range app.Args {
+		n, err := Arity(a, sig)
+		if err != nil {
+			return e, false
+		}
+		arities[i] = n
+	}
+	return f(app.Params, app.Args, arities)
+}
+
+// DesugarAll expands every derivable App node in e, bottom-up, repeatedly
+// until no rule applies. Expressions with underivable operators are
+// returned with those applications intact.
+func DesugarAll(e Expr, sig Signature) Expr {
+	for {
+		changed := false
+		e = Rewrite(e, func(x Expr) Expr {
+			if y, ok := Desugar(x, sig); ok {
+				changed = true
+				return y
+			}
+			return x
+		})
+		if !changed {
+			return e
+		}
+	}
+}

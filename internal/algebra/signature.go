@@ -1,0 +1,96 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Signature maps relation symbols to their arities (§2: "a signature is a
+// function from a set of relation symbols to positive integers").
+type Signature map[string]int
+
+// NewSignature builds a signature from name/arity pairs.
+func NewSignature(pairs ...any) Signature {
+	if len(pairs)%2 != 0 {
+		panic("algebra: NewSignature needs name/arity pairs")
+	}
+	s := make(Signature, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		s[pairs[i].(string)] = pairs[i+1].(int)
+	}
+	return s
+}
+
+// Names returns the relation names in sorted order.
+func (s Signature) Names() []string {
+	out := make([]string, 0, len(s))
+	for n := range s {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a copy.
+func (s Signature) Clone() Signature {
+	c := make(Signature, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Merge returns the union of two signatures. Symbols present in both must
+// agree on arity.
+func (s Signature) Merge(t Signature) (Signature, error) {
+	out := s.Clone()
+	for k, v := range t {
+		if w, ok := out[k]; ok && w != v {
+			return nil, fmt.Errorf("algebra: symbol %s has arity %d and %d", k, w, v)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Disjoint reports whether the signatures share no symbols.
+func (s Signature) Disjoint(t Signature) bool {
+	for k := range s {
+		if _, ok := t[k]; ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Keys records known key constraints: for each relation, the 1-based
+// columns of at most one key. Key knowledge is used to minimize Skolem
+// dependencies during right-normalization (§3.5.1) and by the schema
+// evolution simulator (§4.1).
+type Keys map[string][]int
+
+// Clone returns a copy.
+func (k Keys) Clone() Keys {
+	c := make(Keys, len(k))
+	for name, cols := range k {
+		c[name] = append([]int(nil), cols...)
+	}
+	return c
+}
+
+// Schema bundles a signature with its key information; it is the unit the
+// schema evolution simulator manipulates.
+type Schema struct {
+	Sig  Signature
+	Keys Keys
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{Sig: make(Signature), Keys: make(Keys)}
+}
+
+// Clone returns a deep copy.
+func (s *Schema) Clone() *Schema {
+	return &Schema{Sig: s.Sig.Clone(), Keys: s.Keys.Clone()}
+}

@@ -1,0 +1,181 @@
+// Package algebra defines the relational-algebra expression language of
+// Bernstein, Green, Melnik and Nash, "Implementing Mapping Composition"
+// (VLDB 2006): expressions over the six basic operators (union,
+// intersection, cross product, set difference, selection, projection)
+// extended with Skolem functions, the active-domain relation D, the empty
+// relation, literal relations and user-defined operators; containment and
+// equality constraints between expressions; and relational signatures.
+//
+// The package follows the paper's unnamed perspective: attributes are
+// referenced by 1-based index, not by name.
+package algebra
+
+import (
+	"sort"
+	"strings"
+)
+
+// Value is a single attribute value. The paper's experiments draw constants
+// from a small pool; strings are sufficient for set-semantics evaluation.
+type Value string
+
+// Null is the distinguished value used by derived operators that can
+// produce incomplete tuples (e.g. left outer join).
+const Null Value = "\x00NULL"
+
+// Tuple is an ordered list of values; its length is the arity.
+type Tuple []Value
+
+// Key returns a canonical string encoding of the tuple, suitable for use as
+// a map key. Values may contain arbitrary bytes except the unit separator.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		b.WriteString(string(v))
+	}
+	return b.String()
+}
+
+// Equal reports whether two tuples have the same arity and values.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	u := make(Tuple, len(t))
+	copy(u, t)
+	return u
+}
+
+// Concat returns the concatenation t·u as a fresh tuple.
+func (t Tuple) Concat(u Tuple) Tuple {
+	r := make(Tuple, 0, len(t)+len(u))
+	r = append(r, t...)
+	r = append(r, u...)
+	return r
+}
+
+// String renders the tuple as ('a','b').
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\'')
+		b.WriteString(string(v))
+		b.WriteByte('\'')
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Relation is a finite set of tuples of a fixed arity, with set semantics
+// as in §2 of the paper.
+type Relation struct {
+	arity  int
+	tuples map[string]Tuple
+}
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	return &Relation{arity: arity, tuples: make(map[string]Tuple)}
+}
+
+// Arity returns the arity of the relation.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Add inserts a tuple. It panics if the tuple's arity does not match,
+// which always indicates a programming error in the caller.
+func (r *Relation) Add(t Tuple) {
+	if len(t) != r.arity {
+		panic("algebra: tuple arity mismatch")
+	}
+	r.tuples[t.Key()] = t
+}
+
+// Has reports whether the relation contains t.
+func (r *Relation) Has(t Tuple) bool {
+	_, ok := r.tuples[t.Key()]
+	return ok
+}
+
+// Each calls f for every tuple; iteration stops if f returns false.
+func (r *Relation) Each(f func(Tuple) bool) {
+	for _, t := range r.tuples {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+// Tuples returns the tuples in a deterministic (sorted) order.
+func (r *Relation) Tuples() []Tuple {
+	keys := make([]string, 0, len(r.tuples))
+	for k := range r.tuples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = r.tuples[k]
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.arity)
+	for k, t := range r.tuples {
+		c.tuples[k] = t
+	}
+	return c
+}
+
+// SubsetOf reports whether every tuple of r is in s.
+func (r *Relation) SubsetOf(s *Relation) bool {
+	if r.arity != s.arity && r.Len() > 0 {
+		return false
+	}
+	for k := range r.tuples {
+		if _, ok := s.tuples[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualTo reports set equality.
+func (r *Relation) EqualTo(s *Relation) bool {
+	return r.Len() == s.Len() && r.SubsetOf(s)
+}
+
+// String renders the relation as a sorted set literal.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range r.Tuples() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

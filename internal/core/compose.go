@@ -1,0 +1,258 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"mapcomp/internal/algebra"
+)
+
+// Step identifies which elimination strategy succeeded for a symbol.
+type Step string
+
+// Elimination steps, in the order ELIMINATE tries them (§3.1).
+const (
+	StepUnfold Step = "unfold"
+	StepLeft   Step = "left-compose"
+	StepRight  Step = "right-compose"
+	StepAbsent Step = "absent" // the symbol did not occur in any constraint
+	StepFailed Step = "failed"
+)
+
+// Config selects algorithm features; the zero value is NOT useful — use
+// DefaultConfig. The switches correspond to the experimental
+// configurations of §4.2 ('no unfolding', 'no right compose', …).
+type Config struct {
+	ViewUnfolding bool
+	LeftCompose   bool
+	RightCompose  bool
+
+	// MaxBlowup aborts a symbol elimination when the resulting
+	// constraint set exceeds MaxBlowup × the input size, measured in
+	// operator count (§4.2 uses 100). 0 disables the bound.
+	MaxBlowup int
+
+	// Keys provides key knowledge for Skolem-dependency minimization
+	// (§3.5.1).
+	Keys algebra.Keys
+
+	// Simplify runs the D/∅ elimination and cleanup rules after each
+	// successful elimination (§3.4.3, §3.5.4).
+	Simplify bool
+}
+
+// DefaultConfig enables every feature with the paper's blow-up factor.
+func DefaultConfig() *Config {
+	return &Config{
+		ViewUnfolding: true,
+		LeftCompose:   true,
+		RightCompose:  true,
+		MaxBlowup:     100,
+		Simplify:      true,
+	}
+}
+
+// Clone returns a copy of the configuration.
+func (c *Config) Clone() *Config {
+	out := *c
+	out.Keys = c.Keys.Clone()
+	return &out
+}
+
+// Stats accumulates per-elimination outcome counts and timing.
+type Stats struct {
+	Attempted   int
+	Eliminated  int
+	ByStep      map[Step]int
+	BlowupFails int
+	Duration    time.Duration
+}
+
+func newStats() *Stats { return &Stats{ByStep: make(map[Step]int)} }
+
+func (s *Stats) add(o *Stats) {
+	s.Attempted += o.Attempted
+	s.Eliminated += o.Eliminated
+	s.BlowupFails += o.BlowupFails
+	s.Duration += o.Duration
+	for k, v := range o.ByStep {
+		s.ByStep[k] += v
+	}
+}
+
+// Eliminate implements procedure ELIMINATE of §3.1: it attempts to remove
+// relation symbol s from cs by view unfolding, then left compose, then
+// right compose, returning the rewritten constraints, the step that
+// succeeded, and whether elimination succeeded. On failure the input set
+// is returned unchanged.
+//
+// sig must cover every symbol in cs including s. A symbol that occurs in
+// no constraint is trivially eliminated (StepAbsent).
+func Eliminate(sig algebra.Signature, cs algebra.ConstraintSet, s string, cfg *Config) (algebra.ConstraintSet, Step, bool) {
+	occurs := false
+	for _, c := range cs {
+		if c.ContainsRel(s) {
+			occurs = true
+			break
+		}
+	}
+	if !occurs {
+		return cs, StepAbsent, true
+	}
+	inputSize := cs.Size()
+
+	accept := func(out algebra.ConstraintSet, step Step) (algebra.ConstraintSet, Step, bool) {
+		if cfg.Simplify {
+			out = SimplifyConstraints(out, sig)
+		}
+		if cfg.MaxBlowup > 0 && out.Size() > cfg.MaxBlowup*inputSize {
+			return nil, step, false
+		}
+		return out, step, true
+	}
+
+	if cfg.ViewUnfolding {
+		if out, ok := ViewUnfold(cs, s); ok {
+			if res, step, ok := accept(out, StepUnfold); ok {
+				return res, step, true
+			}
+			return cs, StepFailed, false // blow-up abort
+		}
+	}
+	if cfg.LeftCompose {
+		if out, ok := LeftCompose(sig, cs, s); ok {
+			if res, step, ok := accept(out, StepLeft); ok {
+				return res, step, true
+			}
+			return cs, StepFailed, false
+		}
+	}
+	if cfg.RightCompose {
+		if out, ok := RightCompose(sig, cs, s, cfg.Keys); ok {
+			if res, step, ok := accept(out, StepRight); ok {
+				return res, step, true
+			}
+			return cs, StepFailed, false
+		}
+	}
+	return cs, StepFailed, false
+}
+
+// Result is the outcome of a COMPOSE run.
+type Result struct {
+	// Sig is the final signature: σ1 ∪ σ3 plus any σ2 symbols that
+	// could not be eliminated (§1.3's best-effort contract).
+	Sig algebra.Signature
+	// Constraints is the composed constraint set over Sig.
+	Constraints algebra.ConstraintSet
+	// Eliminated maps each removed symbol to the step that removed it.
+	Eliminated map[string]Step
+	// Remaining lists σ2 symbols that could not be eliminated, sorted.
+	Remaining []string
+	// Stats summarizes the run.
+	Stats *Stats
+}
+
+// Fraction returns the fraction of attempted symbols that were eliminated;
+// 1 when there was nothing to eliminate. This is the measure plotted in
+// Figures 2 and 5–7.
+func (r *Result) Fraction() float64 {
+	if r.Stats.Attempted == 0 {
+		return 1
+	}
+	return float64(r.Stats.Eliminated) / float64(r.Stats.Attempted)
+}
+
+// Compose implements procedure COMPOSE of §3.1: given mappings
+// (σ1, σ2, Σ12) and (σ2, σ3, Σ23), it tries to eliminate every σ2 symbol
+// from Σ12 ∪ Σ23, following the given order (or sorted name order when
+// order is nil), and keeps whatever symbols resist elimination.
+//
+// Symbols of σ2 that also belong to σ1 or σ3 are not elimination targets:
+// in schema-evolution settings unchanged relations are shared between
+// versions, and eliminating them would change the mapping's meaning.
+func Compose(s1, s2, s3 algebra.Signature, m12, m23 algebra.ConstraintSet, order []string, cfg *Config) (*Result, error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	start := time.Now()
+
+	sig, err := s1.Merge(s2)
+	if err != nil {
+		return nil, err
+	}
+	sig, err = sig.Merge(s3)
+	if err != nil {
+		return nil, err
+	}
+	cs := append(m12.Clone(), m23.Clone()...)
+	if cfg.Simplify {
+		cs = SimplifyConstraints(cs, sig)
+	}
+
+	targets := order
+	if targets == nil {
+		targets = s2.Names()
+	}
+	stats := newStats()
+	res := &Result{Eliminated: make(map[string]Step), Stats: stats}
+	for _, s := range targets {
+		if _, inS2 := s2[s]; !inS2 {
+			continue
+		}
+		_, inS1 := s1[s]
+		_, inS3 := s3[s]
+		if inS1 || inS3 {
+			continue
+		}
+		stats.Attempted++
+		out, step, ok := Eliminate(sig, cs, s, cfg)
+		if ok {
+			cs = out
+			delete(sig, s)
+			stats.Eliminated++
+			stats.ByStep[step]++
+			res.Eliminated[s] = step
+		} else {
+			if step == StepFailed && cfg.MaxBlowup > 0 {
+				// Distinguish blow-up aborts for the §4.2 metric.
+				if wouldBlowUp(sig, cs, s, cfg) {
+					stats.BlowupFails++
+				}
+			}
+			res.Remaining = append(res.Remaining, s)
+		}
+	}
+	sort.Strings(res.Remaining)
+	res.Sig = sig
+	res.Constraints = cs
+	stats.Duration = time.Since(start)
+	return res, nil
+}
+
+// wouldBlowUp re-runs elimination without the size bound to learn whether
+// the failure was due to the blow-up abort rather than inexpressibility.
+func wouldBlowUp(sig algebra.Signature, cs algebra.ConstraintSet, s string, cfg *Config) bool {
+	unbounded := cfg.Clone()
+	unbounded.MaxBlowup = 0
+	_, _, ok := Eliminate(sig, cs, s, unbounded)
+	return ok
+}
+
+// ComposeMappings is the two-mapping convenience wrapper used by the
+// public API: it composes m12 and m23 and returns the result plus the
+// derived input/output signatures.
+func ComposeMappings(m12, m23 *algebra.Mapping, order []string, cfg *Config) (*Result, error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	if cfg.Keys == nil {
+		cfg = cfg.Clone()
+		keys := m12.Keys.Clone()
+		for r, k := range m23.Keys {
+			keys[r] = append([]int(nil), k...)
+		}
+		cfg.Keys = keys
+	}
+	return Compose(m12.In, m12.Out, m23.Out, m12.Constraints, m23.Constraints, order, cfg)
+}

@@ -1,0 +1,459 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mapcomp/internal/algebra"
+	"mapcomp/internal/core"
+	"mapcomp/internal/eval"
+	"mapcomp/internal/parser"
+)
+
+func expr(t *testing.T, src string) algebra.Expr {
+	t.Helper()
+	e, err := parser.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestMonotoneTable(t *testing.T) {
+	cases := []struct {
+		src  string
+		want algebra.Mono
+	}{
+		{"S", algebra.MonoM},
+		{"T", algebra.MonoI},
+		{"S * T", algebra.MonoM},
+		{"S + S", algebra.MonoM},
+		{"S & T", algebra.MonoM},
+		{"T - S", algebra.MonoA},
+		{"S - T", algebra.MonoM},
+		{"S - S", algebra.MonoU},
+		{"sel[#1='a'](S) - sel[#1='b'](S)", algebra.MonoU}, // the paper's §3.3 example
+		{"proj[1](sel[#1=#2](S))", algebra.MonoM},
+		{"sk[f:1](S)", algebra.MonoM},
+		{"T - (T - S)", algebra.MonoM}, // double negation
+		{"D^2", algebra.MonoI},
+		{"empty^2", algebra.MonoI},
+		{"join[1,1](S, T)", algebra.MonoM},
+		{"antijoin[1,1](T, S)", algebra.MonoA},
+		{"antijoin[1,1](S, T)", algebra.MonoM},
+		{"lojoin[1,1](T, S)", algebra.MonoU},
+		{"lojoin[1,1](S, T)", algebra.MonoM},
+		{"tc(S)", algebra.MonoM},
+		{"mystery2(S)", algebra.MonoU}, // unregistered operator over S
+		{"mystery2(T)", algebra.MonoI}, // ... but independent when S absent
+	}
+	for _, c := range cases {
+		if got := core.Monotone(expr(t, c.src), "S"); got != c.want {
+			t.Errorf("Monotone(%s, S) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+// TestMonotoneSoundnessProperty: whenever MONOTONE says 'm', growing S
+// must never shrink the result; 'a' must never grow it. Checked on random
+// instances — this is the §3.3 soundness claim.
+func TestMonotoneSoundnessProperty(t *testing.T) {
+	sig := algebra.NewSignature("S", 2, "T", 2)
+	domain := []algebra.Value{"a", "b"}
+	exprs := []string{
+		"S", "T", "S * T", "S + T", "S & T", "S - T", "T - S",
+		"proj[1](S)", "sel[#1='a'](S + T)", "T - (T - S)",
+		"sel[#1=#2](S) - T", "proj[2,1](S) & T",
+		"join[1,1](S, T)", "semijoin[1,1](T, S)", "antijoin[1,1](T, S)",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		small := eval.RandInstance(sig, domain, 3, rng)
+		big := small.Clone()
+		// Grow S by up to 2 random tuples.
+		for i := 0; i < 2; i++ {
+			big.Rels["S"].Add(algebra.Tuple{domain[rng.Intn(2)], domain[rng.Intn(2)]})
+		}
+		for _, src := range exprs {
+			e, err := parser.ParseExpr(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo, err := eval.Eval(e, small, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hi, err := eval.Eval(e, big, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch core.Monotone(e, "S") {
+			case algebra.MonoM:
+				if !lo.SubsetOf(hi) {
+					t.Logf("%s claimed monotone but %s ⊄ %s", src, lo, hi)
+					return false
+				}
+			case algebra.MonoA:
+				if !hi.SubsetOf(lo) {
+					t.Logf("%s claimed anti-monotone but %s ⊄ %s", src, hi, lo)
+					return false
+				}
+			case algebra.MonoI:
+				if !lo.EqualTo(hi) {
+					t.Logf("%s claimed independent but %s != %s", src, lo, hi)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplifyExprRules(t *testing.T) {
+	sig := algebra.NewSignature("R", 2, "S", 2, "U", 1)
+	cases := []struct{ in, want string }{
+		{"R + D^2", "D^2"},
+		{"D^2 + R", "D^2"},
+		{"R & D^2", "R"},
+		{"R - D^2", "empty^2"},
+		{"R + empty^2", "R"},
+		{"R & empty^2", "empty^2"},
+		{"R - empty^2", "R"},
+		{"empty^2 - R", "empty^2"},
+		{"R - R", "empty^2"},
+		{"R + R", "R"},
+		{"sel[true](R)", "R"},
+		{"sel[false](R)", "empty^2"},
+		{"sel[#1='a'](empty^2)", "empty^2"},
+		{"proj[1,2](R)", "R"},
+		{"proj[2](proj[2,1](R))", "proj[1](R)"},
+		{"proj[1](D^3)", "D"},
+		{"proj[1,2](R * D)", "R"},
+		{"proj[3](D^2 * U)", "U"}, // drop D factor, then identity projection
+		{"D^2 * D", "D^3"},
+		{"sel[#1='a'](sel[#2='b'](R))", "sel[(#1='a' & #2='b')](R)"},
+		{"{}^2", "empty^2"},
+		{"sk[f:1](empty^1)", "empty^2"},
+	}
+	for _, c := range cases {
+		got := core.SimplifyExpr(expr(t, c.in), sig)
+		if got.String() != c.want {
+			t.Errorf("Simplify(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// TestSimplifyPreservesSemanticsProperty: simplification must not change
+// the value of an expression on any instance.
+func TestSimplifyPreservesSemanticsProperty(t *testing.T) {
+	sig := algebra.NewSignature("R", 2, "S", 2)
+	domain := []algebra.Value{"a", "b"}
+	exprs := []string{
+		"R + D^2", "R & D^2", "R - empty^2", "proj[1,2](R * D)",
+		"sel[true](R + S)", "proj[2](proj[2,1](R)) * D", "R - R + S",
+		"sel[#1='a'](sel[#2='b'](R)) + (S & D^2)",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := eval.RandInstance(sig, domain, 4, rng)
+		for _, src := range exprs {
+			e, err := parser.ParseExpr(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before, err := eval.Eval(e, in, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after, err := eval.Eval(core.SimplifyExpr(e, sig), in, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !before.EqualTo(after) {
+				t.Logf("simplify changed %s: %s -> %s", src, before, after)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplifyConstraintsDropsTrivia(t *testing.T) {
+	sig := algebra.NewSignature("R", 2, "S", 2)
+	cs := parser.MustParseConstraints(`
+		R <= R;
+		R <= D^2;
+		empty^2 <= S;
+		R <= S;
+		R <= S
+	`)
+	out := core.SimplifyConstraints(cs, sig)
+	if len(out) != 1 || out[0].String() != "R <= S" {
+		t.Errorf("SimplifyConstraints = %s", out)
+	}
+}
+
+func TestViewUnfoldRequiresIsolatedEquality(t *testing.T) {
+	// S = E with S inside E must not unfold.
+	cs := parser.MustParseConstraints("S = S + R; R <= S")
+	if _, ok := core.ViewUnfold(cs, "S"); ok {
+		t.Error("unfolded a self-referential definition")
+	}
+	// Containments must not unfold.
+	cs2 := parser.MustParseConstraints("R <= S")
+	if _, ok := core.ViewUnfold(cs2, "S"); ok {
+		t.Error("unfolded a containment")
+	}
+	// Right-side definitions work too.
+	cs3 := parser.MustParseConstraints("R * R = S; S <= T")
+	out, ok := core.ViewUnfold(cs3, "S")
+	if !ok || len(out) != 1 || out[0].String() != "R * R <= T" {
+		t.Errorf("ViewUnfold = %v %s", ok, out)
+	}
+}
+
+func TestEliminateAbsentSymbol(t *testing.T) {
+	sig := algebra.NewSignature("R", 1, "S", 1, "Z", 1)
+	cs := parser.MustParseConstraints("R <= S")
+	out, step, ok := core.Eliminate(sig, cs, "Z", core.DefaultConfig())
+	if !ok || step != core.StepAbsent || len(out) != 1 {
+		t.Errorf("absent symbol: ok=%v step=%s out=%s", ok, step, out)
+	}
+}
+
+func TestEliminateBlowupAbort(t *testing.T) {
+	// A tight blow-up bound forces failure on a composition whose
+	// output would be larger than the input.
+	sig := algebra.NewSignature("R", 2, "S", 2, "T", 2, "U", 1)
+	cs := parser.MustParseConstraints("R - S <= T; proj[1](S) <= U; S <= T; T <= S + R")
+	cfg := core.DefaultConfig()
+	cfg.MaxBlowup = 1
+	if _, _, ok := core.Eliminate(sig, cs, "S", cfg); ok {
+		t.Skip("composition output unexpectedly small; bound not exercised")
+	}
+	cfg.MaxBlowup = 1000
+	if _, _, ok := core.Eliminate(sig, cs, "S", cfg); !ok {
+		t.Error("elimination should succeed with a generous bound")
+	}
+}
+
+func TestComposeBestEffortKeepsSymbols(t *testing.T) {
+	s1 := algebra.NewSignature("R", 2)
+	s2 := algebra.NewSignature("S", 2, "V", 2)
+	s3 := algebra.NewSignature("T", 2)
+	m12 := parser.MustParseConstraints("R <= S; S = tc(S); R <= V")
+	m23 := parser.MustParseConstraints("S <= T; V <= T")
+	res, err := core.Compose(s1, s2, s3, m12, m23, nil, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Remaining) != 1 || res.Remaining[0] != "S" {
+		t.Errorf("Remaining = %v, want [S]", res.Remaining)
+	}
+	if _, ok := res.Eliminated["V"]; !ok {
+		t.Error("V should have been eliminated")
+	}
+	if _, ok := res.Sig["S"]; !ok {
+		t.Error("kept symbol S must stay in the result signature")
+	}
+	if res.Fraction() != 0.5 {
+		t.Errorf("Fraction = %v, want 0.5", res.Fraction())
+	}
+}
+
+func TestComposeSharedSymbolsNotEliminated(t *testing.T) {
+	// Symbols shared between σ2 and an endpoint schema are pass-through
+	// and must not be elimination targets.
+	s1 := algebra.NewSignature("R", 1)
+	s2 := algebra.NewSignature("R", 1, "S", 1)
+	s3 := algebra.NewSignature("T", 1)
+	m12 := parser.MustParseConstraints("R <= S")
+	m23 := parser.MustParseConstraints("S <= T")
+	res, err := core.Compose(s1, s2, s3, m12, m23, nil, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Attempted != 1 {
+		t.Errorf("Attempted = %d, want 1 (only S)", res.Stats.Attempted)
+	}
+	if _, ok := res.Sig["R"]; !ok {
+		t.Error("shared symbol R must survive")
+	}
+}
+
+func TestConfigSwitches(t *testing.T) {
+	sig := algebra.NewSignature("R", 1, "T", 1, "S", 2, "U", 2)
+	cs := parser.MustParseConstraints("S = R * T; proj[1,2](U) - S <= U")
+	noUnfold := core.DefaultConfig()
+	noUnfold.ViewUnfolding = false
+	noUnfold.LeftCompose = false
+	noUnfold.RightCompose = false
+	if _, _, ok := core.Eliminate(sig, cs, "S", noUnfold); ok {
+		t.Error("all strategies disabled: elimination should fail")
+	}
+	onlyUnfold := core.DefaultConfig()
+	onlyUnfold.LeftCompose = false
+	onlyUnfold.RightCompose = false
+	if _, step, ok := core.Eliminate(sig, cs, "S", onlyUnfold); !ok || step != core.StepUnfold {
+		t.Errorf("unfold-only: ok=%v step=%s", ok, step)
+	}
+}
+
+// TestEliminatePreservesEquivalenceProperty is the central correctness
+// property: on randomly generated small constraint sets, whenever
+// ELIMINATE succeeds, the §2 equivalence between input and output must
+// hold (checked by exhaustive enumeration).
+func TestEliminatePreservesEquivalenceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("enumeration-heavy")
+	}
+	sig := algebra.NewSignature("R", 1, "S", 1, "T", 1)
+	sub := algebra.NewSignature("R", 1, "T", 1)
+	atoms := []string{"R", "S", "T", "proj[1](S * T)", "sel[#1='a'](S)", "S + R", "S & T", "R - S", "S - T"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		var cs algebra.ConstraintSet
+		for i := 0; i < n; i++ {
+			l := atoms[rng.Intn(len(atoms))]
+			r := atoms[rng.Intn(len(atoms))]
+			c, err := parser.ParseConstraints(l + " <= " + r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs = append(cs, c...)
+		}
+		if err := cs.Check(sig); err != nil {
+			return true // skip ill-formed draws
+		}
+		out, _, ok := core.Eliminate(sig, cs, "S", core.DefaultConfig())
+		if !ok {
+			return true // failure keeps the input; trivially fine
+		}
+		for _, c := range out {
+			if c.ContainsRel("S") {
+				t.Logf("S not removed from %s", c)
+				return false
+			}
+		}
+		cfg := eval.DefaultEnumConfig()
+		if err := eval.CheckEquivalence(cs, sig, out, sub, cfg); err != nil {
+			t.Logf("input:\n%s\noutput:\n%s\nerror: %v", cs, out, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeskolemizeDirect(t *testing.T) {
+	sig := algebra.NewSignature("R", 1, "S", 2, "T", 2)
+	// f(R) ⊆ T deskolemizes to R ⊆ π of a cylinder over T, i.e.
+	// ∀x R(x) → ∃y T(x,y).
+	cs := parser.MustParseConstraints("sk[f:1](R) <= T")
+	out, ok := core.Deskolemize(sig, cs)
+	if !ok {
+		t.Fatal("deskolemize failed")
+	}
+	if out.ContainsSkolem() {
+		t.Fatalf("skolems remain: %s", out)
+	}
+	simp := core.SimplifyConstraints(out, sig)
+	// Semantic check: {R ⊆ π1(T)} is the expected meaning.
+	want := parser.MustParseConstraints("R <= proj[1](T)")
+	domain := eval.DefaultEnumConfig()
+	subSig := algebra.NewSignature("R", 1, "T", 2)
+	if err := eval.CheckEquivalence(want, subSig, simp, subSig, domain); err != nil {
+		t.Errorf("deskolemized form not equivalent to ∃-form: %v\ngot: %s", err, simp)
+	}
+	_ = sig
+}
+
+func TestDeskolemizeSharedFunctionAcrossConstraints(t *testing.T) {
+	sig := algebra.NewSignature("R", 1, "T", 2, "U", 2)
+	// The same f in two constraints forces a joint witness:
+	// ∀x R(x) → ∃y (T(x,y) ∧ U(x,y)).
+	cs := parser.MustParseConstraints("sk[f:1](R) <= T; sk[f:1](R) <= U")
+	out, ok := core.Deskolemize(sig, cs)
+	if !ok {
+		t.Fatal("deskolemize failed")
+	}
+	simp := core.SimplifyConstraints(out, sig)
+	want := parser.MustParseConstraints("R <= proj[1](T & U)")
+	subSig := sig
+	if err := eval.CheckEquivalence(want, subSig, simp, subSig, eval.DefaultEnumConfig()); err != nil {
+		t.Errorf("joint witness wrong: %v\ngot: %s", err, simp)
+	}
+}
+
+func TestDeskolemizeRepeatedFunctionFails(t *testing.T) {
+	sig := algebra.NewSignature("R", 1, "T", 4)
+	cs := algebra.ConstraintSet{algebra.Contain(
+		algebra.Cross{
+			L: algebra.Skolem{Fn: "f", Deps: []int{1}, E: algebra.R("R")},
+			R: algebra.Skolem{Fn: "f", Deps: []int{1}, E: algebra.R("R")},
+		},
+		algebra.R("T"),
+	)}
+	if _, ok := core.Deskolemize(sig, cs); ok {
+		t.Error("repeated function symbol must fail (step 3)")
+	}
+}
+
+func TestDeskolemizeRestrictedAtomFails(t *testing.T) {
+	sig := algebra.NewSignature("R", 1, "T", 2)
+	// A selection on the Skolem output column is a restricting atom.
+	cs := algebra.ConstraintSet{algebra.Contain(
+		algebra.Select{Cond: algebra.EqConst(2, "a"),
+			E: algebra.Skolem{Fn: "f", Deps: []int{1}, E: algebra.R("R")}},
+		algebra.R("T"),
+	)}
+	if _, ok := core.Deskolemize(sig, cs); ok {
+		t.Error("restricted constraint must fail (step 7)")
+	}
+}
+
+func TestDeskolemizeDropsUnusedFunctions(t *testing.T) {
+	sig := algebra.NewSignature("R", 1, "T", 1)
+	// π1(f(R)) ⊆ T projects the Skolem column away: no ∃ needed.
+	cs := algebra.ConstraintSet{algebra.Contain(
+		algebra.Project{Cols: []int{1},
+			E: algebra.Skolem{Fn: "f", Deps: []int{1}, E: algebra.R("R")}},
+		algebra.R("T"),
+	)}
+	out, ok := core.Deskolemize(sig, cs)
+	if !ok {
+		t.Fatal("deskolemize failed")
+	}
+	simp := core.SimplifyConstraints(out, sig)
+	if len(simp) != 1 || simp[0].String() != "R <= T" {
+		t.Errorf("got %s, want R <= T", simp)
+	}
+}
+
+func TestDeskolemizeDivisionShapeFails(t *testing.T) {
+	sig := algebra.NewSignature("R", 1, "V", 1, "T", 3)
+	// f depends only on R's column but V's column is also universally
+	// quantified: ∃y shared across all v ∈ V is a relational-division
+	// property with no embedded-dependency form (step 8).
+	cs := algebra.ConstraintSet{algebra.Contain(
+		algebra.Project{Cols: []int{1, 3, 2},
+			E: algebra.Cross{
+				L: algebra.Skolem{Fn: "f", Deps: []int{1}, E: algebra.R("R")},
+				R: algebra.R("V"),
+			}},
+		algebra.R("T"),
+	)}
+	if _, ok := core.Deskolemize(sig, cs); ok {
+		t.Error("division-shaped constraint must fail dependency check")
+	}
+}

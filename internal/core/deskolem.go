@@ -1,0 +1,484 @@
+package core
+
+import (
+	"sort"
+
+	"mapcomp/internal/algebra"
+)
+
+// This file implements DESKOLEMIZE (§3.5.3): removing the Skolem functions
+// that right-normalization introduced, re-expressing them as existential
+// quantification (which the algebra provides through projection on the
+// right-hand side of containments). The paper describes a 12-step
+// procedure adapted from Nash-Bernstein-Melnik [8]; this is an algebraic
+// reconstruction with the following step mapping:
+//
+//  1. Unnest                       → pullUnions + liftSkNF: every Skolem
+//     constraint becomes a tableau π_P(σ_c(F(B))) ⊆ rhs with B
+//     Skolem-free. ∪ splits constraints; σ, π, × commute through
+//     Skolem applications; ∩, − or unexpandable operators above a
+//     Skolem term fail the step.
+//  2. Check for cycles             → by construction Skolem columns only
+//     reference earlier columns; nothing to do.
+//  3. Check repeated function syms → a function applied twice within one
+//     tableau fails (exactly the paper's Example 17 behaviour).
+//  4. Align variables              → tableaux are grouped into clusters
+//     of co-occurring functions; bases are minimized and function
+//     columns renumbered canonically; missing functions are padded in.
+//  5. Eliminate restricting atoms  → selection atoms over base columns
+//     are folded into the base.
+//  6. Eliminate restricted constraints /
+//  7. Check remaining restricted   → any residual atom over a Skolem
+//     column fails the step (a conservative form of [8]'s rule).
+//  8. Check for dependencies       → every function's dependency list
+//     must cover all (minimized) base columns; otherwise the constraint
+//     expresses a relational-division-like property that embedded
+//     dependencies cannot state, and the step fails.
+//  9. Combine dependencies         → each cluster becomes one containment
+//     B ⊆ π_base(⋂ cylinders(rhs_i)); heterogeneous bases use an
+//     additional D−B guard (a mild generalization available because −
+//     is in the algebra).
+//  10. Remove redundant constraints → duplicate elimination.
+//  11. Replace functions with ∃     → the π_base(…) containment above is
+//     the algebraic form of existential quantification.
+//  12. Eliminate unnecessary ∃-vars → the caller's simplifier removes
+//     unused D factors and identity projections.
+//
+// Deskolemize returns the rewritten set and true, or nil and false; per
+// §3.5 a failure here fails the whole right-compose step.
+func Deskolemize(sig algebra.Signature, cs algebra.ConstraintSet) (algebra.ConstraintSet, bool) {
+	var plain algebra.ConstraintSet
+	var tabs []*tableau
+
+	for _, c := range cs {
+		if !c.ContainsSkolem() {
+			plain = append(plain, c)
+			continue
+		}
+		if algebra.ContainsSkolem(c.R) || c.Kind != algebra.Containment {
+			return nil, false
+		}
+		branches, ok := pullUnions(c.L)
+		if !ok {
+			return nil, false
+		}
+		for _, b := range branches {
+			if !algebra.ContainsSkolem(b) {
+				plain = append(plain, algebra.Contain(b, c.R))
+				continue
+			}
+			t, ok := liftSkNF(b, sig)
+			if !ok {
+				return nil, false
+			}
+			t.rhs = c.R
+			t, simple, ok := t.normalize(sig)
+			if !ok {
+				return nil, false
+			}
+			if simple != nil {
+				plain = append(plain, *simple)
+				continue
+			}
+			tabs = append(tabs, t)
+		}
+	}
+
+	combined, ok := combineClusters(sig, tabs)
+	if !ok {
+		return nil, false
+	}
+	return append(plain, combined...), true
+}
+
+// skApp is one Skolem function application; deps index base columns or
+// earlier Skolem columns of the owning tableau.
+type skApp struct {
+	fn   string
+	deps []int
+}
+
+// tableau is the canonical form π_proj(σ_cond(funcs(base))) ⊆ rhs.
+// Columns 1..baseW are base columns; column baseW+j is the j-th function's
+// output.
+type tableau struct {
+	base  algebra.Expr
+	baseW int
+	funcs []skApp
+	cond  algebra.Condition
+	proj  []int
+	rhs   algebra.Expr
+}
+
+func (t *tableau) width() int { return t.baseW + len(t.funcs) }
+
+// pullUnions distributes ∪ over the Skolem-compatible context operators
+// (π, σ, ×, Skolem) so each resulting branch is union-free above its
+// Skolem terms. Subtrees without Skolem terms are kept atomic.
+func pullUnions(e algebra.Expr) ([]algebra.Expr, bool) {
+	if !algebra.ContainsSkolem(e) {
+		return []algebra.Expr{e}, true
+	}
+	switch e := e.(type) {
+	case algebra.Union:
+		l, ok := pullUnions(e.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := pullUnions(e.R)
+		if !ok {
+			return nil, false
+		}
+		return append(l, r...), true
+	case algebra.Project:
+		return mapBranches(e.E, func(b algebra.Expr) algebra.Expr {
+			return algebra.Project{Cols: e.Cols, E: b}
+		})
+	case algebra.Select:
+		return mapBranches(e.E, func(b algebra.Expr) algebra.Expr {
+			return algebra.Select{Cond: e.Cond, E: b}
+		})
+	case algebra.Skolem:
+		// f(A ∪ B) = f(A) ∪ f(B) for any fixed interpretation of f.
+		return mapBranches(e.E, func(b algebra.Expr) algebra.Expr {
+			return algebra.Skolem{Fn: e.Fn, Deps: e.Deps, E: b}
+		})
+	case algebra.Cross:
+		ls, ok := pullUnions(e.L)
+		if !ok {
+			return nil, false
+		}
+		rs, ok := pullUnions(e.R)
+		if !ok {
+			return nil, false
+		}
+		out := make([]algebra.Expr, 0, len(ls)*len(rs))
+		for _, l := range ls {
+			for _, r := range rs {
+				out = append(out, algebra.Cross{L: l, R: r})
+			}
+		}
+		return out, true
+	}
+	// ∩, − or an operator application above a Skolem term: unnesting
+	// fails (step 1).
+	return nil, false
+}
+
+func mapBranches(child algebra.Expr, wrap func(algebra.Expr) algebra.Expr) ([]algebra.Expr, bool) {
+	bs, ok := pullUnions(child)
+	if !ok {
+		return nil, false
+	}
+	out := make([]algebra.Expr, len(bs))
+	for i, b := range bs {
+		out[i] = wrap(b)
+	}
+	return out, true
+}
+
+// liftSkNF converts a union-free expression containing Skolem terms into
+// tableau form (without rhs).
+func liftSkNF(e algebra.Expr, sig algebra.Signature) (*tableau, bool) {
+	if !algebra.ContainsSkolem(e) {
+		a, err := algebra.Arity(e, sig)
+		if err != nil {
+			return nil, false
+		}
+		return &tableau{base: e, baseW: a, cond: algebra.True, proj: algebra.Seq(1, a)}, true
+	}
+	switch e := e.(type) {
+	case algebra.Skolem:
+		t, ok := liftSkNF(e.E, sig)
+		if !ok {
+			return nil, false
+		}
+		deps := make([]int, len(e.Deps))
+		for i, d := range e.Deps {
+			if d < 1 || d > len(t.proj) {
+				return nil, false
+			}
+			deps[i] = t.proj[d-1]
+		}
+		t.funcs = append(t.funcs, skApp{fn: e.Fn, deps: deps})
+		t.proj = append(append([]int(nil), t.proj...), t.baseW+len(t.funcs))
+		return t, true
+
+	case algebra.Project:
+		t, ok := liftSkNF(e.E, sig)
+		if !ok {
+			return nil, false
+		}
+		proj := make([]int, len(e.Cols))
+		for i, c := range e.Cols {
+			if c < 1 || c > len(t.proj) {
+				return nil, false
+			}
+			proj[i] = t.proj[c-1]
+		}
+		t.proj = proj
+		return t, true
+
+	case algebra.Select:
+		t, ok := liftSkNF(e.E, sig)
+		if !ok {
+			return nil, false
+		}
+		remapped, err := algebra.RemapCond(e.Cond, func(i int) int {
+			if i < 1 || i > len(t.proj) {
+				return 0
+			}
+			return t.proj[i-1]
+		})
+		if err != nil {
+			return nil, false
+		}
+		t.cond = algebra.AndAll(t.cond, remapped)
+		return t, true
+
+	case algebra.Cross:
+		lt, ok := liftSkNF(e.L, sig)
+		if !ok {
+			return nil, false
+		}
+		rt, ok := liftSkNF(e.R, sig)
+		if !ok {
+			return nil, false
+		}
+		return mergeCross(lt, rt)
+	}
+	return nil, false
+}
+
+// mergeCross combines two tableaux under a cross product into one.
+func mergeCross(lt, rt *tableau) (*tableau, bool) {
+	baseW := lt.baseW + rt.baseW
+	remapL := func(c int) int {
+		if c <= lt.baseW {
+			return c
+		}
+		return baseW + (c - lt.baseW)
+	}
+	remapR := func(c int) int {
+		if c <= rt.baseW {
+			return lt.baseW + c
+		}
+		return baseW + len(lt.funcs) + (c - rt.baseW)
+	}
+	out := &tableau{
+		base:  algebra.Cross{L: lt.base, R: rt.base},
+		baseW: baseW,
+	}
+	for _, f := range lt.funcs {
+		out.funcs = append(out.funcs, skApp{fn: f.fn, deps: remapInts(f.deps, remapL)})
+	}
+	for _, f := range rt.funcs {
+		out.funcs = append(out.funcs, skApp{fn: f.fn, deps: remapInts(f.deps, remapR)})
+	}
+	lc, err := algebra.RemapCond(lt.cond, remapL)
+	if err != nil {
+		return nil, false
+	}
+	rc, err := algebra.RemapCond(rt.cond, remapR)
+	if err != nil {
+		return nil, false
+	}
+	out.cond = algebra.AndAll(lc, rc)
+	out.proj = append(remapInts(lt.proj, remapL), remapInts(rt.proj, remapR)...)
+	return out, true
+}
+
+func remapInts(xs []int, f func(int) int) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = f(x)
+	}
+	return out
+}
+
+// normalize performs the per-tableau steps: prune unused functions (which
+// may turn the tableau into a plain constraint), fold base-only selection
+// atoms into the base (step 5), reject residual restricted atoms (step 7),
+// minimize the base, check repeated function symbols (step 3) and
+// dependency coverage (step 8).
+func (t *tableau) normalize(sig algebra.Signature) (*tableau, *algebra.Constraint, bool) {
+	t.pruneFuncs()
+	if len(t.funcs) == 0 {
+		var e algebra.Expr = t.base
+		if _, isTrue := t.cond.(algebra.TrueCond); !isTrue {
+			e = algebra.Select{Cond: t.cond, E: e}
+		}
+		e = algebra.Project{Cols: t.proj, E: e}
+		c := algebra.Contain(e, t.rhs)
+		return nil, &c, true
+	}
+
+	// Step 5/7: split the condition; atoms over base columns fold into
+	// the base, anything touching a Skolem column is a restricting atom.
+	var baseConds []algebra.Condition
+	for _, conj := range flattenAnd(t.cond) {
+		maxCol := 0
+		for c := range algebra.CondCols(conj) {
+			if c > maxCol {
+				maxCol = c
+			}
+		}
+		if maxCol > t.baseW {
+			return nil, nil, false
+		}
+		baseConds = append(baseConds, conj)
+	}
+	if len(baseConds) > 0 {
+		t.base = algebra.Select{Cond: algebra.AndAll(baseConds...), E: t.base}
+	}
+	t.cond = algebra.True
+
+	// Step 3: repeated function symbols.
+	seen := make(map[string]bool, len(t.funcs))
+	for _, f := range t.funcs {
+		if seen[f.fn] {
+			return nil, nil, false
+		}
+		seen[f.fn] = true
+	}
+
+	if !t.minimizeBase() {
+		return nil, nil, false
+	}
+
+	// Step 8: every function must depend on all base columns (possibly
+	// plus earlier Skolem columns); otherwise the constraint demands a
+	// witness shared across distinct base tuples, which has no embedded-
+	// dependency form.
+	for _, f := range t.funcs {
+		cover := make(map[int]bool, len(f.deps))
+		for _, d := range f.deps {
+			cover[d] = true
+		}
+		for c := 1; c <= t.baseW; c++ {
+			if !cover[c] {
+				return nil, nil, false
+			}
+		}
+	}
+	return t, nil, true
+}
+
+// pruneFuncs drops functions whose output column is referenced neither by
+// the projection, the condition, nor (transitively) another kept function.
+func (t *tableau) pruneFuncs() {
+	used := make(map[int]bool) // skolem column -> used
+	for _, p := range t.proj {
+		if p > t.baseW {
+			used[p] = true
+		}
+	}
+	for c := range algebra.CondCols(t.cond) {
+		if c > t.baseW {
+			used[c] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for j, f := range t.funcs {
+			col := t.baseW + j + 1
+			if !used[col] {
+				continue
+			}
+			for _, d := range f.deps {
+				if d > t.baseW && !used[d] {
+					used[d] = true
+					changed = true
+				}
+			}
+		}
+	}
+	if len(used) == len(t.funcs) {
+		return
+	}
+	// Renumber the kept functions.
+	newCol := make(map[int]int)
+	var kept []skApp
+	for j, f := range t.funcs {
+		col := t.baseW + j + 1
+		if used[col] {
+			kept = append(kept, f)
+			newCol[col] = t.baseW + len(kept)
+		}
+	}
+	remap := func(c int) int {
+		if c <= t.baseW {
+			return c
+		}
+		return newCol[c]
+	}
+	for i := range kept {
+		kept[i].deps = remapInts(kept[i].deps, remap)
+	}
+	t.funcs = kept
+	t.proj = remapInts(t.proj, remap)
+	cond, err := algebra.RemapCond(t.cond, remap)
+	if err == nil {
+		t.cond = cond
+	}
+}
+
+// minimizeBase projects the base down to the columns actually used by
+// dependencies and the projection, so that step 8's coverage check is as
+// permissive as the semantics allows.
+func (t *tableau) minimizeBase() bool {
+	used := make(map[int]bool)
+	for _, f := range t.funcs {
+		for _, d := range f.deps {
+			if d <= t.baseW {
+				used[d] = true
+			}
+		}
+	}
+	for _, p := range t.proj {
+		if p <= t.baseW {
+			used[p] = true
+		}
+	}
+	if len(used) == t.baseW {
+		return true
+	}
+	if len(used) == 0 {
+		// A constraint that uses no base column at all still
+		// quantifies over base emptiness; keep one column.
+		used[1] = true
+	}
+	cols := make([]int, 0, len(used))
+	for c := range used {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	newIdx := make(map[int]int, len(cols))
+	for i, c := range cols {
+		newIdx[c] = i + 1
+	}
+	oldBaseW := t.baseW
+	remap := func(c int) int {
+		if c <= oldBaseW {
+			return newIdx[c]
+		}
+		return len(cols) + (c - oldBaseW)
+	}
+	t.base = algebra.Project{Cols: cols, E: t.base}
+	t.baseW = len(cols)
+	for i := range t.funcs {
+		t.funcs[i].deps = remapInts(t.funcs[i].deps, remap)
+	}
+	t.proj = remapInts(t.proj, remap)
+	return true
+}
+
+func flattenAnd(c algebra.Condition) []algebra.Condition {
+	if _, isTrue := c.(algebra.TrueCond); isTrue {
+		return nil
+	}
+	if and, ok := c.(algebra.And); ok {
+		return append(flattenAnd(and.L), flattenAnd(and.R)...)
+	}
+	return []algebra.Condition{c}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"sort"
+
+	"mapcomp/internal/algebra"
+)
+
+// combineClusters performs steps 4 and 9–11 of DESKOLEMIZE: group tableaux
+// into clusters of co-occurring Skolem functions, align their function
+// columns, and emit per cluster one Skolem-free containment that expresses
+// the joint existential witness.
+//
+// For a cluster with canonical functions f_1…f_m over a common base width
+// k, each tableau i contributes a cylinder
+//
+//	Cyl_i = π_{J_i}(σ_{dup_i}(rhs_i) × D^{pad_i})
+//
+// of width W = k+m, the set of (t, ȳ) whose P_i-projection lies in rhs_i.
+// If all bases are syntactically equal to B the cluster becomes
+//
+//	B ⊆ π_{1..k}(⋂_i Cyl_i),
+//
+// and with heterogeneous bases each cylinder is weakened by the guard
+// D^W − (B_i × D^m) ("this tableau only constrains tuples of its own
+// base") and the lhs becomes the union of the bases.
+func combineClusters(sig algebra.Signature, tabs []*tableau) (algebra.ConstraintSet, bool) {
+	if len(tabs) == 0 {
+		return nil, true
+	}
+
+	// Union-find over function names to build clusters.
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	for _, t := range tabs {
+		for _, f := range t.funcs {
+			if _, ok := parent[f.fn]; !ok {
+				parent[f.fn] = f.fn
+			}
+		}
+		for _, f := range t.funcs[1:] {
+			ra, rb := find(t.funcs[0].fn), find(f.fn)
+			if ra != rb {
+				parent[ra] = rb
+			}
+		}
+	}
+	clusters := make(map[string][]*tableau)
+	for _, t := range tabs {
+		root := find(t.funcs[0].fn)
+		clusters[root] = append(clusters[root], t)
+	}
+	roots := make([]string, 0, len(clusters))
+	for r := range clusters {
+		roots = append(roots, r)
+	}
+	sort.Strings(roots)
+
+	var out algebra.ConstraintSet
+	for _, root := range roots {
+		cs, ok := combineCluster(clusters[root])
+		if !ok {
+			return nil, false
+		}
+		out = append(out, cs...)
+	}
+	return out, true
+}
+
+func combineCluster(tabs []*tableau) (algebra.ConstraintSet, bool) {
+	// All tableaux in a cluster must agree on the base width; function
+	// argument tuples would otherwise differ in shape (step 4 failure).
+	k := tabs[0].baseW
+	for _, t := range tabs {
+		if t.baseW != k {
+			return nil, false
+		}
+	}
+
+	// Canonical function order: sorted by name. Collect declared deps
+	// and check consistency across occurrences.
+	depsOf := make(map[string][]string)
+	for _, t := range tabs {
+		for _, f := range t.funcs {
+			// Deps are expressed in tableau-local column numbering;
+			// translate Skolem-column references into function names
+			// to compare across tableaux.
+			key := depsKey(t, f.deps)
+			if prev, ok := depsOf[f.fn]; ok {
+				if !sameIntKey(prev, key) {
+					return nil, false
+				}
+			} else {
+				depsOf[f.fn] = key
+			}
+		}
+	}
+	names := make([]string, 0, len(depsOf))
+	for n := range depsOf {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	m := len(names)
+	colOf := make(map[string]int, m) // canonical column of each function
+	for i, n := range names {
+		colOf[n] = k + i + 1
+	}
+	W := k + m
+
+	// Build cylinders.
+	sameBase := true
+	for _, t := range tabs[1:] {
+		if !algebra.Equal(t.base, tabs[0].base) {
+			sameBase = false
+			break
+		}
+	}
+	var cylinders []algebra.Expr
+	for _, t := range tabs {
+		// Remap this tableau's projection into canonical columns.
+		local := make(map[int]int, len(t.funcs)) // local col -> canonical col
+		for j, f := range t.funcs {
+			local[t.baseW+j+1] = colOf[f.fn]
+		}
+		proj := make([]int, len(t.proj))
+		for i, p := range t.proj {
+			if p <= k {
+				proj[i] = p
+			} else {
+				proj[i] = local[p]
+			}
+		}
+		cyl, ok := cylinder(t.rhs, proj, W)
+		if !ok {
+			return nil, false
+		}
+		if !sameBase {
+			// Guard: tuples outside this tableau's base are
+			// unconstrained by it.
+			guard := algebra.Diff{
+				L: algebra.Domain{N: W},
+				R: algebra.Cross{L: t.base, R: algebra.Domain{N: m}},
+			}
+			cyl = algebra.Union{L: cyl, R: guard}
+		}
+		cylinders = append(cylinders, cyl)
+	}
+
+	var lhs algebra.Expr
+	if sameBase {
+		lhs = tabs[0].base
+	} else {
+		bases := make([]algebra.Expr, len(tabs))
+		for i, t := range tabs {
+			bases[i] = t.base
+		}
+		lhs = algebra.UnionAll(bases...)
+	}
+	rhs := algebra.Project{Cols: algebra.Seq(1, k), E: algebra.InterAll(cylinders...)}
+
+	// Step 10: identical tableaux produce identical cylinders; the
+	// intersection's duplicates are removed by the simplifier.
+	return algebra.ConstraintSet{algebra.Contain(lhs, rhs)}, true
+}
+
+// depsKey canonicalizes a function's dependency list for cross-tableau
+// comparison: base columns map to "#n", references to other functions'
+// output columns map to the function name.
+func depsKey(t *tableau, deps []int) []string {
+	out := make([]string, len(deps))
+	for i, d := range deps {
+		if d <= t.baseW {
+			out[i] = "#" + itoa(d)
+		} else {
+			out[i] = "@" + t.funcs[d-t.baseW-1].fn
+		}
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func sameIntKey(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cylinder builds the width-W expression whose tuples u satisfy
+// π_proj(u) ∈ rhs: π_J(σ_dup(rhs) × D^pad). Duplicate sources in proj
+// force equality selections on rhs columns.
+func cylinder(rhs algebra.Expr, proj []int, w int) (algebra.Expr, bool) {
+	rArity := len(proj)
+	first := make(map[int]int, rArity) // source col -> first rhs position
+	var dupConds []algebra.Condition
+	for i, p := range proj {
+		if p < 1 || p > w {
+			return nil, false
+		}
+		if f, seen := first[p]; seen {
+			dupConds = append(dupConds, algebra.EqCols(f, i+1))
+		} else {
+			first[p] = i + 1
+		}
+	}
+	filtered := rhs
+	if len(dupConds) > 0 {
+		filtered = algebra.Select{Cond: algebra.AndAll(dupConds...), E: rhs}
+	}
+	pad := w - len(first)
+	var base algebra.Expr = filtered
+	if pad > 0 {
+		base = algebra.Cross{L: filtered, R: algebra.Domain{N: pad}}
+	}
+	j := make([]int, w)
+	next := rArity + 1
+	for p := 1; p <= w; p++ {
+		if m, ok := first[p]; ok {
+			j[p-1] = m
+		} else {
+			j[p-1] = next
+			next++
+		}
+	}
+	return algebra.Project{Cols: j, E: base}, true
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"sort"
+
+	"mapcomp/internal/algebra"
+)
+
+// This file implements the output-mapping simplification the paper singles
+// out in §4: "the output constraints produced by our algorithm are often
+// more verbose than the ones derived manually, so simplification of output
+// mappings is essential. An example of such simplification is detecting
+// and removing implied constraints."
+//
+// RemoveImplied drops containment constraints that are *provably* implied
+// by the remaining ones, using a sound (incomplete) syntactic entailment
+// check: a constraint L ⊆ R is implied if some chain of other containments
+// L'_1 ⊆ R'_1, …, L'_k ⊆ R'_k connects L to R through the
+// obviously-contained relation
+//
+//	L ⊑ L'_1,  R'_1 ⊑ L'_2,  …,  R'_k ⊑ R
+//
+// where ⊑ is a recursive structural check (A ⊑ A∪B, A∩B ⊑ A, σ(A) ⊑ A,
+// ∅ ⊑ A, A ⊑ D^r, A−B ⊑ A, and congruence through shared operators).
+// Equality constraints are used in both directions but never removed
+// themselves (they are strictly stronger than either containment).
+
+// RemoveImplied returns cs with implied containment constraints removed.
+// Removal is iterated to a fixpoint with the *surviving* set as the
+// hypothesis, so mutually-implied duplicates keep exactly one
+// representative (the earliest).
+func RemoveImplied(cs algebra.ConstraintSet, sig algebra.Signature) algebra.ConstraintSet {
+	out := cs.Clone()
+	for i := 0; i < len(out); i++ {
+		c := out[i]
+		if c.Kind != algebra.Containment {
+			continue
+		}
+		rest := make(algebra.ConstraintSet, 0, len(out)-1)
+		rest = append(rest, out[:i]...)
+		rest = append(rest, out[i+1:]...)
+		if Implies(rest, c) {
+			out = rest
+			i--
+		}
+	}
+	return out
+}
+
+// Implies reports whether the hypothesis set provably entails the
+// containment c under the syntactic rules above. Sound but incomplete:
+// false only means "not obviously implied".
+func Implies(hyp algebra.ConstraintSet, c algebra.Constraint) bool {
+	if c.Kind != algebra.Containment {
+		return false
+	}
+	if ObviouslyContained(c.L, c.R) {
+		return true
+	}
+	// Breadth-first search through the hypothesis containments: from
+	// expression L, any constraint L' ⊆ R' with L ⊑ L' lets us reach R'.
+	type node struct{ e algebra.Expr }
+	var frontier []node
+	frontier = append(frontier, node{c.L})
+	seen := map[string]bool{c.L.String(): true}
+	edges := containmentEdges(hyp)
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		if ObviouslyContained(cur.e, c.R) {
+			return true
+		}
+		for _, edge := range edges {
+			if ObviouslyContained(cur.e, edge[0]) {
+				key := edge[1].String()
+				if !seen[key] {
+					seen[key] = true
+					frontier = append(frontier, node{edge[1]})
+				}
+			}
+		}
+	}
+	return false
+}
+
+// containmentEdges extracts directed L ⊆ R edges from the hypothesis,
+// using equalities in both directions.
+func containmentEdges(hyp algebra.ConstraintSet) [][2]algebra.Expr {
+	var out [][2]algebra.Expr
+	for _, h := range hyp {
+		out = append(out, [2]algebra.Expr{h.L, h.R})
+		if h.Kind == algebra.Equality {
+			out = append(out, [2]algebra.Expr{h.R, h.L})
+		}
+	}
+	return out
+}
+
+// ObviouslyContained is a sound structural check for a ⊆ b valid on every
+// instance. It handles the lattice identities of ∪/∩/−/σ/D/∅, reflexivity,
+// and congruence through matching operators.
+func ObviouslyContained(a, b algebra.Expr) bool {
+	if algebra.Equal(a, b) {
+		return true
+	}
+	// a is bottom / b is top.
+	switch a := a.(type) {
+	case algebra.Empty:
+		return true
+	case algebra.Lit:
+		if len(a.Tuples) == 0 {
+			return true
+		}
+	}
+	if _, isDom := b.(algebra.Domain); isDom {
+		// Everything is within the active domain of matching arity; we
+		// cannot check arities without a signature, so require that a
+		// is a plain relation or domain (always adom-valued).
+		switch a.(type) {
+		case algebra.Rel, algebra.Domain, algebra.Select, algebra.Inter, algebra.Union, algebra.Project:
+			return true
+		}
+	}
+	// Shrinking a: A∩B ⊑ A-side, σ(A) ⊑ A, A−B ⊑ A.
+	switch a := a.(type) {
+	case algebra.Inter:
+		if ObviouslyContained(a.L, b) || ObviouslyContained(a.R, b) {
+			return true
+		}
+	case algebra.Select:
+		if ObviouslyContained(a.E, b) {
+			return true
+		}
+	case algebra.Diff:
+		if ObviouslyContained(a.L, b) {
+			return true
+		}
+	case algebra.Union:
+		// A∪B ⊑ C iff A ⊑ C and B ⊑ C.
+		if ObviouslyContained(a.L, b) && ObviouslyContained(a.R, b) {
+			return true
+		}
+	}
+	// Growing b: C ⊑ A∪B when C ⊑ A or C ⊑ B; C ⊑ A∩B needs both.
+	switch b := b.(type) {
+	case algebra.Union:
+		if ObviouslyContained(a, b.L) || ObviouslyContained(a, b.R) {
+			return true
+		}
+	case algebra.Inter:
+		if ObviouslyContained(a, b.L) && ObviouslyContained(a, b.R) {
+			return true
+		}
+	}
+	// Congruence through identical top-level operators (monotone ones).
+	switch a := a.(type) {
+	case algebra.Project:
+		if b, ok := b.(algebra.Project); ok && sameInts(a.Cols, b.Cols) {
+			return ObviouslyContained(a.E, b.E)
+		}
+	case algebra.Select:
+		if b, ok := b.(algebra.Select); ok && algebra.CondEqual(a.Cond, b.Cond) {
+			return ObviouslyContained(a.E, b.E)
+		}
+	case algebra.Cross:
+		if b, ok := b.(algebra.Cross); ok {
+			return ObviouslyContained(a.L, b.L) && ObviouslyContained(a.R, b.R)
+		}
+	case algebra.Diff:
+		// A−B ⊑ A'−B' when A ⊑ A' and B' ⊑ B (anti-monotone right).
+		if b, ok := b.(algebra.Diff); ok {
+			return ObviouslyContained(a.L, b.L) && ObviouslyContained(b.R, a.R)
+		}
+	case algebra.App:
+		if b, ok := b.(algebra.App); ok && a.Op == b.Op && sameInts(a.Params, b.Params) && len(a.Args) == len(b.Args) {
+			info := algebra.LookupOp(a.Op)
+			if info == nil || info.Monotone == nil {
+				return false
+			}
+			// Require the operator monotone in every argument.
+			allM := make([]algebra.Mono, len(a.Args))
+			for i := range allM {
+				allM[i] = algebra.MonoM
+			}
+			if info.Monotone(allM) != algebra.MonoM {
+				return false
+			}
+			for i := range a.Args {
+				if !ObviouslyContained(a.Args[i], b.Args[i]) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CanonicalizeConstraints sorts constraints by their rendered form,
+// producing a stable presentation of a mapping; useful when diffing
+// outputs across runs or elimination orders.
+func CanonicalizeConstraints(cs algebra.ConstraintSet) algebra.ConstraintSet {
+	out := cs.Clone()
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

@@ -1,0 +1,211 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mapcomp/internal/algebra"
+	"mapcomp/internal/core"
+	"mapcomp/internal/eval"
+	"mapcomp/internal/parser"
+)
+
+func TestObviouslyContained(t *testing.T) {
+	yes := [][2]string{
+		{"R", "R"},
+		{"R & S", "R"},
+		{"R & S", "S"},
+		{"sel[#1='a'](R)", "R"},
+		{"R - S", "R"},
+		{"R", "R + S"},
+		{"S", "R + S"},
+		{"R + S", "S + R + T"},
+		{"empty^2", "R"},
+		{"R", "D^2"},
+		{"sel[#1='a'](R & S)", "R + T"},
+		{"proj[1](R & S)", "proj[1](R)"},
+		{"sel[#1='a'](R & S)", "sel[#1='a'](R)"},
+		{"(R & S) * T", "R * T"},
+		{"R - S", "R - (S & T)"}, // difference: right side anti-monotone
+		{"join[1,1](R & S, T)", "join[1,1](R, T)"},
+	}
+	for _, c := range yes {
+		a, b := expr(t, c[0]), expr(t, c[1])
+		if !core.ObviouslyContained(a, b) {
+			t.Errorf("ObviouslyContained(%s, %s) = false, want true", c[0], c[1])
+		}
+	}
+	no := [][2]string{
+		{"R", "S"},
+		{"R", "R & S"},
+		{"R + S", "R"},
+		{"R", "R - S"},
+		{"proj[1](R)", "proj[2](R)"},
+		{"sel[#1='a'](R)", "sel[#1='b'](R)"},
+		{"R - (S & T)", "R - S"},
+		{"lojoin[1,1](R & S, T)", "lojoin[1,1](R, T)"}, // not monotone in all args
+	}
+	for _, c := range no {
+		a, b := expr(t, c[0]), expr(t, c[1])
+		if core.ObviouslyContained(a, b) {
+			t.Errorf("ObviouslyContained(%s, %s) = true, want false", c[0], c[1])
+		}
+	}
+}
+
+// Property: ObviouslyContained is sound — whenever it says yes, the
+// containment holds on random instances.
+func TestObviouslyContainedSoundProperty(t *testing.T) {
+	sig := algebra.NewSignature("R", 2, "S", 2, "T", 2)
+	domain := []algebra.Value{"a", "b"}
+	pairs := [][2]string{
+		{"R & S", "R"}, {"sel[#1='a'](R)", "R + T"}, {"R - S", "R"},
+		{"(R & S) * T", "R * T"}, {"R - S", "R - (S & T)"},
+		{"proj[1](R & S)", "proj[1](R + T)"},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := eval.RandInstance(sig, domain, 4, rng)
+		for _, p := range pairs {
+			a, b := expr(t, p[0]), expr(t, p[1])
+			if !core.ObviouslyContained(a, b) {
+				t.Fatalf("fixture %v no longer obvious", p)
+			}
+			ra, err := eval.Eval(a, in, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := eval.Eval(b, in, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ra.SubsetOf(rb) {
+				t.Logf("claimed %s ⊆ %s but %s ⊄ %s", p[0], p[1], ra, rb)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImpliesTransitivity(t *testing.T) {
+	hyp := parser.MustParseConstraints("R <= S; S <= T")
+	c := parser.MustParseConstraints("R <= T")[0]
+	if !core.Implies(hyp, c) {
+		t.Error("transitive containment not detected")
+	}
+	// Weakened forms are also implied.
+	weak := parser.MustParseConstraints("R & U <= T + V")[0]
+	if !core.Implies(hyp, weak) {
+		t.Error("weakened containment not detected")
+	}
+	// The reverse is not implied.
+	rev := parser.MustParseConstraints("T <= R")[0]
+	if core.Implies(hyp, rev) {
+		t.Error("unsound implication")
+	}
+	// Equalities work in both directions.
+	hypEq := parser.MustParseConstraints("S = R; S <= T")
+	if !core.Implies(hypEq, c) {
+		t.Error("equality not used bidirectionally")
+	}
+}
+
+func TestRemoveImplied(t *testing.T) {
+	sig := algebra.NewSignature("R", 1, "S", 1, "T", 1, "U", 1, "V", 1)
+	cs := parser.MustParseConstraints(`
+		R <= S;
+		S <= T;
+		R <= T;
+		R & U <= T + V;
+		S = T + U
+	`)
+	out := core.RemoveImplied(cs, sig)
+	if len(out) != 3 {
+		t.Fatalf("RemoveImplied kept %d constraints, want 3:\n%s", len(out), out)
+	}
+	// The surviving set must still imply each removed constraint.
+	for _, c := range cs {
+		if c.Kind == algebra.Containment && !core.Implies(out, c) {
+			t.Errorf("removed constraint %s no longer implied", c)
+		}
+	}
+	// Equalities are never removed.
+	foundEq := false
+	for _, c := range out {
+		if c.Kind == algebra.Equality {
+			foundEq = true
+		}
+	}
+	if !foundEq {
+		t.Error("equality constraint was dropped")
+	}
+}
+
+// Property: RemoveImplied preserves the mapping's models exactly.
+func TestRemoveImpliedPreservesModelsProperty(t *testing.T) {
+	sig := algebra.NewSignature("R", 1, "S", 1, "T", 1)
+	domain := []algebra.Value{"a", "b"}
+	atoms := []string{"R", "S", "T", "R + S", "R & T", "sel[#1='a'](S)"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var cs algebra.ConstraintSet
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			l := atoms[rng.Intn(len(atoms))]
+			r := atoms[rng.Intn(len(atoms))]
+			cc, err := parser.ParseConstraints(l + " <= " + r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs = append(cs, cc...)
+		}
+		out := core.RemoveImplied(cs, sig)
+		in := eval.RandInstance(sig, domain, 3, rng)
+		same, err := eval.SameOnInstance(cs, out, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoveImpliedOnCompositionOutput(t *testing.T) {
+	// Compose a mapping whose raw output contains redundancy, then
+	// check the simplified result is smaller but equivalent.
+	s1 := algebra.NewSignature("R", 1)
+	s2 := algebra.NewSignature("S", 1)
+	s3 := algebra.NewSignature("T", 1, "U", 1)
+	m12 := parser.MustParseConstraints("R <= S")
+	m23 := parser.MustParseConstraints("S <= T & U; S <= T")
+	res, err := core.Compose(s1, s2, s3, m12, m23, nil, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slim := core.RemoveImplied(res.Constraints, res.Sig)
+	if len(slim) >= len(res.Constraints) {
+		t.Skip("composition output already minimal")
+	}
+	for _, c := range res.Constraints {
+		if c.Kind == algebra.Containment && !core.Implies(slim, c) {
+			t.Errorf("dropped constraint %s not implied", c)
+		}
+	}
+}
+
+func TestCanonicalizeConstraints(t *testing.T) {
+	cs := parser.MustParseConstraints("S <= T; R <= S")
+	out := core.CanonicalizeConstraints(cs)
+	if out[0].String() != "R <= S" || out[1].String() != "S <= T" {
+		t.Errorf("not sorted: %s", out)
+	}
+	if cs[0].String() != "S <= T" {
+		t.Error("input mutated")
+	}
+}

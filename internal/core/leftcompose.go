@@ -1,0 +1,244 @@
+package core
+
+import (
+	"mapcomp/internal/algebra"
+)
+
+// LeftCompose implements the left compose step of §3.1/§3.4:
+//
+//  1. exit if S appears on both sides of a constraint;
+//  2. convert equalities containing S into pairs of containments;
+//  3. check right-monotonicity: every rhs containing S must be monotone;
+//  4. left-normalize to a single constraint ξ: S ⊆ E1 (adding S ⊆ D^r
+//     when S never appears on a lhs);
+//  5. basic left compose: drop ξ and replace each E2 ⊆ M(S) by
+//     E2 ⊆ M(E1);
+//  6. domain-relation elimination is performed by the caller's
+//     simplification pass (§3.4.3).
+//
+// It returns the rewritten constraints and true, or the input and false.
+func LeftCompose(sig algebra.Signature, cs algebra.ConstraintSet, s string) (algebra.ConstraintSet, bool) {
+	if occursBothSides(cs, s) {
+		return cs, false
+	}
+	split := splitEqualities(cs, s)
+
+	// Right-monotonicity check (§3.4, first step).
+	for _, c := range split {
+		if algebra.ContainsRel(c.R, s) && Monotone(c.R, s) != algebra.MonoM {
+			return cs, false
+		}
+	}
+
+	normalized, ok := leftNormalize(sig, split, s)
+	if !ok {
+		return cs, false
+	}
+
+	// Locate ξ: S ⊆ E1 and collect the rest.
+	var e1 algebra.Expr
+	rest := make(algebra.ConstraintSet, 0, len(normalized))
+	for _, c := range normalized {
+		if r, isRel := c.L.(algebra.Rel); isRel && r.Name == s {
+			if e1 != nil {
+				// Left normal form guarantees a single ξ.
+				return cs, false
+			}
+			e1 = c.R
+			continue
+		}
+		rest = append(rest, c)
+	}
+	if e1 == nil || algebra.ContainsRel(e1, s) {
+		return cs, false
+	}
+
+	// Basic left compose (§3.4.2). Normalization may have moved S into
+	// new right-hand sides (e.g. the − rule), so re-verify monotonicity
+	// before each substitution; soundness depends on it.
+	out := make(algebra.ConstraintSet, 0, len(rest))
+	for _, c := range rest {
+		if algebra.ContainsRel(c.L, s) {
+			return cs, false // would re-introduce S; normalization failed to isolate it
+		}
+		if algebra.ContainsRel(c.R, s) {
+			if Monotone(c.R, s) != algebra.MonoM {
+				return cs, false
+			}
+			c = algebra.Constraint{Kind: c.Kind, L: c.L, R: algebra.SubstituteRel(c.R, s, e1)}
+		}
+		out = append(out, c)
+	}
+	return out, true
+}
+
+// leftNormalize brings the constraints into left normal form for s (§3.4.1):
+// s appears on the left of exactly one constraint, alone, as S ⊆ E. The
+// rewriting rules are the paper's identities:
+//
+//	∪ : E1 ∪ E2 ⊆ E3  ↔  E1 ⊆ E3, E2 ⊆ E3
+//	− : E1 − E2 ⊆ E3  ↔  E1 ⊆ E2 ∪ E3            (s must be in E1)
+//	π : π_I(E1) ⊆ E2  ↔  E1 ⊆ π_J(E2 × D^k)      (I duplicate-free)
+//	σ : σ_c(E1) ⊆ E2  ↔  E1 ⊆ E2 ∪ (D^r − σ_c(D^r))
+//
+// There are no identities for ∩, × or − with s on the right (Example 6
+// shows the tempting × rewriting is invalid), so those cases fail.
+// Registered operators are expanded through their declared desugaring
+// before giving up.
+func leftNormalize(sig algebra.Signature, cs algebra.ConstraintSet, s string) (algebra.ConstraintSet, bool) {
+	work := cs.Clone()
+	for iter := 0; iter < maxNormalizeIters; iter++ {
+		idx := -1
+		for i, c := range work {
+			if algebra.ContainsRel(c.L, s) {
+				if _, isRel := c.L.(algebra.Rel); !isRel {
+					idx = i
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			return collapseLeft(sig, work, s)
+		}
+		c := work[idx]
+		repl, ok := leftRewrite(sig, c, s)
+		if !ok {
+			return cs, false
+		}
+		next := make(algebra.ConstraintSet, 0, len(work)+len(repl)-1)
+		next = append(next, work[:idx]...)
+		next = append(next, repl...)
+		next = append(next, work[idx+1:]...)
+		work = next
+	}
+	return cs, false
+}
+
+const maxNormalizeIters = 10000
+
+// leftRewrite applies one left-normalization rule to constraint c, whose
+// lhs is a complex expression containing s.
+func leftRewrite(sig algebra.Signature, c algebra.Constraint, s string) (algebra.ConstraintSet, bool) {
+	switch l := c.L.(type) {
+	case algebra.Union:
+		return algebra.ConstraintSet{
+			algebra.Contain(l.L, c.R),
+			algebra.Contain(l.R, c.R),
+		}, true
+
+	case algebra.Diff:
+		// E1 − E2 ⊆ E3 ↔ E1 ⊆ E2 ∪ E3. When s is in E2 this does not
+		// isolate s on the left (the paper lists that case among the
+		// problematic forms) but moves it to a monotone rhs position,
+		// which is exactly how Example 7 proceeds; basic left compose
+		// then substitutes there.
+		return algebra.ConstraintSet{
+			algebra.Contain(l.L, algebra.Union{L: l.R, R: c.R}),
+		}, true
+
+	case algebra.Project:
+		if hasDuplicates(l.Cols) {
+			return nil, false
+		}
+		r1, err := algebra.Arity(l.E, sig)
+		if err != nil {
+			return nil, false
+		}
+		target, ok := expandThroughProjection(c.R, l.Cols, r1)
+		if !ok {
+			return nil, false
+		}
+		return algebra.ConstraintSet{algebra.Contain(l.E, target)}, true
+
+	case algebra.Select:
+		r, err := algebra.Arity(l.E, sig)
+		if err != nil {
+			return nil, false
+		}
+		dom := algebra.Domain{N: r}
+		return algebra.ConstraintSet{
+			algebra.Contain(l.E, algebra.Union{
+				L: c.R,
+				R: algebra.Diff{L: dom, R: algebra.Select{Cond: l.Cond, E: dom}},
+			}),
+		}, true
+
+	case algebra.App:
+		if exp, ok := algebra.Desugar(l, sig); ok {
+			return algebra.ConstraintSet{algebra.Constraint{Kind: c.Kind, L: exp, R: c.R}}, true
+		}
+		return nil, false
+	}
+	// ∩, ×, Skolem (which cannot occur in inputs) and bare relations
+	// have no left rule.
+	return nil, false
+}
+
+// collapseLeft merges all constraints of the form S ⊆ E_i into the single
+// ξ: S ⊆ E_1 ∩ … ∩ E_n, adding the trivial S ⊆ D^r when none exist
+// (Example 9).
+func collapseLeft(sig algebra.Signature, cs algebra.ConstraintSet, s string) (algebra.ConstraintSet, bool) {
+	var bounds []algebra.Expr
+	rest := make(algebra.ConstraintSet, 0, len(cs))
+	for _, c := range cs {
+		if r, isRel := c.L.(algebra.Rel); isRel && r.Name == s {
+			bounds = append(bounds, c.R)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	var e1 algebra.Expr
+	if len(bounds) == 0 {
+		ar, ok := sig[s]
+		if !ok {
+			return cs, false
+		}
+		e1 = algebra.Domain{N: ar}
+	} else {
+		e1 = algebra.InterAll(bounds...)
+	}
+	out := append(rest, algebra.Contain(algebra.Rel{Name: s}, e1))
+	return out, true
+}
+
+// expandThroughProjection builds the target expression for the π rule:
+// given π_I(E1) ⊆ E2 with arity(E1) = r1 and |I| = arity(E2) = k, the
+// result F satisfies E1 ⊆ F ↔ π_I(E1) ⊆ E2, namely F = π_J(E2 × D^(r1−k))
+// where J routes position I[m] to E2's column m and every other position
+// to its own D column.
+func expandThroughProjection(e2 algebra.Expr, cols []int, r1 int) (algebra.Expr, bool) {
+	k := len(cols)
+	if r1 < k {
+		return nil, false
+	}
+	pos := make(map[int]int, k) // source column -> E2 column
+	for m, c := range cols {
+		pos[c] = m + 1
+	}
+	j := make([]int, r1)
+	next := k + 1
+	for p := 1; p <= r1; p++ {
+		if m, ok := pos[p]; ok {
+			j[p-1] = m
+		} else {
+			j[p-1] = next
+			next++
+		}
+	}
+	var base algebra.Expr = e2
+	if r1 > k {
+		base = algebra.Cross{L: e2, R: algebra.Domain{N: r1 - k}}
+	}
+	return algebra.Project{Cols: j, E: base}, true
+}
+
+func hasDuplicates(cols []int) bool {
+	seen := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		if seen[c] {
+			return true
+		}
+		seen[c] = true
+	}
+	return false
+}

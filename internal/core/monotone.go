@@ -1,0 +1,83 @@
+// Package core implements the mapping composition algorithm of Bernstein,
+// Green, Melnik and Nash (VLDB 2006): the MONOTONE procedure, view
+// unfolding, left compose, right compose with Skolemization and
+// deskolemization, the per-symbol ELIMINATE procedure, and the top-level
+// best-effort COMPOSE loop.
+package core
+
+import "mapcomp/internal/algebra"
+
+// Monotone implements the MONOTONE procedure of §3.3: a sound but
+// incomplete recursive check of how expression e depends on relation
+// symbol s. It returns:
+//
+//	MonoM — e is monotone in s (adding tuples to s never removes output)
+//	MonoA — e is anti-monotone in s
+//	MonoI — e is independent of s
+//	MonoU — unknown
+//
+// The base case returns 'm' for the symbol itself and 'i' for any other
+// leaf. σ and π pass their operand's status through; ∪, ∩ and × combine
+// their operands' statuses; − combines the left status with the flipped
+// right status. Registered operators contribute their own table via
+// OpInfo.Monotone; unregistered operators answer 'u' whenever s occurs
+// beneath them.
+//
+// Note that the active-domain symbol D is treated as independent of s,
+// following the paper's base-case rule ("returns 'm' if that symbol is S,
+// and 'i' otherwise"); D never syntactically contains s, so substitution
+// steps never rewrite it.
+func Monotone(e algebra.Expr, s string) algebra.Mono {
+	switch e := e.(type) {
+	case algebra.Rel:
+		if e.Name == s {
+			return algebra.MonoM
+		}
+		return algebra.MonoI
+	case algebra.Domain, algebra.Empty, algebra.Lit:
+		return algebra.MonoI
+	case algebra.Union:
+		return algebra.Combine(Monotone(e.L, s), Monotone(e.R, s))
+	case algebra.Inter:
+		return algebra.Combine(Monotone(e.L, s), Monotone(e.R, s))
+	case algebra.Cross:
+		return algebra.Combine(Monotone(e.L, s), Monotone(e.R, s))
+	case algebra.Diff:
+		return algebra.Combine(Monotone(e.L, s), Monotone(e.R, s).Flip())
+	case algebra.Select:
+		return Monotone(e.E, s)
+	case algebra.Project:
+		return Monotone(e.E, s)
+	case algebra.Skolem:
+		// A Skolem operator appends a computed column tuple-wise, so it
+		// preserves its operand's monotonicity.
+		return Monotone(e.E, s)
+	case algebra.App:
+		args := make([]algebra.Mono, len(e.Args))
+		any := false
+		for i, a := range e.Args {
+			args[i] = Monotone(a, s)
+			if args[i] != algebra.MonoI {
+				any = true
+			}
+		}
+		if !any {
+			return algebra.MonoI
+		}
+		info := algebra.LookupOp(e.Op)
+		if info == nil || info.Monotone == nil {
+			// Unknown operator over the symbol: the paper's
+			// tolerance rule — answer 'u' rather than reject.
+			return algebra.MonoU
+		}
+		return info.Monotone(args)
+	}
+	return algebra.MonoU
+}
+
+// monotoneSubstitutable reports whether status allows replacing s by a
+// superset (for right compose) or subset (dually, left compose) within the
+// expression: 'm' allows it, 'i' makes it a no-op, anything else fails.
+func monotoneSubstitutable(m algebra.Mono) bool {
+	return m == algebra.MonoM || m == algebra.MonoI
+}

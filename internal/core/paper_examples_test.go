@@ -1,0 +1,331 @@
+package core_test
+
+// Tests in this file replay the worked examples of the paper (Examples
+// 1–17) and check both the paper's reported outcomes and, where signatures
+// are small enough, full semantic equivalence per §2 via exhaustive
+// instance enumeration.
+
+import (
+	"testing"
+
+	"mapcomp/internal/algebra"
+	"mapcomp/internal/core"
+	"mapcomp/internal/eval"
+	_ "mapcomp/internal/ops"
+	"mapcomp/internal/parser"
+)
+
+// mustSig builds a signature from name/arity pairs.
+func mustSig(pairs ...any) algebra.Signature { return algebra.NewSignature(pairs...) }
+
+// eliminate runs core.Eliminate with the default config.
+func eliminate(t *testing.T, sig algebra.Signature, src, sym string) (algebra.ConstraintSet, core.Step, bool) {
+	t.Helper()
+	cs, err := parser.ParseConstraints(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := cs.Check(sig); err != nil {
+		t.Fatalf("ill-formed fixture: %v", err)
+	}
+	return core.Eliminate(sig, cs, sym, core.DefaultConfig())
+}
+
+// checkEquiv verifies Σ ≡ Σ' per §2 over a two-value domain.
+func checkEquiv(t *testing.T, sigma algebra.ConstraintSet, sig algebra.Signature,
+	sigmaPrime algebra.ConstraintSet, removed string) {
+	t.Helper()
+	sub := sig.Clone()
+	delete(sub, removed)
+	cfg := eval.DefaultEnumConfig()
+	if err := eval.CheckEquivalence(sigma, sig, sigmaPrime, sub, cfg); err != nil {
+		t.Fatalf("equivalence after eliminating %s: %v\noutput:\n%s", removed, err, sigmaPrime)
+	}
+}
+
+// Example 3: {R ⊆ S, S ⊆ T} is equivalent to {R ⊆ T}.
+func TestExample3Transitivity(t *testing.T) {
+	sig := mustSig("R", 1, "S", 1, "T", 1)
+	in := parser.MustParseConstraints("R <= S; S <= T")
+	out, step, ok := eliminate(t, sig, "R <= S; S <= T", "S")
+	if !ok {
+		t.Fatalf("failed to eliminate S")
+	}
+	if step != core.StepLeft && step != core.StepRight {
+		t.Errorf("expected a compose step, got %s", step)
+	}
+	if len(out) != 1 || out[0].String() != "R <= T" {
+		t.Errorf("expected exactly R <= T, got:\n%s", out)
+	}
+	checkEquiv(t, in, sig, out, "S")
+}
+
+// Example 4 case 1: view unfolding.
+// S = R × T, π(U) − S ⊆ U  ⇒  π(U) − (R × T) ⊆ U.
+func TestExample4ViewUnfolding(t *testing.T) {
+	sig := mustSig("R", 1, "T", 1, "S", 2, "U", 2)
+	src := "S = R * T; proj[1,2](U) - S <= U"
+	out, step, ok := eliminate(t, sig, src, "S")
+	if !ok || step != core.StepUnfold {
+		t.Fatalf("expected unfold success, got ok=%v step=%s", ok, step)
+	}
+	// The simplifier reduces the identity projection π₁₂(U) to U.
+	want := "U - R * T <= U"
+	if len(out) != 1 || out[0].String() != want {
+		t.Errorf("got:\n%s\nwant:\n%s", out, want)
+	}
+	in := parser.MustParseConstraints(src)
+	checkEquiv(t, in, sig, out, "S")
+}
+
+// Example 4 case 2: left compose.
+// R ⊆ S ∩ V, S ⊆ T × U  ⇒  R ⊆ (T × U) ∩ V.
+func TestExample4LeftCompose(t *testing.T) {
+	sig := mustSig("R", 2, "S", 2, "V", 2, "T", 1, "U", 1)
+	src := "R <= S & V; S <= T * U"
+	out, step, ok := eliminate(t, sig, src, "S")
+	if !ok || step != core.StepLeft {
+		t.Fatalf("expected left compose success, got ok=%v step=%s", ok, step)
+	}
+	want := "R <= T * U & V"
+	if len(out) != 1 || out[0].String() != want {
+		t.Errorf("got:\n%s\nwant:\n%s", out, want)
+	}
+	in := parser.MustParseConstraints(src)
+	checkEquiv(t, in, sig, out, "S")
+}
+
+// Example 4 case 3: right compose.
+// T × U ⊆ S, S − π(W) ⊆ R  ⇒  (T × U) − π(W) ⊆ R.
+// (ELIMINATE would solve this with left compose first, so the test drives
+// the right-compose step directly, as the paper's example does.)
+func TestExample4RightCompose(t *testing.T) {
+	sig := mustSig("T", 1, "U", 1, "S", 2, "R", 2, "W", 3)
+	in := parser.MustParseConstraints("T * U <= S; S - proj[1,2](W) <= R")
+	if err := in.Check(sig); err != nil {
+		t.Fatal(err)
+	}
+	out, ok := core.RightCompose(sig, in, "S", nil)
+	if !ok {
+		t.Fatal("right compose failed")
+	}
+	want := "T * U - proj[1,2](W) <= R"
+	if len(out) != 1 || out[0].String() != want {
+		t.Errorf("got:\n%s\nwant:\n%s", out, want)
+	}
+	checkEquiv(t, in, sig, out, "S")
+}
+
+// Example 5: view unfolding succeeds where both compose steps fail
+// because S occurs under non-monotone contexts on both sides.
+func TestExample5UnfoldingBeatsCompose(t *testing.T) {
+	sig := mustSig("R1", 1, "R2", 1, "R3", 2, "S", 2, "T1", 1, "T2", 2, "T3", 2)
+	src := "S = R1 * R2; proj[1](R3 - S) <= T1; T2 <= T3 - sel[#1=#2](S)"
+	out, step, ok := eliminate(t, sig, src, "S")
+	if !ok || step != core.StepUnfold {
+		t.Fatalf("expected unfold success, got ok=%v step=%s", ok, step)
+	}
+	for _, c := range out {
+		if c.ContainsRel("S") {
+			t.Errorf("S not fully eliminated: %s", c)
+		}
+	}
+
+	// Left and right compose alone must fail (the paper explains why).
+	cs := parser.MustParseConstraints(src)
+	if _, ok := core.LeftCompose(sig, cs, "S"); ok {
+		t.Error("left compose unexpectedly succeeded on Example 5")
+	}
+	if _, ok := core.RightCompose(sig, cs, "S", nil); ok {
+		t.Error("right compose unexpectedly succeeded on Example 5")
+	}
+}
+
+// Examples 7 and 10: left normalization of {R − S ⊆ T, π(S) ⊆ U} and the
+// left composition R ⊆ (U × D) ∪ T.
+func TestExample7And10LeftNormalizeCompose(t *testing.T) {
+	sig := mustSig("R", 2, "S", 2, "T", 2, "U", 1)
+	src := "R - S <= T; proj[1](S) <= U"
+	in := parser.MustParseConstraints(src)
+	out, ok := core.LeftCompose(sig, in, "S")
+	if !ok {
+		t.Fatal("left compose failed")
+	}
+	// Expected shape: R ⊆ (π-expansion of U) ∪ T with S gone.
+	if len(out) != 1 {
+		t.Fatalf("expected 1 constraint, got %d:\n%s", len(out), out)
+	}
+	if out[0].ContainsRel("S") {
+		t.Fatalf("S remains: %s", out[0])
+	}
+	checkEquiv(t, in, sig, core.SimplifyConstraints(out, sig), "S")
+}
+
+// Example 8: left normalization fails on R ∩ S ⊆ T (no ∩ rule), so left
+// compose fails, but right compose eliminates S instead.
+func TestExample8InterOnLeftFailsLeftCompose(t *testing.T) {
+	sig := mustSig("R", 2, "S", 2, "T", 2, "U", 1)
+	src := "R & S <= T; proj[1](S) <= U"
+	in := parser.MustParseConstraints(src)
+	if _, ok := core.LeftCompose(sig, in, "S"); ok {
+		t.Error("left compose should fail: no rule for ∩ on the lhs")
+	}
+}
+
+// Examples 9, 11, 12: S only on the right; left compose adds S ⊆ D^r,
+// composes, and the domain-elimination rules remove both constraints.
+func TestExample9DomainElimination(t *testing.T) {
+	sig := mustSig("R", 2, "S", 2, "T", 2, "U", 1)
+	src := "R & T <= S; U <= proj[1](S)"
+	out, step, ok := eliminate(t, sig, src, "S")
+	if !ok {
+		t.Fatalf("eliminate failed")
+	}
+	if step != core.StepLeft {
+		t.Fatalf("expected left compose, got %s", step)
+	}
+	// R ∩ T ⊆ D² and U ⊆ π(D²) are trivially satisfied and deleted.
+	if len(out) != 0 {
+		t.Errorf("expected all constraints to disappear, got:\n%s", out)
+	}
+}
+
+// Examples 13 and 15: right normalization of {S × T ⊆ U, T ⊆ σc(S) × π(R)}
+// and subsequent composition; no Skolem functions are needed. Expected
+// result (Example 15): π(T) × T ⊆ U, π(T) ⊆ σc(D), π(T) ⊆ π(R).
+func TestExample13And15RightCompose(t *testing.T) {
+	sig := mustSig("S", 1, "T", 2, "U", 3, "R", 2)
+	src := "S * T <= U; T <= sel[#1='a'](S) * proj[1](R)"
+	in := parser.MustParseConstraints(src)
+	if err := in.Check(sig); err != nil {
+		t.Fatal(err)
+	}
+	out, ok := core.RightCompose(sig, in, "S", nil)
+	if !ok {
+		t.Fatal("right compose failed")
+	}
+	for _, c := range out {
+		if c.ContainsRel("S") {
+			t.Errorf("S remains: %s", c)
+		}
+	}
+	checkEquiv(t, in, sig, core.SimplifyConstraints(out, sig), "S")
+}
+
+// Examples 14 and 16: right normalization Skolemizes a projection, then
+// deskolemization must clean up. (ELIMINATE would pick left compose here;
+// the test drives right compose directly, as the paper's example does.)
+func TestExample14And16SkolemizedRightCompose(t *testing.T) {
+	sig := mustSig("R", 1, "S", 1, "T", 1, "U", 1)
+	src := "R <= proj[1](S * (T & U)); S <= sel[#1='a'](T)"
+	in := parser.MustParseConstraints(src)
+	if err := in.Check(sig); err != nil {
+		t.Fatal(err)
+	}
+	out, ok := core.RightCompose(sig, in, "S", nil)
+	if !ok {
+		t.Fatal("right compose failed")
+	}
+	if out.ContainsSkolem() {
+		t.Fatalf("Skolem functions remain:\n%s", out)
+	}
+	for _, c := range out {
+		if c.ContainsRel("S") {
+			t.Errorf("S remains: %s", c)
+		}
+	}
+	checkEquiv(t, in, sig, core.SimplifyConstraints(out, sig), "S")
+}
+
+// Example 17 (from Fagin et al.): F can be eliminated but C cannot — the
+// relation symbol C appears twice in a Skolemized constraint, so
+// deskolemization step 3 fails. The paper proves elimination of C is
+// impossible by any means.
+func TestExample17RepeatedFunctionSymbol(t *testing.T) {
+	sig := mustSig("E", 2, "F", 2, "C", 2, "Drel", 2)
+	src := `
+		E <= F;
+		proj[1](E) <= proj[1](C);
+		proj[2](E) <= proj[1](C);
+		proj[4,6](sel[#1=#3 & #2=#5](F * C * C)) <= Drel
+	`
+	in := parser.MustParseConstraints(src)
+	cfg := core.DefaultConfig()
+
+	// Eliminating F succeeds (right compose: E substituted for F).
+	afterF, _, ok := core.Eliminate(sig, in, "F", cfg)
+	if !ok {
+		t.Fatal("eliminating F failed; the paper reports success")
+	}
+	for _, c := range afterF {
+		if c.ContainsRel("F") {
+			t.Errorf("F remains: %s", c)
+		}
+	}
+
+	// Eliminating C must fail.
+	sigNoF := sig.Clone()
+	delete(sigNoF, "F")
+	if _, _, ok := core.Eliminate(sigNoF, afterF, "C", cfg); ok {
+		t.Error("eliminating C succeeded; the paper proves it is impossible")
+	}
+}
+
+// §1.3's recursive example: R ⊆ S, S = tc(S), S ⊆ T. S appears on both
+// sides of an equality, so every step refuses and S survives.
+func TestTransitiveClosureNotEliminable(t *testing.T) {
+	sig := mustSig("R", 2, "S", 2, "T", 2)
+	src := "R <= S; S = tc(S); S <= T"
+	_, step, ok := eliminate(t, sig, src, "S")
+	if ok {
+		t.Fatalf("S should not be eliminable (step=%s)", step)
+	}
+}
+
+// Example 1: the movie-schema editing scenario from the introduction,
+// end-to-end through Compose.
+func TestExample1Movies(t *testing.T) {
+	s1 := mustSig("Movies", 6)
+	s2 := mustSig("FiveStarMovies", 3)
+	s3 := mustSig("Names", 2, "Years", 2)
+	m12 := parser.MustParseConstraints(
+		"proj[1,2,3](sel[#4='5'](Movies)) <= FiveStarMovies")
+	m23 := parser.MustParseConstraints(
+		"proj[1,2,3](FiveStarMovies) <= proj[1,2,4](sel[#1=#3](Names * Years))")
+
+	res, err := core.Compose(s1, s2, s3, m12, m23, nil, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Remaining) != 0 {
+		t.Fatalf("FiveStarMovies not eliminated: remaining=%v", res.Remaining)
+	}
+	for _, c := range res.Constraints {
+		if c.ContainsRel("FiveStarMovies") {
+			t.Errorf("intermediate symbol leaked: %s", c)
+		}
+	}
+	// Semantic check of the composition against the paper's stated
+	// result on a concrete instance: a 5-star movie row must propagate
+	// into Names and Years.
+	inst := eval.NewInstance(mustSig("Movies", 6, "Names", 2, "Years", 2))
+	inst.Add("Movies", "m1", "Casablanca", "1942", "5", "drama", "rex")
+	inst.Add("Names", "m1", "Casablanca")
+	inst.Add("Years", "m1", "1942")
+	ok, err := eval.Satisfies(res.Constraints, inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("valid instance rejected by composed mapping:\n%s", res.Constraints)
+	}
+	// Dropping the Years row must violate the composition.
+	inst.Rels["Years"] = algebra.NewRelation(2)
+	ok, err = eval.Satisfies(res.Constraints, inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("composed mapping failed to require Years row:\n%s", res.Constraints)
+	}
+}

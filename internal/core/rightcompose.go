@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mapcomp/internal/algebra"
+)
+
+// skolemGen hands out fresh Skolem function names within one ELIMINATE
+// call; the names never survive past deskolemization.
+type skolemGen struct{ n int }
+
+func (g *skolemGen) fresh() string {
+	g.n++
+	return fmt.Sprintf("f%d", g.n)
+}
+
+// RightCompose implements the right compose step of §3.1/§3.5, dual to
+// left compose:
+//
+//  1. exit if S appears on both sides of a constraint;
+//  2. convert equalities containing S into pairs of containments;
+//  3. check left-monotonicity: every lhs containing S must be monotone;
+//  4. right-normalize to a single ξ: E1 ⊆ S (adding ∅ ⊆ S when S never
+//     appears on a rhs); the π rule may introduce Skolem functions;
+//  5. basic right compose: drop ξ and replace each M(S) ⊆ E2 by
+//     M(E1) ⊆ E2;
+//  6. deskolemize (§3.5.3); failure fails the whole step;
+//  7. empty-relation elimination is performed by the caller's
+//     simplification pass (§3.5.4).
+func RightCompose(sig algebra.Signature, cs algebra.ConstraintSet, s string, keys algebra.Keys) (algebra.ConstraintSet, bool) {
+	if occursBothSides(cs, s) {
+		return cs, false
+	}
+	split := splitEqualities(cs, s)
+
+	// Left-monotonicity check (§3.5, first step).
+	for _, c := range split {
+		if algebra.ContainsRel(c.L, s) && Monotone(c.L, s) != algebra.MonoM {
+			return cs, false
+		}
+	}
+
+	gen := &skolemGen{}
+	normalized, ok := rightNormalize(sig, split, s, keys, gen)
+	if !ok {
+		return cs, false
+	}
+
+	// Locate ξ: E1 ⊆ S and collect the rest.
+	var e1 algebra.Expr
+	rest := make(algebra.ConstraintSet, 0, len(normalized))
+	for _, c := range normalized {
+		if r, isRel := c.R.(algebra.Rel); isRel && r.Name == s {
+			if e1 != nil {
+				return cs, false
+			}
+			e1 = c.L
+			continue
+		}
+		rest = append(rest, c)
+	}
+	if e1 == nil || algebra.ContainsRel(e1, s) {
+		return cs, false
+	}
+
+	// Basic right compose (§3.5.2), re-verifying monotonicity of each
+	// substitution site.
+	out := make(algebra.ConstraintSet, 0, len(rest))
+	for _, c := range rest {
+		if algebra.ContainsRel(c.R, s) {
+			return cs, false
+		}
+		if algebra.ContainsRel(c.L, s) {
+			if Monotone(c.L, s) != algebra.MonoM {
+				return cs, false
+			}
+			c = algebra.Constraint{Kind: c.Kind, L: algebra.SubstituteRel(c.L, s, e1), R: c.R}
+		}
+		out = append(out, c)
+	}
+
+	// Deskolemize (§3.5.3). Constraints without Skolem terms skip this.
+	if out.ContainsSkolem() {
+		desk, ok := Deskolemize(sig, out)
+		if !ok {
+			return cs, false
+		}
+		out = desk
+	}
+	return out, true
+}
+
+// rightNormalize brings the constraints into right normal form for s
+// (§3.5.1): s appears on the right of exactly one constraint, alone, as
+// E ⊆ S. The rewriting rules are the paper's identities:
+//
+//	∪ : E1 ⊆ E2 ∪ E3  ↔  E1 − E3 ⊆ E2   (or E1 − E2 ⊆ E3)
+//	∩ : E1 ⊆ E2 ∩ E3  ↔  E1 ⊆ E2, E1 ⊆ E3
+//	× : E1 ⊆ E2 × E3  ↔  π_pre(E1) ⊆ E2, π_post(E1) ⊆ E3
+//	− : E1 ⊆ E2 − E3  ↔  E1 ⊆ E2, E1 ∩ E3 ⊆ ∅
+//	π : E1 ⊆ π_I(E2)  ↔  π_J(f̄(E1)) ⊆ E2   (Skolemizing)
+//	σ : E1 ⊆ σ_c(E2)  ↔  E1 ⊆ E2, E1 ⊆ σ_c(D^r)
+//
+// In contrast to left normalization there is a rule for every basic
+// operator, so right normalization always succeeds on basic expressions.
+func rightNormalize(sig algebra.Signature, cs algebra.ConstraintSet, s string, keys algebra.Keys, gen *skolemGen) (algebra.ConstraintSet, bool) {
+	work := cs.Clone()
+	for iter := 0; iter < maxNormalizeIters; iter++ {
+		idx := -1
+		for i, c := range work {
+			if algebra.ContainsRel(c.R, s) {
+				if _, isRel := c.R.(algebra.Rel); !isRel {
+					idx = i
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			return collapseRight(sig, work, s)
+		}
+		repl, ok := rightRewrite(sig, work[idx], s, keys, gen)
+		if !ok {
+			return cs, false
+		}
+		next := make(algebra.ConstraintSet, 0, len(work)+len(repl)-1)
+		next = append(next, work[:idx]...)
+		next = append(next, repl...)
+		next = append(next, work[idx+1:]...)
+		work = next
+	}
+	return cs, false
+}
+
+func rightRewrite(sig algebra.Signature, c algebra.Constraint, s string, keys algebra.Keys, gen *skolemGen) (algebra.ConstraintSet, bool) {
+	switch r := c.R.(type) {
+	case algebra.Union:
+		inL, inR := algebra.ContainsRel(r.L, s), algebra.ContainsRel(r.R, s)
+		if inL && inR {
+			return nil, false
+		}
+		if inL {
+			return algebra.ConstraintSet{algebra.Contain(algebra.Diff{L: c.L, R: r.R}, r.L)}, true
+		}
+		return algebra.ConstraintSet{algebra.Contain(algebra.Diff{L: c.L, R: r.L}, r.R)}, true
+
+	case algebra.Inter:
+		return algebra.ConstraintSet{
+			algebra.Contain(c.L, r.L),
+			algebra.Contain(c.L, r.R),
+		}, true
+
+	case algebra.Cross:
+		aL, err := algebra.Arity(r.L, sig)
+		if err != nil {
+			return nil, false
+		}
+		aR, err := algebra.Arity(r.R, sig)
+		if err != nil {
+			return nil, false
+		}
+		return algebra.ConstraintSet{
+			algebra.Contain(algebra.Project{Cols: algebra.Seq(1, aL), E: c.L}, r.L),
+			algebra.Contain(algebra.Project{Cols: algebra.Seq(aL+1, aL+aR), E: c.L}, r.R),
+		}, true
+
+	case algebra.Diff:
+		a, err := algebra.Arity(r.L, sig)
+		if err != nil {
+			return nil, false
+		}
+		return algebra.ConstraintSet{
+			algebra.Contain(c.L, r.L),
+			algebra.Contain(algebra.Inter{L: c.L, R: r.R}, algebra.Empty{N: a}),
+		}, true
+
+	case algebra.Select:
+		a, err := algebra.Arity(r.E, sig)
+		if err != nil {
+			return nil, false
+		}
+		return algebra.ConstraintSet{
+			algebra.Contain(c.L, r.E),
+			algebra.Contain(c.L, algebra.Select{Cond: r.Cond, E: algebra.Domain{N: a}}),
+		}, true
+
+	case algebra.Project:
+		return skolemizeProjection(sig, c, r, keys, gen)
+
+	case algebra.App:
+		if exp, ok := algebra.Desugar(r, sig); ok {
+			return algebra.ConstraintSet{algebra.Constraint{Kind: c.Kind, L: c.L, R: exp}}, true
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// skolemizeProjection implements the π rule of §3.5.1: E1 ⊆ π_I(E2)
+// becomes π_J(f_m(…f_1(E1))) ⊆ E2, introducing one fresh Skolem function
+// per column of E2 missing from I. Each function depends on all columns of
+// E1 by default, narrowed to a key of E1 when key knowledge allows
+// (§3.5.1: "If we have additional knowledge about key constraints for the
+// base relations, we use this to minimize the list of attributes on which
+// the Skolem function depends").
+//
+// Duplicate indexes in I additionally force equalities on E1's columns,
+// emitted as a separate membership constraint in σ_eq(D^k).
+func skolemizeProjection(sig algebra.Signature, c algebra.Constraint, proj algebra.Project, keys algebra.Keys, gen *skolemGen) (algebra.ConstraintSet, bool) {
+	r2, err := algebra.Arity(proj.E, sig)
+	if err != nil {
+		return nil, false
+	}
+	k := len(proj.Cols) // arity of E1
+	var extra algebra.ConstraintSet
+
+	// first[p] = first position (1-based) of E2-column p in I.
+	first := make(map[int]int, k)
+	var dupConds []algebra.Condition
+	for m, p := range proj.Cols {
+		if f, seen := first[p]; seen {
+			dupConds = append(dupConds, algebra.EqCols(f, m+1))
+		} else {
+			first[p] = m + 1
+		}
+	}
+	if len(dupConds) > 0 {
+		extra = append(extra, algebra.Contain(c.L,
+			algebra.Select{Cond: algebra.AndAll(dupConds...), E: algebra.Domain{N: k}}))
+	}
+
+	// Missing E2 positions, in ascending order, each served by a fresh
+	// Skolem function.
+	var missing []int
+	for p := 1; p <= r2; p++ {
+		if _, ok := first[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	deps := skolemDeps(c.L, k, keys)
+	stacked := c.L
+	for range missing {
+		stacked = algebra.Skolem{Fn: gen.fresh(), Deps: deps, E: stacked}
+	}
+
+	// Route stacked columns to E2 positions: E1 column first[p] serves
+	// position p; the j-th Skolem column (k+j) serves missing[j].
+	j := make([]int, r2)
+	for p, m := range first {
+		j[p-1] = m
+	}
+	for idx, p := range missing {
+		j[p-1] = k + idx + 1
+	}
+	out := algebra.ConstraintSet{algebra.Contain(algebra.Project{Cols: j, E: stacked}, proj.E)}
+	return append(out, extra...), true
+}
+
+// skolemDeps picks the dependency columns for new Skolem functions over
+// e1 (arity k): a key of e1 when derivable, otherwise all columns.
+func skolemDeps(e1 algebra.Expr, k int, keys algebra.Keys) []int {
+	switch e := e1.(type) {
+	case algebra.Rel:
+		if key, ok := keys[e.Name]; ok && len(key) > 0 {
+			out := append([]int(nil), key...)
+			sort.Ints(out)
+			return out
+		}
+	case algebra.Project:
+		if rel, isRel := e.E.(algebra.Rel); isRel {
+			if key, ok := keys[rel.Name]; ok && len(key) > 0 {
+				pos := make([]int, 0, len(key))
+				for _, kc := range key {
+					found := 0
+					for i, c := range e.Cols {
+						if c == kc {
+							found = i + 1
+							break
+						}
+					}
+					if found == 0 {
+						return algebra.Seq(1, k)
+					}
+					pos = append(pos, found)
+				}
+				sort.Ints(pos)
+				return pos
+			}
+		}
+	}
+	return algebra.Seq(1, k)
+}
+
+// collapseRight merges all constraints of the form E_i ⊆ S into the single
+// ξ: E_1 ∪ … ∪ E_n ⊆ S, adding the trivial ∅ ⊆ S when none exist.
+func collapseRight(sig algebra.Signature, cs algebra.ConstraintSet, s string) (algebra.ConstraintSet, bool) {
+	var bounds []algebra.Expr
+	rest := make(algebra.ConstraintSet, 0, len(cs))
+	for _, c := range cs {
+		if r, isRel := c.R.(algebra.Rel); isRel && r.Name == s {
+			if algebra.ContainsRel(c.L, s) {
+				return cs, false
+			}
+			bounds = append(bounds, c.L)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	var e1 algebra.Expr
+	if len(bounds) == 0 {
+		ar, ok := sig[s]
+		if !ok {
+			return cs, false
+		}
+		e1 = algebra.Empty{N: ar}
+	} else {
+		e1 = algebra.UnionAll(bounds...)
+	}
+	out := append(rest, algebra.Contain(e1, algebra.Rel{Name: s}))
+	return out, true
+}

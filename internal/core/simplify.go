@@ -1,0 +1,295 @@
+package core
+
+import (
+	"mapcomp/internal/algebra"
+)
+
+// This file implements the rewrite-based cleanup passes of §3.4.3
+// ("Eliminate Domain Relation") and §3.5.4 ("Eliminate Empty Relation"),
+// plus a handful of size-reducing identities (projection fusion, selection
+// fusion, idempotence) that keep the output mapping compact. The paper
+// notes that full mapping simplification is a problem of independent
+// interest; the rules here are the ones its steps explicitly rely on.
+//
+// All rules are semantics-preserving for arbitrary instances. Rules that
+// need arities skip silently when an arity cannot be computed (e.g. an
+// unregistered operator in a subtree) — unknown operators never cause
+// global failure (§1.3).
+
+// SimplifyExpr rewrites e bottom-up to a fixpoint of the rule set.
+func SimplifyExpr(e algebra.Expr, sig algebra.Signature) algebra.Expr {
+	for i := 0; i < 20; i++ { // fixpoint with a safety bound
+		next := algebra.Rewrite(e, func(x algebra.Expr) algebra.Expr {
+			return simplifyNode(x, sig)
+		})
+		if algebra.Equal(next, e) {
+			return next
+		}
+		e = next
+	}
+	return e
+}
+
+func arityOf(e algebra.Expr, sig algebra.Signature) (int, bool) {
+	a, err := algebra.Arity(e, sig)
+	return a, err == nil
+}
+
+func isEmpty(e algebra.Expr) bool {
+	switch e := e.(type) {
+	case algebra.Empty:
+		return true
+	case algebra.Lit:
+		return len(e.Tuples) == 0
+	}
+	return false
+}
+
+func isDomain(e algebra.Expr) (int, bool) {
+	d, ok := e.(algebra.Domain)
+	if !ok {
+		return 0, false
+	}
+	return d.N, true
+}
+
+func simplifyNode(x algebra.Expr, sig algebra.Signature) algebra.Expr {
+	switch e := x.(type) {
+	case algebra.Lit:
+		if len(e.Tuples) == 0 {
+			return algebra.Empty{N: e.Width}
+		}
+
+	case algebra.Union:
+		// E ∪ D^r = D^r ; E ∪ ∅ = E ; E ∪ E = E (§3.4.3, §3.5.4)
+		if _, ok := isDomain(e.L); ok {
+			return e.L
+		}
+		if _, ok := isDomain(e.R); ok {
+			return e.R
+		}
+		if isEmpty(e.L) {
+			return e.R
+		}
+		if isEmpty(e.R) {
+			return e.L
+		}
+		if algebra.Equal(e.L, e.R) {
+			return e.L
+		}
+
+	case algebra.Inter:
+		// E ∩ D^r = E ; E ∩ ∅ = ∅ ; E ∩ E = E
+		if _, ok := isDomain(e.L); ok {
+			return e.R
+		}
+		if _, ok := isDomain(e.R); ok {
+			return e.L
+		}
+		if isEmpty(e.L) {
+			return e.L
+		}
+		if isEmpty(e.R) {
+			return e.R
+		}
+		if algebra.Equal(e.L, e.R) {
+			return e.L
+		}
+
+	case algebra.Diff:
+		// E − D^r = ∅ ; E − ∅ = E ; ∅ − E = ∅ ; E − E = ∅
+		if n, ok := isDomain(e.R); ok {
+			return algebra.Empty{N: n}
+		}
+		if isEmpty(e.R) {
+			return e.L
+		}
+		if isEmpty(e.L) {
+			return e.L
+		}
+		if algebra.Equal(e.L, e.R) {
+			if a, ok := arityOf(e.L, sig); ok {
+				return algebra.Empty{N: a}
+			}
+		}
+
+	case algebra.Cross:
+		// ∅ × E = E × ∅ = ∅ ; D^a × D^b = D^(a+b)
+		if isEmpty(e.L) || isEmpty(e.R) {
+			if a, ok := arityOf(e, sig); ok {
+				return algebra.Empty{N: a}
+			}
+		}
+		if a, ok := isDomain(e.L); ok {
+			if b, ok := isDomain(e.R); ok {
+				return algebra.Domain{N: a + b}
+			}
+		}
+
+	case algebra.Select:
+		// σ_true(E) = E ; σ_false(E) = ∅ ; σ_c(∅) = ∅ ; σ fusion
+		if _, ok := e.Cond.(algebra.TrueCond); ok {
+			return e.E
+		}
+		if _, ok := e.Cond.(algebra.FalseCond); ok {
+			if a, ok := arityOf(e.E, sig); ok {
+				return algebra.Empty{N: a}
+			}
+		}
+		if isEmpty(e.E) {
+			return e.E
+		}
+		if inner, ok := e.E.(algebra.Select); ok {
+			return algebra.Select{Cond: algebra.And{L: e.Cond, R: inner.Cond}, E: inner.E}
+		}
+
+	case algebra.Project:
+		// π_I(∅) = ∅ ; π_I(D^r) = D^|I| ; identity π ; π fusion ;
+		// dropping an unreferenced trailing D factor: π_I(E × D^j) =
+		// π_I(E) when I only references E's columns.
+		if isEmpty(e.E) {
+			return algebra.Empty{N: len(e.Cols)}
+		}
+		if _, ok := isDomain(e.E); ok {
+			return algebra.Domain{N: len(e.Cols)}
+		}
+		if a, ok := arityOf(e.E, sig); ok && len(e.Cols) == a {
+			identity := true
+			for i, c := range e.Cols {
+				if c != i+1 {
+					identity = false
+					break
+				}
+			}
+			if identity {
+				return e.E
+			}
+		}
+		if inner, ok := e.E.(algebra.Project); ok {
+			cols := make([]int, len(e.Cols))
+			for i, c := range e.Cols {
+				cols[i] = inner.Cols[c-1]
+			}
+			return algebra.Project{Cols: cols, E: inner.E}
+		}
+		if cross, ok := e.E.(algebra.Cross); ok {
+			if _, isDom := isDomain(cross.R); isDom {
+				if la, ok := arityOf(cross.L, sig); ok {
+					all := true
+					for _, c := range e.Cols {
+						if c > la {
+							all = false
+							break
+						}
+					}
+					if all {
+						return algebra.Project{Cols: e.Cols, E: cross.L}
+					}
+				}
+			}
+			if _, isDom := isDomain(cross.L); isDom {
+				if la, ok := arityOf(cross.L, sig); ok {
+					all := true
+					for _, c := range e.Cols {
+						if c <= la {
+							all = false
+							break
+						}
+					}
+					if all {
+						cols := make([]int, len(e.Cols))
+						for i, c := range e.Cols {
+							cols[i] = c - la
+						}
+						return algebra.Project{Cols: cols, E: cross.R}
+					}
+				}
+			}
+		}
+
+	case algebra.Skolem:
+		if isEmpty(e.E) {
+			if a, ok := arityOf(e, sig); ok {
+				return algebra.Empty{N: a}
+			}
+		}
+
+	case algebra.App:
+		if next, ok := simplifyApp(e, sig); ok {
+			return next
+		}
+	}
+	return x
+}
+
+// simplifyApp applies registered-operator ∅/D rules. The paper lets users
+// supply such rules per operator; here they are derived generically from
+// the operator's expansion when one exists (expand, then simplify), except
+// that expansion is only kept when it actually shrinks the expression, so
+// derived operators stay intact in the common case.
+func simplifyApp(e algebra.App, sig algebra.Signature) (algebra.Expr, bool) {
+	anySpecial := false
+	for _, a := range e.Args {
+		if isEmpty(a) {
+			anySpecial = true
+		}
+	}
+	if !anySpecial {
+		return nil, false
+	}
+	expanded, ok := algebra.Desugar(e, sig)
+	if !ok {
+		return nil, false
+	}
+	simplified := SimplifyExpr(expanded, sig)
+	if algebra.Size(simplified) < algebra.Size(e) {
+		return simplified, true
+	}
+	return nil, false
+}
+
+// SimplifyConstraints simplifies each constraint, then removes trivially
+// satisfied ones:
+//
+//   - E ⊆ E and E = E (reflexivity)
+//   - E ⊆ D^r (anything is within the active domain; §3.4.3 deletes
+//     constraints with D alone on the rhs)
+//   - ∅ ⊆ E (§3.5.4 deletes constraints with ∅ on the lhs)
+//   - exact duplicates
+func SimplifyConstraints(cs algebra.ConstraintSet, sig algebra.Signature) algebra.ConstraintSet {
+	out := make(algebra.ConstraintSet, 0, len(cs))
+	seen := make(map[string]bool)
+	for _, c := range cs {
+		c = algebra.Constraint{Kind: c.Kind, L: SimplifyExpr(c.L, sig), R: SimplifyExpr(c.R, sig)}
+		if algebra.Equal(c.L, c.R) {
+			continue
+		}
+		if c.Kind == algebra.Containment {
+			if _, ok := c.R.(algebra.Domain); ok {
+				continue
+			}
+			if isEmpty(c.L) {
+				continue
+			}
+		}
+		if c.Kind == algebra.Equality {
+			// ∅ = E and E = ∅ reduce to E ⊆ ∅; D^r = E to D^r ⊆ E.
+			if isEmpty(c.L) {
+				c = algebra.Contain(c.R, c.L)
+			} else if isEmpty(c.R) {
+				c = algebra.Contain(c.L, c.R)
+			} else if _, ok := c.L.(algebra.Domain); ok {
+				c = algebra.Contain(c.L, c.R)
+			} else if _, ok := c.R.(algebra.Domain); ok {
+				c = algebra.Contain(c.R, c.L)
+			}
+		}
+		key := c.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	return out
+}

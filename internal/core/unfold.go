@@ -1,0 +1,68 @@
+package core
+
+import "mapcomp/internal/algebra"
+
+// ViewUnfold implements the view unfolding step of §3.2: if some equality
+// constraint defines S alone on one side by an expression E1 that does not
+// contain S, remove that constraint and substitute E1 for S everywhere
+// else. Because the defining constraint is an equality, the substitution
+// is valid even inside non-monotone or unknown operators — this is the
+// extra power over left/right compose that Example 5 demonstrates.
+//
+// It returns the rewritten set and true on success, or the input and false
+// when no defining equality exists.
+func ViewUnfold(cs algebra.ConstraintSet, s string) (algebra.ConstraintSet, bool) {
+	for i, c := range cs {
+		if c.Kind != algebra.Equality {
+			continue
+		}
+		var def algebra.Expr
+		if r, ok := c.L.(algebra.Rel); ok && r.Name == s && !algebra.ContainsRel(c.R, s) {
+			def = c.R
+		} else if r, ok := c.R.(algebra.Rel); ok && r.Name == s && !algebra.ContainsRel(c.L, s) {
+			def = c.L
+		}
+		if def == nil {
+			continue
+		}
+		out := make(algebra.ConstraintSet, 0, len(cs)-1)
+		for j, d := range cs {
+			if j == i {
+				continue
+			}
+			out = append(out, algebra.Constraint{
+				Kind: d.Kind,
+				L:    algebra.SubstituteRel(d.L, s, def),
+				R:    algebra.SubstituteRel(d.R, s, def),
+			})
+		}
+		return out, true
+	}
+	return cs, false
+}
+
+// splitEqualities converts every equality constraint that mentions s into
+// the two containments of §3.1 step 2; other constraints pass through.
+func splitEqualities(cs algebra.ConstraintSet, s string) algebra.ConstraintSet {
+	out := make(algebra.ConstraintSet, 0, len(cs))
+	for _, c := range cs {
+		if c.Kind == algebra.Equality && c.ContainsRel(s) {
+			out = append(out, algebra.Contain(c.L, c.R), algebra.Contain(c.R, c.L))
+		} else {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// occursBothSides reports whether s appears on both sides of any single
+// constraint; left and right compose exit immediately in that case (§3.1
+// step 2), e.g. for the recursive S = tc(S) example of §1.3.
+func occursBothSides(cs algebra.ConstraintSet, s string) bool {
+	for _, c := range cs {
+		if algebra.ContainsRel(c.L, s) && algebra.ContainsRel(c.R, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,273 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mapcomp/internal/algebra"
+)
+
+// This file implements the semantic-equivalence testing harness used to
+// verify composition results. §2 of the paper defines Σ ≡ Σ' (for Σ over σ
+// and Σ' over σ' ⊆ σ) by two conditions:
+//
+//	Soundness:     every A ⊨ Σ restricted to σ' satisfies Σ'.
+//	Completeness:  every A' ⊨ Σ' extends to some A ⊨ Σ, possibly using
+//	               new domain values.
+//
+// For small signatures we check both by exhaustive enumeration; the
+// completeness direction enumerates extensions over the active domain plus
+// a bounded number of fresh values (completeness is semi-decidable in
+// general, so the bound makes this a sound approximation: reported
+// counterexamples may be spurious only if the bound was too small, which
+// the tests keep generous relative to instance size).
+
+// EnumConfig bounds exhaustive instance enumeration.
+type EnumConfig struct {
+	// Domain is the value universe for enumerated instances.
+	Domain []algebra.Value
+	// FreshValues is how many extra values extensions may introduce in
+	// the completeness check (§2: extensions are "not limited to the
+	// domain of A'").
+	FreshValues int
+	// MaxTuples caps the number of tuples per relation; 0 = no cap.
+	MaxTuples int
+}
+
+// DefaultEnumConfig enumerates over a two-value domain with one fresh value
+// — small enough to stay fast, large enough to distinguish all the paper's
+// worked examples.
+func DefaultEnumConfig() EnumConfig {
+	return EnumConfig{Domain: []algebra.Value{"a", "b"}, FreshValues: 1}
+}
+
+// allTuples enumerates domain^arity.
+func allTuples(domain []algebra.Value, arity int) []algebra.Tuple {
+	if arity == 0 {
+		return []algebra.Tuple{{}}
+	}
+	sub := allTuples(domain, arity-1)
+	out := make([]algebra.Tuple, 0, len(sub)*len(domain))
+	for _, t := range sub {
+		for _, v := range domain {
+			out = append(out, append(t.Clone(), v))
+		}
+	}
+	return out
+}
+
+// EnumInstances calls f with every instance of sig over cfg.Domain: all
+// 2^(|domain|^arity) subsets per relation, or, when cfg.MaxTuples > 0,
+// all subsets of at most MaxTuples tuples (enumerated as combinations, so
+// the bound makes large tuple spaces tractable). It stops early when f
+// returns false. Practical only for tiny signatures; the callers guard
+// sizes.
+func EnumInstances(sig algebra.Signature, cfg EnumConfig, f func(*Instance) bool) {
+	names := sig.Names()
+	in := NewInstance(sig)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(names) {
+			return f(in)
+		}
+		name := names[i]
+		tuples := allTuples(cfg.Domain, sig[name])
+		emit := func(chosen []int) bool {
+			r := algebra.NewRelation(sig[name])
+			for _, idx := range chosen {
+				r.Add(tuples[idx])
+			}
+			in.Rels[name] = r
+			return rec(i + 1)
+		}
+		if cfg.MaxTuples > 0 {
+			if !enumCombinations(len(tuples), cfg.MaxTuples, emit) {
+				return false
+			}
+			return true
+		}
+		subsets := 1 << len(tuples)
+		for mask := 0; mask < subsets; mask++ {
+			var chosen []int
+			for b := range tuples {
+				if mask&(1<<b) != 0 {
+					chosen = append(chosen, b)
+				}
+			}
+			if !emit(chosen) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// enumCombinations yields every subset of {0..n-1} of size ≤ k, calling
+// emit for each; it stops early when emit returns false.
+func enumCombinations(n, k int, emit func([]int) bool) bool {
+	var cur []int
+	var rec func(start, left int) bool
+	rec = func(start, left int) bool {
+		if !emit(append([]int(nil), cur...)) {
+			return false
+		}
+		if left == 0 {
+			return true
+		}
+		for i := start; i < n; i++ {
+			cur = append(cur, i)
+			if !rec(i+1, left-1) {
+				return false
+			}
+			cur = cur[:len(cur)-1]
+		}
+		return true
+	}
+	return rec(0, k)
+}
+
+// CheckSoundness exhaustively verifies the soundness half of Σ ≡ Σ': for
+// every instance A over sig with A ⊨ sigma, the restriction of A to
+// subSig satisfies sigmaPrime. It returns a counterexample instance, or
+// nil when the check passes.
+func CheckSoundness(sigma algebra.ConstraintSet, sig algebra.Signature,
+	sigmaPrime algebra.ConstraintSet, subSig algebra.Signature, cfg EnumConfig) (*Instance, error) {
+
+	var witness *Instance
+	var enumErr error
+	EnumInstances(sig, cfg, func(in *Instance) bool {
+		ok, err := Satisfies(sigma, in, nil)
+		if err != nil {
+			enumErr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		restricted := in.Restrict(subSig)
+		ok, err = Satisfies(sigmaPrime, restricted, nil)
+		if err != nil {
+			enumErr = err
+			return false
+		}
+		if !ok {
+			witness = in.Clone()
+			return false
+		}
+		return true
+	})
+	return witness, enumErr
+}
+
+// CheckCompleteness exhaustively verifies the completeness half of Σ ≡ Σ':
+// every A' over subSig with A' ⊨ sigmaPrime extends to some A over sig with
+// A ⊨ sigma, where the extension may use cfg.FreshValues new values. It
+// returns a counterexample A' that admits no extension, or nil.
+func CheckCompleteness(sigma algebra.ConstraintSet, sig algebra.Signature,
+	sigmaPrime algebra.ConstraintSet, subSig algebra.Signature, cfg EnumConfig) (*Instance, error) {
+
+	extraSig := make(algebra.Signature)
+	for n, a := range sig {
+		if _, ok := subSig[n]; !ok {
+			extraSig[n] = a
+		}
+	}
+	var witness *Instance
+	var enumErr error
+	EnumInstances(subSig, cfg, func(aPrime *Instance) bool {
+		ok, err := Satisfies(sigmaPrime, aPrime, nil)
+		if err != nil {
+			enumErr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		// Extension domain: A's active domain plus fresh values.
+		extDomain := aPrime.ActiveDomain()
+		for i := 0; i < cfg.FreshValues; i++ {
+			extDomain = append(extDomain, algebra.Value(fmt.Sprintf("fresh%d", i)))
+		}
+		extCfg := cfg
+		extCfg.Domain = extDomain
+		found := false
+		EnumInstances(extraSig, extCfg, func(ext *Instance) bool {
+			full := aPrime.Clone()
+			full.Sig = sig.Clone()
+			for n, r := range ext.Rels {
+				full.Rels[n] = r.Clone()
+			}
+			ok, err := Satisfies(sigma, full, nil)
+			if err != nil {
+				enumErr = err
+				return false
+			}
+			if ok {
+				found = true
+				return false
+			}
+			return true
+		})
+		if enumErr != nil {
+			return false
+		}
+		if !found {
+			witness = aPrime.Clone()
+			return false
+		}
+		return true
+	})
+	return witness, enumErr
+}
+
+// CheckEquivalence runs both halves of the §2 equivalence check and
+// reports the first failure, naming the direction.
+func CheckEquivalence(sigma algebra.ConstraintSet, sig algebra.Signature,
+	sigmaPrime algebra.ConstraintSet, subSig algebra.Signature, cfg EnumConfig) error {
+
+	if w, err := CheckSoundness(sigma, sig, sigmaPrime, subSig, cfg); err != nil {
+		return err
+	} else if w != nil {
+		return fmt.Errorf("soundness violated: %s satisfies the input but its restriction violates the output", w)
+	}
+	if w, err := CheckCompleteness(sigma, sig, sigmaPrime, subSig, cfg); err != nil {
+		return err
+	} else if w != nil {
+		return fmt.Errorf("completeness violated: %s satisfies the output but has no extension satisfying the input", w)
+	}
+	return nil
+}
+
+// RandInstance fills an instance of sig with random tuples drawn from
+// domain; each relation gets up to maxTuples tuples. Used by the
+// property-based tests.
+func RandInstance(sig algebra.Signature, domain []algebra.Value, maxTuples int, rng *rand.Rand) *Instance {
+	in := NewInstance(sig)
+	for name, ar := range sig {
+		n := rng.Intn(maxTuples + 1)
+		for i := 0; i < n; i++ {
+			t := make(algebra.Tuple, ar)
+			for j := range t {
+				t[j] = domain[rng.Intn(len(domain))]
+			}
+			in.Rels[name].Add(t)
+		}
+	}
+	return in
+}
+
+// SameOnInstance reports whether the two constraint sets agree (both
+// satisfied or both violated) on the given instance. Used to test that
+// rewrite steps preserve per-instance semantics when no symbols change.
+func SameOnInstance(a, b algebra.ConstraintSet, in *Instance) (bool, error) {
+	sa, err := Satisfies(a, in, nil)
+	if err != nil {
+		return false, err
+	}
+	sb, err := Satisfies(b, in, nil)
+	if err != nil {
+		return false, err
+	}
+	return sa == sb, nil
+}

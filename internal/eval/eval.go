@@ -1,0 +1,362 @@
+// Package eval is an in-memory, set-semantics relational engine for the
+// algebra of internal/algebra. It evaluates expressions over concrete
+// instances, checks constraints, and provides the instance-enumeration
+// machinery the test suite uses to verify compositions *semantically*
+// (soundness and bounded completeness in the sense of §2 of the paper),
+// rather than comparing constraint sets syntactically.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"mapcomp/internal/algebra"
+)
+
+// Instance is a database instance: a relation per symbol of a signature.
+type Instance struct {
+	Sig  algebra.Signature
+	Rels map[string]*algebra.Relation
+}
+
+// NewInstance returns an empty instance of sig (every relation empty).
+func NewInstance(sig algebra.Signature) *Instance {
+	in := &Instance{Sig: sig.Clone(), Rels: make(map[string]*algebra.Relation, len(sig))}
+	for name, ar := range sig {
+		in.Rels[name] = algebra.NewRelation(ar)
+	}
+	return in
+}
+
+// Add inserts a tuple into relation name.
+func (in *Instance) Add(name string, vals ...algebra.Value) *Instance {
+	r, ok := in.Rels[name]
+	if !ok {
+		panic(fmt.Sprintf("eval: relation %s not in signature", name))
+	}
+	r.Add(algebra.Tuple(vals))
+	return in
+}
+
+// Clone returns a deep copy.
+func (in *Instance) Clone() *Instance {
+	c := &Instance{Sig: in.Sig.Clone(), Rels: make(map[string]*algebra.Relation, len(in.Rels))}
+	for n, r := range in.Rels {
+		c.Rels[n] = r.Clone()
+	}
+	return c
+}
+
+// Restrict returns the instance restricted to the symbols of sub.
+func (in *Instance) Restrict(sub algebra.Signature) *Instance {
+	c := NewInstance(sub)
+	for n := range sub {
+		if r, ok := in.Rels[n]; ok {
+			c.Rels[n] = r.Clone()
+		}
+	}
+	return c
+}
+
+// ActiveDomain returns the sorted set of values appearing in the instance
+// (§2: "the set of values that appear in the instance").
+func (in *Instance) ActiveDomain() []algebra.Value {
+	set := make(map[algebra.Value]bool)
+	for _, r := range in.Rels {
+		r.Each(func(t algebra.Tuple) bool {
+			for _, v := range t {
+				set[v] = true
+			}
+			return true
+		})
+	}
+	out := make([]algebra.Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the instance with relations in sorted order.
+func (in *Instance) String() string {
+	names := in.Sig.Names()
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += " "
+		}
+		s += n + "=" + in.Rels[n].String()
+	}
+	return s
+}
+
+// SkolemAssignment supplies concrete functions for Skolem operators during
+// evaluation. Keys are function names; each function maps the dependency
+// tuple to the appended value.
+type SkolemAssignment map[string]func(algebra.Tuple) algebra.Value
+
+// Options configures evaluation.
+type Options struct {
+	// Skolems supplies interpretations for Skolem functions; evaluating
+	// a Skolem operator without one is an error (the semantics of Skolem
+	// terms is existential, §3.5.3, so no default interpretation exists).
+	Skolems SkolemAssignment
+	// MaxDomainPower caps the arity of D^r materialization to protect
+	// against accidental blow-up; 0 means the default of 6.
+	MaxDomainPower int
+}
+
+// Eval evaluates e against the instance.
+func Eval(e algebra.Expr, in *Instance, opt *Options) (*algebra.Relation, error) {
+	if opt == nil {
+		opt = &Options{}
+	}
+	ev := &evaluator{in: in, opt: opt}
+	return ev.eval(e)
+}
+
+type evaluator struct {
+	in     *Instance
+	opt    *Options
+	adom   []algebra.Value // cached active domain
+	hasDom bool
+}
+
+func (ev *evaluator) domain() []algebra.Value {
+	if !ev.hasDom {
+		ev.adom = ev.in.ActiveDomain()
+		ev.hasDom = true
+	}
+	return ev.adom
+}
+
+func (ev *evaluator) eval(e algebra.Expr) (*algebra.Relation, error) {
+	switch e := e.(type) {
+	case algebra.Rel:
+		r, ok := ev.in.Rels[e.Name]
+		if !ok {
+			return nil, fmt.Errorf("eval: relation %s not in instance", e.Name)
+		}
+		return r, nil
+
+	case algebra.Domain:
+		maxPow := ev.opt.MaxDomainPower
+		if maxPow == 0 {
+			maxPow = 6
+		}
+		if e.N > maxPow {
+			return nil, fmt.Errorf("eval: refusing to materialize D^%d (cap %d)", e.N, maxPow)
+		}
+		dom := ev.domain()
+		out := algebra.NewRelation(e.N)
+		cross := make(algebra.Tuple, e.N)
+		var rec func(int)
+		rec = func(i int) {
+			if i == e.N {
+				out.Add(cross.Clone())
+				return
+			}
+			for _, v := range dom {
+				cross[i] = v
+				rec(i + 1)
+			}
+		}
+		rec(0)
+		return out, nil
+
+	case algebra.Empty:
+		return algebra.NewRelation(e.N), nil
+
+	case algebra.Lit:
+		out := algebra.NewRelation(e.Width)
+		for _, t := range e.Tuples {
+			out.Add(t)
+		}
+		return out, nil
+
+	case algebra.Union:
+		l, r, err := ev.evalPair(e.L, e.R, "union")
+		if err != nil {
+			return nil, err
+		}
+		out := l.Clone()
+		r.Each(func(t algebra.Tuple) bool { out.Add(t); return true })
+		return out, nil
+
+	case algebra.Inter:
+		l, r, err := ev.evalPair(e.L, e.R, "intersection")
+		if err != nil {
+			return nil, err
+		}
+		out := algebra.NewRelation(l.Arity())
+		l.Each(func(t algebra.Tuple) bool {
+			if r.Has(t) {
+				out.Add(t)
+			}
+			return true
+		})
+		return out, nil
+
+	case algebra.Diff:
+		l, r, err := ev.evalPair(e.L, e.R, "difference")
+		if err != nil {
+			return nil, err
+		}
+		out := algebra.NewRelation(l.Arity())
+		l.Each(func(t algebra.Tuple) bool {
+			if !r.Has(t) {
+				out.Add(t)
+			}
+			return true
+		})
+		return out, nil
+
+	case algebra.Cross:
+		l, err := ev.eval(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.eval(e.R)
+		if err != nil {
+			return nil, err
+		}
+		out := algebra.NewRelation(l.Arity() + r.Arity())
+		l.Each(func(a algebra.Tuple) bool {
+			r.Each(func(b algebra.Tuple) bool {
+				out.Add(a.Concat(b))
+				return true
+			})
+			return true
+		})
+		return out, nil
+
+	case algebra.Select:
+		base, err := ev.eval(e.E)
+		if err != nil {
+			return nil, err
+		}
+		out := algebra.NewRelation(base.Arity())
+		var evalErr error
+		base.Each(func(t algebra.Tuple) bool {
+			ok, err := algebra.EvalCond(e.Cond, t)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if ok {
+				out.Add(t)
+			}
+			return true
+		})
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		return out, nil
+
+	case algebra.Project:
+		base, err := ev.eval(e.E)
+		if err != nil {
+			return nil, err
+		}
+		out := algebra.NewRelation(len(e.Cols))
+		var projErr error
+		base.Each(func(t algebra.Tuple) bool {
+			pt := make(algebra.Tuple, len(e.Cols))
+			for i, c := range e.Cols {
+				if c < 1 || c > len(t) {
+					projErr = fmt.Errorf("eval: projection column %d out of range 1..%d", c, len(t))
+					return false
+				}
+				pt[i] = t[c-1]
+			}
+			out.Add(pt)
+			return true
+		})
+		if projErr != nil {
+			return nil, projErr
+		}
+		return out, nil
+
+	case algebra.Skolem:
+		f, ok := ev.opt.Skolems[e.Fn]
+		if !ok {
+			return nil, fmt.Errorf("eval: no interpretation for Skolem function %s", e.Fn)
+		}
+		base, err := ev.eval(e.E)
+		if err != nil {
+			return nil, err
+		}
+		out := algebra.NewRelation(base.Arity() + 1)
+		base.Each(func(t algebra.Tuple) bool {
+			args := make(algebra.Tuple, len(e.Deps))
+			for i, d := range e.Deps {
+				args[i] = t[d-1]
+			}
+			out.Add(append(t.Clone(), f(args)))
+			return true
+		})
+		return out, nil
+
+	case algebra.App:
+		info := algebra.LookupOp(e.Op)
+		if info == nil {
+			return nil, fmt.Errorf("eval: unknown operator %s", e.Op)
+		}
+		if info.Eval == nil {
+			return nil, fmt.Errorf("eval: operator %s has no evaluation rule", e.Op)
+		}
+		args := make([]*algebra.Relation, len(e.Args))
+		for i, a := range e.Args {
+			r, err := ev.eval(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = r
+		}
+		return info.Eval(args, e.Params)
+	}
+	return nil, fmt.Errorf("eval: unknown expression %T", e)
+}
+
+func (ev *evaluator) evalPair(l, r algebra.Expr, op string) (*algebra.Relation, *algebra.Relation, error) {
+	lr, err := ev.eval(l)
+	if err != nil {
+		return nil, nil, err
+	}
+	rr, err := ev.eval(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lr.Arity() != rr.Arity() {
+		return nil, nil, fmt.Errorf("eval: %s of arities %d and %d", op, lr.Arity(), rr.Arity())
+	}
+	return lr, rr, nil
+}
+
+// Check reports whether the instance satisfies the constraint (§2).
+func Check(c algebra.Constraint, in *Instance, opt *Options) (bool, error) {
+	l, err := Eval(c.L, in, opt)
+	if err != nil {
+		return false, err
+	}
+	r, err := Eval(c.R, in, opt)
+	if err != nil {
+		return false, err
+	}
+	if c.Kind == algebra.Equality {
+		return l.EqualTo(r), nil
+	}
+	return l.SubsetOf(r), nil
+}
+
+// Satisfies reports whether the instance satisfies every constraint.
+func Satisfies(cs algebra.ConstraintSet, in *Instance, opt *Options) (bool, error) {
+	for _, c := range cs {
+		ok, err := Check(c, in, opt)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,251 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mapcomp/internal/algebra"
+	_ "mapcomp/internal/ops"
+	"mapcomp/internal/parser"
+)
+
+func inst(t *testing.T) *Instance {
+	t.Helper()
+	in := NewInstance(algebra.NewSignature("R", 2, "S", 2, "U", 1))
+	in.Add("R", "a", "b").Add("R", "c", "d")
+	in.Add("S", "a", "b").Add("S", "e", "f")
+	in.Add("U", "a")
+	return in
+}
+
+func evalStr(t *testing.T, in *Instance, src string) *algebra.Relation {
+	t.Helper()
+	e, err := parser.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Eval(e, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestEvalBasicOperators(t *testing.T) {
+	in := inst(t)
+	cases := []struct {
+		src  string
+		want int // tuple count
+	}{
+		{"R", 2},
+		{"R + S", 3},
+		{"R & S", 1},
+		{"R - S", 1},
+		{"S - R", 1},
+		{"R * U", 2},
+		{"sel[#1='a'](R)", 1},
+		{"sel[#1=#1](R)", 2},
+		{"sel[#1!=#2](R)", 2},
+		{"proj[1](R)", 2},
+		{"proj[2,1](R)", 2},
+		{"proj[1,1](U)", 1},
+		{"empty^2", 0},
+		{"{('a','b')} & R", 1},
+		{"{}^2 + R", 2},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, in, c.src).Len(); got != c.want {
+			t.Errorf("|%s| = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalProjectReorders(t *testing.T) {
+	in := inst(t)
+	r := evalStr(t, in, "proj[2,1](R)")
+	if !r.Has(algebra.Tuple{"b", "a"}) {
+		t.Errorf("proj[2,1](R) = %s", r)
+	}
+}
+
+func TestEvalActiveDomain(t *testing.T) {
+	in := inst(t)
+	// Active domain = {a,b,c,d,e,f}.
+	if got := evalStr(t, in, "D").Len(); got != 6 {
+		t.Errorf("|D| = %d, want 6", got)
+	}
+	if got := evalStr(t, in, "D^2").Len(); got != 36 {
+		t.Errorf("|D^2| = %d, want 36", got)
+	}
+	// D^r is capped to protect against blow-up.
+	e, _ := parser.ParseExpr("D^9")
+	if _, err := Eval(e, in, nil); err == nil {
+		t.Error("D^9 should exceed the materialization cap")
+	}
+}
+
+func TestEvalRegisteredOperators(t *testing.T) {
+	in := inst(t)
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"join[1,1](R, S)", 1},     // (a,b)⋈(a,b)
+		{"semijoin[1,1](R, S)", 1}, // (a,b)
+		{"antijoin[1,1](R, S)", 1}, // (c,d)
+		{"lojoin[1,1](R, S)", 2},   // (a,b,a,b) + (c,d,⊥,⊥)
+	}
+	for _, c := range cases {
+		if got := evalStr(t, in, c.src).Len(); got != c.want {
+			t.Errorf("|%s| = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalTransitiveClosure(t *testing.T) {
+	in := NewInstance(algebra.NewSignature("E", 2))
+	in.Add("E", "1", "2").Add("E", "2", "3").Add("E", "3", "4")
+	r := evalStr(t, in, "tc(E)")
+	if r.Len() != 6 { // 12 23 34 13 24 14
+		t.Errorf("|tc(E)| = %d, want 6", r.Len())
+	}
+	if !r.Has(algebra.Tuple{"1", "4"}) {
+		t.Error("tc missing 1->4")
+	}
+}
+
+func TestEvalSkolem(t *testing.T) {
+	in := inst(t)
+	e, _ := parser.ParseExpr("sk[f:1](U)")
+	// Without an interpretation, Skolem evaluation errors.
+	if _, err := Eval(e, in, nil); err == nil {
+		t.Error("Skolem without interpretation must error")
+	}
+	opt := &Options{Skolems: SkolemAssignment{
+		"f": func(args algebra.Tuple) algebra.Value { return args[0] + "!" },
+	}}
+	r, err := Eval(e, in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has(algebra.Tuple{"a", "a!"}) {
+		t.Errorf("sk[f:1](U) = %s", r)
+	}
+}
+
+func TestCheckConstraints(t *testing.T) {
+	in := inst(t)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"R <= R + S", true},
+		{"R <= S", false},
+		{"R & S = {('a','b')}", true},
+		{"proj[1](U) <= proj[1](R)", true},
+		{"U <= D", true}, // everything is within the active domain
+	}
+	for _, c := range cases {
+		cs, err := parser.ParseConstraints(c.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Check(cs[0], in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Check(%s) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestRestrictAndClone(t *testing.T) {
+	in := inst(t)
+	sub := in.Restrict(algebra.NewSignature("R", 2))
+	if len(sub.Rels) != 1 || sub.Rels["R"].Len() != 2 {
+		t.Error("Restrict misbehaves")
+	}
+	c := in.Clone()
+	c.Add("U", "zzz")
+	if in.Rels["U"].Len() != 1 {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestEnumInstancesCount(t *testing.T) {
+	// One unary relation over a 2-value domain: 2^2 = 4 instances.
+	n := 0
+	EnumInstances(algebra.NewSignature("R", 1), DefaultEnumConfig(), func(*Instance) bool {
+		n++
+		return true
+	})
+	if n != 4 {
+		t.Errorf("enumerated %d instances, want 4", n)
+	}
+}
+
+// TestEquivalenceCheckerSelfTest: the checker must accept a known-correct
+// rewriting and reject a known-wrong one.
+func TestEquivalenceCheckerSelfTest(t *testing.T) {
+	sig := algebra.NewSignature("R", 1, "S", 1, "T", 1)
+	sub := algebra.NewSignature("R", 1, "T", 1)
+	sigma := parser.MustParseConstraints("R <= S; S <= T")
+	good := parser.MustParseConstraints("R <= T")
+	if err := CheckEquivalence(sigma, sig, good, sub, DefaultEnumConfig()); err != nil {
+		t.Errorf("correct composition rejected: %v", err)
+	}
+	// T ⊆ R is not implied: soundness must fail.
+	badSound := parser.MustParseConstraints("T <= R")
+	if w, err := CheckSoundness(sigma, sig, badSound, sub, DefaultEnumConfig()); err != nil {
+		t.Fatal(err)
+	} else if w == nil {
+		t.Error("unsound composition accepted")
+	}
+	// The empty set is sound but incomplete... actually {} IS complete
+	// here (any R,T extends with S := T ∩ ... no: need R ⊆ S ⊆ T, take
+	// S := R requires R ⊆ T — not implied by {}). So {} must fail
+	// completeness.
+	var empty algebra.ConstraintSet
+	if w, err := CheckCompleteness(sigma, sig, empty, sub, DefaultEnumConfig()); err != nil {
+		t.Fatal(err)
+	} else if w == nil {
+		t.Error("incomplete composition accepted")
+	}
+}
+
+// Property: for random instances, σ distributes over ∪ (a sanity check
+// that the evaluator implements the algebra's identities).
+func TestEvalAlgebraicIdentitiesProperty(t *testing.T) {
+	sig := algebra.NewSignature("R", 2, "S", 2)
+	domain := []algebra.Value{"a", "b", "c"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := RandInstance(sig, domain, 5, rng)
+		lhs := evalQ(t, in, "sel[#1='a'](R + S)")
+		rhs := evalQ(t, in, "sel[#1='a'](R) + sel[#1='a'](S)")
+		if !lhs.EqualTo(rhs) {
+			return false
+		}
+		// De Morgan for difference: R − (S ∪ R) = ∅.
+		d := evalQ(t, in, "R - (S + R)")
+		return d.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func evalQ(t *testing.T, in *Instance, src string) *algebra.Relation {
+	t.Helper()
+	e, err := parser.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Eval(e, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

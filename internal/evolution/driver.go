@@ -1,0 +1,326 @@
+package evolution
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mapcomp/internal/algebra"
+	"mapcomp/internal/core"
+)
+
+// RandomSchema generates an initial schema of the given size with arities
+// and optional keys drawn per §4.1's defaults.
+func RandomSchema(size int, par *Params, rng *rand.Rand) *algebra.Schema {
+	sch := algebra.NewSchema()
+	for i := 0; i < size; i++ {
+		name := fmt.Sprintf("R%d", i)
+		ar := par.MinArity + rng.Intn(par.MaxArity-par.MinArity+1)
+		sch.Sig[name] = ar
+		if par.Keys && rng.Intn(2) == 0 {
+			k := par.MinKey + rng.Intn(par.MaxKey-par.MinKey+1)
+			if k >= ar {
+				k = ar - 1
+			}
+			if k >= 1 {
+				sch.Keys[name] = algebra.Seq(1, k)
+			}
+		}
+	}
+	return sch
+}
+
+// EditStat records the outcome of the composition performed after one
+// edit (§4.2's schema editing scenario).
+type EditStat struct {
+	Primitive Primitive
+	// Attempted/Eliminated count the symbols consumed by this edit that
+	// composition tried to remove (usually one).
+	Attempted, Eliminated int
+	// LeftoverAttempted/LeftoverEliminated count retries of symbols left
+	// over from earlier failed compositions.
+	LeftoverAttempted, LeftoverEliminated int
+	// Duration is the wall-clock time of this edit's composition.
+	Duration time.Duration
+	// Blowup counts eliminations aborted by the size bound.
+	Blowup int
+}
+
+// EditingRun is the full trace of one schema editing scenario run.
+type EditingRun struct {
+	Stats       []EditStat
+	Constraints algebra.ConstraintSet
+	// Pending lists intermediate symbols that remain un-eliminated at
+	// the end of the run.
+	Pending []string
+	// Original and Final are the two endpoint schemas.
+	Original, Final *algebra.Schema
+	Duration        time.Duration
+}
+
+// EditingConfig parameterizes a schema editing run.
+type EditingConfig struct {
+	SchemaSize int
+	Edits      int
+	Keys       bool
+	Vector     EventVector
+	Core       *core.Config
+	Seed       int64
+}
+
+// DefaultEditingConfig mirrors §4.2: 100 edits on a schema of size 30 with
+// the Default event vector.
+func DefaultEditingConfig(seed int64) *EditingConfig {
+	return &EditingConfig{SchemaSize: 30, Edits: 100, Vector: nil, Core: core.DefaultConfig(), Seed: seed}
+}
+
+// RunEditing simulates one edit sequence, composing the cumulative mapping
+// with each edit's mapping and recording per-edit statistics. After each
+// edit, the driver attempts to eliminate the symbols consumed by the edit
+// and re-attempts symbols left over from earlier failures (§4.2: keeping
+// non-eliminated symbols "as long as possible" lets later compositions
+// remove up to a third of them).
+func RunEditing(cfg *EditingConfig) *EditingRun {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	par := DefaultParams(cfg.Keys)
+	vector := cfg.Vector
+	if vector == nil {
+		vector = DefaultVector(cfg.Keys)
+	}
+	coreCfg := cfg.Core
+	if coreCfg == nil {
+		coreCfg = core.DefaultConfig()
+	}
+
+	original := RandomSchema(cfg.SchemaSize, par, rng)
+	current := original.Clone()
+	// sigAll covers every symbol ever seen, including eliminated ones'
+	// survivors; constraints only mention live ones.
+	sigAll := original.Sig.Clone()
+
+	var constraints algebra.ConstraintSet
+	pending := make(map[string]bool)
+	run := &EditingRun{Original: original}
+	start := time.Now()
+
+	for i := 0; i < cfg.Edits; i++ {
+		prim := vector.Sample(rng)
+		edit, ok := Apply(prim, current, par, rng)
+		if !ok {
+			continue // no eligible input; try another primitive next round
+		}
+		for _, p := range edit.Produced {
+			sigAll[p] = current.Sig[p]
+		}
+		constraints = append(constraints, edit.Constraints...)
+
+		// Key knowledge for Skolem-dependency minimization covers both
+		// endpoint and intermediate relations.
+		cc := coreCfg.Clone()
+		cc.Keys = mergedKeys(original, current)
+
+		stat := EditStat{Primitive: prim}
+		editStart := time.Now()
+
+		// Primary target: the consumed symbol, unless it belongs to an
+		// endpoint schema.
+		if edit.Input != "" {
+			if _, inOrig := original.Sig[edit.Input]; !inOrig {
+				stat.Attempted++
+				out, _, ok := core.Eliminate(sigAll, constraints, edit.Input, cc)
+				if ok {
+					constraints = out
+					delete(sigAll, edit.Input)
+					stat.Eliminated++
+				} else {
+					pending[edit.Input] = true
+					if coreCfg.MaxBlowup > 0 {
+						unbounded := cc.Clone()
+						unbounded.MaxBlowup = 0
+						if _, _, ok := core.Eliminate(sigAll, constraints, edit.Input, unbounded); ok {
+							stat.Blowup++
+						}
+					}
+				}
+			}
+		}
+
+		// Retry leftovers from earlier edits.
+		for _, s := range sortedNames(pending) {
+			stat.LeftoverAttempted++
+			out, _, ok := core.Eliminate(sigAll, constraints, s, cc)
+			if ok {
+				constraints = out
+				delete(sigAll, s)
+				delete(pending, s)
+				stat.LeftoverEliminated++
+			}
+		}
+
+		if coreCfg.Simplify {
+			constraints = core.SimplifyConstraints(constraints, sigAll)
+		}
+		stat.Duration = time.Since(editStart)
+		run.Stats = append(run.Stats, stat)
+	}
+	run.Constraints = constraints
+	run.Pending = sortedNames(pending)
+	run.Final = current
+	run.Duration = time.Since(start)
+	return run
+}
+
+// ReconciliationTask is one composition of two independently evolved
+// mappings over a shared original schema (§4.2's schema reconciliation
+// scenario; also the two-designer merge of §1.1).
+type ReconciliationTask struct {
+	Original         *algebra.Schema
+	SchemaA, SchemaB *algebra.Schema
+	MapA, MapB       algebra.ConstraintSet
+}
+
+// GenerateReconciliation builds a reconciliation task: two edit sequences
+// applied to one original schema, keeping only sequences whose cumulative
+// mappings are first-order (all intermediate symbols eliminated), as §4.2
+// prescribes. ok is false when either sequence failed to stay first-order
+// after the given number of retries.
+func GenerateReconciliation(schemaSize, edits int, keys bool, coreCfg *core.Config, seed int64, retries int) (*ReconciliationTask, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	par := DefaultParams(keys)
+	original := RandomSchema(schemaSize, par, rng)
+
+	// Each side retries independently until its cumulative mapping is
+	// first-order; the paper's study likewise "considered only those
+	// edit sequences produced by the simulator in which all symbols were
+	// eliminated successfully" (§4.2). Generation runs in strict mode:
+	// an edit whose consumed symbol resists elimination is rolled back,
+	// so the surviving sequence is first-order by construction.
+	runSide := func() (*algebra.Schema, algebra.ConstraintSet, bool) {
+		for attempt := 0; attempt <= retries; attempt++ {
+			cfg := &EditingConfig{
+				SchemaSize: schemaSize, Edits: edits, Keys: keys,
+				Core: coreCfg, Seed: rng.Int63(),
+			}
+			side := runEditingStrict(cfg, original.Clone(), par, rng)
+			if len(side.Pending) == 0 {
+				return side.Final, side.Constraints, true
+			}
+		}
+		return nil, nil, false
+	}
+	schemaA, mapA, okA := runSide()
+	if !okA {
+		return nil, false
+	}
+	schemaB, mapB, okB := runSide()
+	if !okB {
+		return nil, false
+	}
+	return &ReconciliationTask{
+		Original: original,
+		SchemaA:  schemaA, SchemaB: schemaB,
+		MapA: mapA, MapB: mapB,
+	}, true
+}
+
+// runEditingStrict runs an edit sequence from a fixed original schema in
+// strict mode: an edit whose consumed symbol cannot be eliminated is rolled
+// back, so the resulting cumulative mapping is first-order by construction.
+// Edits whose consumed symbol belongs to the original schema (never an
+// elimination target) are always kept. It shares the caller's name
+// generator so the two sides of a reconciliation task get disjoint
+// intermediate names.
+func runEditingStrict(cfg *EditingConfig, original *algebra.Schema, par *Params, rng *rand.Rand) *EditingRun {
+	vector := cfg.Vector
+	if vector == nil {
+		vector = DefaultVector(cfg.Keys)
+	}
+	coreCfg := cfg.Core
+	if coreCfg == nil {
+		coreCfg = core.DefaultConfig()
+	}
+	current := original.Clone()
+	sigAll := original.Sig.Clone()
+	var constraints algebra.ConstraintSet
+	run := &EditingRun{Original: original}
+
+	for i := 0; i < cfg.Edits; i++ {
+		prim := vector.Sample(rng)
+		snapshot := current.Clone()
+		edit, ok := Apply(prim, current, par, rng)
+		if !ok {
+			continue
+		}
+		for _, p := range edit.Produced {
+			sigAll[p] = current.Sig[p]
+		}
+		candidate := append(constraints.Clone(), edit.Constraints...)
+
+		target := ""
+		if edit.Input != "" {
+			if _, inOrig := original.Sig[edit.Input]; !inOrig {
+				target = edit.Input
+			}
+		}
+		if target != "" {
+			cc := coreCfg.Clone()
+			cc.Keys = mergedKeys(original, current)
+			out, _, ok := core.Eliminate(sigAll, candidate, target, cc)
+			if !ok {
+				// Roll back: restore the schema, drop the edit.
+				current = snapshot
+				for _, p := range edit.Produced {
+					delete(sigAll, p)
+				}
+				continue
+			}
+			candidate = out
+			delete(sigAll, target)
+		}
+		constraints = candidate
+		if coreCfg.Simplify {
+			constraints = core.SimplifyConstraints(constraints, sigAll)
+		}
+	}
+	run.Constraints = constraints
+	run.Final = current
+	return run
+}
+
+// ComposeReconciliation composes mapA⁻¹ with mapB, eliminating the
+// original schema's symbols that neither evolved schema retained, and
+// returns the composition result.
+func ComposeReconciliation(task *ReconciliationTask, cfg *core.Config) (*core.Result, error) {
+	cc := cfg.Clone()
+	cc.Keys = mergedKeys(task.Original, task.SchemaA)
+	for r, k := range mergedKeys(task.Original, task.SchemaB) {
+		cc.Keys[r] = k
+	}
+	return core.Compose(task.SchemaA.Sig, task.Original.Sig, task.SchemaB.Sig,
+		task.MapA, task.MapB, nil, cc)
+}
+
+func mergedKeys(a, b *algebra.Schema) algebra.Keys {
+	out := a.Keys.Clone()
+	for r, k := range b.Keys {
+		out[r] = append([]int(nil), k...)
+	}
+	return out
+}
+
+func sortedNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

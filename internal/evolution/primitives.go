@@ -1,0 +1,497 @@
+// Package evolution implements the schema evolution simulator of §4.1 of
+// the paper: the seventeen schema evolution primitives of Figure 1, event
+// vectors governing their mix, and the drivers for the schema editing and
+// schema reconciliation scenarios of §4.2.
+package evolution
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mapcomp/internal/algebra"
+	"mapcomp/internal/ops"
+)
+
+// Primitive identifies one schema evolution primitive of Figure 1.
+type Primitive string
+
+// The primitives of Figure 1. The f/b suffixes are the forward/backward
+// variants: forward constraints define outputs in terms of inputs,
+// backward constraints define inputs in terms of outputs, and the plain
+// variant contains both.
+const (
+	AR  Primitive = "AR"  // add relation
+	DR  Primitive = "DR"  // drop relation
+	AA  Primitive = "AA"  // add attribute
+	DA  Primitive = "DA"  // drop attribute
+	Df  Primitive = "Df"  // add default, forward
+	Db  Primitive = "Db"  // add default, backward
+	D   Primitive = "D"   // add default, both
+	Hf  Primitive = "Hf"  // horizontal partitioning, forward
+	Hb  Primitive = "Hb"  // horizontal partitioning, backward
+	H   Primitive = "H"   // horizontal partitioning, both
+	Vf  Primitive = "Vf"  // vertical partitioning, forward (needs key)
+	Vb  Primitive = "Vb"  // vertical partitioning, backward (needs key)
+	V   Primitive = "V"   // vertical partitioning, both (needs key)
+	Nf  Primitive = "Nf"  // normalization, forward
+	Nb  Primitive = "Nb"  // normalization, backward
+	N   Primitive = "N"   // normalization, both
+	Sub Primitive = "Sub" // subset (open-world inclusion)
+	Sup Primitive = "Sup" // superset (open-world inclusion)
+)
+
+// AllPrimitives lists every primitive in Figure 1's order.
+var AllPrimitives = []Primitive{AR, DR, AA, DA, Df, Db, D, Hf, Hb, H, Vf, Vb, V, Nf, Nb, N, Sub, Sup}
+
+// NeedsKey reports whether the primitive requires a keyed input relation
+// (§4.1: "The vertical partitioning primitives V, Vf, Vb are the only ones
+// that require the input relation R to have a key").
+func (p Primitive) NeedsKey() bool { return p == V || p == Vf || p == Vb }
+
+// Edit is the result of applying one primitive: the consumed and produced
+// relations and the mapping constraints linking them.
+type Edit struct {
+	Primitive   Primitive
+	Input       string   // consumed relation ("" for AR)
+	Produced    []string // newly created relations
+	Constraints algebra.ConstraintSet
+}
+
+// Params bound the simulator's random choices; the defaults mirror §4.1.
+type Params struct {
+	MinArity, MaxArity int // new-relation arity range (2..10)
+	MinKey, MaxKey     int // key size range (1..3)
+	Keys               bool
+	ConstantPool       int // size of the constant pool (10)
+	EmitKeyConstraints bool
+	// next counts fresh relation names.
+	next int
+}
+
+// DefaultParams returns the §4.1 study parameters.
+func DefaultParams(keys bool) *Params {
+	return &Params{
+		MinArity: 2, MaxArity: 10,
+		MinKey: 1, MaxKey: 3,
+		Keys:               keys,
+		ConstantPool:       10,
+		EmitKeyConstraints: keys,
+	}
+}
+
+func (p *Params) freshName() string {
+	p.next++
+	return fmt.Sprintf("X%d", p.next)
+}
+
+func (p *Params) constant(rng *rand.Rand) algebra.Value {
+	return algebra.Value(fmt.Sprintf("c%d", rng.Intn(p.ConstantPool)))
+}
+
+// Apply applies primitive prim to schema sch, mutating it in place, and
+// returns the resulting edit. ok is false when no eligible input relation
+// exists (e.g. V without keyed relations, DA on an all-unary schema).
+func Apply(prim Primitive, sch *algebra.Schema, par *Params, rng *rand.Rand) (*Edit, bool) {
+	switch prim {
+	case AR:
+		return applyAR(sch, par, rng)
+	case DR:
+		return applyConsume(prim, sch, par, rng, 1, func(e *Edit, r string, ar int) bool {
+			return true // no outputs, no constraints
+		})
+	case AA:
+		return applyConsume(prim, sch, par, rng, 1, func(e *Edit, r string, ar int) bool {
+			s := par.freshName()
+			sch.Sig[s] = ar + 1
+			inheritKey(sch, r, s, nil)
+			e.Produced = []string{s}
+			// R = π_A(S)
+			e.Constraints = algebra.ConstraintSet{algebra.Equate(
+				algebra.R(r),
+				algebra.Proj(algebra.R(s), algebra.Seq(1, ar)...),
+			)}
+			addKeyConstraints(e, sch, par, s)
+			return true
+		})
+	case DA:
+		return applyConsume(prim, sch, par, rng, 2, func(e *Edit, r string, ar int) bool {
+			drop := rng.Intn(ar) + 1
+			s := par.freshName()
+			sch.Sig[s] = ar - 1
+			inheritKeyDropping(sch, r, s, drop)
+			e.Produced = []string{s}
+			// π_{A−C}(R) = S
+			e.Constraints = algebra.ConstraintSet{algebra.Equate(
+				algebra.Proj(algebra.R(r), seqWithout(ar, drop)...),
+				algebra.R(s),
+			)}
+			addKeyConstraints(e, sch, par, s)
+			return true
+		})
+	case Df, Db, D:
+		return applyConsume(prim, sch, par, rng, 1, func(e *Edit, r string, ar int) bool {
+			s := par.freshName()
+			sch.Sig[s] = ar + 1
+			inheritKey(sch, r, s, nil)
+			e.Produced = []string{s}
+			c := par.constant(rng)
+			lit := algebra.Lit{Width: 1, Tuples: []algebra.Tuple{{c}}}
+			fwd := algebra.Equate(algebra.Cross{L: algebra.R(r), R: lit}, algebra.R(s)) // R×{c} = S
+			bwd := algebra.Equate(algebra.R(r),                                         // R = π_A(σ_{C=c}(S))
+				algebra.Proj(algebra.Sel(algebra.EqConst(ar+1, c), algebra.R(s)), algebra.Seq(1, ar)...))
+			switch prim {
+			case Df:
+				e.Constraints = algebra.ConstraintSet{fwd}
+			case Db:
+				e.Constraints = algebra.ConstraintSet{bwd}
+			default:
+				e.Constraints = algebra.ConstraintSet{fwd, bwd}
+			}
+			addKeyConstraints(e, sch, par, s)
+			return true
+		})
+	case Hf, Hb, H:
+		return applyConsume(prim, sch, par, rng, 1, func(e *Edit, r string, ar int) bool {
+			s, t := par.freshName(), par.freshName()
+			sch.Sig[s], sch.Sig[t] = ar, ar
+			inheritKey(sch, r, s, nil)
+			inheritKey(sch, r, t, nil)
+			e.Produced = []string{s, t}
+			col := rng.Intn(ar) + 1
+			// The partition constants must differ for the partitioning
+			// to be lossless ("Primitive H performs a lossless
+			// horizontal partitioning", §4.1).
+			cS := par.constant(rng)
+			cT := par.constant(rng)
+			for cT == cS && par.ConstantPool > 1 {
+				cT = par.constant(rng)
+			}
+			fwd1 := algebra.Equate(algebra.Sel(algebra.EqConst(col, cS), algebra.R(r)), algebra.R(s))
+			fwd2 := algebra.Equate(algebra.Sel(algebra.EqConst(col, cT), algebra.R(r)), algebra.R(t))
+			bwd := algebra.Equate(algebra.R(r), algebra.Union{L: algebra.R(s), R: algebra.R(t)})
+			switch prim {
+			case Hf:
+				e.Constraints = algebra.ConstraintSet{fwd1, fwd2}
+			case Hb:
+				e.Constraints = algebra.ConstraintSet{bwd}
+			default:
+				e.Constraints = algebra.ConstraintSet{fwd1, fwd2, bwd}
+			}
+			addKeyConstraints(e, sch, par, s, t)
+			return true
+		})
+	case Vf, Vb, V:
+		return applyVertical(prim, sch, par, rng, false)
+	case Nf, Nb, N:
+		return applyVertical(prim, sch, par, rng, true)
+	case Sub:
+		return applyConsume(prim, sch, par, rng, 1, func(e *Edit, r string, ar int) bool {
+			s := par.freshName()
+			sch.Sig[s] = ar
+			inheritKey(sch, r, s, nil)
+			e.Produced = []string{s}
+			e.Constraints = algebra.ConstraintSet{algebra.Contain(algebra.R(r), algebra.R(s))}
+			addKeyConstraints(e, sch, par, s)
+			return true
+		})
+	case Sup:
+		return applyConsume(prim, sch, par, rng, 1, func(e *Edit, r string, ar int) bool {
+			s := par.freshName()
+			sch.Sig[s] = ar
+			inheritKey(sch, r, s, nil)
+			e.Produced = []string{s}
+			e.Constraints = algebra.ConstraintSet{algebra.Contain(algebra.R(s), algebra.R(r))}
+			addKeyConstraints(e, sch, par, s)
+			return true
+		})
+	}
+	return nil, false
+}
+
+func applyAR(sch *algebra.Schema, par *Params, rng *rand.Rand) (*Edit, bool) {
+	s := par.freshName()
+	ar := par.MinArity + rng.Intn(par.MaxArity-par.MinArity+1)
+	sch.Sig[s] = ar
+	e := &Edit{Primitive: AR, Produced: []string{s}}
+	if par.Keys && rng.Intn(2) == 0 {
+		k := par.MinKey + rng.Intn(par.MaxKey-par.MinKey+1)
+		if k >= ar {
+			k = ar - 1
+		}
+		if k >= 1 {
+			sch.Keys[s] = algebra.Seq(1, k)
+		}
+	}
+	addKeyConstraints(e, sch, par, s)
+	return e, true
+}
+
+// applyConsume handles the common shape: pick a random input relation of
+// arity ≥ minArity, remove it from the schema, and let build add outputs
+// and constraints.
+func applyConsume(prim Primitive, sch *algebra.Schema, par *Params, rng *rand.Rand,
+	minArity int, build func(e *Edit, r string, ar int) bool) (*Edit, bool) {
+
+	r, ok := pickRelation(sch, rng, func(name string, ar int) bool {
+		if ar < minArity {
+			return false
+		}
+		if prim.NeedsKey() {
+			k, has := sch.Keys[name]
+			return has && ar >= len(k)+2
+		}
+		return true
+	})
+	if !ok {
+		return nil, false
+	}
+	ar := sch.Sig[r]
+	e := &Edit{Primitive: prim, Input: r}
+	if !build(e, r, ar) {
+		return nil, false
+	}
+	delete(sch.Sig, r)
+	delete(sch.Keys, r)
+	return e, true
+}
+
+// applyVertical implements V/Vf/Vb and N/Nf/Nb. Vertical partitioning
+// splits R's columns across S and T on join columns A: for V the key of R;
+// for N a random nonempty prefix-like subset (N does not require a key).
+func applyVertical(prim Primitive, sch *algebra.Schema, par *Params, rng *rand.Rand, norm bool) (*Edit, bool) {
+	minAr := 3
+	r, ok := pickRelation(sch, rng, func(name string, ar int) bool {
+		if ar < minAr {
+			return false
+		}
+		if prim.NeedsKey() {
+			k, has := sch.Keys[name]
+			return has && ar >= len(k)+2
+		}
+		return true
+	})
+	if !ok {
+		return nil, false
+	}
+	ar := sch.Sig[r]
+
+	var join []int
+	if prim.NeedsKey() {
+		join = append([]int(nil), sch.Keys[r]...)
+	} else {
+		// Pick 1..ar−2 join columns at random.
+		n := 1 + rng.Intn(ar-2)
+		join = randomSubset(ar, n, rng)
+	}
+	rest := complementOf(ar, join)
+	if len(rest) < 2 {
+		return nil, false
+	}
+	cut := 1 + rng.Intn(len(rest)-1)
+	b, c := rest[:cut], rest[cut:]
+
+	sCols := append(append([]int(nil), join...), b...)
+	tCols := append(append([]int(nil), join...), c...)
+	s, t := par.freshName(), par.freshName()
+	sch.Sig[s], sch.Sig[t] = len(sCols), len(tCols)
+	// The join columns key both fragments when they keyed R.
+	if par.Keys {
+		if key, has := sch.Keys[r]; has && containsAll(join, key) {
+			sch.Keys[s] = algebra.Seq(1, len(join))
+			sch.Keys[t] = algebra.Seq(1, len(join))
+		}
+	}
+
+	fwd1 := algebra.Equate(algebra.Proj(algebra.R(r), sCols...), algebra.R(s))
+	fwd2 := algebra.Equate(algebra.Proj(algebra.R(r), tCols...), algebra.R(t))
+	// R = π_perm(S ⋈_A T): join on the shared A columns, then restore
+	// R's column order.
+	on := make([]int, 0, 2*len(join))
+	for i := range join {
+		on = append(on, i+1, i+1)
+	}
+	joined := ops.Join(algebra.R(s), algebra.R(t), on...)
+	perm := make([]int, ar)
+	for i, col := range sCols {
+		perm[col-1] = i + 1
+	}
+	for i, col := range tCols[len(join):] {
+		perm[col-1] = len(sCols) + len(join) + i + 1
+	}
+	bwd := algebra.Equate(algebra.R(r), algebra.Proj(joined, perm...))
+
+	e := &Edit{Primitive: prim, Input: r, Produced: []string{s, t}}
+	switch prim {
+	case Vf, Nf:
+		e.Constraints = algebra.ConstraintSet{fwd1, fwd2}
+	case Vb, Nb:
+		e.Constraints = algebra.ConstraintSet{bwd}
+	default:
+		e.Constraints = algebra.ConstraintSet{fwd1, fwd2, bwd}
+	}
+	if norm {
+		// π_A(T) ⊆ π_A(S): the normalization inclusion of Figure 1.
+		e.Constraints = append(e.Constraints, algebra.Contain(
+			algebra.Proj(algebra.R(t), algebra.Seq(1, len(join))...),
+			algebra.Proj(algebra.R(s), algebra.Seq(1, len(join))...),
+		))
+	}
+	addKeyConstraints(e, sch, par, s, t)
+	delete(sch.Sig, r)
+	delete(sch.Keys, r)
+	return e, true
+}
+
+func pickRelation(sch *algebra.Schema, rng *rand.Rand, eligible func(string, int) bool) (string, bool) {
+	var cands []string
+	for _, name := range sch.Sig.Names() {
+		if eligible(name, sch.Sig[name]) {
+			cands = append(cands, name)
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	return cands[rng.Intn(len(cands))], true
+}
+
+// KeyConstraint builds the algebraic key constraint of Example 2: tuples
+// of rel agreeing on the key columns agree everywhere, expressed as
+// π_pairs(σ_keyeq(rel × rel)) ⊆ σ_diag(D^2m) over the non-key columns.
+func KeyConstraint(rel string, arity int, key []int) (algebra.Constraint, bool) {
+	keySet := make(map[int]bool, len(key))
+	for _, k := range key {
+		keySet[k] = true
+	}
+	var keyConds []algebra.Condition
+	for _, k := range key {
+		keyConds = append(keyConds, algebra.EqCols(k, arity+k))
+	}
+	var pairCols []int
+	var diagConds []algebra.Condition
+	i := 0
+	for c := 1; c <= arity; c++ {
+		if keySet[c] {
+			continue
+		}
+		pairCols = append(pairCols, c, arity+c)
+		diagConds = append(diagConds, algebra.EqCols(2*i+1, 2*i+2))
+		i++
+	}
+	if len(pairCols) == 0 {
+		return algebra.Constraint{}, false // key covers all columns: nothing to state
+	}
+	lhs := algebra.Proj(
+		algebra.Sel(algebra.AndAll(keyConds...), algebra.Cross{L: algebra.R(rel), R: algebra.R(rel)}),
+		pairCols...,
+	)
+	rhs := algebra.Sel(algebra.AndAll(diagConds...), algebra.Domain{N: 2 * i})
+	return algebra.Contain(lhs, rhs), true
+}
+
+func addKeyConstraints(e *Edit, sch *algebra.Schema, par *Params, rels ...string) {
+	if !par.EmitKeyConstraints {
+		return
+	}
+	for _, r := range rels {
+		key, ok := sch.Keys[r]
+		if !ok {
+			continue
+		}
+		if c, ok := KeyConstraint(r, sch.Sig[r], key); ok {
+			e.Constraints = append(e.Constraints, c)
+		}
+	}
+}
+
+func inheritKey(sch *algebra.Schema, from, to string, remap map[int]int) {
+	key, ok := sch.Keys[from]
+	if !ok {
+		return
+	}
+	out := make([]int, 0, len(key))
+	for _, k := range key {
+		if remap == nil {
+			out = append(out, k)
+		} else if nk, ok := remap[k]; ok {
+			out = append(out, nk)
+		} else {
+			return // key column lost: no key on the new relation
+		}
+	}
+	sch.Keys[to] = out
+}
+
+func inheritKeyDropping(sch *algebra.Schema, from, to string, dropped int) {
+	key, ok := sch.Keys[from]
+	if !ok {
+		return
+	}
+	remap := make(map[int]int)
+	for _, k := range key {
+		if k == dropped {
+			return // dropping a key column loses the key
+		}
+		if k > dropped {
+			remap[k] = k - 1
+		} else {
+			remap[k] = k
+		}
+	}
+	inheritKey(sch, from, to, remap)
+}
+
+func seqWithout(n, skip int) []int {
+	out := make([]int, 0, n-1)
+	for i := 1; i <= n; i++ {
+		if i != skip {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func randomSubset(n, k int, rng *rand.Rand) []int {
+	perm := rng.Perm(n)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = perm[i] + 1
+	}
+	sortInts(out)
+	return out
+}
+
+func complementOf(n int, cols []int) []int {
+	in := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		in[c] = true
+	}
+	var out []int
+	for i := 1; i <= n; i++ {
+		if !in[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func containsAll(super, sub []int) bool {
+	in := make(map[int]bool, len(super))
+	for _, c := range super {
+		in[c] = true
+	}
+	for _, c := range sub {
+		if !in[c] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

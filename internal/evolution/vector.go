@@ -1,0 +1,134 @@
+package evolution
+
+import "math/rand"
+
+// EventVector specifies the proportions of primitives in an edit sequence
+// (§4.1 "Event Vectors").
+type EventVector map[Primitive]float64
+
+// DefaultVector is the paper's Default event vector: "all primitives are
+// applied with the same frequency, with the exception of adding attributes
+// (AA is twice as frequent) and dropping relations (DR is five times less
+// frequent)".
+func DefaultVector(keys bool) EventVector {
+	v := make(EventVector, len(AllPrimitives))
+	for _, p := range AllPrimitives {
+		if p.NeedsKey() && !keys {
+			continue // V/Vf/Vb are not applicable without keys (§4.2)
+		}
+		v[p] = 1
+	}
+	v[AA] = 2
+	v[DR] = 0.2
+	return v
+}
+
+// Clone returns a copy.
+func (v EventVector) Clone() EventVector {
+	out := make(EventVector, len(v))
+	for p, w := range v {
+		out[p] = w
+	}
+	return out
+}
+
+// WithInclusionProportion returns a copy of the vector in which the Sub
+// and Sup primitives jointly account for fraction x of the total weight
+// (Figure 5's x-axis).
+func (v EventVector) WithInclusionProportion(x float64) EventVector {
+	out := v.Clone()
+	rest := 0.0
+	for p, w := range out {
+		if p != Sub && p != Sup {
+			rest += w
+		}
+	}
+	if x <= 0 {
+		delete(out, Sub)
+		delete(out, Sup)
+		return out
+	}
+	if x >= 1 {
+		x = 0.99
+	}
+	// rest corresponds to proportion 1−x, so Sub+Sup = rest·x/(1−x).
+	each := rest * x / (1 - x) / 2
+	out[Sub] = each
+	out[Sup] = each
+	return out
+}
+
+// The extended technical report accompanying the paper mentions three
+// further event vectors beyond Default; their exact weights are not
+// published, so these capture the three natural skews the report's
+// discussion implies. They are exercised by cmd/evosim -vector and the
+// ablation benchmarks.
+
+// AttributeHeavyVector emphasizes attribute-level edits (AA, DA, D*).
+func AttributeHeavyVector(keys bool) EventVector {
+	v := DefaultVector(keys)
+	v[AA], v[DA] = 4, 3
+	v[Df], v[Db], v[D] = 2, 2, 2
+	return v
+}
+
+// RestructureHeavyVector emphasizes partitioning and normalization.
+func RestructureHeavyVector(keys bool) EventVector {
+	v := DefaultVector(keys)
+	for _, p := range []Primitive{Hf, Hb, H, Nf, Nb, N} {
+		v[p] = 3
+	}
+	if keys {
+		for _, p := range []Primitive{Vf, Vb, V} {
+			v[p] = 3
+		}
+	}
+	return v
+}
+
+// InclusionHeavyVector emphasizes the open-world Sub/Sup primitives
+// (one-third of all edits).
+func InclusionHeavyVector(keys bool) EventVector {
+	return DefaultVector(keys).WithInclusionProportion(1.0 / 3.0)
+}
+
+// NamedVector resolves a vector by name; ok is false for unknown names.
+func NamedVector(name string, keys bool) (EventVector, bool) {
+	switch name {
+	case "default", "":
+		return DefaultVector(keys), true
+	case "attribute-heavy":
+		return AttributeHeavyVector(keys), true
+	case "restructure-heavy":
+		return RestructureHeavyVector(keys), true
+	case "inclusion-heavy":
+		return InclusionHeavyVector(keys), true
+	}
+	return nil, false
+}
+
+// Sample draws a primitive according to the weights.
+func (v EventVector) Sample(rng *rand.Rand) Primitive {
+	total := 0.0
+	for _, p := range AllPrimitives {
+		total += v[p]
+	}
+	x := rng.Float64() * total
+	for _, p := range AllPrimitives {
+		w := v[p]
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return p
+		}
+		x -= w
+	}
+	// Numeric fallback: return the last weighted primitive.
+	for i := len(AllPrimitives) - 1; i >= 0; i-- {
+		if v[AllPrimitives[i]] > 0 {
+			return AllPrimitives[i]
+		}
+	}
+	return AA
+}

@@ -1,0 +1,449 @@
+// Package experiment regenerates every figure of the paper's experimental
+// study (§4, Figures 2–7) plus the two textual results (blow-up rate,
+// order invariance). Each figure has a Run function returning structured
+// data and a Render function producing an aligned text table; cmd/
+// experiments wires them to the command line and bench_test.go wraps them
+// in benchmarks.
+//
+// Absolute running times differ from the paper's 1.5 GHz Pentium M, but
+// the comparisons the paper draws — which configurations eliminate more
+// symbols, which primitives are hard, where trends go up or down — are
+// reproduced; EXPERIMENTS.md records paper-vs-measured values.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"mapcomp/internal/core"
+	"mapcomp/internal/evolution"
+)
+
+// Configuration names used throughout §4.2.
+const (
+	CfgNoKeys         = "no keys"
+	CfgKeys           = "keys"
+	CfgNoUnfolding    = "no unfolding"
+	CfgNoRightCompose = "no right compose"
+	CfgComplete       = "complete"
+	CfgNoLeftCompose  = "no left compose"
+)
+
+// EditingConfigs are the four configurations of Figures 2 and 3.
+var EditingConfigs = []string{CfgNoKeys, CfgKeys, CfgNoUnfolding, CfgNoRightCompose}
+
+// ReconConfigs are the three configurations of Figure 6.
+var ReconConfigs = []string{CfgComplete, CfgNoUnfolding, CfgNoRightCompose}
+
+// Named returns the keys flag and core configuration for a §4.2
+// configuration name.
+func Named(name string) (keys bool, cfg *core.Config) {
+	cfg = core.DefaultConfig()
+	switch name {
+	case CfgKeys:
+		keys = true
+	case CfgNoUnfolding:
+		cfg.ViewUnfolding = false
+	case CfgNoRightCompose:
+		cfg.RightCompose = false
+	case CfgNoLeftCompose:
+		cfg.LeftCompose = false
+	case CfgNoKeys, CfgComplete:
+		// defaults
+	default:
+		panic("experiment: unknown configuration " + name)
+	}
+	return keys, cfg
+}
+
+// PrimStat aggregates per-primitive outcomes across runs.
+type PrimStat struct {
+	Edits      int
+	Attempted  int
+	Eliminated int
+	Duration   time.Duration
+}
+
+// Fraction is eliminated/attempted (1 when nothing was attempted).
+func (p *PrimStat) Fraction() float64 {
+	if p.Attempted == 0 {
+		return 1
+	}
+	return float64(p.Eliminated) / float64(p.Attempted)
+}
+
+// MsPerEdit is the mean composition time per edit in milliseconds.
+func (p *PrimStat) MsPerEdit() float64 {
+	if p.Edits == 0 {
+		return 0
+	}
+	return float64(p.Duration.Microseconds()) / float64(p.Edits) / 1000
+}
+
+// EditingAggregate is the outcome of one editing study configuration.
+type EditingAggregate struct {
+	Config       string
+	PerPrimitive map[evolution.Primitive]*PrimStat
+	RunTimes     []time.Duration // per-run total composition time
+	Attempted    int
+	Eliminated   int
+	Blowup       int
+	Leftover     int // leftover symbols recovered by later compositions
+}
+
+// Fraction is the overall eliminated/attempted ratio.
+func (a *EditingAggregate) Fraction() float64 {
+	if a.Attempted == 0 {
+		return 1
+	}
+	return float64(a.Eliminated) / float64(a.Attempted)
+}
+
+// MedianRunTime returns the median per-run time (§4.2 reports medians
+// because a few outlier runs skew the average; see Figure 4).
+func (a *EditingAggregate) MedianRunTime() time.Duration {
+	if len(a.RunTimes) == 0 {
+		return 0
+	}
+	ts := append([]time.Duration(nil), a.RunTimes...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts[len(ts)/2]
+}
+
+// EditingStudy runs the §4.2 schema editing scenario: `runs` random edit
+// sequences of `edits` edits each over schemas of size `schemaSize`, under
+// the named configuration and with the given event vector (nil = Default).
+func EditingStudy(config string, runs, edits, schemaSize int, vector evolution.EventVector, seed int64) *EditingAggregate {
+	keys, coreCfg := Named(config)
+	agg := &EditingAggregate{
+		Config:       config,
+		PerPrimitive: make(map[evolution.Primitive]*PrimStat),
+	}
+	for r := 0; r < runs; r++ {
+		cfg := &evolution.EditingConfig{
+			SchemaSize: schemaSize,
+			Edits:      edits,
+			Keys:       keys,
+			Vector:     vector,
+			Core:       coreCfg,
+			Seed:       seed + int64(r),
+		}
+		run := evolution.RunEditing(cfg)
+		var total time.Duration
+		for _, s := range run.Stats {
+			ps := agg.PerPrimitive[s.Primitive]
+			if ps == nil {
+				ps = &PrimStat{}
+				agg.PerPrimitive[s.Primitive] = ps
+			}
+			ps.Edits++
+			ps.Attempted += s.Attempted
+			ps.Eliminated += s.Eliminated
+			ps.Duration += s.Duration
+			agg.Attempted += s.Attempted
+			agg.Eliminated += s.Eliminated
+			agg.Blowup += s.Blowup
+			agg.Leftover += s.LeftoverEliminated
+			total += s.Duration
+		}
+		agg.RunTimes = append(agg.RunTimes, total)
+	}
+	return agg
+}
+
+// Figure2 runs the editing study under all four configurations and
+// reports, per primitive, the fraction of symbols eliminated.
+func Figure2(runs, edits, schemaSize int, seed int64) map[string]*EditingAggregate {
+	out := make(map[string]*EditingAggregate, len(EditingConfigs))
+	for _, cfg := range EditingConfigs {
+		out[cfg] = EditingStudy(cfg, runs, edits, schemaSize, nil, seed)
+	}
+	return out
+}
+
+// figurePrimitives is Figure 2/3's x-axis order.
+var figurePrimitives = []evolution.Primitive{
+	evolution.DR, evolution.AA, evolution.DA,
+	evolution.Df, evolution.Db, evolution.D,
+	evolution.Hf, evolution.Hb, evolution.H,
+	evolution.Vf, evolution.Vb, evolution.V,
+	evolution.Nf, evolution.Nb, evolution.N,
+	evolution.Sub, evolution.Sup,
+}
+
+// RenderFigure2 formats the per-primitive elimination fractions.
+func RenderFigure2(data map[string]*EditingAggregate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: fraction of symbols eliminated per primitive\n")
+	fmt.Fprintf(&b, "%-5s", "prim")
+	for _, cfg := range EditingConfigs {
+		fmt.Fprintf(&b, " %16s", cfg)
+	}
+	b.WriteByte('\n')
+	for _, p := range figurePrimitives {
+		fmt.Fprintf(&b, "%-5s", p)
+		for _, cfg := range EditingConfigs {
+			ps := data[cfg].PerPrimitive[p]
+			if ps == nil || ps.Attempted == 0 {
+				fmt.Fprintf(&b, " %16s", "-")
+			} else {
+				fmt.Fprintf(&b, " %16.2f", ps.Fraction())
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-5s", "total")
+	for _, cfg := range EditingConfigs {
+		fmt.Fprintf(&b, " %16.2f", data[cfg].Fraction())
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// RenderFigure3 formats the per-primitive composition time (ms per edit).
+func RenderFigure3(data map[string]*EditingAggregate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: execution time per edit (ms) per primitive\n")
+	fmt.Fprintf(&b, "%-5s", "prim")
+	for _, cfg := range EditingConfigs {
+		fmt.Fprintf(&b, " %16s", cfg)
+	}
+	b.WriteByte('\n')
+	for _, p := range figurePrimitives {
+		fmt.Fprintf(&b, "%-5s", p)
+		for _, cfg := range EditingConfigs {
+			ps := data[cfg].PerPrimitive[p]
+			if ps == nil || ps.Edits == 0 {
+				fmt.Fprintf(&b, " %16s", "-")
+			} else {
+				fmt.Fprintf(&b, " %16.3f", ps.MsPerEdit())
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "median run time:")
+	for _, cfg := range EditingConfigs {
+		fmt.Fprintf(&b, "  %s=%v", cfg, data[cfg].MedianRunTime().Round(time.Millisecond))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Figure4 returns the sorted per-run composition times for the 'no keys'
+// configuration (the paper's motivation for reporting medians).
+func Figure4(runs, edits, schemaSize int, seed int64) []time.Duration {
+	agg := EditingStudy(CfgNoKeys, runs, edits, schemaSize, nil, seed)
+	ts := append([]time.Duration(nil), agg.RunTimes...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts
+}
+
+// RenderFigure4 formats the sorted run-time series.
+func RenderFigure4(ts []time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: sorted execution time across %d runs ('no keys')\n", len(ts))
+	fmt.Fprintf(&b, "%-6s %12s\n", "run", "time")
+	for i, t := range ts {
+		fmt.Fprintf(&b, "%-6d %12v\n", i+1, t.Round(time.Microsecond))
+	}
+	if n := len(ts); n > 0 {
+		fmt.Fprintf(&b, "median %12v  max %12v\n",
+			ts[n/2].Round(time.Microsecond), ts[n-1].Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// Figure5Point is one x-value of Figure 5: elimination fractions and time
+// as the proportion of inclusion (Sub/Sup) edits grows.
+type Figure5Point struct {
+	Proportion float64
+	Total      float64
+	Df, DA     float64
+	Nf, Hf     float64
+	MeanTime   time.Duration
+}
+
+// Figure5 sweeps the proportion of inclusion primitives (§4.2, Figure 5).
+func Figure5(proportions []float64, runs, edits, schemaSize int, seed int64) []Figure5Point {
+	var out []Figure5Point
+	for i, x := range proportions {
+		vector := evolution.DefaultVector(false).WithInclusionProportion(x)
+		agg := EditingStudy(CfgNoKeys, runs, edits, schemaSize, vector, seed+int64(i*1000))
+		point := Figure5Point{Proportion: x, Total: agg.Fraction()}
+		get := func(p evolution.Primitive) float64 {
+			if ps := agg.PerPrimitive[p]; ps != nil && ps.Attempted > 0 {
+				return ps.Fraction()
+			}
+			return 1
+		}
+		point.Df, point.DA = get(evolution.Df), get(evolution.DA)
+		point.Nf, point.Hf = get(evolution.Nf), get(evolution.Hf)
+		var total time.Duration
+		for _, t := range agg.RunTimes {
+			total += t
+		}
+		if len(agg.RunTimes) > 0 {
+			point.MeanTime = total / time.Duration(len(agg.RunTimes))
+		}
+		out = append(out, point)
+	}
+	return out
+}
+
+// RenderFigure5 formats the inclusion-proportion sweep.
+func RenderFigure5(points []Figure5Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: increasing proportion of inclusion primitives\n")
+	fmt.Fprintf(&b, "%-6s %7s %7s %7s %7s %7s %12s\n",
+		"prop", "total", "Df", "DA", "Nf", "Hf", "time")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-6.2f %7.2f %7.2f %7.2f %7.2f %7.2f %12v\n",
+			p.Proportion, p.Total, p.Df, p.DA, p.Nf, p.Hf, p.MeanTime.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// ReconPoint is one x-value of Figures 6/7.
+type ReconPoint struct {
+	X         int // schema size (Fig 6) or edit count (Fig 7)
+	Fraction  map[string]float64
+	MeanTime  time.Duration
+	Tasks     int
+	Discarded int // generated sequences that were not first-order
+}
+
+// Figure6 varies the intermediate schema size in the reconciliation
+// scenario under the three §4.2 configurations.
+func Figure6(sizes []int, tasks, edits int, seed int64) []ReconPoint {
+	var out []ReconPoint
+	for i, size := range sizes {
+		out = append(out, reconPoint(size, edits, tasks, seed+int64(i*7919), ReconConfigs))
+	}
+	return out
+}
+
+// Figure7 varies the number of edits at fixed schema size.
+func Figure7(editCounts []int, tasks, schemaSize int, seed int64) []ReconPoint {
+	var out []ReconPoint
+	for i, edits := range editCounts {
+		p := reconPoint(schemaSize, edits, tasks, seed+int64(i*104729), []string{CfgComplete})
+		p.X = edits
+		out = append(out, p)
+	}
+	return out
+}
+
+func reconPoint(schemaSize, edits, tasks int, seed int64, configs []string) ReconPoint {
+	point := ReconPoint{X: schemaSize, Fraction: make(map[string]float64), Tasks: tasks}
+	attempted := make(map[string]int)
+	eliminated := make(map[string]int)
+	var totalTime time.Duration
+	genCfg := core.DefaultConfig()
+	for t := 0; t < tasks; t++ {
+		task, ok := evolution.GenerateReconciliation(schemaSize, edits, false, genCfg, seed+int64(t), 25)
+		if !ok {
+			point.Discarded++
+			continue
+		}
+		for _, cfg := range configs {
+			_, coreCfg := Named(cfg)
+			start := time.Now()
+			res, err := evolution.ComposeReconciliation(task, coreCfg)
+			if err != nil {
+				continue
+			}
+			if cfg == CfgComplete {
+				totalTime += time.Since(start)
+			}
+			attempted[cfg] += res.Stats.Attempted
+			eliminated[cfg] += res.Stats.Eliminated
+		}
+	}
+	for _, cfg := range configs {
+		if attempted[cfg] == 0 {
+			point.Fraction[cfg] = 1
+		} else {
+			point.Fraction[cfg] = float64(eliminated[cfg]) / float64(attempted[cfg])
+		}
+	}
+	if tasks > point.Discarded && tasks > 0 {
+		point.MeanTime = totalTime / time.Duration(tasks-point.Discarded)
+	}
+	return point
+}
+
+// RenderFigure6 formats the schema-size sweep.
+func RenderFigure6(points []ReconPoint) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: varying schema size (reconciliation)\n")
+	fmt.Fprintf(&b, "%-6s", "size")
+	for _, cfg := range ReconConfigs {
+		fmt.Fprintf(&b, " %18s", cfg)
+	}
+	fmt.Fprintf(&b, " %10s\n", "tasks")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-6d", p.X)
+		for _, cfg := range ReconConfigs {
+			fmt.Fprintf(&b, " %18.2f", p.Fraction[cfg])
+		}
+		fmt.Fprintf(&b, " %10d\n", p.Tasks-p.Discarded)
+	}
+	return b.String()
+}
+
+// RenderFigure7 formats the edit-count sweep.
+func RenderFigure7(points []ReconPoint) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: varying number of edits (reconciliation)\n")
+	fmt.Fprintf(&b, "%-6s %10s %12s %10s\n", "edits", "fraction", "time", "tasks")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-6d %10.2f %12v %10d\n",
+			p.X, p.Fraction[CfgComplete], p.MeanTime.Round(time.Millisecond), p.Tasks-p.Discarded)
+	}
+	return b.String()
+}
+
+// BlowupStudy measures the fraction of symbol eliminations aborted by the
+// output-size bound (§4.2 reports ≈1% with factor 100).
+func BlowupStudy(runs, edits, schemaSize int, seed int64) (blowup, attempted int) {
+	agg := EditingStudy(CfgNoKeys, runs, edits, schemaSize, nil, seed)
+	return agg.Blowup, agg.Attempted
+}
+
+// OrderInvariance runs reconciliation tasks, composing each with several
+// random symbol orders, and reports how many tasks eliminated a different
+// number of symbols under different orders (§4: "Our algorithm appears to
+// be order-invariant on the studied data sets").
+func OrderInvariance(tasks, schemaSize, edits, shuffles int, seed int64) (variant, total int) {
+	rng := rand.New(rand.NewSource(seed))
+	coreCfg := core.DefaultConfig()
+	for t := 0; t < tasks; t++ {
+		task, ok := evolution.GenerateReconciliation(schemaSize, edits, false, coreCfg, seed+int64(t), 25)
+		if !ok {
+			continue
+		}
+		total++
+		base, err := evolution.ComposeReconciliation(task, coreCfg)
+		if err != nil {
+			continue
+		}
+		names := task.Original.Sig.Names()
+		for s := 0; s < shuffles; s++ {
+			order := append([]string(nil), names...)
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			res, err := core.Compose(task.SchemaA.Sig, task.Original.Sig, task.SchemaB.Sig,
+				task.MapA, task.MapB, order, coreCfg)
+			if err != nil {
+				continue
+			}
+			if res.Stats.Eliminated != base.Stats.Eliminated {
+				variant++
+				break
+			}
+		}
+	}
+	return variant, total
+}

@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"mapcomp/internal/evolution"
+)
+
+// Small-scale smoke tests: the experiment harness must run end to end and
+// reproduce the paper's qualitative findings (which configuration wins),
+// not its absolute numbers. Scales are kept tiny so `go test` stays fast;
+// cmd/experiments runs the real thing.
+
+const (
+	tRuns  = 3
+	tEdits = 40
+	tSize  = 20
+)
+
+func TestEditingStudyShapes(t *testing.T) {
+	complete := EditingStudy(CfgNoKeys, tRuns, tEdits, tSize, nil, 1)
+	noUnfold := EditingStudy(CfgNoUnfolding, tRuns, tEdits, tSize, nil, 1)
+
+	if complete.Attempted == 0 {
+		t.Fatal("no composition work generated")
+	}
+	// §4.2: the algorithm eliminates 50-100% of symbols.
+	if f := complete.Fraction(); f < 0.5 {
+		t.Errorf("complete fraction = %.2f, want ≥ 0.5", f)
+	}
+	// "Turning off view unfolding ... weakens the algorithm
+	// substantially" (Figure 2).
+	if noUnfold.Fraction() >= complete.Fraction() {
+		t.Errorf("no-unfolding (%.2f) should eliminate fewer symbols than complete (%.2f)",
+			noUnfold.Fraction(), complete.Fraction())
+	}
+}
+
+func TestRenderersProduceTables(t *testing.T) {
+	data := map[string]*EditingAggregate{}
+	for _, cfg := range EditingConfigs {
+		data[cfg] = EditingStudy(cfg, 1, 20, 10, nil, 2)
+	}
+	f2 := RenderFigure2(data)
+	if !strings.Contains(f2, "Figure 2") || !strings.Contains(f2, "total") {
+		t.Errorf("Figure 2 render:\n%s", f2)
+	}
+	f3 := RenderFigure3(data)
+	if !strings.Contains(f3, "ms") && !strings.Contains(f3, "Figure 3") {
+		t.Errorf("Figure 3 render:\n%s", f3)
+	}
+	f4 := RenderFigure4(Figure4(3, 20, 10, 2))
+	if !strings.Contains(f4, "median") {
+		t.Errorf("Figure 4 render:\n%s", f4)
+	}
+	f5 := RenderFigure5(Figure5([]float64{0, 0.2}, 1, 20, 10, 2))
+	if !strings.Contains(f5, "0.20") {
+		t.Errorf("Figure 5 render:\n%s", f5)
+	}
+}
+
+func TestFigure5InclusionsReduceUnfolding(t *testing.T) {
+	points := Figure5([]float64{0, 0.2}, tRuns, tEdits, tSize, 3)
+	if len(points) != 2 {
+		t.Fatal("wrong point count")
+	}
+	// With more inclusion edits the unfolding-driven elimination rate
+	// should not improve (§4.2: "the composition tasks become more
+	// difficult since the effectiveness of view unfolding drops").
+	// Allow equality: at small scale the effect can be flat.
+	if points[1].Total > points[0].Total+0.1 {
+		t.Errorf("inclusion edits unexpectedly helped: %.2f -> %.2f",
+			points[0].Total, points[1].Total)
+	}
+}
+
+func TestFigure6SchemaSizeHelps(t *testing.T) {
+	points := Figure6([]int{8, 40}, 4, 30, 5)
+	if len(points) != 2 {
+		t.Fatal("wrong point count")
+	}
+	small := points[0].Fraction[CfgComplete]
+	large := points[1].Fraction[CfgComplete]
+	// "Increasing the size of the intermediate schema ... simplifies the
+	// composition problem" (§4.2, Figure 6). Tolerate noise at this
+	// scale but reject inversions.
+	if large+0.15 < small {
+		t.Errorf("larger schema should not be much harder: size 8 → %.2f, size 40 → %.2f", small, large)
+	}
+}
+
+func TestOrderInvarianceSmoke(t *testing.T) {
+	variant, total := OrderInvariance(3, 15, 25, 3, 9)
+	if total == 0 {
+		t.Skip("no tasks generated")
+	}
+	// §4: "Our algorithm appears to be order-invariant on the studied
+	// data sets". Tolerate at most one variant task at tiny scale.
+	if variant > 1 {
+		t.Errorf("%d of %d tasks varied with elimination order", variant, total)
+	}
+}
+
+func TestNamedConfigurations(t *testing.T) {
+	keys, cfg := Named(CfgKeys)
+	if !keys || !cfg.ViewUnfolding {
+		t.Error("keys config wrong")
+	}
+	if _, cfg := Named(CfgNoUnfolding); cfg.ViewUnfolding {
+		t.Error("no-unfolding config wrong")
+	}
+	if _, cfg := Named(CfgNoRightCompose); cfg.RightCompose {
+		t.Error("no-right-compose config wrong")
+	}
+	if _, cfg := Named(CfgNoLeftCompose); cfg.LeftCompose {
+		t.Error("no-left-compose config wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown config name should panic")
+		}
+	}()
+	Named("bogus")
+}
+
+func TestBlowupStudyCounts(t *testing.T) {
+	blowup, attempted := BlowupStudy(tRuns, tEdits, tSize, 4)
+	if attempted == 0 {
+		t.Fatal("no eliminations attempted")
+	}
+	// §4.2 reports ≈1% blow-up aborts; tolerate up to 10% at tiny scale.
+	if frac := float64(blowup) / float64(attempted); frac > 0.10 {
+		t.Errorf("blow-up fraction %.3f too high", frac)
+	}
+}
+
+func TestPerPrimitiveHardness(t *testing.T) {
+	agg := EditingStudy(CfgNoKeys, 6, 80, 25, nil, 11)
+	// Figure 2: Hf is among the hardest primitives; DR is trivial (a
+	// dropped relation has no defining constraints of its own but its
+	// occurrences elsewhere still need elimination). Check Hf does not
+	// beat the overall average by a wide margin.
+	hf := agg.PerPrimitive[evolution.Hf]
+	if hf == nil || hf.Attempted == 0 {
+		t.Skip("Hf never sampled at this scale")
+	}
+	if hf.Fraction() > agg.Fraction()+0.05 {
+		t.Errorf("Hf (%.2f) should not be easier than average (%.2f)", hf.Fraction(), agg.Fraction())
+	}
+}

@@ -1,0 +1,361 @@
+// Package ops registers the derived and extended relational operators used
+// throughout the library: equijoin, semijoin, antisemijoin, left outer
+// join, and transitive closure. None of these are built into the algorithm;
+// they are installed through the operator registry exactly the way the
+// paper's §1.3 says user-defined operators are added — a monotonicity
+// table, an optional expansion into basic operators, and an optional
+// evaluation function.
+//
+// Importing this package (directly or via the public mapcomp package) makes
+// the operators available; the composition core itself knows nothing about
+// them.
+package ops
+
+import (
+	"fmt"
+
+	"mapcomp/internal/algebra"
+)
+
+// Operator names registered by this package.
+const (
+	OpJoin     = "join"     // join[i1,j1,...](E1,E2): equijoin on E1.iK = E2.jK
+	OpSemijoin = "semijoin" // semijoin[i1,j1,...](E1,E2): E1 tuples with a match
+	OpAntijoin = "antijoin" // antijoin[i1,j1,...](E1,E2): E1 tuples without a match
+	OpLojoin   = "lojoin"   // lojoin[i1,j1,...](E1,E2): left outer join (Null padding)
+	OpTC       = "tc"       // tc(E): transitive closure of a binary relation
+)
+
+func init() {
+	registerJoin()
+	registerSemijoin()
+	registerAntijoin()
+	registerLojoin()
+	registerTC()
+}
+
+// pairs decodes a flattened [i1,j1,i2,j2,...] parameter list.
+func pairs(params []int) ([][2]int, error) {
+	if len(params)%2 != 0 {
+		return nil, fmt.Errorf("ops: join parameters must be column pairs, got %d values", len(params))
+	}
+	out := make([][2]int, 0, len(params)/2)
+	for i := 0; i < len(params); i += 2 {
+		out = append(out, [2]int{params[i], params[i+1]})
+	}
+	return out, nil
+}
+
+func checkPairs(ps [][2]int, a1, a2 int) error {
+	for _, p := range ps {
+		if p[0] < 1 || p[0] > a1 {
+			return fmt.Errorf("ops: left join column %d out of range 1..%d", p[0], a1)
+		}
+		if p[1] < 1 || p[1] > a2 {
+			return fmt.Errorf("ops: right join column %d out of range 1..%d", p[1], a2)
+		}
+	}
+	return nil
+}
+
+// bothMono is the monotonicity row for operators monotone in all
+// arguments, like ∪, ∩ and × in §3.3.
+func bothMono(args []algebra.Mono) algebra.Mono {
+	out := algebra.MonoI
+	for _, a := range args {
+		out = algebra.Combine(out, a)
+	}
+	return out
+}
+
+// joinCondition builds the σ condition for an equijoin over a cross
+// product where the right operand's columns start at offset.
+func joinCondition(ps [][2]int, offset int) algebra.Condition {
+	conds := make([]algebra.Condition, 0, len(ps))
+	for _, p := range ps {
+		conds = append(conds, algebra.EqCols(p[0], offset+p[1]))
+	}
+	return algebra.AndAll(conds...)
+}
+
+func registerJoin() {
+	algebra.RegisterOp(&algebra.OpInfo{
+		Name:  OpJoin,
+		NArgs: 2,
+		Arity: func(a []int, params []int) (int, error) {
+			ps, err := pairs(params)
+			if err != nil {
+				return 0, err
+			}
+			if err := checkPairs(ps, a[0], a[1]); err != nil {
+				return 0, err
+			}
+			return a[0] + a[1], nil
+		},
+		Monotone: bothMono,
+		Eval: func(args []*algebra.Relation, params []int) (*algebra.Relation, error) {
+			ps, err := pairs(params)
+			if err != nil {
+				return nil, err
+			}
+			out := algebra.NewRelation(args[0].Arity() + args[1].Arity())
+			args[0].Each(func(l algebra.Tuple) bool {
+				args[1].Each(func(r algebra.Tuple) bool {
+					if pairsMatch(ps, l, r) {
+						out.Add(l.Concat(r))
+					}
+					return true
+				})
+				return true
+			})
+			return out, nil
+		},
+	})
+	// join[i,j](E1,E2) = sel[#i=#(a1+j)](E1 * E2); the join operator is
+	// "viewed as a derived operator formed from ×, π, and σ" (§2).
+	algebra.RegisterDesugar(OpJoin, func(params []int, args []algebra.Expr, arities []int) (algebra.Expr, bool) {
+		ps, err := pairs(params)
+		if err != nil {
+			return nil, false
+		}
+		return algebra.Select{
+			Cond: joinCondition(ps, arities[0]),
+			E:    algebra.Cross{L: args[0], R: args[1]},
+		}, true
+	})
+}
+
+func registerSemijoin() {
+	algebra.RegisterOp(&algebra.OpInfo{
+		Name:  OpSemijoin,
+		NArgs: 2,
+		Arity: func(a []int, params []int) (int, error) {
+			ps, err := pairs(params)
+			if err != nil {
+				return 0, err
+			}
+			if err := checkPairs(ps, a[0], a[1]); err != nil {
+				return 0, err
+			}
+			return a[0], nil
+		},
+		Monotone: bothMono, // semijoin is monotone in both arguments (§1.3)
+		Eval: func(args []*algebra.Relation, params []int) (*algebra.Relation, error) {
+			ps, err := pairs(params)
+			if err != nil {
+				return nil, err
+			}
+			out := algebra.NewRelation(args[0].Arity())
+			args[0].Each(func(l algebra.Tuple) bool {
+				match := false
+				args[1].Each(func(r algebra.Tuple) bool {
+					if pairsMatch(ps, l, r) {
+						match = true
+						return false
+					}
+					return true
+				})
+				if match {
+					out.Add(l)
+				}
+				return true
+			})
+			return out, nil
+		},
+	})
+	// semijoin[i,j](E1,E2) = proj[1..a1](sel[...](E1 * E2))
+	algebra.RegisterDesugar(OpSemijoin, func(params []int, args []algebra.Expr, arities []int) (algebra.Expr, bool) {
+		ps, err := pairs(params)
+		if err != nil {
+			return nil, false
+		}
+		return algebra.Project{
+			Cols: algebra.Seq(1, arities[0]),
+			E: algebra.Select{
+				Cond: joinCondition(ps, arities[0]),
+				E:    algebra.Cross{L: args[0], R: args[1]},
+			},
+		}, true
+	})
+}
+
+func registerAntijoin() {
+	algebra.RegisterOp(&algebra.OpInfo{
+		Name:  OpAntijoin,
+		NArgs: 2,
+		Arity: func(a []int, params []int) (int, error) {
+			ps, err := pairs(params)
+			if err != nil {
+				return 0, err
+			}
+			if err := checkPairs(ps, a[0], a[1]); err != nil {
+				return 0, err
+			}
+			return a[0], nil
+		},
+		// Anti-semijoin is monotone in its first argument and
+		// anti-monotone in its second, like set difference (§1.3).
+		Monotone: func(args []algebra.Mono) algebra.Mono {
+			return algebra.Combine(args[0], args[1].Flip())
+		},
+		Eval: func(args []*algebra.Relation, params []int) (*algebra.Relation, error) {
+			ps, err := pairs(params)
+			if err != nil {
+				return nil, err
+			}
+			out := algebra.NewRelation(args[0].Arity())
+			args[0].Each(func(l algebra.Tuple) bool {
+				match := false
+				args[1].Each(func(r algebra.Tuple) bool {
+					if pairsMatch(ps, l, r) {
+						match = true
+						return false
+					}
+					return true
+				})
+				if !match {
+					out.Add(l)
+				}
+				return true
+			})
+			return out, nil
+		},
+	})
+	// antijoin[ps](E1,E2) = E1 - semijoin[ps](E1,E2)
+	algebra.RegisterDesugar(OpAntijoin, func(params []int, args []algebra.Expr, arities []int) (algebra.Expr, bool) {
+		return algebra.Diff{
+			L: args[0],
+			R: algebra.App{Op: OpSemijoin, Params: params, Args: args},
+		}, true
+	})
+}
+
+func registerLojoin() {
+	algebra.RegisterOp(&algebra.OpInfo{
+		Name:  OpLojoin,
+		NArgs: 2,
+		Arity: func(a []int, params []int) (int, error) {
+			ps, err := pairs(params)
+			if err != nil {
+				return 0, err
+			}
+			if err := checkPairs(ps, a[0], a[1]); err != nil {
+				return 0, err
+			}
+			return a[0] + a[1], nil
+		},
+		// Left outer join is monotone in its first argument but neither
+		// monotone nor anti-monotone in its second (§1.3): growing the
+		// second argument can both add matched tuples and retract
+		// null-padded ones.
+		Monotone: func(args []algebra.Mono) algebra.Mono {
+			r := args[1]
+			if r != algebra.MonoI {
+				r = algebra.MonoU
+			}
+			return algebra.Combine(args[0], r)
+		},
+		Eval: func(args []*algebra.Relation, params []int) (*algebra.Relation, error) {
+			ps, err := pairs(params)
+			if err != nil {
+				return nil, err
+			}
+			a2 := args[1].Arity()
+			out := algebra.NewRelation(args[0].Arity() + a2)
+			args[0].Each(func(l algebra.Tuple) bool {
+				match := false
+				args[1].Each(func(r algebra.Tuple) bool {
+					if pairsMatch(ps, l, r) {
+						match = true
+						out.Add(l.Concat(r))
+					}
+					return true
+				})
+				if !match {
+					pad := make(algebra.Tuple, a2)
+					for i := range pad {
+						pad[i] = algebra.Null
+					}
+					out.Add(l.Concat(pad))
+				}
+				return true
+			})
+			return out, nil
+		},
+	})
+	// No desugaring: left outer join is not expressible in the basic
+	// six operators under pure set semantics without a null construct,
+	// so normalization steps that need to look inside it fail — which is
+	// exactly the paper's graceful-degradation behaviour.
+}
+
+func registerTC() {
+	algebra.RegisterOp(&algebra.OpInfo{
+		Name:  OpTC,
+		NArgs: 1,
+		Arity: func(a []int, params []int) (int, error) {
+			if a[0] != 2 {
+				return 0, fmt.Errorf("ops: tc needs a binary argument, got arity %d", a[0])
+			}
+			return 2, nil
+		},
+		// Transitive closure is monotone; the paper's §1.3 recursive
+		// example (R ⊆ S, S = tc(S), S ⊆ T) relies on this registration
+		// existing while still being impossible to eliminate.
+		Monotone: bothMono,
+		Eval: func(args []*algebra.Relation, params []int) (*algebra.Relation, error) {
+			cur := args[0].Clone()
+			for {
+				next := cur.Clone()
+				cur.Each(func(a algebra.Tuple) bool {
+					cur.Each(func(b algebra.Tuple) bool {
+						if a[1] == b[0] {
+							next.Add(algebra.Tuple{a[0], b[1]})
+						}
+						return true
+					})
+					return true
+				})
+				if next.Len() == cur.Len() {
+					return cur, nil
+				}
+				cur = next
+			}
+		},
+	})
+	// No desugaring: transitive closure is not first-order expressible.
+}
+
+func pairsMatch(ps [][2]int, l, r algebra.Tuple) bool {
+	for _, p := range ps {
+		if l[p[0]-1] != r[p[1]-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Join builds join[on pairs](l, r); on is a flattened [i1,j1,...] list.
+func Join(l, r algebra.Expr, on ...int) algebra.Expr {
+	return algebra.App{Op: OpJoin, Params: on, Args: []algebra.Expr{l, r}}
+}
+
+// Semijoin builds semijoin[on](l, r).
+func Semijoin(l, r algebra.Expr, on ...int) algebra.Expr {
+	return algebra.App{Op: OpSemijoin, Params: on, Args: []algebra.Expr{l, r}}
+}
+
+// Antijoin builds antijoin[on](l, r).
+func Antijoin(l, r algebra.Expr, on ...int) algebra.Expr {
+	return algebra.App{Op: OpAntijoin, Params: on, Args: []algebra.Expr{l, r}}
+}
+
+// Lojoin builds lojoin[on](l, r).
+func Lojoin(l, r algebra.Expr, on ...int) algebra.Expr {
+	return algebra.App{Op: OpLojoin, Params: on, Args: []algebra.Expr{l, r}}
+}
+
+// TC builds tc(e).
+func TC(e algebra.Expr) algebra.Expr {
+	return algebra.App{Op: OpTC, Args: []algebra.Expr{e}}
+}

@@ -1,0 +1,197 @@
+package ops
+
+import (
+	"testing"
+
+	"mapcomp/internal/algebra"
+)
+
+func TestRegistrations(t *testing.T) {
+	for _, name := range []string{OpJoin, OpSemijoin, OpAntijoin, OpLojoin, OpTC} {
+		if algebra.LookupOp(name) == nil {
+			t.Errorf("%s not registered", name)
+		}
+	}
+}
+
+func TestArities(t *testing.T) {
+	sig := algebra.NewSignature("R", 2, "S", 3, "E", 2)
+	cases := []struct {
+		e    algebra.Expr
+		want int
+	}{
+		{Join(algebra.R("R"), algebra.R("S"), 1, 1), 5},
+		{Semijoin(algebra.R("R"), algebra.R("S"), 1, 1), 2},
+		{Antijoin(algebra.R("R"), algebra.R("S"), 2, 3), 2},
+		{Lojoin(algebra.R("R"), algebra.R("S"), 1, 1), 5},
+		{TC(algebra.R("E")), 2},
+	}
+	for _, c := range cases {
+		got, err := algebra.Arity(c.e, sig)
+		if err != nil {
+			t.Errorf("Arity(%s): %v", c.e, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Arity(%s) = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestArityErrors(t *testing.T) {
+	sig := algebra.NewSignature("R", 2, "S", 3)
+	bad := []algebra.Expr{
+		Join(algebra.R("R"), algebra.R("S"), 1),    // odd parameter count
+		Join(algebra.R("R"), algebra.R("S"), 9, 1), // column out of range
+		TC(algebra.R("S")),                         // tc needs binary input
+	}
+	for _, e := range bad {
+		if _, err := algebra.Arity(e, sig); err == nil {
+			t.Errorf("Arity(%s) succeeded, want error", e)
+		}
+	}
+}
+
+func TestMonotonicityTables(t *testing.T) {
+	m, i := algebra.MonoM, algebra.MonoI
+	cases := []struct {
+		op   string
+		args []algebra.Mono
+		want algebra.Mono
+	}{
+		{OpJoin, []algebra.Mono{m, i}, algebra.MonoM},
+		{OpJoin, []algebra.Mono{m, m}, algebra.MonoM},
+		{OpSemijoin, []algebra.Mono{i, m}, algebra.MonoM},
+		{OpAntijoin, []algebra.Mono{m, i}, algebra.MonoM},
+		{OpAntijoin, []algebra.Mono{i, m}, algebra.MonoA},
+		{OpAntijoin, []algebra.Mono{m, m}, algebra.MonoU},
+		{OpLojoin, []algebra.Mono{m, i}, algebra.MonoM},
+		{OpLojoin, []algebra.Mono{i, m}, algebra.MonoU},
+		{OpTC, []algebra.Mono{m}, algebra.MonoM},
+	}
+	for _, c := range cases {
+		info := algebra.LookupOp(c.op)
+		if got := info.Monotone(c.args); got != c.want {
+			t.Errorf("%s%v = %s, want %s", c.op, c.args, got, c.want)
+		}
+	}
+}
+
+// TestDesugarEquivalence checks that each operator's expansion matches its
+// direct evaluation on a concrete instance.
+func TestDesugarEquivalence(t *testing.T) {
+	sig := algebra.NewSignature("R", 2, "S", 2)
+	rels := map[string]*algebra.Relation{
+		"R": algebra.NewRelation(2),
+		"S": algebra.NewRelation(2),
+	}
+	rels["R"].Add(algebra.Tuple{"a", "b"})
+	rels["R"].Add(algebra.Tuple{"c", "d"})
+	rels["S"].Add(algebra.Tuple{"a", "x"})
+
+	for _, e := range []algebra.Expr{
+		Join(algebra.R("R"), algebra.R("S"), 1, 1),
+		Semijoin(algebra.R("R"), algebra.R("S"), 1, 1),
+		Antijoin(algebra.R("R"), algebra.R("S"), 1, 1),
+	} {
+		expanded, ok := algebra.Desugar(e, sig)
+		if !ok {
+			t.Errorf("Desugar(%s) failed", e)
+			continue
+		}
+		direct := evalHere(t, e, rels)
+		exp := evalHere(t, algebra.DesugarAll(expanded, sig), rels)
+		if !direct.EqualTo(exp) {
+			t.Errorf("%s: direct %s != expanded %s", e, direct, exp)
+		}
+	}
+	// lojoin and tc have no expansion, by design.
+	if _, ok := algebra.Desugar(Lojoin(algebra.R("R"), algebra.R("S"), 1, 1), sig); ok {
+		t.Error("lojoin should have no expansion")
+	}
+	if _, ok := algebra.Desugar(TC(algebra.R("R")), sig); ok {
+		t.Error("tc should have no expansion")
+	}
+}
+
+// evalHere is a minimal evaluator for this package's tests (the full
+// engine lives in internal/eval, which depends on this package's
+// registrations and would create an import cycle in tests).
+func evalHere(t *testing.T, e algebra.Expr, rels map[string]*algebra.Relation) *algebra.Relation {
+	t.Helper()
+	switch e := e.(type) {
+	case algebra.Rel:
+		return rels[e.Name]
+	case algebra.Cross:
+		l, r := evalHere(t, e.L, rels), evalHere(t, e.R, rels)
+		out := algebra.NewRelation(l.Arity() + r.Arity())
+		l.Each(func(a algebra.Tuple) bool {
+			r.Each(func(b algebra.Tuple) bool { out.Add(a.Concat(b)); return true })
+			return true
+		})
+		return out
+	case algebra.Diff:
+		l, r := evalHere(t, e.L, rels), evalHere(t, e.R, rels)
+		out := algebra.NewRelation(l.Arity())
+		l.Each(func(a algebra.Tuple) bool {
+			if !r.Has(a) {
+				out.Add(a)
+			}
+			return true
+		})
+		return out
+	case algebra.Select:
+		in := evalHere(t, e.E, rels)
+		out := algebra.NewRelation(in.Arity())
+		in.Each(func(a algebra.Tuple) bool {
+			ok, err := algebra.EvalCond(e.Cond, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				out.Add(a)
+			}
+			return true
+		})
+		return out
+	case algebra.Project:
+		in := evalHere(t, e.E, rels)
+		out := algebra.NewRelation(len(e.Cols))
+		in.Each(func(a algebra.Tuple) bool {
+			p := make(algebra.Tuple, len(e.Cols))
+			for i, c := range e.Cols {
+				p[i] = a[c-1]
+			}
+			out.Add(p)
+			return true
+		})
+		return out
+	case algebra.App:
+		info := algebra.LookupOp(e.Op)
+		args := make([]*algebra.Relation, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = evalHere(t, a, rels)
+		}
+		out, err := info.Eval(args, e.Params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	t.Fatalf("evalHere: unsupported %T", e)
+	return nil
+}
+
+func TestLojoinPadsWithNull(t *testing.T) {
+	r := algebra.NewRelation(1)
+	r.Add(algebra.Tuple{"a"})
+	s := algebra.NewRelation(1)
+	info := algebra.LookupOp(OpLojoin)
+	out, err := info.Eval([]*algebra.Relation{r, s}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Has(algebra.Tuple{"a", algebra.Null}) {
+		t.Errorf("lojoin did not pad: %s", out)
+	}
+}

@@ -1,0 +1,90 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"mapcomp/internal/algebra"
+)
+
+// Format renders a Problem back into the concrete syntax accepted by
+// Parse. Format∘Parse is the identity up to whitespace and statement
+// ordering inside blocks; the package tests verify the round-trip.
+func Format(p *Problem) string {
+	var b strings.Builder
+	for _, name := range p.SchemaOrder {
+		sch := p.Schemas[name]
+		fmt.Fprintf(&b, "schema %s {\n", name)
+		for _, rel := range sch.Sig.Names() {
+			fmt.Fprintf(&b, "  %s/%d", rel, sch.Sig[rel])
+			if key, ok := sch.Keys[rel]; ok {
+				b.WriteString(" key[")
+				for i, c := range key {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, "%d", c)
+				}
+				b.WriteByte(']')
+			}
+			b.WriteString(";\n")
+		}
+		b.WriteString("}\n")
+	}
+	for _, name := range p.MapOrder {
+		m := p.Maps[name]
+		fmt.Fprintf(&b, "map %s : %s -> %s {\n", m.Name, m.From, m.To)
+		for _, c := range m.Constraints {
+			fmt.Fprintf(&b, "  %s;\n", c)
+		}
+		b.WriteString("}\n")
+	}
+	for _, c := range p.Compositions {
+		fmt.Fprintf(&b, "compose %s = %s;\n", c.Name, strings.Join(c.Maps, " * "))
+	}
+	return b.String()
+}
+
+// Validate checks that every mapping's constraints are well-formed over the
+// union of its two schemas.
+func Validate(p *Problem) error {
+	for _, name := range p.MapOrder {
+		m := p.Maps[name]
+		sig, err := p.Schemas[m.From].Sig.Merge(p.Schemas[m.To].Sig)
+		if err != nil {
+			return fmt.Errorf("parser: map %s: %w", name, err)
+		}
+		if err := m.Constraints.Check(sig); err != nil {
+			return fmt.Errorf("parser: map %s: %w", name, err)
+		}
+	}
+	for _, c := range p.Compositions {
+		for i := 0; i+1 < len(c.Maps); i++ {
+			a, b := p.Maps[c.Maps[i]], p.Maps[c.Maps[i+1]]
+			if a.To != b.From {
+				return fmt.Errorf("parser: compose %s: map %s ends at schema %s but map %s starts at %s",
+					c.Name, a.Name, a.To, b.Name, b.From)
+			}
+		}
+	}
+	return nil
+}
+
+// Mapping materializes a declared map as an algebra.Mapping.
+func (p *Problem) Mapping(name string) (*algebra.Mapping, error) {
+	m, ok := p.Maps[name]
+	if !ok {
+		return nil, fmt.Errorf("parser: unknown map %s", name)
+	}
+	from, to := p.Schemas[m.From], p.Schemas[m.To]
+	keys := from.Keys.Clone()
+	for r, k := range to.Keys {
+		keys[r] = append([]int(nil), k...)
+	}
+	return &algebra.Mapping{
+		In:          from.Sig.Clone(),
+		Out:         to.Sig.Clone(),
+		Keys:        keys,
+		Constraints: m.Constraints.Clone(),
+	}, nil
+}

@@ -1,0 +1,174 @@
+// Package parser implements the plain-text syntax for specifying mapping
+// composition tasks (§4 of the paper: "We designed a plain-text syntax for
+// specifying mapping composition tasks ... We built a parser that takes as
+// input a textual specification of a composition problem and converts it
+// into an internal algebraic representation").
+//
+// The grammar (see the package tests for worked examples):
+//
+//	file       := { stmt }
+//	stmt       := schemaDecl | mapDecl | composeDecl
+//	schemaDecl := "schema" IDENT "{" relDecl { ";" relDecl } "}"
+//	relDecl    := IDENT "/" INT [ "key" "[" ints "]" ]
+//	mapDecl    := "map" IDENT ":" IDENT "->" IDENT "{" { constraint ";" } "}"
+//	composeDecl:= "compose" IDENT "=" IDENT { "*" IDENT } ";"
+//	constraint := expr ("<=" | "=" | ">=") expr
+//	expr       := term   { ("+" | "-") term }
+//	term       := factor { "&" factor }
+//	factor     := primary { "*" primary }
+//	primary    := IDENT | IDENT ["[" ints "]"] "(" exprs ")"
+//	            | "D" ["^" INT] | "empty" "^" INT
+//	            | "proj" "[" ints "]" "(" expr ")"
+//	            | "sel" "[" cond "]" "(" expr ")"
+//	            | "sk" "[" IDENT ":" ints "]" "(" expr ")"
+//	            | "{" tuple { "," tuple } "}" | "{}" "^" INT
+//	            | "(" expr ")"
+//	cond       := ocond; ocond := acond { "|" acond }
+//	acond      := ucond { "&" ucond }
+//	ucond      := "!" ucond | "(" cond ")" | "true" | "false" | atom
+//	atom       := operand ("="|"!="|"<"|"<="|">"|">=") operand
+//	operand    := "#" INT | STRING
+//
+// Line comments start with "#" at the start of a token position followed by
+// a space or "--"; we use "--" to avoid clashing with column references.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokString // 'abc'
+	tokPunct  // one of the operator/punctuation tokens
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	col    int
+	tokens []token
+}
+
+// lex splits src into tokens; it reports the first malformed literal.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.tokens = append(l.tokens, t)
+		if t.kind == tokEOF {
+			return l.tokens, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			l.advance()
+			continue
+		}
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		return
+	}
+}
+
+// multi-byte punctuation, longest first.
+var punct2 = []string{"<=", ">=", "!=", "->"}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case c == '\'':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("parser: %d:%d: unterminated string literal", line, col)
+			}
+			ch := l.advance()
+			if ch == '\'' {
+				break
+			}
+			b.WriteByte(ch)
+		}
+		return token{kind: tokString, text: b.String(), line: line, col: col}, nil
+	case unicode.IsDigit(rune(c)):
+		var b strings.Builder
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.peekByte())) {
+			b.WriteByte(l.advance())
+		}
+		return token{kind: tokInt, text: b.String(), line: line, col: col}, nil
+	case unicode.IsLetter(rune(c)) || c == '_':
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.peekByte()
+			if unicode.IsLetter(rune(ch)) || unicode.IsDigit(rune(ch)) || ch == '_' {
+				b.WriteByte(l.advance())
+			} else {
+				break
+			}
+		}
+		return token{kind: tokIdent, text: b.String(), line: line, col: col}, nil
+	}
+	for _, p := range punct2 {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.advance()
+			l.advance()
+			return token{kind: tokPunct, text: p, line: line, col: col}, nil
+		}
+	}
+	switch c {
+	case '{', '}', '(', ')', '[', ']', ',', ';', ':', '#', '^', '+', '-', '*', '&', '|', '!', '=', '<', '>', '/':
+		l.advance()
+		return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+	}
+	return token{}, fmt.Errorf("parser: %d:%d: unexpected character %q", line, col, c)
+}

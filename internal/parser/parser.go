@@ -1,0 +1,736 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"mapcomp/internal/algebra"
+)
+
+// Problem is a parsed composition task file: named schemas, named mappings
+// between them, and composition requests.
+type Problem struct {
+	Schemas      map[string]*algebra.Schema
+	SchemaOrder  []string
+	Maps         map[string]*MapDecl
+	MapOrder     []string
+	Compositions []ComposeDecl
+}
+
+// MapDecl is a named mapping between two declared schemas.
+type MapDecl struct {
+	Name        string
+	From, To    string
+	Constraints algebra.ConstraintSet
+}
+
+// ComposeDecl requests the composition of a chain of mappings.
+type ComposeDecl struct {
+	Name string
+	Maps []string // at least two, composed left to right
+}
+
+// reserved words cannot name relations or schemas.
+var reserved = map[string]bool{
+	"schema": true, "map": true, "compose": true, "key": true,
+	"proj": true, "sel": true, "sk": true, "true": true, "false": true,
+	"D": true, "empty": true,
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) at(text string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == text
+}
+func (p *parser) atIdent(text string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && t.text == text
+}
+func (p *parser) bump() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("parser: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(text string) error {
+	if !p.at(text) {
+		return p.errf("expected %q, found %q", text, p.cur().text)
+	}
+	p.bump()
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", t.text)
+	}
+	p.bump()
+	return t.text, nil
+}
+
+func (p *parser) expectInt() (int, error) {
+	t := p.cur()
+	if t.kind != tokInt {
+		return 0, p.errf("expected integer, found %q", t.text)
+	}
+	p.bump()
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errf("bad integer %q", t.text)
+	}
+	return n, nil
+}
+
+// Parse parses a complete composition task file.
+func Parse(src string) (*Problem, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prob := &Problem{
+		Schemas: make(map[string]*algebra.Schema),
+		Maps:    make(map[string]*MapDecl),
+	}
+	for p.cur().kind != tokEOF {
+		switch {
+		case p.atIdent("schema"):
+			if err := p.parseSchema(prob); err != nil {
+				return nil, err
+			}
+		case p.atIdent("map"):
+			if err := p.parseMap(prob); err != nil {
+				return nil, err
+			}
+		case p.atIdent("compose"):
+			if err := p.parseCompose(prob); err != nil {
+				return nil, err
+			}
+		case p.at(";"):
+			p.bump()
+		default:
+			return nil, p.errf("expected schema, map or compose declaration, found %q", p.cur().text)
+		}
+	}
+	return prob, nil
+}
+
+func (p *parser) parseSchema(prob *Problem) error {
+	p.bump() // schema
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, dup := prob.Schemas[name]; dup {
+		return p.errf("schema %s declared twice", name)
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	sch := algebra.NewSchema()
+	for !p.at("}") {
+		rel, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if reserved[rel] {
+			return p.errf("%q is a reserved word and cannot name a relation", rel)
+		}
+		if err := p.expect("/"); err != nil {
+			return err
+		}
+		ar, err := p.expectInt()
+		if err != nil {
+			return err
+		}
+		if _, dup := sch.Sig[rel]; dup {
+			return p.errf("relation %s declared twice in schema %s", rel, name)
+		}
+		sch.Sig[rel] = ar
+		if p.atIdent("key") {
+			p.bump()
+			cols, err := p.parseIntList()
+			if err != nil {
+				return err
+			}
+			for _, c := range cols {
+				if c < 1 || c > ar {
+					return p.errf("key column %d out of range for %s/%d", c, rel, ar)
+				}
+			}
+			sch.Keys[rel] = cols
+		}
+		if p.at(";") || p.at(",") {
+			p.bump()
+		}
+	}
+	p.bump() // }
+	prob.Schemas[name] = sch
+	prob.SchemaOrder = append(prob.SchemaOrder, name)
+	return nil
+}
+
+func (p *parser) parseMap(prob *Problem) error {
+	p.bump() // map
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, dup := prob.Maps[name]; dup {
+		return p.errf("map %s declared twice", name)
+	}
+	if err := p.expect(":"); err != nil {
+		return err
+	}
+	from, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("->"); err != nil {
+		return err
+	}
+	to, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, ok := prob.Schemas[from]; !ok {
+		return p.errf("map %s references undeclared schema %s", name, from)
+	}
+	if _, ok := prob.Schemas[to]; !ok {
+		return p.errf("map %s references undeclared schema %s", name, to)
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	m := &MapDecl{Name: name, From: from, To: to}
+	for !p.at("}") {
+		c, err := p.parseConstraint()
+		if err != nil {
+			return err
+		}
+		m.Constraints = append(m.Constraints, c...)
+		if p.at(";") {
+			p.bump()
+		}
+	}
+	p.bump() // }
+	prob.Maps[name] = m
+	prob.MapOrder = append(prob.MapOrder, name)
+	return nil
+}
+
+func (p *parser) parseCompose(prob *Problem) error {
+	p.bump() // compose
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("="); err != nil {
+		return err
+	}
+	var maps []string
+	for {
+		m, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if _, ok := prob.Maps[m]; !ok {
+			return p.errf("compose %s references undeclared map %s", name, m)
+		}
+		maps = append(maps, m)
+		if !p.at("*") {
+			break
+		}
+		p.bump()
+	}
+	if len(maps) < 2 {
+		return p.errf("compose %s needs at least two maps", name)
+	}
+	if p.at(";") {
+		p.bump()
+	}
+	prob.Compositions = append(prob.Compositions, ComposeDecl{Name: name, Maps: maps})
+	return nil
+}
+
+// parseConstraint parses E1 <= E2, E1 = E2 or E1 >= E2 (sugar for E2 <= E1).
+func (p *parser) parseConstraint() (algebra.ConstraintSet, error) {
+	l, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.at("<="):
+		p.bump()
+		r, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.ConstraintSet{algebra.Contain(l, r)}, nil
+	case p.at(">="):
+		p.bump()
+		r, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.ConstraintSet{algebra.Contain(r, l)}, nil
+	case p.at("="):
+		p.bump()
+		r, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.ConstraintSet{algebra.Equate(l, r)}, nil
+	}
+	return nil, p.errf("expected <=, >= or = in constraint, found %q", p.cur().text)
+}
+
+// expression grammar with precedence +,- < & < *.
+func (p *parser) parseExpr() (algebra.Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("+") || p.at("-") {
+		op := p.bump().text
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if op == "+" {
+			l = algebra.Union{L: l, R: r}
+		} else {
+			l = algebra.Diff{L: l, R: r}
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseTerm() (algebra.Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("&") {
+		p.bump()
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = algebra.Inter{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseFactor() (algebra.Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("*") {
+		p.bump()
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = algebra.Cross{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parsePrimary() (algebra.Expr, error) {
+	t := p.cur()
+	switch {
+	case p.at("("):
+		p.bump()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.at("{"):
+		return p.parseLit()
+	case t.kind == tokIdent:
+		switch t.text {
+		case "D":
+			p.bump()
+			n := 1
+			if p.at("^") {
+				p.bump()
+				var err error
+				n, err = p.expectInt()
+				if err != nil {
+					return nil, err
+				}
+			}
+			return algebra.Domain{N: n}, nil
+		case "empty":
+			p.bump()
+			if err := p.expect("^"); err != nil {
+				return nil, err
+			}
+			n, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			return algebra.Empty{N: n}, nil
+		case "proj":
+			p.bump()
+			cols, err := p.parseIntList()
+			if err != nil {
+				return nil, err
+			}
+			e, err := p.parseParenExpr()
+			if err != nil {
+				return nil, err
+			}
+			return algebra.Project{Cols: cols, E: e}, nil
+		case "sel":
+			p.bump()
+			if err := p.expect("["); err != nil {
+				return nil, err
+			}
+			c, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e, err := p.parseParenExpr()
+			if err != nil {
+				return nil, err
+			}
+			return algebra.Select{Cond: c, E: e}, nil
+		case "sk":
+			p.bump()
+			if err := p.expect("["); err != nil {
+				return nil, err
+			}
+			fn, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			var deps []int
+			for p.cur().kind == tokInt {
+				d, err := p.expectInt()
+				if err != nil {
+					return nil, err
+				}
+				deps = append(deps, d)
+				if p.at(",") {
+					p.bump()
+				}
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e, err := p.parseParenExpr()
+			if err != nil {
+				return nil, err
+			}
+			return algebra.Skolem{Fn: fn, Deps: deps, E: e}, nil
+		default:
+			p.bump()
+			// Operator application: name[params](args) or name(args).
+			var params []int
+			if p.at("[") {
+				var err error
+				params, err = p.parseIntList()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if p.at("(") {
+				p.bump()
+				var args []algebra.Expr
+				for !p.at(")") {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.at(",") {
+						p.bump()
+					}
+				}
+				p.bump() // )
+				return algebra.App{Op: t.text, Params: params, Args: args}, nil
+			}
+			if params != nil {
+				return nil, p.errf("operator %s with parameters needs arguments", t.text)
+			}
+			return algebra.Rel{Name: t.text}, nil
+		}
+	}
+	return nil, p.errf("expected expression, found %q", t.text)
+}
+
+func (p *parser) parseParenExpr() (algebra.Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// parseLit parses {('a','b'),('c','d')} or {}^n.
+func (p *parser) parseLit() (algebra.Expr, error) {
+	p.bump() // {
+	if p.at("}") {
+		p.bump()
+		if err := p.expect("^"); err != nil {
+			return nil, err
+		}
+		n, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Lit{Width: n}, nil
+	}
+	var tuples []algebra.Tuple
+	width := 0
+	for {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var tup algebra.Tuple
+		for !p.at(")") {
+			t := p.cur()
+			if t.kind != tokString {
+				return nil, p.errf("expected string value in tuple, found %q", t.text)
+			}
+			p.bump()
+			tup = append(tup, algebra.Value(t.text))
+			if p.at(",") {
+				p.bump()
+			}
+		}
+		p.bump() // )
+		if len(tuples) == 0 {
+			width = len(tup)
+		} else if len(tup) != width {
+			return nil, p.errf("literal tuples have mixed arities %d and %d", width, len(tup))
+		}
+		tuples = append(tuples, tup)
+		if !p.at(",") {
+			break
+		}
+		p.bump()
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return algebra.Lit{Width: width, Tuples: tuples}, nil
+}
+
+func (p *parser) parseIntList() ([]int, error) {
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	var out []int
+	for p.cur().kind == tokInt {
+		n, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+		if p.at(",") {
+			p.bump()
+		}
+	}
+	if len(out) == 0 {
+		return nil, p.errf("expected at least one integer in list")
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// conditions: | lowest, & higher, ! highest.
+func (p *parser) parseCond() (algebra.Condition, error) {
+	l, err := p.parseAndCond()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("|") {
+		p.bump()
+		r, err := p.parseAndCond()
+		if err != nil {
+			return nil, err
+		}
+		l = algebra.Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAndCond() (algebra.Condition, error) {
+	l, err := p.parseUnaryCond()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("&") {
+		p.bump()
+		r, err := p.parseUnaryCond()
+		if err != nil {
+			return nil, err
+		}
+		l = algebra.And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnaryCond() (algebra.Condition, error) {
+	switch {
+	case p.at("!"):
+		p.bump()
+		c, err := p.parseUnaryCond()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Not{C: c}, nil
+	case p.at("("):
+		p.bump()
+		c, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case p.atIdent("true"):
+		p.bump()
+		return algebra.True, nil
+	case p.atIdent("false"):
+		p.bump()
+		return algebra.False, nil
+	}
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	var op algebra.CmpOp
+	switch {
+	case p.at("="):
+		op = algebra.CmpEq
+	case p.at("!="):
+		op = algebra.CmpNe
+	case p.at("<"):
+		op = algebra.CmpLt
+	case p.at("<="):
+		op = algebra.CmpLe
+	case p.at(">"):
+		op = algebra.CmpGt
+	case p.at(">="):
+		op = algebra.CmpGe
+	default:
+		return nil, p.errf("expected comparison operator, found %q", p.cur().text)
+	}
+	p.bump()
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return algebra.Cmp{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseOperand() (algebra.Operand, error) {
+	if p.at("#") {
+		p.bump()
+		n, err := p.expectInt()
+		if err != nil {
+			return algebra.Operand{}, err
+		}
+		return algebra.ColRef(n), nil
+	}
+	t := p.cur()
+	if t.kind == tokString {
+		p.bump()
+		return algebra.ConstRef(algebra.Value(t.text)), nil
+	}
+	return algebra.Operand{}, p.errf("expected #col or string constant, found %q", t.text)
+}
+
+// ParseExpr parses a single expression; handy for tests and examples.
+func ParseExpr(src string) (algebra.Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return e, nil
+}
+
+// ParseConstraints parses a semicolon/newline-separated list of constraints.
+func ParseConstraints(src string) (algebra.ConstraintSet, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out algebra.ConstraintSet
+	for p.cur().kind != tokEOF {
+		if p.at(";") {
+			p.bump()
+			continue
+		}
+		cs, err := p.parseConstraint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs...)
+	}
+	return out, nil
+}
+
+// MustParseExpr is ParseExpr that panics on error; for tests and fixtures.
+func MustParseExpr(src string) algebra.Expr {
+	e, err := ParseExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// MustParseConstraints is ParseConstraints that panics on error.
+func MustParseConstraints(src string) algebra.ConstraintSet {
+	cs, err := ParseConstraints(src)
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}

@@ -1,0 +1,269 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mapcomp/internal/algebra"
+)
+
+func TestParseExprBasics(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"R", "R"},
+		{"R + S", "R + S"},
+		{"R + S * T", "R + S * T"},
+		{"(R + S) * T", "(R + S) * T"},
+		{"R & S & T", "R & S & T"},
+		{"R - S - T", "R - S - T"},
+		{"R - (S - T)", "R - (S - T)"},
+		{"D", "D"},
+		{"D^3", "D^3"},
+		{"empty^2", "empty^2"},
+		{"proj[1,3](R)", "proj[1,3](R)"},
+		{"sel[#1='a'](R)", "sel[#1='a'](R)"},
+		{"sel[#1=#2 & #3!='x'](R)", "sel[(#1=#2 & #3!='x')](R)"},
+		{"sel[!(#1<#2) | true](R)", "sel[(!(#1<#2) | true)](R)"},
+		{"sk[f:1,2](R)", "sk[f:1,2](R)"},
+		{"{('a','b'),('c','d')}", "{('a','b'),('c','d')}"},
+		{"{}^2", "{}^2"},
+		{"join[1,1](R, S)", "join[1,1](R, S)"},
+		{"tc(R)", "tc(R)"},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.in)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", c.in, err)
+			continue
+		}
+		if e.String() != c.want {
+			t.Errorf("ParseExpr(%q).String() = %q, want %q", c.in, e.String(), c.want)
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"R +",
+		"proj[](R)",
+		"proj[1](",
+		"sel[#1](R)",        // missing comparison
+		"sel[#1=](R)",       // missing operand
+		"sk[f](R)",          // missing deps separator
+		"{('a'),('b','c')}", // mixed arities
+		"R ) S",
+		"'unterminated",
+		"proj[1] R",
+		"@",
+	}
+	for _, in := range bad {
+		if _, err := ParseExpr(in); err == nil {
+			t.Errorf("ParseExpr(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseConstraints(t *testing.T) {
+	cs, err := ParseConstraints("R <= S; S = T;\nT >= proj[1,2](U)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 3 {
+		t.Fatalf("got %d constraints", len(cs))
+	}
+	if cs[0].Kind != algebra.Containment || cs[1].Kind != algebra.Equality {
+		t.Error("constraint kinds wrong")
+	}
+	// >= flips into a containment with swapped sides.
+	if cs[2].String() != "proj[1,2](U) <= T" {
+		t.Errorf("cs[2] = %s", cs[2])
+	}
+}
+
+func TestParseProblemFile(t *testing.T) {
+	src := `
+-- a complete composition task
+schema s1 { R/2 key[1]; T/3; }
+schema s2 { S/2; }
+schema s3 { U/2; }
+
+map m12 : s1 -> s2 { R <= S; }
+map m23 : s2 -> s3 { S <= U; }
+
+compose m13 = m12 * m23;
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.SchemaOrder) != 3 || len(p.MapOrder) != 2 || len(p.Compositions) != 1 {
+		t.Fatalf("unexpected problem shape: %+v", p)
+	}
+	if got := p.Schemas["s1"].Keys["R"]; len(got) != 1 || got[0] != 1 {
+		t.Errorf("key not parsed: %v", got)
+	}
+	m, err := p.Mapping("m12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.In["R"] != 2 || m.Out["S"] != 2 {
+		t.Error("Mapping signatures wrong")
+	}
+	if len(p.Compositions[0].Maps) != 2 {
+		t.Error("compose chain wrong")
+	}
+}
+
+func TestParseProblemErrors(t *testing.T) {
+	bad := []string{
+		"schema s { R/2; R/3; }",                                   // duplicate relation
+		"schema s { R/2; } schema s { T/1; }",                      // duplicate schema
+		"map m : a -> b {}",                                        // unknown schemas
+		"schema a { R/1; } schema b { S/1; } compose c = m1 * m2;", // unknown maps
+		"schema a { R/2 key[5]; }",                                 // key out of range
+		"schema a { proj/2; }",                                     // reserved word
+		"schema a { R/1; } schema b { S/1; } map m : a -> b { R <= S; } compose c = m;", // single map
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestValidateCatchesArityErrors(t *testing.T) {
+	src := `
+schema a { R/2; }
+schema b { S/3; }
+map m : a -> b { R <= S; }
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(p); err == nil {
+		t.Error("Validate accepted an arity-mismatched constraint")
+	}
+}
+
+func TestValidateCatchesChainMismatch(t *testing.T) {
+	src := `
+schema a { R/2; }
+schema b { S/2; }
+schema c { T/2; }
+map m1 : a -> b { R <= S; }
+map m2 : c -> a { T <= R; }
+compose x = m1 * m2;
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(p); err == nil {
+		t.Error("Validate accepted a mismatched compose chain")
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	src := `
+schema s1 { R/2 key[1]; T/3; }
+schema s2 { S/2; }
+map m : s1 -> s2 {
+  proj[1,2](sel[#1='a'](R)) <= S;
+  S = proj[1,2](T);
+}
+compose c = m * m;
+`
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(p1)
+	p2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse of Format output failed: %v\n%s", err, text)
+	}
+	if Format(p2) != text {
+		t.Errorf("Format not idempotent:\n%s\nvs\n%s", text, Format(p2))
+	}
+}
+
+// randExpr generates a random well-formed expression over sig for the
+// round-trip property test.
+func randExpr(rng *rand.Rand, depth int) algebra.Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return algebra.R("R")
+		case 1:
+			return algebra.R("S")
+		case 2:
+			return algebra.Domain{N: 2}
+		default:
+			return algebra.Lit{Width: 2, Tuples: []algebra.Tuple{{"a", "b"}}}
+		}
+	}
+	switch rng.Intn(7) {
+	case 0:
+		return algebra.Union{L: randExpr(rng, depth-1), R: randExpr(rng, depth-1)}
+	case 1:
+		return algebra.Inter{L: randExpr(rng, depth-1), R: randExpr(rng, depth-1)}
+	case 2:
+		return algebra.Diff{L: randExpr(rng, depth-1), R: randExpr(rng, depth-1)}
+	case 3:
+		return algebra.Project{Cols: []int{2, 1}, E: randExpr(rng, depth-1)}
+	case 4:
+		return algebra.Select{Cond: algebra.EqCols(1, 2), E: randExpr(rng, depth-1)}
+	case 5:
+		return algebra.Select{Cond: algebra.Or{
+			L: algebra.EqConst(1, "x"),
+			R: algebra.Not{C: algebra.EqCols(1, 2)},
+		}, E: randExpr(rng, depth-1)}
+	default:
+		return algebra.Skolem{Fn: "f", Deps: []int{1}, E: randExpr(rng, depth-1)}
+	}
+}
+
+// TestExprRoundTripProperty: parse(print(e)) == e for random expressions.
+func TestExprRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randExpr(r, 4)
+		back, err := ParseExpr(e.String())
+		if err != nil {
+			t.Logf("parse failed for %q: %v", e.String(), err)
+			return false
+		}
+		return algebra.Equal(e, back)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	cs, err := ParseConstraints("-- leading comment\nR <= S; -- trailing\n\n  S <= T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("got %d constraints", len(cs))
+	}
+	if !strings.Contains(cs[1].String(), "T") {
+		t.Error("second constraint lost")
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	_, err := ParseExpr("R +\n  @")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error should cite line 2, got %v", err)
+	}
+}

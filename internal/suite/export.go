@@ -1,0 +1,38 @@
+package suite
+
+import (
+	"fmt"
+
+	"mapcomp/internal/algebra"
+	"mapcomp/internal/parser"
+)
+
+// TaskFile renders the problem in the plain-text composition-task format
+// of §4 ("All composition problems used in our experiments are available
+// for online download in a machine-readable format"). The constraint set
+// is emitted as a self-mapping over the problem's full signature; the
+// elimination targets are recorded in a comment header, since they are an
+// input to the algorithm rather than part of the mapping itself. The
+// output re-parses to an identical constraint set (verified by the
+// package tests), standing in for the paper's lost downloadable suite.
+func (p *Problem) TaskFile() (string, error) {
+	cs, err := parser.ParseConstraints(p.Constraints)
+	if err != nil {
+		return "", err
+	}
+	sch := algebra.NewSchema()
+	sch.Sig = p.Sig.Clone()
+	if p.Keys != nil {
+		sch.Keys = p.Keys.Clone()
+	}
+	prob := &parser.Problem{
+		Schemas:     map[string]*algebra.Schema{"sigma": sch},
+		SchemaOrder: []string{"sigma"},
+		Maps: map[string]*parser.MapDecl{
+			"m": {Name: "m", From: "sigma", To: "sigma", Constraints: cs},
+		},
+		MapOrder: []string{"m"},
+	}
+	header := fmt.Sprintf("-- problem: %s\n-- source: %s\n-- targets: %v\n", p.Name, p.Source, p.Targets)
+	return header + parser.Format(prob), nil
+}

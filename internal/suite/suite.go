@@ -1,0 +1,336 @@
+// Package suite contains the library's counterpart of the paper's first
+// experimental data set: "22 composition problems drawn from the recent
+// literature [5, 7, 8], which illustrate subtle composition issues ... this
+// data set serves as a test suite that can be used for verifying
+// implementations of composition" (§4).
+//
+// The original download link is long dead, so the problems are re-encoded
+// from the paper's own worked examples (Examples 1–17), the published
+// examples of Fagin-Kolaitis-Popa-Tan [5] and Nash-Bernstein-Melnik [8],
+// and constructed cases covering the extended operators (outer join,
+// semijoin, anti-semijoin, set difference, transitive closure, unknown
+// operators) that §1.3 claims as contributions. Every problem records the
+// expected outcome; problems marked Verify are additionally checked for
+// semantic equivalence per §2 by exhaustive instance enumeration.
+package suite
+
+import (
+	"fmt"
+
+	"mapcomp/internal/algebra"
+	"mapcomp/internal/core"
+	"mapcomp/internal/eval"
+	_ "mapcomp/internal/ops" // register join/semijoin/antijoin/lojoin/tc
+	"mapcomp/internal/parser"
+)
+
+// Problem is one composition task with its expected outcome.
+type Problem struct {
+	Name   string
+	Source string // citation: paper example or literature reference
+	Sig    algebra.Signature
+	Keys   algebra.Keys
+	// Constraints is the input Σ in the library's text syntax.
+	Constraints string
+	// Targets are the σ2 symbols to eliminate, in order.
+	Targets []string
+	// WantEliminated and WantRemaining partition Targets.
+	WantEliminated []string
+	WantRemaining  []string
+	// Verify enables the exhaustive §2 equivalence check (only for
+	// signatures small enough to enumerate).
+	Verify bool
+}
+
+// Outcome is the result of running one problem.
+type Outcome struct {
+	Problem    *Problem
+	Eliminated []string
+	Remaining  []string
+	Output     algebra.ConstraintSet
+	Err        error
+}
+
+// Run executes the problem under the given configuration (nil = default).
+func (p *Problem) Run(cfg *core.Config) *Outcome {
+	if cfg == nil {
+		cfg = core.DefaultConfig()
+	}
+	if cfg.Keys == nil && p.Keys != nil {
+		cfg = cfg.Clone()
+		cfg.Keys = p.Keys
+	}
+	out := &Outcome{Problem: p}
+	cs, err := parser.ParseConstraints(p.Constraints)
+	if err != nil {
+		out.Err = fmt.Errorf("suite %s: %w", p.Name, err)
+		return out
+	}
+	if err := cs.Check(p.Sig); err != nil {
+		out.Err = fmt.Errorf("suite %s: %w", p.Name, err)
+		return out
+	}
+	sig := p.Sig.Clone()
+	for _, s := range p.Targets {
+		next, _, ok := core.Eliminate(sig, cs, s, cfg)
+		if ok {
+			cs = next
+			delete(sig, s)
+			out.Eliminated = append(out.Eliminated, s)
+		} else {
+			out.Remaining = append(out.Remaining, s)
+		}
+	}
+	out.Output = cs
+	return out
+}
+
+// VerifyEquivalence checks Σ_in ≡ Σ_out per §2 with respect to the
+// eliminated symbols, by exhaustive enumeration over a two-value domain.
+func (o *Outcome) VerifyEquivalence() error {
+	in, err := parser.ParseConstraints(o.Problem.Constraints)
+	if err != nil {
+		return err
+	}
+	sub := o.Problem.Sig.Clone()
+	for _, s := range o.Eliminated {
+		delete(sub, s)
+	}
+	return eval.CheckEquivalence(in, o.Problem.Sig, o.Output, sub, eval.DefaultEnumConfig())
+}
+
+// Check compares the outcome against the expected elimination results.
+func (o *Outcome) Check() error {
+	if o.Err != nil {
+		return o.Err
+	}
+	if !sameStrings(o.Eliminated, o.Problem.WantEliminated) {
+		return fmt.Errorf("suite %s: eliminated %v, want %v", o.Problem.Name, o.Eliminated, o.Problem.WantEliminated)
+	}
+	if !sameStrings(o.Remaining, o.Problem.WantRemaining) {
+		return fmt.Errorf("suite %s: remaining %v, want %v", o.Problem.Name, o.Remaining, o.Problem.WantRemaining)
+	}
+	for _, c := range o.Output {
+		for _, s := range o.Eliminated {
+			if c.ContainsRel(s) {
+				return fmt.Errorf("suite %s: eliminated symbol %s still occurs in %s", o.Problem.Name, s, c)
+			}
+		}
+	}
+	return nil
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[string]int)
+	for _, s := range a {
+		seen[s]++
+	}
+	for _, s := range b {
+		seen[s]--
+		if seen[s] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func sig(pairs ...any) algebra.Signature { return algebra.NewSignature(pairs...) }
+
+func init() {
+	// "mystery" is the suite's partially-known operator: an arity rule
+	// and nothing else — no monotonicity table, no expansion, no
+	// evaluation. The algorithm must tolerate it (§1.3).
+	algebra.RegisterOp(&algebra.OpInfo{
+		Name:  "mystery",
+		NArgs: 1,
+		Arity: func(args []int, _ []int) (int, error) { return args[0], nil },
+	})
+}
+
+// Problems returns the 22-problem suite.
+func Problems() []*Problem {
+	return []*Problem{
+		{
+			Name: "transitivity", Source: "paper Example 3",
+			Sig:         sig("R", 1, "S", 1, "T", 1),
+			Constraints: "R <= S; S <= T",
+			Targets:     []string{"S"}, WantEliminated: []string{"S"},
+			Verify: true,
+		},
+		{
+			Name: "view-unfolding", Source: "paper Example 4(1)",
+			Sig:         sig("R", 1, "T", 1, "S", 2, "U", 2),
+			Constraints: "S = R * T; proj[1,2](U) - S <= U",
+			Targets:     []string{"S"}, WantEliminated: []string{"S"},
+			Verify: true,
+		},
+		{
+			Name: "left-compose-inter", Source: "paper Example 4(2)",
+			Sig:         sig("R", 2, "S", 2, "V", 2, "T", 1, "U", 1),
+			Constraints: "R <= S & V; S <= T * U",
+			Targets:     []string{"S"}, WantEliminated: []string{"S"},
+			Verify: true,
+		},
+		{
+			Name: "right-compose-diff", Source: "paper Example 4(3)",
+			Sig:         sig("T", 1, "U", 1, "S", 2, "R", 2, "W", 3),
+			Constraints: "T * U <= S; S - proj[1,2](W) <= R",
+			Targets:     []string{"S"}, WantEliminated: []string{"S"},
+		},
+		{
+			Name: "unfold-under-nonmonotone", Source: "paper Example 5",
+			Sig:         sig("R1", 1, "R2", 1, "R3", 2, "S", 2, "T1", 1, "T2", 2, "T3", 2),
+			Constraints: "S = R1 * R2; proj[1](R3 - S) <= T1; T2 <= T3 - sel[#1=#2](S)",
+			Targets:     []string{"S"}, WantEliminated: []string{"S"},
+		},
+		{
+			Name: "left-normalize-diff-proj", Source: "paper Examples 7/10",
+			Sig:         sig("R", 2, "S", 2, "T", 2, "U", 1),
+			Constraints: "R - S <= T; proj[1](S) <= U",
+			Targets:     []string{"S"}, WantEliminated: []string{"S"},
+			Verify: true,
+		},
+		{
+			Name: "inter-on-left", Source: "paper Example 8",
+			// Left normalization fails (no ∩ rule), but S is bounded
+			// below by nothing, so right compose sets S := ∅.
+			Sig:         sig("R", 2, "S", 2, "T", 2, "U", 1),
+			Constraints: "R & S <= T; proj[1](S) <= U",
+			Targets:     []string{"S"}, WantEliminated: []string{"S"},
+			Verify: true,
+		},
+		{
+			Name: "domain-bound", Source: "paper Examples 9/11/12",
+			Sig:         sig("R", 2, "S", 2, "T", 2, "U", 1),
+			Constraints: "R & T <= S; U <= proj[1](S)",
+			Targets:     []string{"S"}, WantEliminated: []string{"S"},
+			Verify: true,
+		},
+		{
+			Name: "right-normalize-chain", Source: "paper Examples 13/15",
+			Sig:         sig("S", 1, "T", 2, "U", 3, "R", 2),
+			Constraints: "S * T <= U; T <= sel[#1='a'](S) * proj[1](R)",
+			Targets:     []string{"S"}, WantEliminated: []string{"S"},
+			Verify: true,
+		},
+		{
+			Name: "skolem-roundtrip", Source: "paper Examples 14/16",
+			Sig:         sig("R", 1, "S", 1, "T", 1, "U", 1),
+			Constraints: "R <= proj[1](S * (T & U)); S <= sel[#1='a'](T)",
+			Targets:     []string{"S"}, WantEliminated: []string{"S"},
+			Verify: true,
+		},
+		{
+			Name: "fagin-inexpressible", Source: "paper Example 17 / Fagin et al. [5]",
+			// F is eliminable; C is provably not (deskolemization
+			// fails on the repeated function symbol).
+			Sig: sig("E", 2, "F", 2, "C", 2, "Drel", 2),
+			Constraints: "E <= F; proj[1](E) <= proj[1](C); proj[2](E) <= proj[1](C);" +
+				"proj[4,6](sel[#1=#3 & #2=#5](F * C * C)) <= Drel",
+			Targets:        []string{"F", "C"},
+			WantEliminated: []string{"F"}, WantRemaining: []string{"C"},
+		},
+		{
+			Name: "transitive-closure", Source: "paper §1.3 / Nash et al. [8] Theorem 1",
+			Sig:         sig("R", 2, "S", 2, "T", 2),
+			Constraints: "R <= S; S = tc(S); S <= T",
+			Targets:     []string{"S"}, WantRemaining: []string{"S"},
+		},
+		{
+			Name: "movies", Source: "paper Example 1",
+			Sig: sig("Movies", 6, "FiveStarMovies", 3, "Names", 2, "Years", 2),
+			Constraints: "proj[1,2,3](sel[#4='5'](Movies)) <= FiveStarMovies;" +
+				"proj[1,2,3](FiveStarMovies) <= proj[1,2,4](sel[#1=#3](Names * Years))",
+			Targets: []string{"FiveStarMovies"}, WantEliminated: []string{"FiveStarMovies"},
+		},
+		{
+			Name: "glav-chain", Source: "paper §4.1 (DA then Sub)",
+			Sig:         sig("R", 2, "S", 1, "T", 1),
+			Constraints: "proj[1](R) = S; S <= T",
+			Targets:     []string{"S"}, WantEliminated: []string{"S"},
+			Verify: true,
+		},
+		{
+			Name: "skolem-witness", Source: "Nash et al. [8] §5 flavour",
+			// R ⊆ π1(S), S ⊆ T × U: elimination of S requires a Skolem
+			// witness that deskolemizes to R ⊆ π1(T × U).
+			Sig:         sig("R", 1, "S", 2, "T", 1, "U", 1),
+			Constraints: "R <= proj[1](S); S <= T * U",
+			Targets:     []string{"S"}, WantEliminated: []string{"S"},
+			Verify: true,
+		},
+		{
+			Name: "horizontal-partition", Source: "Figure 1 H primitives",
+			Sig: sig("M", 2, "P", 2, "Q", 2, "W", 2),
+			Constraints: "sel[#1='a'](M) = P; sel[#1='b'](M) = Q;" +
+				"P + Q <= W",
+			Targets:        []string{"P", "Q"},
+			WantEliminated: []string{"P", "Q"},
+			Verify:         true,
+		},
+		{
+			Name: "vertical-join", Source: "Figure 1 V primitives / Melnik et al. [7] flavour",
+			Sig:  sig("R", 3, "S", 2, "T", 2, "W", 3),
+			Keys: algebra.Keys{"R": {1}},
+			Constraints: "proj[1,2](R) = S; proj[1,3](R) = T;" +
+				"proj[1,2,4](join[1,1](S, T)) <= W",
+			Targets:        []string{"S", "T"},
+			WantEliminated: []string{"S", "T"},
+		},
+		{
+			Name: "outerjoin-monotone-first", Source: "paper §1.3 (left outer join)",
+			// lojoin is monotone in its first argument only; the
+			// substitution through it is legal without knowing how to
+			// normalize the operator.
+			Sig:         sig("E", 2, "S", 2, "V", 2, "W", 4),
+			Constraints: "E <= S; lojoin[1,1](S, V) <= W",
+			Targets:     []string{"S"}, WantEliminated: []string{"S"},
+		},
+		{
+			Name: "outerjoin-blocks-second", Source: "paper §1.3 (left outer join)",
+			// S in lojoin's second argument is neither monotone nor
+			// anti-monotone, so no compose step may substitute there
+			// and S survives.
+			Sig:         sig("E", 2, "S", 2, "V", 2, "W", 4),
+			Constraints: "E <= S; lojoin[1,1](V, S) <= W",
+			Targets:     []string{"S"}, WantRemaining: []string{"S"},
+		},
+		{
+			Name: "semijoin-through", Source: "paper §1.3 (semijoin)",
+			Sig:         sig("E", 2, "S", 2, "V", 2, "W", 2),
+			Constraints: "E <= S; semijoin[1,1](S, V) <= W",
+			Targets:     []string{"S"}, WantEliminated: []string{"S"},
+		},
+		{
+			Name: "partially-known-operator", Source: "paper §1.3 (unknown operators)",
+			// "mystery" is registered with an arity rule only: MONOTONE
+			// answers 'u', both compose steps refuse to substitute
+			// beneath it, and unfolding still succeeds because
+			// substitution through an equality needs no operator
+			// knowledge at all.
+			Sig:         sig("R", 2, "S", 2, "T", 2),
+			Constraints: "S = proj[2,1](R); T <= mystery(S)",
+			Targets:     []string{"S"}, WantEliminated: []string{"S"},
+		},
+		{
+			Name: "key-constraint-blocks-deskolemization", Source: "paper Example 2 + §4.2 keys study",
+			// The algebraic key constraint mentions S twice (S × S);
+			// right compose substitutes a Skolemized witness into both
+			// occurrences, so the same function symbol appears twice in
+			// one constraint and deskolemization step 3 fails. This is
+			// the behaviour §4 reports: "our technique of representing
+			// key constraints using the active domain symbol works well
+			// in many cases, but fails in others due to
+			// de-Skolemization".
+			Sig:  sig("R", 2, "S", 3, "T", 3),
+			Keys: algebra.Keys{"S": {1}},
+			Constraints: "R = proj[1,2](S); S <= T;" +
+				"proj[2,3,5,6](sel[#1=#4](S * S)) <= sel[#1=#3 & #2=#4](D^4)",
+			Targets:       []string{"S"},
+			WantRemaining: []string{"S"},
+		},
+	}
+}

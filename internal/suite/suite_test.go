@@ -1,0 +1,92 @@
+package suite
+
+import (
+	"testing"
+
+	"mapcomp/internal/parser"
+)
+
+// TestSuiteCount pins the paper's data-set size: "22 composition problems
+// drawn from the recent literature".
+func TestSuiteCount(t *testing.T) {
+	if n := len(Problems()); n != 22 {
+		t.Fatalf("suite has %d problems, want 22", n)
+	}
+}
+
+// TestSuiteOutcomes runs every problem and checks the expected
+// elimination outcome.
+func TestSuiteOutcomes(t *testing.T) {
+	for _, p := range Problems() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			out := p.Run(nil)
+			if err := out.Check(); err != nil {
+				t.Fatalf("%v\noutput:\n%s", err, out.Output)
+			}
+		})
+	}
+}
+
+// TestSuiteSemanticEquivalence exhaustively verifies §2 equivalence for
+// the problems marked Verify.
+func TestSuiteSemanticEquivalence(t *testing.T) {
+	for _, p := range Problems() {
+		if !p.Verify {
+			continue
+		}
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			out := p.Run(nil)
+			if err := out.Check(); err != nil {
+				t.Fatal(err)
+			}
+			if err := out.VerifyEquivalence(); err != nil {
+				t.Fatalf("%v\noutput:\n%s", err, out.Output)
+			}
+		})
+	}
+}
+
+// TestSuiteTaskFileRoundTrip: every problem serializes to the §4 plain-
+// text task format and re-parses to the same constraint set.
+func TestSuiteTaskFileRoundTrip(t *testing.T) {
+	for _, p := range Problems() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			text, err := p.TaskFile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := parser.Parse(text)
+			if err != nil {
+				t.Fatalf("task file does not re-parse: %v\n%s", err, text)
+			}
+			if err := parser.Validate(parsed); err != nil {
+				t.Fatalf("task file invalid: %v\n%s", err, text)
+			}
+			orig, err := parser.ParseConstraints(p.Constraints)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := parsed.Maps["m"].Constraints
+			if got.String() != orig.String() {
+				t.Errorf("constraints changed in round trip:\n%s\nvs\n%s", orig, got)
+			}
+		})
+	}
+}
+
+// TestSuiteUniqueNames guards against copy-paste duplicates.
+func TestSuiteUniqueNames(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, p := range Problems() {
+		if seen[p.Name] {
+			t.Errorf("duplicate problem name %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Source == "" {
+			t.Errorf("problem %s has no source citation", p.Name)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package mapcomp is a Go implementation of the mapping composition
+// algorithm of Bernstein, Green, Melnik and Nash, "Implementing Mapping
+// Composition", VLDB 2006.
+//
+// A mapping is a set of constraints — containments or equalities between
+// relational-algebra expressions — over the union of an input and an
+// output schema. Given a mapping over σ1,σ2 and a mapping over σ2,σ3,
+// Compose produces an equivalent mapping over σ1,σ3 by eliminating the σ2
+// symbols one at a time with three strategies: view unfolding, left
+// compose, and right compose (with Skolemization and deskolemization). The
+// algorithm is best-effort: symbols that cannot be eliminated are kept,
+// and the result remains a correct — if larger-signatured — mapping.
+//
+// # Quick start
+//
+//	problem, _ := mapcomp.ParseProblem(src)   // schemas, maps, compose decls
+//	results, _ := mapcomp.Run(problem)
+//	for _, r := range results {
+//	    fmt.Println(r.Name, r.Result.Constraints)
+//	}
+//
+// or programmatically:
+//
+//	m12 := &mapcomp.Mapping{In: s1, Out: s2, Constraints: cs12}
+//	m23 := &mapcomp.Mapping{In: s2, Out: s3, Constraints: cs23}
+//	res, _ := mapcomp.Compose(m12, m23, nil)
+//
+// The examples/ directory contains four runnable walkthroughs, and
+// cmd/mapcompose is a command-line front end for the text format parsed by
+// ParseProblem (see internal/parser for the grammar).
+package mapcomp
+
+import (
+	"fmt"
+	"sort"
+
+	"mapcomp/internal/algebra"
+	"mapcomp/internal/core"
+	"mapcomp/internal/parser"
+
+	_ "mapcomp/internal/ops" // register join, semijoin, antijoin, lojoin, tc
+)
+
+// Re-exported algebra types. Expressions are built either with the text
+// syntax (ParseExpr) or the constructors in this package.
+type (
+	// Expr is a relational algebra expression (unnamed perspective).
+	Expr = algebra.Expr
+	// Constraint is E1 ⊆ E2 or E1 = E2.
+	Constraint = algebra.Constraint
+	// ConstraintSet is an ordered list of constraints.
+	ConstraintSet = algebra.ConstraintSet
+	// Signature maps relation names to arities.
+	Signature = algebra.Signature
+	// Keys records known key columns per relation.
+	Keys = algebra.Keys
+	// Schema bundles a signature with key information.
+	Schema = algebra.Schema
+	// Mapping is (σ_in, σ_out, Σ) as defined in §2 of the paper.
+	Mapping = algebra.Mapping
+	// Config selects algorithm features (view unfolding, left/right
+	// compose, blow-up bound, key knowledge, simplification).
+	Config = core.Config
+	// Result is a composition outcome: final signature, constraints,
+	// eliminated and surviving symbols, statistics.
+	Result = core.Result
+	// Step names the strategy that eliminated a symbol.
+	Step = core.Step
+	// Problem is a parsed composition task file.
+	Problem = parser.Problem
+	// OpInfo describes a user-defined operator registration.
+	OpInfo = algebra.OpInfo
+	// Mono is the four-valued monotonicity status of the MONOTONE
+	// procedure (§3.3): monotone, anti-monotone, independent, unknown.
+	Mono = algebra.Mono
+)
+
+// Monotonicity statuses for user-defined operator tables.
+const (
+	MonoM = algebra.MonoM // monotone
+	MonoA = algebra.MonoA // anti-monotone
+	MonoI = algebra.MonoI // independent
+	MonoU = algebra.MonoU // unknown
+)
+
+// NewSignature builds a signature from name/arity pairs:
+// NewSignature("R", 2, "S", 3).
+func NewSignature(pairs ...any) Signature { return algebra.NewSignature(pairs...) }
+
+// DefaultConfig enables every algorithm feature with the paper's blow-up
+// factor of 100.
+func DefaultConfig() *Config { return core.DefaultConfig() }
+
+// ParseProblem parses a composition task file (schemas, maps, compose
+// declarations) in the library's text format.
+func ParseProblem(src string) (*Problem, error) {
+	p, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := parser.Validate(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// FormatProblem renders a problem back into the text format.
+func FormatProblem(p *Problem) string { return parser.Format(p) }
+
+// ParseConstraints parses a semicolon-separated list of constraints.
+func ParseConstraints(src string) (ConstraintSet, error) {
+	return parser.ParseConstraints(src)
+}
+
+// ParseExpr parses a single relational-algebra expression.
+func ParseExpr(src string) (Expr, error) { return parser.ParseExpr(src) }
+
+// SubstituteRel returns e with every occurrence of relation name replaced
+// by repl. Combined with ParseExpr it lets callers build expression
+// templates (e.g. operator expansions) without constructing AST nodes.
+func SubstituteRel(e Expr, name string, repl Expr) Expr {
+	return algebra.SubstituteRel(e, name, repl)
+}
+
+// Compose composes two mappings, eliminating as many intermediate symbols
+// (m12.Out = m23.In) as possible. cfg may be nil for defaults. The order
+// of elimination follows sorted symbol names; use ComposeOrdered for an
+// explicit order.
+func Compose(m12, m23 *Mapping, cfg *Config) (*Result, error) {
+	return core.ComposeMappings(m12, m23, nil, cfg)
+}
+
+// ComposeOrdered is Compose with a user-specified symbol elimination order
+// (the order can matter for which symbols get eliminated; see §3.1).
+func ComposeOrdered(m12, m23 *Mapping, order []string, cfg *Config) (*Result, error) {
+	return core.ComposeMappings(m12, m23, order, cfg)
+}
+
+// Eliminate attempts to remove a single relation symbol from a constraint
+// set, returning the rewritten constraints, the successful strategy, and
+// whether elimination succeeded.
+func Eliminate(sig Signature, cs ConstraintSet, symbol string, cfg *Config) (ConstraintSet, Step, bool) {
+	if cfg == nil {
+		cfg = core.DefaultConfig()
+	}
+	return core.Eliminate(sig, cs, symbol, cfg)
+}
+
+// Simplify applies the domain/empty-relation elimination rules and other
+// size-reducing identities to a constraint set.
+func Simplify(cs ConstraintSet, sig Signature) ConstraintSet {
+	return core.SimplifyConstraints(cs, sig)
+}
+
+// RemoveImplied drops containment constraints provably entailed by the
+// rest of the set — the output-mapping simplification §4 of the paper
+// identifies as essential ("detecting and removing implied constraints").
+// The entailment check is sound but incomplete.
+func RemoveImplied(cs ConstraintSet, sig Signature) ConstraintSet {
+	return core.RemoveImplied(cs, sig)
+}
+
+// RegisterOperator installs a user-defined operator: its arity discipline,
+// monotonicity table and optional evaluation. This is the paper's §1.3
+// extensibility mechanism; see internal/ops for how join, semijoin,
+// anti-semijoin, left outer join and transitive closure are registered
+// through exactly this interface.
+func RegisterOperator(info *OpInfo) { algebra.RegisterOp(info) }
+
+// RegisterExpansion installs an expansion of a registered operator into
+// more primitive expressions, used by normalization steps that need to
+// look inside the operator.
+func RegisterExpansion(op string, expand func(params []int, args []Expr, argArities []int) (Expr, bool)) {
+	algebra.RegisterDesugar(op, algebra.DesugarFunc(expand))
+}
+
+// NamedResult pairs a compose declaration with its outcome.
+type NamedResult struct {
+	Name   string
+	Result *Result
+}
+
+// Run executes every compose declaration in a parsed problem, chaining
+// multi-map compositions left to right.
+func Run(p *Problem) ([]NamedResult, error) {
+	return RunWithConfig(p, nil)
+}
+
+// RunWithConfig is Run with an explicit configuration.
+func RunWithConfig(p *Problem, cfg *Config) ([]NamedResult, error) {
+	var out []NamedResult
+	for _, decl := range p.Compositions {
+		cur, err := p.Mapping(decl.Maps[0])
+		if err != nil {
+			return nil, err
+		}
+		var res *Result
+		eliminated := make(map[string]Step)
+		for _, next := range decl.Maps[1:] {
+			m, err := p.Mapping(next)
+			if err != nil {
+				return nil, err
+			}
+			res, err = core.ComposeMappings(cur, m, nil, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("compose %s: %w", decl.Name, err)
+			}
+			for s, step := range res.Eliminated {
+				eliminated[s] = step
+			}
+			// Chain: the composition becomes the next left operand;
+			// its signature keeps any symbols that resisted
+			// elimination, so later compositions may retry them.
+			cur = &Mapping{
+				In:          cur.In,
+				Out:         res.Sig,
+				Keys:        cur.Keys,
+				Constraints: res.Constraints,
+			}
+		}
+		res.Eliminated = eliminated
+		res.Remaining = nil
+		final, _ := p.Mapping(decl.Maps[len(decl.Maps)-1])
+		for s := range res.Sig {
+			if _, inIn := cur.In[s]; inIn {
+				continue
+			}
+			if _, inOut := final.Out[s]; inOut {
+				continue
+			}
+			res.Remaining = append(res.Remaining, s)
+		}
+		sort.Strings(res.Remaining)
+		out = append(out, NamedResult{Name: decl.Name, Result: res})
+	}
+	return out, nil
+}

@@ -1,0 +1,153 @@
+package mapcomp_test
+
+import (
+	"strings"
+	"testing"
+
+	"mapcomp"
+)
+
+// TestPublicAPIQuickstart exercises the documented public workflow.
+func TestPublicAPIQuickstart(t *testing.T) {
+	problem, err := mapcomp.ParseProblem(`
+schema s1 { R/2; }
+schema s2 { S/2; }
+schema s3 { T/2; }
+map a : s1 -> s2 { R <= S; }
+map b : s2 -> s3 { S <= T; }
+compose c = a * b;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := mapcomp.Run(problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Name != "c" {
+		t.Fatalf("results: %+v", results)
+	}
+	res := results[0].Result
+	if len(res.Remaining) != 0 {
+		t.Errorf("remaining: %v", res.Remaining)
+	}
+	if len(res.Constraints) != 1 || res.Constraints[0].String() != "R <= T" {
+		t.Errorf("constraints: %s", res.Constraints)
+	}
+}
+
+func TestPublicAPIComposeMappings(t *testing.T) {
+	cs12, err := mapcomp.ParseConstraints("proj[1](R) = S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs23, err := mapcomp.ParseConstraints("S <= T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m12 := &mapcomp.Mapping{
+		In:          mapcomp.NewSignature("R", 2),
+		Out:         mapcomp.NewSignature("S", 1),
+		Constraints: cs12,
+	}
+	m23 := &mapcomp.Mapping{
+		In:          mapcomp.NewSignature("S", 1),
+		Out:         mapcomp.NewSignature("T", 1),
+		Constraints: cs23,
+	}
+	res, err := mapcomp.Compose(m12, m23, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Constraints) != 1 || res.Constraints[0].String() != "proj[1](R) <= T" {
+		t.Errorf("composition: %s", res.Constraints)
+	}
+	if step := res.Eliminated["S"]; step == "" {
+		t.Error("S not reported as eliminated")
+	}
+}
+
+func TestPublicAPIEliminateAndSimplify(t *testing.T) {
+	sig := mapcomp.NewSignature("R", 1, "S", 1, "T", 1)
+	cs, err := mapcomp.ParseConstraints("R <= S; S <= T; R <= D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs = mapcomp.Simplify(cs, sig) // drops R <= D
+	if len(cs) != 2 {
+		t.Fatalf("Simplify left %d constraints", len(cs))
+	}
+	out, step, ok := mapcomp.Eliminate(sig, cs, "S", nil)
+	if !ok || out[0].String() != "R <= T" {
+		t.Errorf("Eliminate: ok=%v step=%s out=%s", ok, step, out)
+	}
+}
+
+func TestPublicAPIRegisterOperator(t *testing.T) {
+	// A user-defined "ident" operator — identity on its argument,
+	// monotone, expandable — registered through the public
+	// extensibility hooks exactly as §1.3 describes.
+	mapcomp.RegisterOperator(&mapcomp.OpInfo{
+		Name:     "ident",
+		NArgs:    1,
+		Arity:    func(args []int, _ []int) (int, error) { return args[0], nil },
+		Monotone: func(args []mapcomp.Mono) mapcomp.Mono { return args[0] },
+	})
+	mapcomp.RegisterExpansion("ident", func(_ []int, args []mapcomp.Expr, _ []int) (mapcomp.Expr, bool) {
+		return args[0], true
+	})
+	// The new operator participates in composition: S under ident is
+	// substitutable (monotone) and normalizable (expansion).
+	sig := mapcomp.NewSignature("R", 1, "S", 1, "T", 1)
+	cs, err := mapcomp.ParseConstraints("R <= ident(S); ident(S) <= T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, ok := mapcomp.Eliminate(sig, cs, "S", nil)
+	if !ok {
+		t.Fatal("elimination through user-defined operator failed")
+	}
+	for _, c := range out {
+		if c.ContainsRel("S") {
+			t.Errorf("S remains: %s", c)
+		}
+	}
+}
+
+func TestPublicAPIFormatRoundTrip(t *testing.T) {
+	src := `
+schema s1 { R/2; }
+schema s2 { S/2; }
+map a : s1 -> s2 { R <= S; }
+map b : s2 -> s1 { S <= R; }
+compose c = a * b;
+`
+	p, err := mapcomp.ParseProblem(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := mapcomp.FormatProblem(p)
+	if !strings.Contains(text, "compose c = a * b;") {
+		t.Errorf("Format lost the compose declaration:\n%s", text)
+	}
+	if _, err := mapcomp.ParseProblem(text); err != nil {
+		t.Errorf("Format output does not re-parse: %v", err)
+	}
+}
+
+func TestPublicAPIBestEffort(t *testing.T) {
+	cs12, _ := mapcomp.ParseConstraints("R <= S; S = tc(S)")
+	cs23, _ := mapcomp.ParseConstraints("S <= T")
+	m12 := &mapcomp.Mapping{In: mapcomp.NewSignature("R", 2), Out: mapcomp.NewSignature("S", 2), Constraints: cs12}
+	m23 := &mapcomp.Mapping{In: mapcomp.NewSignature("S", 2), Out: mapcomp.NewSignature("T", 2), Constraints: cs23}
+	res, err := mapcomp.Compose(m12, m23, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Remaining) != 1 || res.Remaining[0] != "S" {
+		t.Errorf("best-effort result should keep S: %v", res.Remaining)
+	}
+	if _, ok := res.Sig["S"]; !ok {
+		t.Error("kept symbol missing from signature")
+	}
+}
