@@ -14,6 +14,7 @@ import (
 	"mapcomp/internal/core"
 	"mapcomp/internal/evolution"
 	"mapcomp/internal/experiment"
+	"mapcomp/internal/par"
 	"mapcomp/internal/parser"
 	"mapcomp/internal/suite"
 )
@@ -41,8 +42,13 @@ func BenchmarkFigure2(b *testing.B) {
 }
 
 // BenchmarkFigure3 measures composition time per edit in the default
-// configuration (the quantity plotted in Figure 3).
+// configuration (the quantity plotted in Figure 3). The worker pool is
+// pinned to 1 so the ms/edit metric isolates single-composition speed —
+// on multi-core machines concurrent runs would otherwise contend inside
+// the timed per-edit windows and the number would stop being comparable
+// across machines (EXPERIMENTS.md tracks this metric).
 func BenchmarkFigure3(b *testing.B) {
+	defer par.SetWorkers(par.SetWorkers(1))
 	var ms float64
 	for i := 0; i < b.N; i++ {
 		agg := experiment.EditingStudy(experiment.CfgNoKeys, benchRuns, benchEdits, benchSize, nil, int64(i+1))
@@ -153,12 +159,12 @@ func BenchmarkAblationNoSimplify(b *testing.B) {
 	b.ReportMetric(float64(size), "mapping-operators")
 }
 
-// BenchmarkLiteratureSuite runs the 22-problem suite (§4's first data set).
+// BenchmarkLiteratureSuite runs the 22-problem suite (§4's first data set)
+// on the parallel driver.
 func BenchmarkLiteratureSuite(b *testing.B) {
 	problems := suite.Problems()
 	for i := 0; i < b.N; i++ {
-		for _, p := range problems {
-			out := p.Run(nil)
+		for _, out := range suite.RunAll(problems, nil) {
 			if out.Err != nil {
 				b.Fatal(out.Err)
 			}

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"mapcomp/internal/experiment"
+	"mapcomp/internal/par"
 )
 
 func main() {
@@ -28,7 +29,11 @@ func main() {
 	size := flag.Int("size", 30, "schema size (Figures 2-5, 7)")
 	tasks := flag.Int("tasks", 50, "reconciliation tasks per point (Figures 6-7)")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "worker pool size for parallel runs (0 = GOMAXPROCS); "+
+		"elimination counts are identical for any value, but time columns are measured inside "+
+		"the concurrent runs — use 1 for contention-free timings comparable to EXPERIMENTS.md")
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	run2and3 := func() map[string]*experiment.EditingAggregate {
 		return experiment.Figure2(*runs, *edits, *size, *seed)

@@ -1,0 +1,3 @@
+module mapcomp
+
+go 1.24

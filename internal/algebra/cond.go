@@ -266,9 +266,30 @@ func RemapCond(c Condition, m func(int) int) (Condition, error) {
 	return nil, fmt.Errorf("algebra: unknown condition %T", c)
 }
 
-// CondEqual reports structural equality of conditions.
+// CondEqual reports structural equality of conditions without rendering
+// either side.
 func CondEqual(a, b Condition) bool {
-	return a.String() == b.String()
+	switch a := a.(type) {
+	case TrueCond:
+		_, ok := b.(TrueCond)
+		return ok
+	case FalseCond:
+		_, ok := b.(FalseCond)
+		return ok
+	case Cmp:
+		b, ok := b.(Cmp)
+		return ok && a.Op == b.Op && a.L == b.L && a.R == b.R
+	case And:
+		b, ok := b.(And)
+		return ok && CondEqual(a.L, b.L) && CondEqual(a.R, b.R)
+	case Or:
+		b, ok := b.(Or)
+		return ok && CondEqual(a.L, b.L) && CondEqual(a.R, b.R)
+	case Not:
+		b, ok := b.(Not)
+		return ok && CondEqual(a.C, b.C)
+	}
+	return false
 }
 
 // condSize counts atoms in a condition; used for mapping-size accounting.

@@ -240,12 +240,69 @@ func InterAll(es ...Expr) Expr {
 	return out
 }
 
-// Equal reports structural equality of expressions.
+// Equal reports structural equality of expressions. It is an
+// allocation-free recursive walk with early exit; when both sides are
+// already interned (see Intern), callers can compare the *Interned
+// pointers instead, which is O(1).
 func Equal(a, b Expr) bool {
 	if a == nil || b == nil {
 		return a == nil && b == nil
 	}
-	return a.String() == b.String()
+	switch a := a.(type) {
+	case Rel:
+		b, ok := b.(Rel)
+		return ok && a.Name == b.Name
+	case Domain:
+		b, ok := b.(Domain)
+		return ok && a.N == b.N
+	case Empty:
+		b, ok := b.(Empty)
+		return ok && a.N == b.N
+	case Lit:
+		b, ok := b.(Lit)
+		if !ok || a.Width != b.Width || len(a.Tuples) != len(b.Tuples) {
+			return false
+		}
+		for i := range a.Tuples {
+			if !a.Tuples[i].Equal(b.Tuples[i]) {
+				return false
+			}
+		}
+		return true
+	case Union:
+		b, ok := b.(Union)
+		return ok && Equal(a.L, b.L) && Equal(a.R, b.R)
+	case Inter:
+		b, ok := b.(Inter)
+		return ok && Equal(a.L, b.L) && Equal(a.R, b.R)
+	case Cross:
+		b, ok := b.(Cross)
+		return ok && Equal(a.L, b.L) && Equal(a.R, b.R)
+	case Diff:
+		b, ok := b.(Diff)
+		return ok && Equal(a.L, b.L) && Equal(a.R, b.R)
+	case Select:
+		b, ok := b.(Select)
+		return ok && CondEqual(a.Cond, b.Cond) && Equal(a.E, b.E)
+	case Project:
+		b, ok := b.(Project)
+		return ok && sameIntSlice(a.Cols, b.Cols) && Equal(a.E, b.E)
+	case Skolem:
+		b, ok := b.(Skolem)
+		return ok && a.Fn == b.Fn && sameIntSlice(a.Deps, b.Deps) && Equal(a.E, b.E)
+	case App:
+		b, ok := b.(App)
+		if !ok || a.Op != b.Op || !sameIntSlice(a.Params, b.Params) || len(a.Args) != len(b.Args) {
+			return false
+		}
+		for i := range a.Args {
+			if !Equal(a.Args[i], b.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // Size counts operators in the expression: every non-leaf node and every
@@ -333,35 +390,119 @@ func WithChildren(e Expr, kids []Expr) Expr {
 	}
 }
 
-// Walk visits e and all sub-expressions in pre-order; it stops early if f
-// returns false.
+// Walk visits e and all sub-expressions in pre-order; it skips a node's
+// children if f returns false. The traversal switches on node types
+// directly instead of materializing Children slices — it runs on the
+// hottest paths (occurrence checks in every elimination attempt).
 func Walk(e Expr, f func(Expr) bool) {
 	if !f(e) {
 		return
 	}
-	for _, c := range Children(e) {
-		Walk(c, f)
+	switch e := e.(type) {
+	case Union:
+		Walk(e.L, f)
+		Walk(e.R, f)
+	case Inter:
+		Walk(e.L, f)
+		Walk(e.R, f)
+	case Cross:
+		Walk(e.L, f)
+		Walk(e.R, f)
+	case Diff:
+		Walk(e.L, f)
+		Walk(e.R, f)
+	case Select:
+		Walk(e.E, f)
+	case Project:
+		Walk(e.E, f)
+	case Skolem:
+		Walk(e.E, f)
+	case App:
+		for _, a := range e.Args {
+			Walk(a, f)
+		}
 	}
 }
 
 // Rewrite applies f bottom-up: children are rewritten first, then f is
-// applied to the rebuilt node.
+// applied to the rebuilt node. Nodes are rebuilt only when a child
+// actually changed, and change flags thread through the recursion so
+// untouched subtrees allocate nothing. Change detection for f falls back
+// to a structural comparison; rewrites that can report change themselves
+// should use RewriteFlag, which skips that comparison.
 func Rewrite(e Expr, f func(Expr) Expr) Expr {
-	kids := Children(e)
-	if len(kids) > 0 {
-		newKids := make([]Expr, len(kids))
-		changed := false
-		for i, c := range kids {
-			newKids[i] = Rewrite(c, f)
-			if !Equal(newKids[i], c) {
-				changed = true
+	out, _ := RewriteFlag(e, func(x Expr) (Expr, bool) {
+		y := f(x)
+		return y, !Equal(y, x)
+	})
+	return out
+}
+
+// RewriteFlag is Rewrite for callbacks that report whether they changed
+// the node: f returns the rewritten node and true exactly when it fired.
+// The returned flag says whether the result differs from e.
+func RewriteFlag(e Expr, f func(Expr) (Expr, bool)) (Expr, bool) {
+	rebuilt := false
+	switch x := e.(type) {
+	case Union:
+		l, cl := RewriteFlag(x.L, f)
+		r, cr := RewriteFlag(x.R, f)
+		if cl || cr {
+			e, rebuilt = Union{L: l, R: r}, true
+		}
+	case Inter:
+		l, cl := RewriteFlag(x.L, f)
+		r, cr := RewriteFlag(x.R, f)
+		if cl || cr {
+			e, rebuilt = Inter{L: l, R: r}, true
+		}
+	case Cross:
+		l, cl := RewriteFlag(x.L, f)
+		r, cr := RewriteFlag(x.R, f)
+		if cl || cr {
+			e, rebuilt = Cross{L: l, R: r}, true
+		}
+	case Diff:
+		l, cl := RewriteFlag(x.L, f)
+		r, cr := RewriteFlag(x.R, f)
+		if cl || cr {
+			e, rebuilt = Diff{L: l, R: r}, true
+		}
+	case Select:
+		inner, ci := RewriteFlag(x.E, f)
+		if ci {
+			e, rebuilt = Select{Cond: x.Cond, E: inner}, true
+		}
+	case Project:
+		inner, ci := RewriteFlag(x.E, f)
+		if ci {
+			e, rebuilt = Project{Cols: x.Cols, E: inner}, true
+		}
+	case Skolem:
+		inner, ci := RewriteFlag(x.E, f)
+		if ci {
+			e, rebuilt = Skolem{Fn: x.Fn, Deps: x.Deps, E: inner}, true
+		}
+	case App:
+		var args []Expr
+		argsChanged := false
+		for i, a := range x.Args {
+			na, ca := RewriteFlag(a, f)
+			if ca && !argsChanged {
+				argsChanged = true
+				args = make([]Expr, 0, len(x.Args))
+				args = append(args, x.Args[:i]...)
+			}
+			if argsChanged {
+				args = append(args, na)
 			}
 		}
-		if changed {
-			e = WithChildren(e, newKids)
+		if argsChanged {
+			e, rebuilt = App{Op: x.Op, Params: x.Params, Args: args}, true
 		}
 	}
-	return f(e)
+	out, fired := f(e)
+	return out, rebuilt || fired
 }
 
 // Rels returns the set of base relation names referenced by e.

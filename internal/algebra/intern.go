@@ -1,0 +1,481 @@
+package algebra
+
+// Hash-consed expression interning. The ELIMINATE loop (§3) rewrites,
+// normalizes and compares the same expression trees over and over; a
+// package-level interner gives every distinct structure a single shared
+// node carrying a precomputed structural hash, a process-unique ID and
+// pointers to interned children. Structural equality of interned nodes is
+// pointer equality, and the IDs are exact memoization keys for the hot
+// rewrite passes in internal/core (same ID ⇔ structurally equal, because
+// hash collisions are resolved by structural comparison on insert).
+//
+// The interner is safe for concurrent use; the parallel experiment driver
+// interns from many goroutines at once.
+
+import (
+	"sort"
+	"sync"
+)
+
+// Interned is a hash-consed expression node. Two expressions are
+// structurally equal iff Intern returns the same *Interned for both (and
+// hence the same ID). Kids are the interned immediate sub-expressions, in
+// Children order, forming a DAG that hot paths can traverse without
+// re-walking value trees.
+type Interned struct {
+	// Expr is the representative expression (first structure interned).
+	Expr Expr
+	// Hash is the structural FNV-1a hash; equal structures always hash
+	// equally, and the hash depends only on content (not on interning
+	// order), so it is stable across processes.
+	Hash uint64
+	// ID is unique per distinct structure within this process.
+	ID uint64
+	// Kids are the interned children, aligned with Children(Expr).
+	Kids []*Interned
+	// HasSkolem reports whether any Skolem operator occurs in the tree;
+	// precomputed bottom-up so deskolemization checks it in O(1).
+	HasSkolem bool
+	// Size is the operator count per the §4.2 measure, precomputed.
+	Size int
+	// canon is the canonical form: ∪/∩ chains flattened and re-ordered
+	// canonically. It points to the node itself when already canonical.
+	// Computed at intern time from the children's canonical forms, so
+	// CanonID is O(1) after interning.
+	canon *Interned
+}
+
+// Canonical returns the canonical form of n: every ∪/∩ chain flattened
+// and its operands sorted by structural hash. Two nodes share a canonical
+// node exactly when they agree up to commutative reordering.
+func (n *Interned) Canonical() *Interned { return n.canon }
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+	mixPrime  uint64 = 0x9E3779B97F4A7C15 // 2^64/φ, for word-at-a-time mixing
+)
+
+func mix(h, x uint64) uint64 {
+	h = (h ^ x) * mixPrime
+	return h ^ (h >> 29)
+}
+
+func mixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return mix(h, uint64(len(s)))
+}
+
+func mixInts(h uint64, xs []int) uint64 {
+	for _, x := range xs {
+		h = mix(h, uint64(x))
+	}
+	return mix(h, uint64(len(xs)))
+}
+
+// Node kind tags for hashing.
+const (
+	tagRel uint64 = iota + 1
+	tagDomain
+	tagEmpty
+	tagLit
+	tagUnion
+	tagInter
+	tagCross
+	tagDiff
+	tagSelect
+	tagProject
+	tagSkolem
+	tagApp
+)
+
+func hashCond(h uint64, c Condition) uint64 {
+	switch c := c.(type) {
+	case TrueCond:
+		return mix(h, 101)
+	case FalseCond:
+		return mix(h, 102)
+	case Cmp:
+		h = mix(h, 103)
+		h = mixString(h, string(c.Op))
+		h = mix(h, uint64(c.L.Col))
+		h = mixString(h, string(c.L.Const))
+		h = mix(h, uint64(c.R.Col))
+		h = mixString(h, string(c.R.Const))
+		return h
+	case And:
+		return hashCond(hashCond(mix(h, 104), c.L), c.R)
+	case Or:
+		return hashCond(hashCond(mix(h, 105), c.L), c.R)
+	case Not:
+		return hashCond(mix(h, 106), c.C)
+	}
+	return mix(h, 107)
+}
+
+// hashNode hashes a node given its children's hashes, so interning a
+// rebuilt node with already-interned children costs O(local fields).
+func hashNode(e Expr, kids []*Interned) uint64 {
+	h := hashLocal(e)
+	for _, k := range kids {
+		h = mix(h, k.Hash)
+	}
+	return h
+}
+
+// hashLocal hashes a node's kind and local fields only.
+func hashLocal(e Expr) uint64 {
+	h := fnvOffset
+	switch e := e.(type) {
+	case Rel:
+		h = mixString(mix(h, tagRel), e.Name)
+	case Domain:
+		h = mix(mix(h, tagDomain), uint64(e.N))
+	case Empty:
+		h = mix(mix(h, tagEmpty), uint64(e.N))
+	case Lit:
+		h = mix(mix(h, tagLit), uint64(e.Width))
+		for _, t := range e.Tuples {
+			for _, v := range t {
+				h = mixString(h, string(v))
+			}
+			h = mix(h, uint64(len(t)))
+		}
+		h = mix(h, uint64(len(e.Tuples)))
+	case Union:
+		h = mix(h, tagUnion)
+	case Inter:
+		h = mix(h, tagInter)
+	case Cross:
+		h = mix(h, tagCross)
+	case Diff:
+		h = mix(h, tagDiff)
+	case Select:
+		h = hashCond(mix(h, tagSelect), e.Cond)
+	case Project:
+		h = mixInts(mix(h, tagProject), e.Cols)
+	case Skolem:
+		h = mixInts(mixString(mix(h, tagSkolem), e.Fn), e.Deps)
+	case App:
+		h = mixInts(mixString(mix(h, tagApp), e.Op), e.Params)
+	}
+	return h
+}
+
+// sameShape reports whether e (whose interned children are kids) has the
+// same structure as the already-interned node n. Children compare by
+// pointer; only local fields need inspection.
+func sameShape(e Expr, kids []*Interned, n *Interned) bool {
+	if len(kids) != len(n.Kids) {
+		return false
+	}
+	for i := range kids {
+		if kids[i] != n.Kids[i] {
+			return false
+		}
+	}
+	return sameLocal(e, n)
+}
+
+// sameLocal compares a node's kind and local fields against an interned
+// node, ignoring children.
+func sameLocal(e Expr, n *Interned) bool {
+	switch e := e.(type) {
+	case Rel:
+		n, ok := n.Expr.(Rel)
+		return ok && e.Name == n.Name
+	case Domain:
+		n, ok := n.Expr.(Domain)
+		return ok && e.N == n.N
+	case Empty:
+		n, ok := n.Expr.(Empty)
+		return ok && e.N == n.N
+	case Lit:
+		n, ok := n.Expr.(Lit)
+		if !ok || e.Width != n.Width || len(e.Tuples) != len(n.Tuples) {
+			return false
+		}
+		for i := range e.Tuples {
+			if !e.Tuples[i].Equal(n.Tuples[i]) {
+				return false
+			}
+		}
+		return true
+	case Union:
+		_, ok := n.Expr.(Union)
+		return ok
+	case Inter:
+		_, ok := n.Expr.(Inter)
+		return ok
+	case Cross:
+		_, ok := n.Expr.(Cross)
+		return ok
+	case Diff:
+		_, ok := n.Expr.(Diff)
+		return ok
+	case Select:
+		n, ok := n.Expr.(Select)
+		return ok && CondEqual(e.Cond, n.Cond)
+	case Project:
+		n, ok := n.Expr.(Project)
+		return ok && sameIntSlice(e.Cols, n.Cols)
+	case Skolem:
+		n, ok := n.Expr.(Skolem)
+		return ok && e.Fn == n.Fn && sameIntSlice(e.Deps, n.Deps)
+	case App:
+		n, ok := n.Expr.(App)
+		return ok && e.Op == n.Op && sameIntSlice(e.Params, n.Params)
+	}
+	return false
+}
+
+func sameIntSlice(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// interner is the package-level hash-cons table: hash buckets of interned
+// nodes, collision-checked structurally so IDs are exact.
+var interner = struct {
+	sync.RWMutex
+	buckets map[uint64][]*Interned
+	nextID  uint64
+	count   int
+}{buckets: make(map[uint64][]*Interned)}
+
+// maxInternedNodes bounds table growth across long experiment campaigns;
+// on overflow the table is reset (IDs keep growing monotonically, so memo
+// caches keyed by ID merely miss, never alias).
+const maxInternedNodes = 1 << 20
+
+// Intern returns the canonical interned node for e, interning all
+// sub-expressions along the way. The recursion switches on node types
+// directly to avoid materializing Children slices.
+func Intern(e Expr) *Interned {
+	switch x := e.(type) {
+	case Union:
+		return intern2(e, Intern(x.L), Intern(x.R))
+	case Inter:
+		return intern2(e, Intern(x.L), Intern(x.R))
+	case Cross:
+		return intern2(e, Intern(x.L), Intern(x.R))
+	case Diff:
+		return intern2(e, Intern(x.L), Intern(x.R))
+	case Select:
+		return intern1(e, Intern(x.E))
+	case Project:
+		return intern1(e, Intern(x.E))
+	case Skolem:
+		return intern1(e, Intern(x.E))
+	case App:
+		kids := make([]*Interned, len(x.Args))
+		for i, a := range x.Args {
+			kids[i] = Intern(a)
+		}
+		return internNode(e, kids, false)
+	}
+	return internNode(e, nil, false)
+}
+
+// intern1/intern2 are allocation-free fast paths for unary and binary
+// nodes: the kids slice is only built when the node is not in the table
+// yet (the common case in steady state is a hit).
+func intern1(e Expr, k0 *Interned) *Interned {
+	h := mix(hashLocal(e), k0.Hash)
+	interner.RLock()
+	for _, n := range interner.buckets[h] {
+		if len(n.Kids) == 1 && n.Kids[0] == k0 && sameLocal(e, n) {
+			interner.RUnlock()
+			return n
+		}
+	}
+	interner.RUnlock()
+	return internNode(e, []*Interned{k0}, false)
+}
+
+func intern2(e Expr, k0, k1 *Interned) *Interned {
+	h := mix(mix(hashLocal(e), k0.Hash), k1.Hash)
+	interner.RLock()
+	for _, n := range interner.buckets[h] {
+		if len(n.Kids) == 2 && n.Kids[0] == k0 && n.Kids[1] == k1 && sameLocal(e, n) {
+			interner.RUnlock()
+			return n
+		}
+	}
+	interner.RUnlock()
+	return internNode(e, []*Interned{k0, k1}, false)
+}
+
+// InternNode interns a node whose immediate children are already interned,
+// without re-walking the subtrees. kids must align with Children(e).
+func InternNode(e Expr, kids []*Interned) *Interned {
+	return internNode(e, kids, false)
+}
+
+// internNode interns one node. canonSelf marks nodes constructed by the
+// canonicalizer, which are canonical by construction; for every other
+// node the canonical form is derived from the kids' canonical forms
+// before insertion (no interner lock is held while doing so).
+func internNode(e Expr, kids []*Interned, canonSelf bool) *Interned {
+	h := hashNode(e, kids)
+
+	interner.RLock()
+	for _, n := range interner.buckets[h] {
+		if sameShape(e, kids, n) {
+			interner.RUnlock()
+			return n
+		}
+	}
+	interner.RUnlock()
+
+	var canon *Interned
+	if !canonSelf {
+		canon = canonOf(e, kids) // nil when the node is its own canon
+	}
+
+	interner.Lock()
+	defer interner.Unlock()
+	for _, n := range interner.buckets[h] {
+		if sameShape(e, kids, n) {
+			return n
+		}
+	}
+	if interner.count >= maxInternedNodes {
+		interner.buckets = make(map[uint64][]*Interned)
+		interner.count = 0
+	}
+	n := &Interned{Expr: e, Hash: h, Kids: kids, Size: 1, canon: canon}
+	if canon == nil {
+		n.canon = n
+	}
+	switch e := e.(type) {
+	case Skolem:
+		n.HasSkolem = true
+	case Select:
+		n.Size += condSize(e.Cond)
+	}
+	for _, k := range kids {
+		n.HasSkolem = n.HasSkolem || k.HasSkolem
+		n.Size += k.Size
+	}
+	interner.nextID++
+	n.ID = interner.nextID
+	interner.buckets[h] = append(interner.buckets[h], n)
+	interner.count++
+	return n
+}
+
+// canonOf computes the canonical node for e (children kids), or nil when
+// e is its own canonical form. Children are already interned, so their
+// canonical forms are O(1) lookups; only ∪/∩ chain maintenance does work.
+func canonOf(e Expr, kids []*Interned) *Interned {
+	switch e.(type) {
+	case Union:
+		return canonChain(true, kids)
+	case Inter:
+		return canonChain(false, kids)
+	}
+	changed := false
+	for _, k := range kids {
+		if k.canon != k {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return nil
+	}
+	ck := make([]*Interned, len(kids))
+	ce := make([]Expr, len(kids))
+	for i, k := range kids {
+		ck[i] = k.canon
+		ce[i] = k.canon.Expr
+	}
+	// The rebuilt node has canonical children and a non-commutative (or
+	// leaf-like) operator, so it is canonical by construction.
+	return internNode(WithChildren(e, ce), ck, true)
+}
+
+// canonChain merges the canonical operand chains of a ∪ or ∩ node's two
+// children into one sorted chain and rebuilds it left-deep. Operand order
+// is by structural hash (content-based, hence stable across processes),
+// with the rendered form as tie-break for distinct same-hash nodes.
+func canonChain(union bool, kids []*Interned) *Interned {
+	ops := appendChain(nil, union, kids[0].canon)
+	ops = appendChain(ops, union, kids[1].canon)
+	sort.SliceStable(ops, func(i, j int) bool { return canonLess(ops[i], ops[j]) })
+	out := ops[0]
+	for _, o := range ops[1:] {
+		var e Expr
+		if union {
+			e = Union{L: out.Expr, R: o.Expr}
+		} else {
+			e = Inter{L: out.Expr, R: o.Expr}
+		}
+		// Every sorted prefix of a canonical chain is canonical.
+		out = internNode(e, []*Interned{out, o}, true)
+	}
+	return out
+}
+
+// appendChain flattens a canonical node into its ∪- or ∩-chain operands.
+// Canonical chains are left-deep, so only left spines need walking.
+func appendChain(ops []*Interned, union bool, n *Interned) []*Interned {
+	match := func(x *Interned) bool {
+		if union {
+			_, ok := x.Expr.(Union)
+			return ok
+		}
+		_, ok := x.Expr.(Inter)
+		return ok
+	}
+	var rec func(x *Interned)
+	rec = func(x *Interned) {
+		if match(x) {
+			rec(x.Kids[0])
+			rec(x.Kids[1])
+			return
+		}
+		ops = append(ops, x)
+	}
+	rec(n)
+	return ops
+}
+
+func canonLess(a, b *Interned) bool {
+	if a == b {
+		return false
+	}
+	if a.Hash != b.Hash {
+		return a.Hash < b.Hash
+	}
+	return a.Expr.String() < b.Expr.String()
+}
+
+// Fingerprint returns the structural hash of e. Equal structures always
+// share a fingerprint; distinct structures collide with probability ~2^-64.
+// Use Intern(...).ID when an exact key is required.
+func Fingerprint(e Expr) uint64 { return Intern(e).Hash }
+
+// Canon returns an expression equivalent to e under set semantics in which
+// every chain of the commutative-associative operators ∪ and ∩ is
+// flattened and its operands re-ordered canonically (by structural hash,
+// with the rendered form as tie-break). Canonical ordering makes
+// commutative variants — A∪B versus B∪A — compare equal, which the
+// simplifier uses to deduplicate constraints.
+func Canon(e Expr) Expr { return Intern(e).canon.Expr }
+
+// CanonID returns the interned ID of the canonical form of e: equal IDs
+// exactly when the expressions agree up to commutative reordering of ∪/∩
+// chains.
+func CanonID(e Expr) uint64 { return Intern(e).canon.ID }

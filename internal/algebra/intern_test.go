@@ -1,0 +1,183 @@
+package algebra
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// internFixtures builds a spread of expressions covering every node kind.
+// Each call constructs fresh value trees, so pointer identity between
+// calls can only come from the interner.
+func internFixtures() []Expr {
+	return []Expr{
+		R("R"),
+		R("S"),
+		Domain{N: 2},
+		Empty{N: 2},
+		Lit{Width: 1, Tuples: []Tuple{{"a"}}},
+		Lit{Width: 1, Tuples: []Tuple{{"b"}}},
+		Union{L: R("R"), R: R("S")},
+		Inter{L: R("R"), R: R("S")},
+		Cross{L: R("R"), R: R("S")},
+		Diff{L: R("R"), R: R("S")},
+		Select{Cond: EqConst(1, "a"), E: R("R")},
+		Select{Cond: EqConst(1, "b"), E: R("R")},
+		Project{Cols: []int{1, 2}, E: Cross{L: R("R"), R: R("S")}},
+		Project{Cols: []int{2, 1}, E: Cross{L: R("R"), R: R("S")}},
+		Skolem{Fn: "f", Deps: []int{1}, E: R("R")},
+		Skolem{Fn: "g", Deps: []int{1}, E: R("R")},
+		App{Op: "join", Params: []int{1, 1}, Args: []Expr{R("R"), R("S")}},
+		App{Op: "join", Params: []int{1, 2}, Args: []Expr{R("R"), R("S")}},
+		Union{L: Union{L: R("A"), R: R("B")}, R: R("C")},
+		Diff{L: Union{L: R("A"), R: R("B")}, R: Inter{L: R("A"), R: R("C")}},
+	}
+}
+
+// TestInternIdentity: interning the same structure twice yields the same
+// node (pointer equality), distinct structures yield distinct nodes, and
+// IDs/hashes agree exactly with structural equality on the fixtures.
+func TestInternIdentity(t *testing.T) {
+	a := internFixtures()
+	b := internFixtures()
+	for i := range a {
+		na, nb := Intern(a[i]), Intern(b[i])
+		if na != nb {
+			t.Errorf("%s: two builds interned to distinct nodes", a[i])
+		}
+		if na.ID != nb.ID || na.Hash != nb.Hash {
+			t.Errorf("%s: ID/hash mismatch across builds", a[i])
+		}
+		if !Equal(na.Expr, a[i]) {
+			t.Errorf("%s: representative %s not structurally equal", a[i], na.Expr)
+		}
+	}
+	for i := range a {
+		for j := range a {
+			same := Intern(a[i]) == Intern(a[j])
+			if same != Equal(a[i], a[j]) {
+				t.Errorf("pointer identity (%v) disagrees with Equal for %s vs %s", same, a[i], a[j])
+			}
+			if (i == j) != same {
+				t.Errorf("fixtures %d and %d interned to the same node", i, j)
+			}
+		}
+	}
+}
+
+// TestInternPrecomputedFlags: HasSkolem and Size match the walk-based
+// computations on every fixture.
+func TestInternPrecomputedFlags(t *testing.T) {
+	for _, e := range internFixtures() {
+		n := Intern(e)
+		if n.HasSkolem != ContainsSkolem(e) {
+			t.Errorf("%s: HasSkolem=%v, want %v", e, n.HasSkolem, ContainsSkolem(e))
+		}
+		if n.Size != Size(e) {
+			t.Errorf("%s: Size=%d, want %d", e, n.Size, Size(e))
+		}
+	}
+}
+
+// TestCanonCommutative: ∪/∩ chains agree up to operand order under
+// CanonID; non-commutative operators do not.
+func TestCanonCommutative(t *testing.T) {
+	pairs := []struct {
+		a, b Expr
+		same bool
+	}{
+		{Union{L: R("A"), R: R("B")}, Union{L: R("B"), R: R("A")}, true},
+		{Inter{L: R("A"), R: R("B")}, Inter{L: R("B"), R: R("A")}, true},
+		// Associativity: (A∪B)∪C = A∪(B∪C) in any order.
+		{
+			Union{L: Union{L: R("A"), R: R("B")}, R: R("C")},
+			Union{L: R("C"), R: Union{L: R("B"), R: R("A")}},
+			true,
+		},
+		// Canonicalization recurses below other operators.
+		{
+			Project{Cols: []int{1}, E: Union{L: R("A"), R: R("B")}},
+			Project{Cols: []int{1}, E: Union{L: R("B"), R: R("A")}},
+			true,
+		},
+		// Mixed chains of different operators do not merge.
+		{
+			Union{L: R("A"), R: Inter{L: R("B"), R: R("C")}},
+			Inter{L: Union{L: R("A"), R: R("B")}, R: R("C")},
+			false,
+		},
+		// Difference and cross product are not commutative.
+		{Diff{L: R("A"), R: R("B")}, Diff{L: R("B"), R: R("A")}, false},
+		{Cross{L: R("A"), R: R("B")}, Cross{L: R("B"), R: R("A")}, false},
+	}
+	for _, p := range pairs {
+		if got := CanonID(p.a) == CanonID(p.b); got != p.same {
+			t.Errorf("CanonID(%s) == CanonID(%s): got %v, want %v", p.a, p.b, got, p.same)
+		}
+	}
+	// A canonical form is a fixpoint and stays structurally equivalent.
+	e := Union{L: Union{L: R("C"), R: R("A")}, R: Union{L: R("B"), R: R("A")}}
+	c := Canon(e)
+	if !Equal(Canon(c), c) {
+		t.Errorf("Canon not idempotent: %s -> %s", c, Canon(c))
+	}
+	if got, want := Rels(c), Rels(e); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("Canon changed the relation set: %v vs %v", got, want)
+	}
+}
+
+// TestInternNodeMatchesIntern: InternNode with pre-interned children is
+// exactly Intern of the rebuilt expression.
+func TestInternNodeMatchesIntern(t *testing.T) {
+	l, r := Intern(R("R")), Intern(Select{Cond: EqConst(1, "a"), E: R("S")})
+	viaNode := InternNode(Union{L: l.Expr, R: r.Expr}, []*Interned{l, r})
+	viaTree := Intern(Union{L: R("R"), R: Select{Cond: EqConst(1, "a"), E: R("S")}})
+	if viaNode != viaTree {
+		t.Fatalf("InternNode and Intern disagree: %v vs %v", viaNode.Expr, viaTree.Expr)
+	}
+}
+
+// TestInternConcurrent hammers the interner from many goroutines (run
+// with -race); all goroutines must observe identical nodes per structure.
+func TestInternConcurrent(t *testing.T) {
+	const goroutines = 8
+	fixtures := internFixtures()
+	results := make([][]*Interned, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]*Interned, len(fixtures))
+			for rep := 0; rep < 50; rep++ {
+				for i := range fixtures {
+					out[i] = Intern(internFixtures()[i])
+				}
+			}
+			results[g] = out
+		}()
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range fixtures {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutines observed distinct nodes for %s", fixtures[i])
+			}
+		}
+	}
+}
+
+// TestFingerprintSpread is a sanity check that the structural hash
+// separates the pairwise-distinct fixtures (a collision here would not be
+// a correctness bug — IDs resolve collisions — but would be suspicious).
+func TestFingerprintSpread(t *testing.T) {
+	seen := make(map[uint64]Expr)
+	for _, e := range internFixtures() {
+		h := Fingerprint(e)
+		if prev, ok := seen[h]; ok {
+			t.Errorf("fingerprint collision between %s and %s", prev, e)
+		}
+		seen[h] = e
+	}
+}

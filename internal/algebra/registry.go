@@ -82,6 +82,7 @@ type OpInfo struct {
 var (
 	opMu  sync.RWMutex
 	opTab = make(map[string]*OpInfo)
+	opGen uint64
 )
 
 // RegisterOp installs an operator. Registering the same name twice
@@ -93,6 +94,17 @@ func RegisterOp(info *OpInfo) {
 	opMu.Lock()
 	defer opMu.Unlock()
 	opTab[info.Name] = info
+	opGen++
+}
+
+// RegistryGen returns a counter that increments on every operator or
+// expansion registration. Memoization caches whose results depend on the
+// registry (monotonicity tables, expansions) key on it so a late
+// registration invalidates stale entries.
+func RegistryGen() uint64 {
+	opMu.RLock()
+	defer opMu.RUnlock()
+	return opGen
 }
 
 // LookupOp returns the operator registration, or nil when unknown. Unknown

@@ -21,6 +21,7 @@ func RegisterDesugar(op string, f DesugarFunc) {
 	opMu.Lock()
 	defer opMu.Unlock()
 	desugarTab[op] = f
+	opGen++
 }
 
 // Desugar expands a single App node one level, if an expansion rule exists.

@@ -51,20 +51,24 @@ func Deskolemize(sig algebra.Signature, cs algebra.ConstraintSet) (algebra.Const
 	var tabs []*tableau
 
 	for _, c := range cs {
-		if !c.ContainsSkolem() {
+		// Intern both sides once: the HasSkolem flag is precomputed
+		// bottom-up, and the dependency analysis below walks the interned
+		// DAG instead of re-scanning value trees at every level.
+		hl, hr := algebra.Intern(c.L), algebra.Intern(c.R)
+		if !hl.HasSkolem && !hr.HasSkolem {
 			plain = append(plain, c)
 			continue
 		}
-		if algebra.ContainsSkolem(c.R) || c.Kind != algebra.Containment {
+		if hr.HasSkolem || c.Kind != algebra.Containment {
 			return nil, false
 		}
-		branches, ok := pullUnions(c.L)
+		branches, ok := pullUnions(hl)
 		if !ok {
 			return nil, false
 		}
 		for _, b := range branches {
-			if !algebra.ContainsSkolem(b) {
-				plain = append(plain, algebra.Contain(b, c.R))
+			if !b.HasSkolem {
+				plain = append(plain, algebra.Contain(b.Expr, c.R))
 				continue
 			}
 			t, ok := liftSkNF(b, sig)
@@ -114,48 +118,52 @@ func (t *tableau) width() int { return t.baseW + len(t.funcs) }
 
 // pullUnions distributes ∪ over the Skolem-compatible context operators
 // (π, σ, ×, Skolem) so each resulting branch is union-free above its
-// Skolem terms. Subtrees without Skolem terms are kept atomic.
-func pullUnions(e algebra.Expr) ([]algebra.Expr, bool) {
-	if !algebra.ContainsSkolem(e) {
-		return []algebra.Expr{e}, true
+// Skolem terms. Subtrees without Skolem terms are kept atomic. The walk
+// runs over interned nodes: the Skolem check is the precomputed flag, and
+// rebuilt branches are re-interned in O(1) via InternNode because their
+// children are already interned.
+func pullUnions(e *algebra.Interned) ([]*algebra.Interned, bool) {
+	if !e.HasSkolem {
+		return []*algebra.Interned{e}, true
 	}
-	switch e := e.(type) {
+	switch ee := e.Expr.(type) {
 	case algebra.Union:
-		l, ok := pullUnions(e.L)
+		l, ok := pullUnions(e.Kids[0])
 		if !ok {
 			return nil, false
 		}
-		r, ok := pullUnions(e.R)
+		r, ok := pullUnions(e.Kids[1])
 		if !ok {
 			return nil, false
 		}
 		return append(l, r...), true
 	case algebra.Project:
-		return mapBranches(e.E, func(b algebra.Expr) algebra.Expr {
-			return algebra.Project{Cols: e.Cols, E: b}
+		return mapBranches(e.Kids[0], func(b *algebra.Interned) *algebra.Interned {
+			return algebra.InternNode(algebra.Project{Cols: ee.Cols, E: b.Expr}, []*algebra.Interned{b})
 		})
 	case algebra.Select:
-		return mapBranches(e.E, func(b algebra.Expr) algebra.Expr {
-			return algebra.Select{Cond: e.Cond, E: b}
+		return mapBranches(e.Kids[0], func(b *algebra.Interned) *algebra.Interned {
+			return algebra.InternNode(algebra.Select{Cond: ee.Cond, E: b.Expr}, []*algebra.Interned{b})
 		})
 	case algebra.Skolem:
 		// f(A ∪ B) = f(A) ∪ f(B) for any fixed interpretation of f.
-		return mapBranches(e.E, func(b algebra.Expr) algebra.Expr {
-			return algebra.Skolem{Fn: e.Fn, Deps: e.Deps, E: b}
+		return mapBranches(e.Kids[0], func(b *algebra.Interned) *algebra.Interned {
+			return algebra.InternNode(algebra.Skolem{Fn: ee.Fn, Deps: ee.Deps, E: b.Expr}, []*algebra.Interned{b})
 		})
 	case algebra.Cross:
-		ls, ok := pullUnions(e.L)
+		ls, ok := pullUnions(e.Kids[0])
 		if !ok {
 			return nil, false
 		}
-		rs, ok := pullUnions(e.R)
+		rs, ok := pullUnions(e.Kids[1])
 		if !ok {
 			return nil, false
 		}
-		out := make([]algebra.Expr, 0, len(ls)*len(rs))
+		out := make([]*algebra.Interned, 0, len(ls)*len(rs))
 		for _, l := range ls {
 			for _, r := range rs {
-				out = append(out, algebra.Cross{L: l, R: r})
+				out = append(out, algebra.InternNode(
+					algebra.Cross{L: l.Expr, R: r.Expr}, []*algebra.Interned{l, r}))
 			}
 		}
 		return out, true
@@ -165,12 +173,12 @@ func pullUnions(e algebra.Expr) ([]algebra.Expr, bool) {
 	return nil, false
 }
 
-func mapBranches(child algebra.Expr, wrap func(algebra.Expr) algebra.Expr) ([]algebra.Expr, bool) {
+func mapBranches(child *algebra.Interned, wrap func(*algebra.Interned) *algebra.Interned) ([]*algebra.Interned, bool) {
 	bs, ok := pullUnions(child)
 	if !ok {
 		return nil, false
 	}
-	out := make([]algebra.Expr, len(bs))
+	out := make([]*algebra.Interned, len(bs))
 	for i, b := range bs {
 		out[i] = wrap(b)
 	}
@@ -178,39 +186,39 @@ func mapBranches(child algebra.Expr, wrap func(algebra.Expr) algebra.Expr) ([]al
 }
 
 // liftSkNF converts a union-free expression containing Skolem terms into
-// tableau form (without rhs).
-func liftSkNF(e algebra.Expr, sig algebra.Signature) (*tableau, bool) {
-	if !algebra.ContainsSkolem(e) {
-		a, err := algebra.Arity(e, sig)
+// tableau form (without rhs), descending the interned DAG.
+func liftSkNF(e *algebra.Interned, sig algebra.Signature) (*tableau, bool) {
+	if !e.HasSkolem {
+		a, err := algebra.Arity(e.Expr, sig)
 		if err != nil {
 			return nil, false
 		}
-		return &tableau{base: e, baseW: a, cond: algebra.True, proj: algebra.Seq(1, a)}, true
+		return &tableau{base: e.Expr, baseW: a, cond: algebra.True, proj: algebra.Seq(1, a)}, true
 	}
-	switch e := e.(type) {
+	switch ee := e.Expr.(type) {
 	case algebra.Skolem:
-		t, ok := liftSkNF(e.E, sig)
+		t, ok := liftSkNF(e.Kids[0], sig)
 		if !ok {
 			return nil, false
 		}
-		deps := make([]int, len(e.Deps))
-		for i, d := range e.Deps {
+		deps := make([]int, len(ee.Deps))
+		for i, d := range ee.Deps {
 			if d < 1 || d > len(t.proj) {
 				return nil, false
 			}
 			deps[i] = t.proj[d-1]
 		}
-		t.funcs = append(t.funcs, skApp{fn: e.Fn, deps: deps})
+		t.funcs = append(t.funcs, skApp{fn: ee.Fn, deps: deps})
 		t.proj = append(append([]int(nil), t.proj...), t.baseW+len(t.funcs))
 		return t, true
 
 	case algebra.Project:
-		t, ok := liftSkNF(e.E, sig)
+		t, ok := liftSkNF(e.Kids[0], sig)
 		if !ok {
 			return nil, false
 		}
-		proj := make([]int, len(e.Cols))
-		for i, c := range e.Cols {
+		proj := make([]int, len(ee.Cols))
+		for i, c := range ee.Cols {
 			if c < 1 || c > len(t.proj) {
 				return nil, false
 			}
@@ -220,11 +228,11 @@ func liftSkNF(e algebra.Expr, sig algebra.Signature) (*tableau, bool) {
 		return t, true
 
 	case algebra.Select:
-		t, ok := liftSkNF(e.E, sig)
+		t, ok := liftSkNF(e.Kids[0], sig)
 		if !ok {
 			return nil, false
 		}
-		remapped, err := algebra.RemapCond(e.Cond, func(i int) int {
+		remapped, err := algebra.RemapCond(ee.Cond, func(i int) int {
 			if i < 1 || i > len(t.proj) {
 				return 0
 			}
@@ -237,11 +245,11 @@ func liftSkNF(e algebra.Expr, sig algebra.Signature) (*tableau, bool) {
 		return t, true
 
 	case algebra.Cross:
-		lt, ok := liftSkNF(e.L, sig)
+		lt, ok := liftSkNF(e.Kids[0], sig)
 		if !ok {
 			return nil, false
 		}
-		rt, ok := liftSkNF(e.R, sig)
+		rt, ok := liftSkNF(e.Kids[1], sig)
 		if !ok {
 			return nil, false
 		}

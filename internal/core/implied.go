@@ -24,6 +24,11 @@ import (
 // ∅ ⊑ A, A ⊑ D^r, A−B ⊑ A, and congruence through shared operators).
 // Equality constraints are used in both directions but never removed
 // themselves (they are strictly stronger than either containment).
+//
+// The pass runs entirely over hash-consed nodes (algebra.Intern): every
+// expression is interned once, the BFS tracks visited nodes by pointer,
+// and ⊑ verdicts are memoized globally on interned-ID pairs, so repeated
+// eliminations over overlapping constraint sets reuse earlier work.
 
 // RemoveImplied returns cs with implied containment constraints removed.
 // Removal is iterated to a fixpoint with the *surviving* set as the
@@ -31,52 +36,66 @@ import (
 // representative (the earliest).
 func RemoveImplied(cs algebra.ConstraintSet, sig algebra.Signature) algebra.ConstraintSet {
 	out := cs.Clone()
+	hc := make([]hcConstraint, len(out))
+	for i, c := range out {
+		hc[i] = hcConstraint{kind: c.Kind, l: algebra.Intern(c.L), r: algebra.Intern(c.R)}
+	}
+	gen := algebra.RegistryGen()
 	for i := 0; i < len(out); i++ {
-		c := out[i]
-		if c.Kind != algebra.Containment {
+		if out[i].Kind != algebra.Containment {
 			continue
 		}
-		rest := make(algebra.ConstraintSet, 0, len(out)-1)
-		rest = append(rest, out[:i]...)
-		rest = append(rest, out[i+1:]...)
-		if Implies(rest, c) {
-			out = rest
+		rest := make([]hcConstraint, 0, len(hc)-1)
+		rest = append(rest, hc[:i]...)
+		rest = append(rest, hc[i+1:]...)
+		if impliesHC(rest, hc[i], gen) {
+			out = append(out[:i], out[i+1:]...)
+			hc = append(hc[:i], hc[i+1:]...)
 			i--
 		}
 	}
 	return out
 }
 
+type hcConstraint struct {
+	kind algebra.ConstraintKind
+	l, r *algebra.Interned
+}
+
 // Implies reports whether the hypothesis set provably entails the
 // containment c under the syntactic rules above. Sound but incomplete:
 // false only means "not obviously implied".
 func Implies(hyp algebra.ConstraintSet, c algebra.Constraint) bool {
-	if c.Kind != algebra.Containment {
+	hc := make([]hcConstraint, len(hyp))
+	for i, h := range hyp {
+		hc[i] = hcConstraint{kind: h.Kind, l: algebra.Intern(h.L), r: algebra.Intern(h.R)}
+	}
+	goal := hcConstraint{kind: c.Kind, l: algebra.Intern(c.L), r: algebra.Intern(c.R)}
+	return impliesHC(hc, goal, algebra.RegistryGen())
+}
+
+func impliesHC(hyp []hcConstraint, c hcConstraint, gen uint64) bool {
+	if c.kind != algebra.Containment {
 		return false
 	}
-	if ObviouslyContained(c.L, c.R) {
+	if containedHC(c.l, c.r, gen) {
 		return true
 	}
 	// Breadth-first search through the hypothesis containments: from
 	// expression L, any constraint L' ⊆ R' with L ⊑ L' lets us reach R'.
-	type node struct{ e algebra.Expr }
-	var frontier []node
-	frontier = append(frontier, node{c.L})
-	seen := map[string]bool{c.L.String(): true}
 	edges := containmentEdges(hyp)
+	frontier := []*algebra.Interned{c.l}
+	seen := map[*algebra.Interned]bool{c.l: true}
 	for len(frontier) > 0 {
 		cur := frontier[0]
 		frontier = frontier[1:]
-		if ObviouslyContained(cur.e, c.R) {
+		if containedHC(cur, c.r, gen) {
 			return true
 		}
 		for _, edge := range edges {
-			if ObviouslyContained(cur.e, edge[0]) {
-				key := edge[1].String()
-				if !seen[key] {
-					seen[key] = true
-					frontier = append(frontier, node{edge[1]})
-				}
+			if !seen[edge[1]] && containedHC(cur, edge[0], gen) {
+				seen[edge[1]] = true
+				frontier = append(frontier, edge[1])
 			}
 		}
 	}
@@ -85,12 +104,12 @@ func Implies(hyp algebra.ConstraintSet, c algebra.Constraint) bool {
 
 // containmentEdges extracts directed L ⊆ R edges from the hypothesis,
 // using equalities in both directions.
-func containmentEdges(hyp algebra.ConstraintSet) [][2]algebra.Expr {
-	var out [][2]algebra.Expr
+func containmentEdges(hyp []hcConstraint) [][2]*algebra.Interned {
+	out := make([][2]*algebra.Interned, 0, len(hyp))
 	for _, h := range hyp {
-		out = append(out, [2]algebra.Expr{h.L, h.R})
-		if h.Kind == algebra.Equality {
-			out = append(out, [2]algebra.Expr{h.R, h.L})
+		out = append(out, [2]*algebra.Interned{h.l, h.r})
+		if h.kind == algebra.Equality {
+			out = append(out, [2]*algebra.Interned{h.r, h.l})
 		}
 	}
 	return out
@@ -100,93 +119,115 @@ func containmentEdges(hyp algebra.ConstraintSet) [][2]algebra.Expr {
 // instance. It handles the lattice identities of ∪/∩/−/σ/D/∅, reflexivity,
 // and congruence through matching operators.
 func ObviouslyContained(a, b algebra.Expr) bool {
-	if algebra.Equal(a, b) {
+	return containedHC(algebra.Intern(a), algebra.Intern(b), algebra.RegistryGen())
+}
+
+// containedHC is ObviouslyContained over interned nodes: reflexivity is
+// pointer comparison, recursion descends the shared DAG, and verdicts are
+// memoized on ID pairs. Nodes interned in different epochs (after an
+// interner overflow reset) can represent equal structures with distinct
+// pointers, so reflexivity falls back to a hash-gated structural check.
+func containedHC(a, b *algebra.Interned, gen uint64) bool {
+	if a == b {
 		return true
 	}
+	if a.Hash == b.Hash && algebra.Equal(a.Expr, b.Expr) {
+		return true
+	}
+	key := containKey{a: a.ID, b: b.ID, gen: gen}
+	if v, ok := containCache.get(key); ok {
+		return v
+	}
+	v := containedHCRaw(a, b, gen)
+	containCache.put(key, v)
+	return v
+}
+
+func containedHCRaw(a, b *algebra.Interned, gen uint64) bool {
 	// a is bottom / b is top.
-	switch a := a.(type) {
+	switch ae := a.Expr.(type) {
 	case algebra.Empty:
 		return true
 	case algebra.Lit:
-		if len(a.Tuples) == 0 {
+		if len(ae.Tuples) == 0 {
 			return true
 		}
 	}
-	if _, isDom := b.(algebra.Domain); isDom {
+	if _, isDom := b.Expr.(algebra.Domain); isDom {
 		// Everything is within the active domain of matching arity; we
 		// cannot check arities without a signature, so require that a
 		// is a plain relation or domain (always adom-valued).
-		switch a.(type) {
+		switch a.Expr.(type) {
 		case algebra.Rel, algebra.Domain, algebra.Select, algebra.Inter, algebra.Union, algebra.Project:
 			return true
 		}
 	}
 	// Shrinking a: A∩B ⊑ A-side, σ(A) ⊑ A, A−B ⊑ A.
-	switch a := a.(type) {
+	switch a.Expr.(type) {
 	case algebra.Inter:
-		if ObviouslyContained(a.L, b) || ObviouslyContained(a.R, b) {
+		if containedHC(a.Kids[0], b, gen) || containedHC(a.Kids[1], b, gen) {
 			return true
 		}
 	case algebra.Select:
-		if ObviouslyContained(a.E, b) {
+		if containedHC(a.Kids[0], b, gen) {
 			return true
 		}
 	case algebra.Diff:
-		if ObviouslyContained(a.L, b) {
+		if containedHC(a.Kids[0], b, gen) {
 			return true
 		}
 	case algebra.Union:
 		// A∪B ⊑ C iff A ⊑ C and B ⊑ C.
-		if ObviouslyContained(a.L, b) && ObviouslyContained(a.R, b) {
+		if containedHC(a.Kids[0], b, gen) && containedHC(a.Kids[1], b, gen) {
 			return true
 		}
 	}
 	// Growing b: C ⊑ A∪B when C ⊑ A or C ⊑ B; C ⊑ A∩B needs both.
-	switch b := b.(type) {
+	switch b.Expr.(type) {
 	case algebra.Union:
-		if ObviouslyContained(a, b.L) || ObviouslyContained(a, b.R) {
+		if containedHC(a, b.Kids[0], gen) || containedHC(a, b.Kids[1], gen) {
 			return true
 		}
 	case algebra.Inter:
-		if ObviouslyContained(a, b.L) && ObviouslyContained(a, b.R) {
+		if containedHC(a, b.Kids[0], gen) && containedHC(a, b.Kids[1], gen) {
 			return true
 		}
 	}
 	// Congruence through identical top-level operators (monotone ones).
-	switch a := a.(type) {
+	switch ae := a.Expr.(type) {
 	case algebra.Project:
-		if b, ok := b.(algebra.Project); ok && sameInts(a.Cols, b.Cols) {
-			return ObviouslyContained(a.E, b.E)
+		if be, ok := b.Expr.(algebra.Project); ok && sameInts(ae.Cols, be.Cols) {
+			return containedHC(a.Kids[0], b.Kids[0], gen)
 		}
 	case algebra.Select:
-		if b, ok := b.(algebra.Select); ok && algebra.CondEqual(a.Cond, b.Cond) {
-			return ObviouslyContained(a.E, b.E)
+		if be, ok := b.Expr.(algebra.Select); ok && algebra.CondEqual(ae.Cond, be.Cond) {
+			return containedHC(a.Kids[0], b.Kids[0], gen)
 		}
 	case algebra.Cross:
-		if b, ok := b.(algebra.Cross); ok {
-			return ObviouslyContained(a.L, b.L) && ObviouslyContained(a.R, b.R)
+		if _, ok := b.Expr.(algebra.Cross); ok {
+			return containedHC(a.Kids[0], b.Kids[0], gen) && containedHC(a.Kids[1], b.Kids[1], gen)
 		}
 	case algebra.Diff:
 		// A−B ⊑ A'−B' when A ⊑ A' and B' ⊑ B (anti-monotone right).
-		if b, ok := b.(algebra.Diff); ok {
-			return ObviouslyContained(a.L, b.L) && ObviouslyContained(b.R, a.R)
+		if _, ok := b.Expr.(algebra.Diff); ok {
+			return containedHC(a.Kids[0], b.Kids[0], gen) && containedHC(b.Kids[1], a.Kids[1], gen)
 		}
 	case algebra.App:
-		if b, ok := b.(algebra.App); ok && a.Op == b.Op && sameInts(a.Params, b.Params) && len(a.Args) == len(b.Args) {
-			info := algebra.LookupOp(a.Op)
+		if be, ok := b.Expr.(algebra.App); ok && ae.Op == be.Op && sameInts(ae.Params, be.Params) && len(a.Kids) == len(b.Kids) {
+			info := algebra.LookupOp(ae.Op)
 			if info == nil || info.Monotone == nil {
 				return false
 			}
 			// Require the operator monotone in every argument.
-			allM := make([]algebra.Mono, len(a.Args))
+			allM := make([]algebra.Mono, len(a.Kids))
 			for i := range allM {
 				allM[i] = algebra.MonoM
 			}
 			if info.Monotone(allM) != algebra.MonoM {
 				return false
 			}
-			for i := range a.Args {
-				if !ObviouslyContained(a.Args[i], b.Args[i]) {
+			for i := range a.Kids {
+				if !containedHC(a.Kids[i], b.Kids[i], gen) {
 					return false
 				}
 			}

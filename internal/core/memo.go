@@ -1,0 +1,84 @@
+package core
+
+// Package-level memoization for the hot rewrite passes, keyed on the
+// hash-consed node IDs of internal/algebra (same ID ⇔ structurally equal,
+// so hits are exact, never hash-collision guesses). Caches are bounded:
+// on overflow they are cleared wholesale, which only costs recomputation.
+// Results that depend on the operator registry (expansions, monotonicity)
+// additionally carry the registry generation, so a late RegisterOp cannot
+// serve stale answers. All caches are safe for concurrent use by the
+// parallel experiment driver.
+
+import (
+	"sync"
+
+	"mapcomp/internal/algebra"
+)
+
+// memoCache is a bounded concurrent map cleared wholesale on overflow.
+type memoCache[K comparable, V any] struct {
+	mu  sync.RWMutex
+	max int
+	m   map[K]V
+}
+
+func newMemoCache[K comparable, V any](max int) *memoCache[K, V] {
+	return &memoCache[K, V]{max: max, m: make(map[K]V)}
+}
+
+func (c *memoCache[K, V]) get(k K) (V, bool) {
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+func (c *memoCache[K, V]) put(k K, v V) {
+	c.mu.Lock()
+	if len(c.m) >= c.max {
+		c.m = make(map[K]V, c.max/4)
+	}
+	c.m[k] = v
+	c.mu.Unlock()
+}
+
+// simplifyKey identifies one SimplifyExpr invocation: the interned
+// expression, the signature contents, and the registry generation (the
+// simplifier expands registered operators when an argument is ∅).
+type simplifyKey struct {
+	id    uint64
+	sigFP uint64
+}
+
+// The cache stores the *interned* simplification result, so callers get
+// the fixpoint's canonical-form and identity information without paying
+// another interning walk.
+var simplifyCache = newMemoCache[simplifyKey, *algebra.Interned](1 << 15)
+
+// containKey identifies one ObviouslyContained(a, b) pair plus the
+// registry generation (the App congruence rule consults monotonicity).
+type containKey struct {
+	a, b uint64
+	gen  uint64
+}
+
+var containCache = newMemoCache[containKey, bool](1 << 16)
+
+// sigFingerprint hashes a signature's contents order-independently
+// (commutative combination of per-entry hashes) and folds in the registry
+// generation, so it can serve directly as the signature part of memo keys.
+func sigFingerprint(sig algebra.Signature) uint64 {
+	const prime uint64 = 1099511628211
+	var h uint64
+	for name, arity := range sig {
+		e := uint64(14695981039346656037)
+		for i := 0; i < len(name); i++ {
+			e ^= uint64(name[i])
+			e *= prime
+		}
+		e ^= uint64(arity)
+		e *= prime
+		h += e // commutative: map iteration order must not matter
+	}
+	return h ^ (algebra.RegistryGen() * prime)
+}

@@ -17,17 +17,56 @@ import (
 // global failure (§1.3).
 
 // SimplifyExpr rewrites e bottom-up to a fixpoint of the rule set.
+// Results are memoized across calls, keyed on the hash-consed identity of
+// e plus the signature fingerprint: the editing and reconciliation
+// workloads re-simplify the same subexpressions thousands of times.
 func SimplifyExpr(e algebra.Expr, sig algebra.Signature) algebra.Expr {
+	return simplifyExprFP(e, sig, sigFingerprint(sig))
+}
+
+// simplifyExprFP is SimplifyExpr with the signature fingerprint computed
+// once by the caller (hashing the signature per expression would dominate
+// the pass).
+func simplifyExprFP(e algebra.Expr, sig algebra.Signature, fp uint64) algebra.Expr {
+	return simplifyInterned(e, sig, fp).Expr
+}
+
+// simplifyInterned simplifies e and returns the interned fixpoint, giving
+// callers O(1) access to its identity and canonical form.
+func simplifyInterned(e algebra.Expr, sig algebra.Signature, fp uint64) *algebra.Interned {
+	key := simplifyKey{id: algebra.Intern(e).ID, sigFP: fp}
+	if v, ok := simplifyCache.get(key); ok {
+		return v
+	}
+	result, converged := simplifyFixpoint(e, sig, fp)
+	out := algebra.Intern(result)
+	simplifyCache.put(key, out)
+	// Map a converged result to itself so re-simplifying it is a cache
+	// hit. A result clipped by the safety bound is NOT a fixpoint; it
+	// must stay re-simplifiable, so only the input key is cached.
+	if outKey := (simplifyKey{id: out.ID, sigFP: fp}); converged && outKey != key {
+		simplifyCache.put(outKey, out)
+	}
+	return out
+}
+
+// simplifyFixpoint sweeps until no rule fires; converged is false when
+// the safety bound stopped it first.
+func simplifyFixpoint(e algebra.Expr, sig algebra.Signature, fp uint64) (out algebra.Expr, converged bool) {
+	pass := func(x algebra.Expr) (algebra.Expr, bool) {
+		if next, fired := simplifyNode(x, sig, fp); fired {
+			return next, true
+		}
+		return x, false
+	}
 	for i := 0; i < 20; i++ { // fixpoint with a safety bound
-		next := algebra.Rewrite(e, func(x algebra.Expr) algebra.Expr {
-			return simplifyNode(x, sig)
-		})
-		if algebra.Equal(next, e) {
-			return next
+		next, changed := algebra.RewriteFlag(e, pass)
+		if !changed {
+			return next, true
 		}
 		e = next
 	}
-	return e
+	return e, false
 }
 
 func arityOf(e algebra.Expr, sig algebra.Signature) (int, bool) {
@@ -53,63 +92,65 @@ func isDomain(e algebra.Expr) (int, bool) {
 	return d.N, true
 }
 
-func simplifyNode(x algebra.Expr, sig algebra.Signature) algebra.Expr {
+// simplifyNode applies one rule at the root of x, reporting whether a
+// rule fired. Every rule returns a structurally different node.
+func simplifyNode(x algebra.Expr, sig algebra.Signature, fp uint64) (algebra.Expr, bool) {
 	switch e := x.(type) {
 	case algebra.Lit:
 		if len(e.Tuples) == 0 {
-			return algebra.Empty{N: e.Width}
+			return algebra.Empty{N: e.Width}, true
 		}
 
 	case algebra.Union:
 		// E ∪ D^r = D^r ; E ∪ ∅ = E ; E ∪ E = E (§3.4.3, §3.5.4)
 		if _, ok := isDomain(e.L); ok {
-			return e.L
+			return e.L, true
 		}
 		if _, ok := isDomain(e.R); ok {
-			return e.R
+			return e.R, true
 		}
 		if isEmpty(e.L) {
-			return e.R
+			return e.R, true
 		}
 		if isEmpty(e.R) {
-			return e.L
+			return e.L, true
 		}
 		if algebra.Equal(e.L, e.R) {
-			return e.L
+			return e.L, true
 		}
 
 	case algebra.Inter:
 		// E ∩ D^r = E ; E ∩ ∅ = ∅ ; E ∩ E = E
 		if _, ok := isDomain(e.L); ok {
-			return e.R
+			return e.R, true
 		}
 		if _, ok := isDomain(e.R); ok {
-			return e.L
+			return e.L, true
 		}
 		if isEmpty(e.L) {
-			return e.L
+			return e.L, true
 		}
 		if isEmpty(e.R) {
-			return e.R
+			return e.R, true
 		}
 		if algebra.Equal(e.L, e.R) {
-			return e.L
+			return e.L, true
 		}
 
 	case algebra.Diff:
 		// E − D^r = ∅ ; E − ∅ = E ; ∅ − E = ∅ ; E − E = ∅
 		if n, ok := isDomain(e.R); ok {
-			return algebra.Empty{N: n}
+			return algebra.Empty{N: n}, true
 		}
 		if isEmpty(e.R) {
-			return e.L
+			return e.L, true
 		}
 		if isEmpty(e.L) {
-			return e.L
+			return e.L, true
 		}
 		if algebra.Equal(e.L, e.R) {
 			if a, ok := arityOf(e.L, sig); ok {
-				return algebra.Empty{N: a}
+				return algebra.Empty{N: a}, true
 			}
 		}
 
@@ -117,30 +158,30 @@ func simplifyNode(x algebra.Expr, sig algebra.Signature) algebra.Expr {
 		// ∅ × E = E × ∅ = ∅ ; D^a × D^b = D^(a+b)
 		if isEmpty(e.L) || isEmpty(e.R) {
 			if a, ok := arityOf(e, sig); ok {
-				return algebra.Empty{N: a}
+				return algebra.Empty{N: a}, true
 			}
 		}
 		if a, ok := isDomain(e.L); ok {
 			if b, ok := isDomain(e.R); ok {
-				return algebra.Domain{N: a + b}
+				return algebra.Domain{N: a + b}, true
 			}
 		}
 
 	case algebra.Select:
 		// σ_true(E) = E ; σ_false(E) = ∅ ; σ_c(∅) = ∅ ; σ fusion
 		if _, ok := e.Cond.(algebra.TrueCond); ok {
-			return e.E
+			return e.E, true
 		}
 		if _, ok := e.Cond.(algebra.FalseCond); ok {
 			if a, ok := arityOf(e.E, sig); ok {
-				return algebra.Empty{N: a}
+				return algebra.Empty{N: a}, true
 			}
 		}
 		if isEmpty(e.E) {
-			return e.E
+			return e.E, true
 		}
 		if inner, ok := e.E.(algebra.Select); ok {
-			return algebra.Select{Cond: algebra.And{L: e.Cond, R: inner.Cond}, E: inner.E}
+			return algebra.Select{Cond: algebra.And{L: e.Cond, R: inner.Cond}, E: inner.E}, true
 		}
 
 	case algebra.Project:
@@ -148,10 +189,10 @@ func simplifyNode(x algebra.Expr, sig algebra.Signature) algebra.Expr {
 		// dropping an unreferenced trailing D factor: π_I(E × D^j) =
 		// π_I(E) when I only references E's columns.
 		if isEmpty(e.E) {
-			return algebra.Empty{N: len(e.Cols)}
+			return algebra.Empty{N: len(e.Cols)}, true
 		}
 		if _, ok := isDomain(e.E); ok {
-			return algebra.Domain{N: len(e.Cols)}
+			return algebra.Domain{N: len(e.Cols)}, true
 		}
 		if a, ok := arityOf(e.E, sig); ok && len(e.Cols) == a {
 			identity := true
@@ -162,7 +203,7 @@ func simplifyNode(x algebra.Expr, sig algebra.Signature) algebra.Expr {
 				}
 			}
 			if identity {
-				return e.E
+				return e.E, true
 			}
 		}
 		if inner, ok := e.E.(algebra.Project); ok {
@@ -170,7 +211,7 @@ func simplifyNode(x algebra.Expr, sig algebra.Signature) algebra.Expr {
 			for i, c := range e.Cols {
 				cols[i] = inner.Cols[c-1]
 			}
-			return algebra.Project{Cols: cols, E: inner.E}
+			return algebra.Project{Cols: cols, E: inner.E}, true
 		}
 		if cross, ok := e.E.(algebra.Cross); ok {
 			if _, isDom := isDomain(cross.R); isDom {
@@ -183,7 +224,7 @@ func simplifyNode(x algebra.Expr, sig algebra.Signature) algebra.Expr {
 						}
 					}
 					if all {
-						return algebra.Project{Cols: e.Cols, E: cross.L}
+						return algebra.Project{Cols: e.Cols, E: cross.L}, true
 					}
 				}
 			}
@@ -201,7 +242,7 @@ func simplifyNode(x algebra.Expr, sig algebra.Signature) algebra.Expr {
 						for i, c := range e.Cols {
 							cols[i] = c - la
 						}
-						return algebra.Project{Cols: cols, E: cross.R}
+						return algebra.Project{Cols: cols, E: cross.R}, true
 					}
 				}
 			}
@@ -210,16 +251,16 @@ func simplifyNode(x algebra.Expr, sig algebra.Signature) algebra.Expr {
 	case algebra.Skolem:
 		if isEmpty(e.E) {
 			if a, ok := arityOf(e, sig); ok {
-				return algebra.Empty{N: a}
+				return algebra.Empty{N: a}, true
 			}
 		}
 
 	case algebra.App:
-		if next, ok := simplifyApp(e, sig); ok {
-			return next
+		if next, ok := simplifyApp(e, sig, fp); ok {
+			return next, true
 		}
 	}
-	return x
+	return nil, false
 }
 
 // simplifyApp applies registered-operator ∅/D rules. The paper lets users
@@ -227,7 +268,7 @@ func simplifyNode(x algebra.Expr, sig algebra.Signature) algebra.Expr {
 // the operator's expansion when one exists (expand, then simplify), except
 // that expansion is only kept when it actually shrinks the expression, so
 // derived operators stay intact in the common case.
-func simplifyApp(e algebra.App, sig algebra.Signature) (algebra.Expr, bool) {
+func simplifyApp(e algebra.App, sig algebra.Signature, fp uint64) (algebra.Expr, bool) {
 	anySpecial := false
 	for _, a := range e.Args {
 		if isEmpty(a) {
@@ -241,9 +282,11 @@ func simplifyApp(e algebra.App, sig algebra.Signature) (algebra.Expr, bool) {
 	if !ok {
 		return nil, false
 	}
-	simplified := SimplifyExpr(expanded, sig)
-	if algebra.Size(simplified) < algebra.Size(e) {
-		return simplified, true
+	// The interned nodes carry precomputed operator counts, so the
+	// shrinkage test costs no tree walks.
+	simplified := simplifyInterned(expanded, sig, fp)
+	if simplified.Size < algebra.Intern(e).Size {
+		return simplified.Expr, true
 	}
 	return nil, false
 }
@@ -255,15 +298,30 @@ func simplifyApp(e algebra.App, sig algebra.Signature) (algebra.Expr, bool) {
 //   - E ⊆ D^r (anything is within the active domain; §3.4.3 deletes
 //     constraints with D alone on the rhs)
 //   - ∅ ⊆ E (§3.5.4 deletes constraints with ∅ on the lhs)
-//   - exact duplicates
+//   - duplicates up to commutative reordering of ∪/∩ operands (keyed on
+//     the canonical interned form, so A∪B and B∪A collapse)
 func SimplifyConstraints(cs algebra.ConstraintSet, sig algebra.Signature) algebra.ConstraintSet {
+	// Dedup keys use the canonical structural *hashes*, not interned IDs:
+	// hashes are content-derived and therefore stable even if the
+	// interner's overflow reset splits this loop across two intern
+	// epochs (IDs and pointers are only unique within an epoch). The
+	// stored canonical expressions resolve hash collisions exactly.
+	type dedupKey struct {
+		kind algebra.ConstraintKind
+		l, r uint64
+	}
 	out := make(algebra.ConstraintSet, 0, len(cs))
-	seen := make(map[string]bool)
+	seen := make(map[dedupKey][][2]algebra.Expr, len(cs))
+	fp := sigFingerprint(sig)
 	for _, c := range cs {
-		c = algebra.Constraint{Kind: c.Kind, L: SimplifyExpr(c.L, sig), R: SimplifyExpr(c.R, sig)}
-		if algebra.Equal(c.L, c.R) {
+		// Simplify both sides to interned fixpoints: identity and
+		// canonical-form comparisons below are then pointer/ID lookups.
+		ln := simplifyInterned(c.L, sig, fp)
+		rn := simplifyInterned(c.R, sig, fp)
+		if ln == rn || (ln.Hash == rn.Hash && algebra.Equal(ln.Expr, rn.Expr)) {
 			continue
 		}
+		c = algebra.Constraint{Kind: c.Kind, L: ln.Expr, R: rn.Expr}
 		if c.Kind == algebra.Containment {
 			if _, ok := c.R.(algebra.Domain); ok {
 				continue
@@ -276,19 +334,29 @@ func SimplifyConstraints(cs algebra.ConstraintSet, sig algebra.Signature) algebr
 			// ∅ = E and E = ∅ reduce to E ⊆ ∅; D^r = E to D^r ⊆ E.
 			if isEmpty(c.L) {
 				c = algebra.Contain(c.R, c.L)
+				ln, rn = rn, ln
 			} else if isEmpty(c.R) {
 				c = algebra.Contain(c.L, c.R)
 			} else if _, ok := c.L.(algebra.Domain); ok {
 				c = algebra.Contain(c.L, c.R)
 			} else if _, ok := c.R.(algebra.Domain); ok {
 				c = algebra.Contain(c.R, c.L)
+				ln, rn = rn, ln
 			}
 		}
-		key := c.String()
-		if seen[key] {
+		cl, cr := ln.Canonical(), rn.Canonical()
+		key := dedupKey{kind: c.Kind, l: cl.Hash, r: cr.Hash}
+		dup := false
+		for _, prev := range seen[key] {
+			if algebra.Equal(prev[0], cl.Expr) && algebra.Equal(prev[1], cr.Expr) {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[key] = true
+		seen[key] = append(seen[key], [2]algebra.Expr{cl.Expr, cr.Expr})
 		out = append(out, c)
 	}
 	return out

@@ -43,8 +43,19 @@ func ViewUnfold(cs algebra.ConstraintSet, s string) (algebra.ConstraintSet, bool
 
 // splitEqualities converts every equality constraint that mentions s into
 // the two containments of §3.1 step 2; other constraints pass through.
+// The input is returned as-is (no copy) when no equality mentions s —
+// the common case on the hot compose paths.
 func splitEqualities(cs algebra.ConstraintSet, s string) algebra.ConstraintSet {
-	out := make(algebra.ConstraintSet, 0, len(cs))
+	splits := 0
+	for _, c := range cs {
+		if c.Kind == algebra.Equality && c.ContainsRel(s) {
+			splits++
+		}
+	}
+	if splits == 0 {
+		return cs
+	}
+	out := make(algebra.ConstraintSet, 0, len(cs)+splits)
 	for _, c := range cs {
 		if c.Kind == algebra.Equality && c.ContainsRel(s) {
 			out = append(out, algebra.Contain(c.L, c.R), algebra.Contain(c.R, c.L))

@@ -20,6 +20,7 @@ import (
 
 	"mapcomp/internal/core"
 	"mapcomp/internal/evolution"
+	"mapcomp/internal/par"
 )
 
 // Configuration names used throughout §4.2.
@@ -116,13 +117,20 @@ func (a *EditingAggregate) MedianRunTime() time.Duration {
 // EditingStudy runs the §4.2 schema editing scenario: `runs` random edit
 // sequences of `edits` edits each over schemas of size `schemaSize`, under
 // the named configuration and with the given event vector (nil = Default).
+//
+// Runs are seed-isolated (run r uses seed+r and its own rng), so they
+// execute on the bounded worker pool of internal/par; results are
+// aggregated strictly in run order afterwards, which makes every count in
+// the aggregate identical to a sequential execution for a fixed seed.
+// Only the measured wall-clock durations can differ.
 func EditingStudy(config string, runs, edits, schemaSize int, vector evolution.EventVector, seed int64) *EditingAggregate {
 	keys, coreCfg := Named(config)
 	agg := &EditingAggregate{
 		Config:       config,
 		PerPrimitive: make(map[evolution.Primitive]*PrimStat),
 	}
-	for r := 0; r < runs; r++ {
+	runsOut := make([]*evolution.EditingRun, runs)
+	par.Do(runs, func(r int) {
 		cfg := &evolution.EditingConfig{
 			SchemaSize: schemaSize,
 			Edits:      edits,
@@ -131,7 +139,9 @@ func EditingStudy(config string, runs, edits, schemaSize int, vector evolution.E
 			Core:       coreCfg,
 			Seed:       seed + int64(r),
 		}
-		run := evolution.RunEditing(cfg)
+		runsOut[r] = evolution.RunEditing(cfg)
+	})
+	for _, run := range runsOut {
 		var total time.Duration
 		for _, s := range run.Stats {
 			ps := agg.PerPrimitive[s.Primitive]
@@ -342,13 +352,27 @@ func reconPoint(schemaSize, edits, tasks int, seed int64, configs []string) Reco
 	eliminated := make(map[string]int)
 	var totalTime time.Duration
 	genCfg := core.DefaultConfig()
-	for t := 0; t < tasks; t++ {
+
+	// Per-task results, computed on the worker pool (tasks are
+	// seed-isolated) and reduced in task order below.
+	type cfgOutcome struct {
+		ok                    bool
+		attempted, eliminated int
+	}
+	type taskOutcome struct {
+		discarded bool
+		elapsed   time.Duration
+		byCfg     []cfgOutcome
+	}
+	outcomes := make([]taskOutcome, tasks)
+	par.Do(tasks, func(t int) {
 		task, ok := evolution.GenerateReconciliation(schemaSize, edits, false, genCfg, seed+int64(t), 25)
 		if !ok {
-			point.Discarded++
-			continue
+			outcomes[t].discarded = true
+			return
 		}
-		for _, cfg := range configs {
+		outcomes[t].byCfg = make([]cfgOutcome, len(configs))
+		for i, cfg := range configs {
 			_, coreCfg := Named(cfg)
 			start := time.Now()
 			res, err := evolution.ComposeReconciliation(task, coreCfg)
@@ -356,10 +380,22 @@ func reconPoint(schemaSize, edits, tasks int, seed int64, configs []string) Reco
 				continue
 			}
 			if cfg == CfgComplete {
-				totalTime += time.Since(start)
+				outcomes[t].elapsed = time.Since(start)
 			}
-			attempted[cfg] += res.Stats.Attempted
-			eliminated[cfg] += res.Stats.Eliminated
+			outcomes[t].byCfg[i] = cfgOutcome{ok: true, attempted: res.Stats.Attempted, eliminated: res.Stats.Eliminated}
+		}
+	})
+	for _, out := range outcomes {
+		if out.discarded {
+			point.Discarded++
+			continue
+		}
+		totalTime += out.elapsed
+		for i, cfg := range configs {
+			if out.byCfg[i].ok {
+				attempted[cfg] += out.byCfg[i].attempted
+				eliminated[cfg] += out.byCfg[i].eliminated
+			}
 		}
 	}
 	for _, cfg := range configs {
@@ -418,18 +454,23 @@ func BlowupStudy(runs, edits, schemaSize int, seed int64) (blowup, attempted int
 // number of symbols under different orders (§4: "Our algorithm appears to
 // be order-invariant on the studied data sets").
 func OrderInvariance(tasks, schemaSize, edits, shuffles int, seed int64) (variant, total int) {
-	rng := rand.New(rand.NewSource(seed))
 	coreCfg := core.DefaultConfig()
-	for t := 0; t < tasks; t++ {
+	type outcome struct{ generated, variant bool }
+	outcomes := make([]outcome, tasks)
+	// Each task gets its own shuffle rng derived from (seed, t), so the
+	// result is a pure function of the seed no matter how the pool
+	// schedules tasks.
+	par.Do(tasks, func(t int) {
 		task, ok := evolution.GenerateReconciliation(schemaSize, edits, false, coreCfg, seed+int64(t), 25)
 		if !ok {
-			continue
+			return
 		}
-		total++
+		outcomes[t].generated = true
 		base, err := evolution.ComposeReconciliation(task, coreCfg)
 		if err != nil {
-			continue
+			return
 		}
+		rng := rand.New(rand.NewSource(seed ^ (int64(t+1) * 0x9E3779B9)))
 		names := task.Original.Sig.Names()
 		for s := 0; s < shuffles; s++ {
 			order := append([]string(nil), names...)
@@ -440,8 +481,16 @@ func OrderInvariance(tasks, schemaSize, edits, shuffles int, seed int64) (varian
 				continue
 			}
 			if res.Stats.Eliminated != base.Stats.Eliminated {
-				variant++
+				outcomes[t].variant = true
 				break
+			}
+		}
+	})
+	for _, o := range outcomes {
+		if o.generated {
+			total++
+			if o.variant {
+				variant++
 			}
 		}
 	}

@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"mapcomp/internal/evolution"
+	"mapcomp/internal/par"
 )
 
 // Small-scale smoke tests: the experiment harness must run end to end and
@@ -99,6 +101,53 @@ func TestOrderInvarianceSmoke(t *testing.T) {
 	// data sets". Tolerate at most one variant task at tiny scale.
 	if variant > 1 {
 		t.Errorf("%d of %d tasks varied with elimination order", variant, total)
+	}
+}
+
+// counts strips the wall-clock measurements from an aggregate, leaving
+// only the deterministic outcome counts.
+func counts(a *EditingAggregate) map[string][4]int {
+	out := map[string][4]int{
+		"total": {a.Attempted, a.Eliminated, a.Blowup, a.Leftover},
+	}
+	for p, s := range a.PerPrimitive {
+		out[string(p)] = [4]int{s.Edits, s.Attempted, s.Eliminated, 0}
+	}
+	return out
+}
+
+// TestEditingStudyParallelDeterminism: for a fixed seed the parallel
+// driver must produce exactly the outcome counts of a sequential run,
+// whatever the worker count (run with -race to also exercise the pool
+// for data races).
+func TestEditingStudyParallelDeterminism(t *testing.T) {
+	prev := par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+	sequential := EditingStudy(CfgNoKeys, 4, 25, 15, nil, 42)
+
+	for _, workers := range []int{2, 4, 8} {
+		par.SetWorkers(workers)
+		parallel := EditingStudy(CfgNoKeys, 4, 25, 15, nil, 42)
+		if !reflect.DeepEqual(counts(sequential), counts(parallel)) {
+			t.Errorf("workers=%d: aggregate counts differ from sequential run:\n%v\nvs\n%v",
+				workers, counts(sequential), counts(parallel))
+		}
+		if len(parallel.RunTimes) != len(sequential.RunTimes) {
+			t.Errorf("workers=%d: run count %d, want %d", workers, len(parallel.RunTimes), len(sequential.RunTimes))
+		}
+	}
+}
+
+// TestOrderInvarianceParallelDeterminism: the shuffle rng is derived per
+// task, so the result is a pure function of the seed under any pool size.
+func TestOrderInvarianceParallelDeterminism(t *testing.T) {
+	prev := par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+	v1, t1 := OrderInvariance(3, 10, 15, 2, 7)
+	par.SetWorkers(4)
+	v2, t2 := OrderInvariance(3, 10, 15, 2, 7)
+	if v1 != v2 || t1 != t2 {
+		t.Errorf("parallel OrderInvariance diverged: (%d,%d) vs (%d,%d)", v1, t1, v2, t2)
 	}
 }
 

@@ -1,0 +1,69 @@
+// Package par provides the bounded worker pool used by the experiment
+// drivers. The paper's studies are embarrassingly parallel — every run,
+// task or problem is seeded independently — so the drivers fan work items
+// out to a fixed number of workers and aggregate results strictly in item
+// order, which keeps outputs byte-identical to a sequential execution for
+// a fixed seed regardless of worker count or scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the pool width; 0 means GOMAXPROCS at call time.
+var workers atomic.Int64
+
+// SetWorkers bounds the pool at n workers (n ≤ 0 restores the default,
+// GOMAXPROCS). It returns the previous setting so callers — tests,
+// command-line front ends — can restore it.
+func SetWorkers(n int) int {
+	return int(workers.Swap(int64(n)))
+}
+
+// Workers reports the current pool width.
+func Workers() int {
+	if n := int(workers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs f(0), …, f(n-1) on at most Workers() goroutines and returns
+// when all calls have finished. Items are claimed from a shared counter,
+// so callers must make f(i) independent of execution order; writing
+// results into slot i of a pre-sized slice and reducing after Do returns
+// yields deterministic aggregates. With one worker (or n == 1) every call
+// runs on the caller's goroutine in index order.
+func Do(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,54 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsEveryItemOnce(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	const n = 100
+	var hits [n]atomic.Int64
+	Do(n, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("item %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestDoSingleWorkerInOrder(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	var order []int
+	Do(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("single-worker order %v not sequential", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d of 5 items", len(order))
+	}
+}
+
+func TestDoZeroAndNegative(t *testing.T) {
+	ran := false
+	Do(0, func(int) { ran = true })
+	Do(-3, func(int) { ran = true })
+	if ran {
+		t.Fatal("Do ran items for n <= 0")
+	}
+}
+
+func TestSetWorkersRestores(t *testing.T) {
+	prev := SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+	SetWorkers(prev)
+	if got := Workers(); got < 1 {
+		t.Fatalf("Workers() = %d after restore", got)
+	}
+}

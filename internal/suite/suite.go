@@ -21,6 +21,7 @@ import (
 	"mapcomp/internal/core"
 	"mapcomp/internal/eval"
 	_ "mapcomp/internal/ops" // register join/semijoin/antijoin/lojoin/tc
+	"mapcomp/internal/par"
 	"mapcomp/internal/parser"
 )
 
@@ -82,6 +83,18 @@ func (p *Problem) Run(cfg *core.Config) *Outcome {
 		}
 	}
 	out.Output = cs
+	return out
+}
+
+// RunAll executes every problem under the given configuration (nil =
+// default) on the bounded worker pool of internal/par, returning outcomes
+// in problem order. Problems are independent, so the outcome slice is
+// identical to running each problem sequentially.
+func RunAll(problems []*Problem, cfg *core.Config) []*Outcome {
+	out := make([]*Outcome, len(problems))
+	par.Do(len(problems), func(i int) {
+		out[i] = problems[i].Run(cfg)
+	})
 	return out
 }
 

@@ -3,6 +3,7 @@ package suite
 import (
 	"testing"
 
+	"mapcomp/internal/par"
 	"mapcomp/internal/parser"
 )
 
@@ -29,8 +30,13 @@ func TestSuiteOutcomes(t *testing.T) {
 }
 
 // TestSuiteSemanticEquivalence exhaustively verifies §2 equivalence for
-// the problems marked Verify.
+// the problems marked Verify. Exhaustive enumeration takes ~1s in total,
+// so the test is skipped under -short (TestSuiteOutcomes still checks
+// every problem's elimination outcome).
 func TestSuiteSemanticEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive instance enumeration skipped in -short mode")
+	}
 	for _, p := range Problems() {
 		if !p.Verify {
 			continue
@@ -74,6 +80,40 @@ func TestSuiteTaskFileRoundTrip(t *testing.T) {
 				t.Errorf("constraints changed in round trip:\n%s\nvs\n%s", orig, got)
 			}
 		})
+	}
+}
+
+// TestRunAllMatchesSequential: the parallel suite driver returns, per
+// problem, exactly the outcome of a sequential Run — same eliminations
+// and byte-identical output constraint sets.
+func TestRunAllMatchesSequential(t *testing.T) {
+	prev := par.SetWorkers(4)
+	defer par.SetWorkers(prev)
+	problems := Problems()
+	outcomes := RunAll(problems, nil)
+	if len(outcomes) != len(problems) {
+		t.Fatalf("got %d outcomes for %d problems", len(outcomes), len(problems))
+	}
+	for i, p := range problems {
+		seq := p.Run(nil)
+		got := outcomes[i]
+		if got.Problem != p {
+			t.Fatalf("outcome %d belongs to %s, want %s", i, got.Problem.Name, p.Name)
+		}
+		if !sameStrings(got.Eliminated, seq.Eliminated) || !sameStrings(got.Remaining, seq.Remaining) {
+			t.Errorf("%s: parallel eliminated %v/%v, sequential %v/%v",
+				p.Name, got.Eliminated, got.Remaining, seq.Eliminated, seq.Remaining)
+		}
+		gotOut, seqOut := "", ""
+		if got.Err == nil {
+			gotOut = got.Output.String()
+		}
+		if seq.Err == nil {
+			seqOut = seq.Output.String()
+		}
+		if gotOut != seqOut {
+			t.Errorf("%s: parallel output differs:\n%s\nvs\n%s", p.Name, gotOut, seqOut)
+		}
 	}
 }
 

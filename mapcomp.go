@@ -28,6 +28,31 @@
 // The examples/ directory contains four runnable walkthroughs, and
 // cmd/mapcompose is a command-line front end for the text format parsed by
 // ParseProblem (see internal/parser for the grammar).
+//
+// # Performance
+//
+// The ELIMINATE loop rewrites, normalizes and compares the same
+// expression trees over and over, so internal/algebra hash-conses
+// expressions: a package-level interner (algebra.Intern) gives every
+// distinct structure one shared node carrying a precomputed structural
+// hash, a process-unique ID, interned child pointers, and a canonical
+// ordering of commutative ∪/∩ operand chains. Structural equality of
+// interned nodes is pointer comparison, and the IDs key exact (never
+// hash-collision-guessing) memo tables for the hot rewrites: Simplify
+// results, the implied-constraint containment lattice, and the
+// deskolemization dependency analysis all memoize across eliminations.
+// Memo caches are bounded and cleared wholesale on overflow, so memory
+// stays flat across long experiment campaigns.
+//
+// Concurrency model: expressions and interned nodes are immutable, the
+// interner and all memo caches are safe for concurrent use, and the
+// experiment drivers (internal/experiment, internal/suite, cmd/evosim)
+// fan seed-isolated runs out to a bounded worker pool
+// (internal/par, default GOMAXPROCS, -workers on the command lines).
+// Results are aggregated strictly in run order, so every outcome is
+// byte-identical to a sequential execution for a fixed seed; only
+// measured wall-clock durations vary. EXPERIMENTS.md records the
+// measured speedups against the pre-interning baseline.
 package mapcomp
 
 import (

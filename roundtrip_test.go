@@ -1,0 +1,52 @@
+package mapcomp_test
+
+import (
+	"testing"
+
+	"mapcomp"
+)
+
+// TestParseFormatFixpoint: ParseProblem → FormatProblem → ParseProblem is
+// a fixpoint — re-parsing the formatted problem and formatting again
+// yields the identical text, and both parses produce the same constraint
+// sets. This pins the concrete syntax against printer/parser drift.
+func TestParseFormatFixpoint(t *testing.T) {
+	src := `
+schema s1 { R/3 key[1]; T/2; }
+schema s2 { S/3; U/2; }
+schema s3 { W/2; }
+map m : s1 -> s2 {
+  proj[1,2,3](sel[#2='x'](R)) <= S;
+  T = proj[1,2](sel[#1=#3](S * U));
+  R - proj[1,2,3](S * D) <= sel[#1!=#2](D^3);
+  T * {('a','b')} <= U * U;
+}
+map n : s2 -> s3 {
+  proj[1,2](S) <= W;
+  U + W <= semijoin[1,1](W, W);
+}
+compose c = m * n;
+`
+	p1, err := mapcomp.ParseProblem(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	text1 := mapcomp.FormatProblem(p1)
+	p2, err := mapcomp.ParseProblem(text1)
+	if err != nil {
+		t.Fatalf("formatted problem does not re-parse: %v\n%s", err, text1)
+	}
+	text2 := mapcomp.FormatProblem(p2)
+	if text1 != text2 {
+		t.Errorf("format not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+	for name, m1 := range p1.Maps {
+		m2, ok := p2.Maps[name]
+		if !ok {
+			t.Fatalf("map %s lost in round trip", name)
+		}
+		if m1.Constraints.String() != m2.Constraints.String() {
+			t.Errorf("map %s constraints changed:\n%s\nvs\n%s", name, m1.Constraints, m2.Constraints)
+		}
+	}
+}
