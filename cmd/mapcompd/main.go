@@ -1,0 +1,94 @@
+// Command mapcompd serves mapping composition over HTTP: a versioned
+// catalog of schemas and mappings plus cached, coalesced composition of
+// multi-hop σA→σB chains (see internal/catalog and internal/server).
+//
+// Usage:
+//
+//	mapcompd [-addr :8391] [-workers N] [-cache-size N] [file.mc ...]
+//
+// Positional arguments are composition task files in the text format of
+// internal/parser, pre-loaded into the catalog at boot. The server logs
+// the address it actually listens on (useful with -addr 127.0.0.1:0)
+// and shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mapcomp/internal/catalog"
+	"mapcomp/internal/par"
+	"mapcomp/internal/parser"
+	"mapcomp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8391", "listen address (host:port; port 0 picks a free port)")
+	workers := flag.Int("workers", 0, "batch worker pool width (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache-size", server.DefaultCacheSize, "result cache entries (negative disables caching)")
+	flag.Parse()
+
+	par.SetWorkers(*workers)
+
+	cat := catalog.New()
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := parser.Parse(string(src))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		if err := parser.Validate(p); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		gen, err := cat.Apply(p)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		log.Printf("mapcompd: loaded %s (generation %d)", path, gen)
+	}
+
+	srv := server.New(server.Config{Catalog: cat, CacheSize: *cacheSize})
+	httpSrv := &http.Server{Handler: srv}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("mapcompd: listening on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		log.Printf("mapcompd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	if err := <-done; err != nil {
+		fatal(err)
+	}
+	log.Printf("mapcompd: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mapcompd:", err)
+	os.Exit(1)
+}

@@ -3,15 +3,17 @@
 //
 // Usage:
 //
-//	mapcompose [-v] file.mc
-//	mapcompose [-v] < file.mc
+//	mapcompose [-v] [-format text|json] file.mc
+//	mapcompose [-v] [-format text|json] < file.mc
 //
 // The file declares schemas, maps and compose statements; see
 // internal/parser for the grammar and examples/quickstart for a worked
-// file.
+// file. With -format json the output is an array of the same result
+// documents the mapcompd service returns from its compose endpoint.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -19,15 +21,23 @@ import (
 	"sort"
 
 	"mapcomp"
+	"mapcomp/internal/server"
 )
 
 func main() {
 	verbose := flag.Bool("v", false, "print per-symbol elimination steps")
+	format := flag.String("format", "text", "output format: text or json")
 	flag.Parse()
+	if *format != "text" && *format != "json" {
+		usage(fmt.Errorf("unknown format %q (want text or json)", *format))
+	}
+	if flag.NArg() > 1 {
+		usage(fmt.Errorf("expected at most one input file, got %d arguments", flag.NArg()))
+	}
 
 	var src []byte
 	var err error
-	if flag.NArg() >= 1 {
+	if flag.NArg() == 1 {
 		src, err = os.ReadFile(flag.Arg(0))
 	} else {
 		src, err = io.ReadAll(os.Stdin)
@@ -47,6 +57,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *format == "json" {
+		docs := make([]server.NamedResultJSON, len(results))
+		for i, r := range results {
+			docs[i] = server.NamedResultJSON{Name: r.Name, Result: server.NewResultJSON(r.Result)}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetEscapeHTML(false)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(docs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	for _, r := range results {
 		fmt.Printf("-- compose %s\n", r.Name)
 		if *verbose {
@@ -68,6 +93,12 @@ func main() {
 			fmt.Printf("%s;\n", c)
 		}
 	}
+}
+
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "mapcompose:", err)
+	fmt.Fprintln(os.Stderr, "usage: mapcompose [-v] [-format text|json] [file.mc]")
+	os.Exit(2)
 }
 
 func fatal(err error) {

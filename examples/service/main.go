@@ -1,0 +1,102 @@
+// Service walkthrough: boot an in-process mapcompd server, register the
+// quickstart schema-evolution chain over HTTP, and drive the composition
+// API end to end — multi-hop chain resolution, the result cache, batched
+// requests, and the instrumentation counters that prove a cache hit
+// never re-runs ELIMINATE.
+//
+// Run with: go run ./examples/service
+package main
+
+import (
+	"bytes"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"mapcomp/internal/server"
+)
+
+//go:embed chain.mc
+var chainTask string
+
+func main() {
+	// An httptest server is a real net/http server on a random loopback
+	// port; cmd/mapcompd serves the identical handler.
+	ts := httptest.NewServer(server.New(server.Config{}))
+	defer ts.Close()
+	fmt.Printf("mapcompd-equivalent server at %s\n\n", ts.URL)
+
+	// 1. Register the three schema versions and two edit mappings.
+	reg := post(ts.URL+"/v1/register", "text/plain", chainTask)
+	fmt.Printf("registered: %s\n", reg)
+
+	// 2. Compose original→split. No direct mapping exists; the catalog
+	// resolves the two-hop chain m12 * m23 and eliminates the
+	// intermediate FiveStarMovies symbol.
+	first := post(ts.URL+"/v1/compose", "application/json", `{"from":"original","to":"split"}`)
+	fmt.Printf("\nfirst compose (cold):\n%s\n", pretty(first))
+
+	// 3. The same request again: served from the result cache — same
+	// key, no ELIMINATE re-run.
+	second := post(ts.URL+"/v1/compose", "application/json", `{"from":"original","to":"split"}`)
+	fmt.Printf("\nsecond compose (cached=%v)\n", gjson(second, "cached"))
+
+	// 4. A batch: duplicate pairs inside the batch coalesce to one
+	// computation.
+	batch := post(ts.URL+"/v1/compose/batch", "application/json",
+		`{"requests":[{"from":"original","to":"fivestar"},{"from":"original","to":"split"}]}`)
+	fmt.Printf("\nbatch results:\n%s\n", pretty(batch))
+
+	// 5. The stats endpoint shows two compositions total (the chain and
+	// the one-hop pair) against three-plus requests served.
+	stats := get(ts.URL + "/v1/stats")
+	fmt.Printf("\nstats: %s\n", stats)
+}
+
+func post(url, contentType, body string) []byte {
+	resp, err := http.Post(url, contentType, bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %d %s", url, resp.StatusCode, out)
+	}
+	return bytes.TrimSpace(out)
+}
+
+func get(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return bytes.TrimSpace(out)
+}
+
+// pretty re-indents a JSON document for display.
+func pretty(b []byte) string {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, b, "", "  "); err != nil {
+		return string(b)
+	}
+	return buf.String()
+}
+
+// gjson extracts one top-level field from a JSON document.
+func gjson(b []byte, field string) any {
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil
+	}
+	return m[field]
+}

@@ -153,6 +153,24 @@ type Mapping struct {
 	Constraints ConstraintSet
 }
 
+// NewMapping materializes a mapping between two schemas: signatures and
+// constraints cloned, key knowledge merged with the output schema's keys
+// overlaying the input's. Both the text-format path (parser) and the
+// catalog use this single constructor, so the service composes with the
+// same key knowledge as the CLI.
+func NewMapping(from, to *Schema, cs ConstraintSet) *Mapping {
+	keys := from.Keys.Clone()
+	for r, k := range to.Keys {
+		keys[r] = append([]int(nil), k...)
+	}
+	return &Mapping{
+		In:          from.Sig.Clone(),
+		Out:         to.Sig.Clone(),
+		Keys:        keys,
+		Constraints: cs.Clone(),
+	}
+}
+
 // Sig returns the combined signature σ1 ∪ σ2.
 func (m *Mapping) Sig() (Signature, error) { return m.In.Merge(m.Out) }
 

@@ -1,0 +1,32 @@
+package algebra
+
+// Constraint fingerprints. The composition service caches and compares
+// results by content, so constraints and constraint sets need cheap,
+// stable identities: fingerprints are computed on canonical forms (∪/∩
+// chains flattened and re-ordered), so commutative variants of a
+// constraint agree, and the set fingerprint combines its members
+// commutatively, so re-ordered but equal sets agree too. Like the
+// structural hashes they build on, fingerprints depend only on content
+// and are stable across processes.
+
+// Fingerprint returns a structural hash of the constraint, computed on
+// the canonical forms of both sides. Equal-up-to-∪/∩-reordering
+// constraints always share a fingerprint; distinct ones collide with
+// probability ~2^-64.
+func (c Constraint) Fingerprint() uint64 {
+	h := mix(fnvOffset, uint64(c.Kind)+0xC0)
+	h = mix(h, Intern(c.L).canon.Hash)
+	return mix(h, Intern(c.R).canon.Hash)
+}
+
+// Fingerprint returns an order-independent fingerprint of the set: the
+// commutative combination of the member fingerprints. Two sets agree
+// whenever they contain the same constraints (up to commutative ∪/∩
+// reordering) in any order.
+func (cs ConstraintSet) Fingerprint() uint64 {
+	var sum uint64
+	for _, c := range cs {
+		sum += c.Fingerprint()
+	}
+	return mix(mix(fnvOffset, sum), uint64(len(cs)))
+}

@@ -1,0 +1,418 @@
+// Package catalog is an in-memory, versioned store of named schemas and
+// mappings — the registry behind the mapcompd composition service. The
+// paper presents COMPOSE as a one-shot batch procedure, but its intended
+// deployments (schema evolution, data integration, ETL pipelines, §1)
+// are long-lived: mappings are registered once and composed many times
+// along chains σ1→σ2→…→σn. The catalog holds the registered artifacts,
+// assigns every successful mutation a monotonically increasing
+// generation (the cache-invalidation token of the serving layer), and
+// maintains a directed mapping graph over schema names so a requested
+// σA→σB composition resolves to a shortest multi-hop chain of
+// registered mappings, composed left to right via core.ComposeChain.
+//
+// All entries are immutable once installed: updates install fresh
+// entries with a bumped per-name version, so snapshots handed out under
+// the read lock stay valid without copying. The catalog is safe for
+// concurrent use.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mapcomp/internal/algebra"
+	"mapcomp/internal/core"
+	"mapcomp/internal/parser"
+)
+
+// Sentinel errors for composition-request resolution, so callers (the
+// HTTP layer) can classify failures without matching message text.
+var (
+	// ErrUnknownSchema reports a composition endpoint that is not a
+	// registered schema.
+	ErrUnknownSchema = errors.New("unknown schema")
+	// ErrNoPath reports that no chain of registered mappings connects
+	// the requested endpoints.
+	ErrNoPath = errors.New("no mapping path")
+)
+
+// SchemaEntry is one installed revision of a named schema.
+type SchemaEntry struct {
+	Name string
+	// Version is the per-name revision, 1 on first registration.
+	Version int
+	// Generation is the catalog generation that installed this revision.
+	Generation uint64
+	Schema     *algebra.Schema
+}
+
+// MappingEntry is one installed revision of a named mapping between two
+// registered schemas.
+type MappingEntry struct {
+	Name        string
+	From, To    string
+	Version     int
+	Generation  uint64
+	Constraints algebra.ConstraintSet
+}
+
+// Catalog is the mutex-guarded store. The zero value is not usable; use
+// New.
+type Catalog struct {
+	mu      sync.RWMutex
+	gen     uint64
+	schemas map[string]*SchemaEntry
+	maps    map[string]*MappingEntry
+}
+
+// New returns an empty catalog at generation 0.
+func New() *Catalog {
+	return &Catalog{
+		schemas: make(map[string]*SchemaEntry),
+		maps:    make(map[string]*MappingEntry),
+	}
+}
+
+// Generation returns the current catalog generation: 0 for an empty
+// catalog, incremented by one for every successful mutation (an Apply
+// counts as one mutation however many artifacts it installs).
+func (c *Catalog) Generation() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gen
+}
+
+// RegisterSchema installs or updates a named schema. Updating a schema
+// that registered mappings reference re-validates those mappings against
+// the new signature and rejects the update if any would become
+// ill-formed, so the catalog never holds a mapping whose constraints do
+// not type-check over its endpoints.
+func (c *Catalog) RegisterSchema(name string, sch *algebra.Schema) (*SchemaEntry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("catalog: schema name must be non-empty")
+	}
+	if sch == nil || len(sch.Sig) == 0 {
+		return nil, fmt.Errorf("catalog: schema %s has no relations", name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entry := &SchemaEntry{Name: name, Version: 1, Schema: sch.Clone()}
+	if old, ok := c.schemas[name]; ok {
+		entry.Version = old.Version + 1
+		if err := c.recheckMappings(name, entry.Schema); err != nil {
+			return nil, err
+		}
+	}
+	c.gen++
+	entry.Generation = c.gen
+	c.schemas[name] = entry
+	return entry, nil
+}
+
+// checkMapping validates a mapping's constraints over the union of its
+// endpoint signatures; every registration path funnels through it so the
+// single, batch and schema-update paths cannot drift apart.
+func checkMapping(name string, from, to *algebra.Schema, cs algebra.ConstraintSet) error {
+	sig, err := from.Sig.Merge(to.Sig)
+	if err != nil {
+		return fmt.Errorf("catalog: mapping %s: %w", name, err)
+	}
+	if err := cs.Check(sig); err != nil {
+		return fmt.Errorf("catalog: mapping %s: %w", name, err)
+	}
+	return nil
+}
+
+// recheckMappings validates every registered mapping touching schema
+// name against its proposed replacement. Caller holds the write lock.
+func (c *Catalog) recheckMappings(name string, sch *algebra.Schema) error {
+	for _, m := range c.maps {
+		if m.From != name && m.To != name {
+			continue
+		}
+		from, to := c.schemas[m.From].Schema, c.schemas[m.To].Schema
+		if m.From == name {
+			from = sch
+		}
+		if m.To == name {
+			to = sch
+		}
+		if err := checkMapping(m.Name, from, to, m.Constraints); err != nil {
+			return fmt.Errorf("catalog: schema %s update rejected: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// RegisterMapping installs or updates a named mapping from schema from
+// to schema to. Both schemas must already be registered and the
+// constraints must be well-formed over the union of their signatures.
+func (c *Catalog) RegisterMapping(name, from, to string, cs algebra.ConstraintSet) (*MappingEntry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("catalog: mapping name must be non-empty")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fs, ok := c.schemas[from]
+	if !ok {
+		return nil, fmt.Errorf("catalog: mapping %s references unknown schema %s", name, from)
+	}
+	ts, ok := c.schemas[to]
+	if !ok {
+		return nil, fmt.Errorf("catalog: mapping %s references unknown schema %s", name, to)
+	}
+	if err := checkMapping(name, fs.Schema, ts.Schema, cs); err != nil {
+		return nil, err
+	}
+	entry := &MappingEntry{Name: name, From: from, To: to, Version: 1, Constraints: cs.Clone()}
+	if old, ok := c.maps[name]; ok {
+		entry.Version = old.Version + 1
+	}
+	c.gen++
+	entry.Generation = c.gen
+	c.maps[name] = entry
+	return entry, nil
+}
+
+// Apply registers every schema and mapping of a parsed problem as one
+// atomic mutation: either everything validates and installs under a
+// single generation bump, or nothing changes. Compose declarations in
+// the problem are ignored — the service composes on demand. Returns the
+// new generation.
+func (c *Catalog) Apply(p *parser.Problem) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(p.SchemaOrder) == 0 && len(p.MapOrder) == 0 {
+		// Nothing to install: don't burn a generation (and with it every
+		// cached result keyed on the current one).
+		return c.gen, nil
+	}
+
+	// Stage: a view of the schemas as they will be after the apply, so
+	// new mappings can reference new schemas and mapping re-validation
+	// sees updated signatures.
+	staged := make(map[string]*algebra.Schema, len(c.schemas)+len(p.Schemas))
+	for n, e := range c.schemas {
+		staged[n] = e.Schema
+	}
+	for _, name := range p.SchemaOrder {
+		sch := p.Schemas[name]
+		if len(sch.Sig) == 0 {
+			return c.gen, fmt.Errorf("catalog: schema %s has no relations", name)
+		}
+		staged[name] = sch
+	}
+	// Every pre-existing mapping must stay well-formed over the staged
+	// schemas, and every incoming mapping must validate against them.
+	check := func(m *MappingEntry) error {
+		from, ok := staged[m.From]
+		if !ok {
+			return fmt.Errorf("catalog: mapping %s references unknown schema %s", m.Name, m.From)
+		}
+		to, ok := staged[m.To]
+		if !ok {
+			return fmt.Errorf("catalog: mapping %s references unknown schema %s", m.Name, m.To)
+		}
+		return checkMapping(m.Name, from, to, m.Constraints)
+	}
+	for _, m := range c.maps {
+		if _, incoming := p.Maps[m.Name]; incoming {
+			continue // replaced below; validated as incoming
+		}
+		if err := check(m); err != nil {
+			return c.gen, err
+		}
+	}
+	for _, name := range p.MapOrder {
+		d := p.Maps[name]
+		if err := check(&MappingEntry{Name: name, From: d.From, To: d.To, Constraints: d.Constraints}); err != nil {
+			return c.gen, err
+		}
+	}
+
+	// Commit under one generation bump.
+	c.gen++
+	for _, name := range p.SchemaOrder {
+		entry := &SchemaEntry{Name: name, Version: 1, Generation: c.gen, Schema: p.Schemas[name].Clone()}
+		if old, ok := c.schemas[name]; ok {
+			entry.Version = old.Version + 1
+		}
+		c.schemas[name] = entry
+	}
+	for _, name := range p.MapOrder {
+		d := p.Maps[name]
+		entry := &MappingEntry{
+			Name: name, From: d.From, To: d.To,
+			Version: 1, Generation: c.gen,
+			Constraints: d.Constraints.Clone(),
+		}
+		if old, ok := c.maps[name]; ok {
+			entry.Version = old.Version + 1
+		}
+		c.maps[name] = entry
+	}
+	return c.gen, nil
+}
+
+// Schema returns the current revision of a named schema.
+func (c *Catalog) Schema(name string) (*SchemaEntry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.schemas[name]
+	return e, ok
+}
+
+// Mapping returns the current revision of a named mapping.
+func (c *Catalog) Mapping(name string) (*MappingEntry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.maps[name]
+	return e, ok
+}
+
+// schemasLocked and mappingsLocked build the sorted listings; caller
+// holds at least the read lock.
+func (c *Catalog) schemasLocked() []*SchemaEntry {
+	out := make([]*SchemaEntry, 0, len(c.schemas))
+	for _, e := range c.schemas {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (c *Catalog) mappingsLocked() []*MappingEntry {
+	out := make([]*MappingEntry, 0, len(c.maps))
+	for _, e := range c.maps {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Schemas lists the current schema revisions sorted by name.
+func (c *Catalog) Schemas() []*SchemaEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.schemasLocked()
+}
+
+// Mappings lists the current mapping revisions sorted by name.
+func (c *Catalog) Mappings() []*MappingEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.mappingsLocked()
+}
+
+// Snapshot returns the schema and mapping listings (sorted by name) plus
+// the generation, all read under one lock acquisition so the three are
+// mutually consistent.
+func (c *Catalog) Snapshot() ([]*SchemaEntry, []*MappingEntry, uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.schemasLocked(), c.mappingsLocked(), c.gen
+}
+
+// Path resolves the schema pair from→to to a chain of registered mapping
+// names by breadth-first search over the mapping graph, so the returned
+// chain has the fewest hops. Parallel edges and equal-length paths are
+// broken deterministically by mapping name. Caller must hold at least
+// the read lock.
+func (c *Catalog) path(from, to string) ([]string, error) {
+	if _, ok := c.schemas[from]; !ok {
+		return nil, fmt.Errorf("catalog: %w %s", ErrUnknownSchema, from)
+	}
+	if _, ok := c.schemas[to]; !ok {
+		return nil, fmt.Errorf("catalog: %w %s", ErrUnknownSchema, to)
+	}
+	if from == to {
+		return nil, fmt.Errorf("catalog: compose endpoints are the same schema %s", from)
+	}
+	// Deterministic adjacency: edges sorted by mapping name, so BFS
+	// discovery order — and hence tie-breaks — do not depend on map
+	// iteration order.
+	names := make([]string, 0, len(c.maps))
+	for n := range c.maps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	adj := make(map[string][]*MappingEntry)
+	for _, n := range names {
+		m := c.maps[n]
+		adj[m.From] = append(adj[m.From], m)
+	}
+	type hop struct {
+		schema string
+		via    *MappingEntry // edge that reached schema; nil at the source
+		prev   *hop
+	}
+	visited := map[string]bool{from: true}
+	queue := []*hop{{schema: from}}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		if h.schema == to {
+			var chain []string
+			for x := h; x.via != nil; x = x.prev {
+				chain = append(chain, x.via.Name)
+			}
+			for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+				chain[i], chain[j] = chain[j], chain[i]
+			}
+			return chain, nil
+		}
+		for _, m := range adj[h.schema] {
+			if visited[m.To] {
+				continue
+			}
+			visited[m.To] = true
+			queue = append(queue, &hop{schema: m.To, via: m, prev: h})
+		}
+	}
+	return nil, fmt.Errorf("catalog: %w from %s to %s", ErrNoPath, from, to)
+}
+
+// Path is the exported, locking form of path.
+func (c *Catalog) Path(from, to string) ([]string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.path(from, to)
+}
+
+// Chain resolves from→to and materializes the chain's mappings via
+// algebra.NewMapping (the same constructor the text-format path uses,
+// so key knowledge merges identically). It returns the mappings,
+// the mapping names along the path, and the catalog generation the
+// snapshot was taken at — all read under one lock acquisition, so the
+// three are mutually consistent even under concurrent registration.
+func (c *Catalog) Chain(from, to string) ([]*algebra.Mapping, []string, uint64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	path, err := c.path(from, to)
+	if err != nil {
+		return nil, nil, c.gen, err
+	}
+	ms := make([]*algebra.Mapping, len(path))
+	for i, name := range path {
+		m := c.maps[name]
+		ms[i] = algebra.NewMapping(c.schemas[m.From].Schema, c.schemas[m.To].Schema, m.Constraints)
+	}
+	return ms, path, c.gen, nil
+}
+
+// Compose resolves from→to to a chain and composes it left to right. It
+// returns the composition result, the mapping names along the path, and
+// the generation of the catalog snapshot that produced the result.
+func (c *Catalog) Compose(from, to string, cfg *core.Config) (*core.Result, []string, uint64, error) {
+	ms, path, gen, err := c.Chain(from, to)
+	if err != nil {
+		return nil, nil, gen, err
+	}
+	res, err := core.ComposeChain(ms, cfg)
+	if err != nil {
+		return nil, path, gen, err
+	}
+	return res, path, gen, nil
+}

@@ -1,0 +1,269 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"mapcomp/internal/algebra"
+	"mapcomp/internal/core"
+	"mapcomp/internal/parser"
+)
+
+// chainTask is the quickstart movie scenario split into two hops plus a
+// decoy branch, so σA→σB resolution has real graph work to do.
+const chainTask = `
+schema original  { Movies/6; }
+schema fivestar  { FiveStarMovies/3; }
+schema split     { Names/2; Years/2; }
+schema archive   { OldMovies/6; }
+
+map m12 : original -> fivestar {
+  proj[1,2,3](sel[#4='5'](Movies)) <= FiveStarMovies;
+}
+map m23 : fivestar -> split {
+  proj[1,2,3](FiveStarMovies) <= proj[1,2,4](sel[#1=#3](Names * Years));
+}
+map mArch : original -> archive {
+  Movies <= OldMovies;
+}
+`
+
+func mustParse(t *testing.T, src string) *parser.Problem {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parser.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func loadedCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := New()
+	if _, err := c.Apply(mustParse(t, chainTask)); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRegisterVersionsAndGeneration(t *testing.T) {
+	c := New()
+	if g := c.Generation(); g != 0 {
+		t.Fatalf("fresh catalog generation = %d, want 0", g)
+	}
+	sch := algebra.NewSchema()
+	sch.Sig["R"] = 2
+	e1, err := c.RegisterSchema("s1", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Version != 1 || e1.Generation != 1 {
+		t.Fatalf("first revision = v%d g%d, want v1 g1", e1.Version, e1.Generation)
+	}
+	sch2 := algebra.NewSchema()
+	sch2.Sig["R"] = 2
+	sch2.Sig["S"] = 1
+	e2, err := c.RegisterSchema("s1", sch2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Version != 2 || e2.Generation != 2 {
+		t.Fatalf("second revision = v%d g%d, want v2 g2", e2.Version, e2.Generation)
+	}
+	if got, _ := c.Schema("s1"); got != e2 {
+		t.Fatalf("Schema(s1) returned stale revision v%d", got.Version)
+	}
+	if g := c.Generation(); g != 2 {
+		t.Fatalf("generation = %d, want 2", g)
+	}
+
+	// Entries are immutable: the first revision still describes itself.
+	if e1.Version != 1 || len(e1.Schema.Sig) != 1 {
+		t.Fatalf("old revision mutated: %+v", e1)
+	}
+}
+
+func TestRegisterMappingValidates(t *testing.T) {
+	c := loadedCatalog(t)
+	cs := parser.MustParseConstraints("Movies <= OldMovies;")
+	if _, err := c.RegisterMapping("bad", "original", "nowhere", cs); err == nil {
+		t.Fatal("mapping to unknown schema accepted")
+	}
+	// Arity mismatch: Movies/6 vs Names/2.
+	bad := parser.MustParseConstraints("Movies <= Names;")
+	if _, err := c.RegisterMapping("bad", "original", "split", bad); err == nil {
+		t.Fatal("ill-formed mapping accepted")
+	}
+	if _, ok := c.Mapping("bad"); ok {
+		t.Fatal("rejected mapping was installed")
+	}
+}
+
+func TestSchemaUpdateRejectedWhenItBreaksMappings(t *testing.T) {
+	c := loadedCatalog(t)
+	gen := c.Generation()
+	// Shrink fivestar's arity: m12 and m23 would no longer type-check.
+	sch := algebra.NewSchema()
+	sch.Sig["FiveStarMovies"] = 2
+	if _, err := c.RegisterSchema("fivestar", sch); err == nil {
+		t.Fatal("schema update that breaks mappings accepted")
+	}
+	if c.Generation() != gen {
+		t.Fatal("failed update bumped the generation")
+	}
+	if e, _ := c.Schema("fivestar"); e.Schema.Sig["FiveStarMovies"] != 3 {
+		t.Fatal("failed update mutated the stored schema")
+	}
+}
+
+func TestApplyIsAtomic(t *testing.T) {
+	c := loadedCatalog(t)
+	gen := c.Generation()
+	// The batch parses and self-validates, but re-declaring fivestar at a
+	// smaller arity breaks the already-registered m12/m23, so the whole
+	// batch — including the innocent extra schema — must be rejected.
+	bad := mustParse(t, `
+schema extra { T/2; }
+schema fivestar { FiveStarMovies/2; }
+`)
+	if _, err := c.Apply(bad); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if c.Generation() != gen {
+		t.Fatalf("failed Apply bumped generation to %d", c.Generation())
+	}
+	if _, ok := c.Schema("extra"); ok {
+		t.Fatal("failed Apply installed a schema")
+	}
+}
+
+func TestApplyEmptyProblemKeepsGeneration(t *testing.T) {
+	c := loadedCatalog(t)
+	gen := c.Generation()
+	empty := mustParse(t, "-- nothing to install\n")
+	got, err := c.Apply(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != gen || c.Generation() != gen {
+		t.Fatalf("empty Apply moved generation %d → %d", gen, c.Generation())
+	}
+}
+
+func TestPathResolution(t *testing.T) {
+	c := loadedCatalog(t)
+	path, err := c.Path("original", "split")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(path, ","); got != "m12,m23" {
+		t.Fatalf("path original→split = %s, want m12,m23", got)
+	}
+	if _, err := c.Path("split", "original"); err == nil {
+		t.Fatal("reverse path exists despite directed edges")
+	}
+	if _, err := c.Path("original", "original"); err == nil {
+		t.Fatal("self-composition accepted")
+	}
+	if _, err := c.Path("original", "nowhere"); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+
+	// A registered shortcut wins over the two-hop chain.
+	short := parser.MustParseConstraints(
+		"proj[1,2,3](sel[#4='5'](Movies)) <= proj[1,2,4](sel[#1=#3](Names * Years));")
+	if _, err := c.RegisterMapping("mShort", "original", "split", short); err != nil {
+		t.Fatal(err)
+	}
+	path, err = c.Path("original", "split")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(path, ","); got != "mShort" {
+		t.Fatalf("path with shortcut = %s, want mShort", got)
+	}
+}
+
+// TestComposeMatchesManualChain is the acceptance check: resolving and
+// composing a multi-hop σA→σB chain through the catalog returns the same
+// constraints as manually chaining core.Compose over the same mappings.
+func TestComposeMatchesManualChain(t *testing.T) {
+	c := loadedCatalog(t)
+	res, path, gen, err := c.Compose("original", "split", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 || gen != c.Generation() {
+		t.Fatalf("path=%v gen=%d", path, gen)
+	}
+
+	p := mustParse(t, chainTask)
+	m12, err := p.Mapping("m12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m23, err := p.Mapping("m23")
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, err := core.ComposeMappings(m12, m23, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Constraints.Fingerprint(), manual.Constraints.Fingerprint(); got != want {
+		t.Fatalf("catalog chain fingerprint %016x != manual %016x\ncatalog:\n%s\nmanual:\n%s",
+			got, want, res.Constraints, manual.Constraints)
+	}
+	if got, want := res.Constraints.String(), manual.Constraints.String(); got != want {
+		t.Fatalf("catalog chain constraints differ:\n%s\nvs manual:\n%s", got, want)
+	}
+	if _, ok := res.Eliminated["FiveStarMovies"]; !ok {
+		t.Fatalf("intermediate symbol not eliminated: %+v", res.Eliminated)
+	}
+}
+
+// TestConcurrentRegisterAndCompose exercises the catalog under the race
+// detector: writers keep re-registering schemas and mappings while
+// readers resolve and compose chains.
+func TestConcurrentRegisterAndCompose(t *testing.T) {
+	c := loadedCatalog(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				sch := algebra.NewSchema()
+				sch.Sig[fmt.Sprintf("Aux%d", w)] = 2
+				name := fmt.Sprintf("aux%d", w)
+				if _, err := c.RegisterSchema(name, sch); err != nil {
+					t.Error(err)
+					return
+				}
+				cs := parser.MustParseConstraints(fmt.Sprintf("proj[1,2](Movies) <= Aux%d;", w))
+				if _, err := c.RegisterMapping(fmt.Sprintf("mAux%d", w), "original", name, cs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, _, _, err := c.Compose("original", "split", nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Generation() == 1 {
+		t.Fatal("writers did not advance the generation")
+	}
+}

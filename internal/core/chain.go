@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"mapcomp/internal/algebra"
+)
+
+// Fingerprint returns a stable hash of the configuration's algorithmic
+// content: feature switches, blow-up bound, and key knowledge. Equal
+// configurations always share a fingerprint, so it can serve as the
+// config component of result-cache keys (two requests with the same
+// catalog generation, endpoint pair and config fingerprint are
+// guaranteed the same composition outcome). A nil receiver fingerprints
+// like DefaultConfig, mirroring how Compose treats nil.
+func (c *Config) Fingerprint() uint64 {
+	if c == nil {
+		c = DefaultConfig()
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%t|%t|%t|%d|%t", c.ViewUnfolding, c.LeftCompose, c.RightCompose, c.MaxBlowup, c.Simplify)
+	names := make([]string, 0, len(c.Keys))
+	for n := range c.Keys {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(h, "|%s=%v", n, c.Keys[n])
+	}
+	return h.Sum64()
+}
+
+// ComposeChain composes a chain of mappings m1 ∘ m2 ∘ … ∘ mn left to
+// right: each hop composes the accumulated mapping with the next one via
+// ComposeMappings, so every hop reuses the process-wide expression
+// interner and memo caches, and σ2 symbols that resisted elimination in
+// one hop are retried in later ones (the accumulated signature keeps
+// them). A one-element chain returns the mapping itself as a Result with
+// no eliminations.
+//
+// The result's Eliminated map merges every hop's eliminations, Stats
+// accumulates across hops, and Remaining lists the symbols of the final
+// signature that belong to neither the first mapping's input schema nor
+// the last mapping's output schema — the best-effort contract of §1.3
+// applied to the whole chain.
+func ComposeChain(ms []*algebra.Mapping, cfg *Config) (*Result, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("core: ComposeChain needs at least one mapping")
+	}
+	if len(ms) == 1 {
+		m := ms[0]
+		sig, err := m.Sig()
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Sig:         sig,
+			Constraints: m.Constraints.Clone(),
+			Eliminated:  make(map[string]Step),
+			Stats:       newStats(),
+		}, nil
+	}
+	cur := ms[0]
+	stats := newStats()
+	eliminated := make(map[string]Step)
+	var res *Result
+	for i, next := range ms[1:] {
+		r, err := ComposeMappings(cur, next, nil, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: chain hop %d: %w", i+1, err)
+		}
+		stats.add(r.Stats)
+		for s, step := range r.Eliminated {
+			eliminated[s] = step
+		}
+		// The composition becomes the next left operand; its signature
+		// keeps any symbols that resisted elimination, so later hops may
+		// retry them.
+		cur = &algebra.Mapping{
+			In:          cur.In,
+			Out:         r.Sig,
+			Keys:        cur.Keys,
+			Constraints: r.Constraints,
+		}
+		res = r
+	}
+	res.Eliminated = eliminated
+	res.Stats = stats
+	res.Remaining = nil
+	first, last := ms[0], ms[len(ms)-1]
+	for s := range res.Sig {
+		if _, ok := first.In[s]; ok {
+			continue
+		}
+		if _, ok := last.Out[s]; ok {
+			continue
+		}
+		res.Remaining = append(res.Remaining, s)
+	}
+	sort.Strings(res.Remaining)
+	return res, nil
+}

@@ -1,13 +1,16 @@
 // Package par provides the bounded worker pool used by the experiment
-// drivers. The paper's studies are embarrassingly parallel — every run,
-// task or problem is seeded independently — so the drivers fan work items
-// out to a fixed number of workers and aggregate results strictly in item
-// order, which keeps outputs byte-identical to a sequential execution for
-// a fixed seed regardless of worker count or scheduling.
+// drivers and the composition server. The paper's studies are
+// embarrassingly parallel — every run, task or problem is seeded
+// independently — so the drivers fan work items out to a fixed number of
+// workers and aggregate results strictly in item order, which keeps
+// outputs byte-identical to a sequential execution for a fixed seed
+// regardless of worker count or scheduling.
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -30,40 +33,81 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// PanicError carries a panic out of a worker goroutine: Do recovers the
+// panic where it happens and re-raises it on the caller's goroutine
+// wrapped in this type, so a panicking work item produces an ordinary
+// stack on the caller rather than killing the process with a bare
+// goroutine trace. Index identifies the item whose f(i) panicked, Value
+// is the original panic value, and Stack is the worker's stack captured
+// at recovery.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: f(%d) panicked: %v\n\nworker stack:\n%s", e.Index, e.Value, e.Stack)
+}
+
 // Do runs f(0), …, f(n-1) on at most Workers() goroutines and returns
 // when all calls have finished. Items are claimed from a shared counter,
 // so callers must make f(i) independent of execution order; writing
 // results into slot i of a pre-sized slice and reducing after Do returns
 // yields deterministic aggregates. With one worker (or n == 1) every call
 // runs on the caller's goroutine in index order.
+//
+// If any f(i) panics, workers stop claiming new items, every in-flight
+// call finishes, and Do re-panics on the caller's goroutine with a
+// *PanicError carrying the first panicking item's index, value and
+// worker stack.
 func Do(n int, f func(i int)) {
 	if n <= 0 {
 		return
+	}
+	var (
+		panicOnce sync.Once
+		pe        *PanicError
+		failed    atomic.Bool
+	)
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() {
+					pe = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+				})
+				failed.Store(true)
+			}
+		}()
+		f(i)
 	}
 	w := Workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
+		for i := 0; i < n && !failed.Load(); i++ {
+			run(i)
 		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for g := 0; g < w; g++ {
+			go func() {
+				defer wg.Done()
+				for !failed.Load() {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					run(i)
 				}
-				f(i)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	if pe != nil {
+		panic(pe)
+	}
 }

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -39,6 +40,78 @@ func TestDoZeroAndNegative(t *testing.T) {
 	Do(-3, func(int) { ran = true })
 	if ran {
 		t.Fatal("Do ran items for n <= 0")
+	}
+}
+
+// recoverPanicError runs fn and returns the *PanicError it panics with,
+// failing the test if it does not panic with one.
+func recoverPanicError(t *testing.T, fn func()) (pe *PanicError) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Do did not panic")
+		}
+		var ok bool
+		if pe, ok = r.(*PanicError); !ok {
+			t.Fatalf("Do panicked with %T (%v), want *PanicError", r, r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestDoPanicParallel(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	pe := recoverPanicError(t, func() {
+		Do(100, func(i int) {
+			if i == 17 {
+				panic("boom")
+			}
+		})
+	})
+	if pe.Index != 17 || pe.Value != "boom" {
+		t.Fatalf("PanicError = index %d value %v", pe.Index, pe.Value)
+	}
+	if !strings.Contains(pe.Error(), "f(17) panicked: boom") {
+		t.Fatalf("Error() = %q", pe.Error())
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("worker stack not captured")
+	}
+}
+
+func TestDoPanicSequentialStopsEarly(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	var ran []int
+	pe := recoverPanicError(t, func() {
+		Do(10, func(i int) {
+			ran = append(ran, i)
+			if i == 3 {
+				panic(i)
+			}
+		})
+	})
+	if pe.Index != 3 || pe.Value != 3 {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+	if len(ran) != 4 {
+		t.Fatalf("ran %v after panic at 3; later items should not start", ran)
+	}
+}
+
+func TestDoPanicFirstWins(t *testing.T) {
+	// Every item panics; the reported index must be one that actually
+	// ran, and exactly one panic surfaces however many workers race.
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	pe := recoverPanicError(t, func() {
+		Do(50, func(i int) { panic(i) })
+	})
+	if pe.Index < 0 || pe.Index >= 50 || pe.Value != pe.Index {
+		t.Fatalf("PanicError = index %d value %v", pe.Index, pe.Value)
 	}
 }
 

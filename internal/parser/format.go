@@ -76,15 +76,5 @@ func (p *Problem) Mapping(name string) (*algebra.Mapping, error) {
 	if !ok {
 		return nil, fmt.Errorf("parser: unknown map %s", name)
 	}
-	from, to := p.Schemas[m.From], p.Schemas[m.To]
-	keys := from.Keys.Clone()
-	for r, k := range to.Keys {
-		keys[r] = append([]int(nil), k...)
-	}
-	return &algebra.Mapping{
-		In:          from.Sig.Clone(),
-		Out:         to.Sig.Clone(),
-		Keys:        keys,
-		Constraints: m.Constraints.Clone(),
-	}, nil
+	return algebra.NewMapping(p.Schemas[m.From], p.Schemas[m.To], m.Constraints), nil
 }

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkServerCompose measures end-to-end request throughput of the
+// compose endpoint over real HTTP, at 1, 4 and GOMAXPROCS concurrent
+// client workers. The hit variant repeats one pair against an unchanged
+// catalog (every request after the first is a cache hit); the cold
+// variant runs with the cache disabled, so every request pays a full
+// chain composition. The req/s metric is what EXPERIMENTS.md records.
+func BenchmarkServerCompose(b *testing.B) {
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("hit/workers=%d", workers), func(b *testing.B) {
+			benchCompose(b, Config{}, workers)
+		})
+		b.Run(fmt.Sprintf("cold/workers=%d", workers), func(b *testing.B) {
+			benchCompose(b, Config{CacheSize: -1}, workers)
+		})
+	}
+}
+
+func benchWorkerCounts() []int {
+	out := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		out = append(out, p)
+	}
+	return out
+}
+
+func benchCompose(b *testing.B, cfg Config, workers int) {
+	s := New(cfg)
+	req := httptest.NewRequest("POST", "/v1/register", bytes.NewReader([]byte(chainTask)))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("register: %d %s", rec.Code, rec.Body)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+	body := []byte(`{"from":"original","to":"split"}`)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	start := time.Now()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if next.Add(1) > int64(b.N) {
+					return
+				}
+				resp, err := client.Post(ts.URL+"/v1/compose", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "req/s")
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the bounded LRU of composed results, keyed on (catalog
+// generation, endpoint pair, config fingerprint). The generation is part
+// of the key, so a catalog mutation implicitly invalidates every cached
+// result without any eviction scan — stale generations simply stop being
+// requested and age out of the LRU.
+//
+// Concurrent requests for the same key are coalesced singleflight-style:
+// the first caller computes, every caller that arrives while the
+// computation is in flight waits for it and shares the outcome, so N
+// identical requests cost one ELIMINATE run, not N.
+type cacheKey struct {
+	gen      uint64
+	from, to string
+	cfg      uint64
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	skey string // rendered key, the wire handle for GET /v1/results/{key}
+	resp *ComposeResponse
+}
+
+// call is one in-flight computation other requests can wait on.
+type call struct {
+	done chan struct{}
+	resp *ComposeResponse
+	err  error
+}
+
+// hitKind classifies how a request was satisfied.
+type hitKind int
+
+const (
+	computed  hitKind = iota // this caller ran the composition
+	cacheHit                 // served from the LRU
+	coalesced                // waited on another caller's computation
+)
+
+type resultCache struct {
+	mu       sync.Mutex
+	max      int
+	lru      *list.List // front = most recently used; values are *cacheEntry
+	items    map[cacheKey]*list.Element
+	byString map[string]*list.Element
+	calls    map[cacheKey]*call
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:      max,
+		lru:      list.New(),
+		items:    make(map[cacheKey]*list.Element),
+		byString: make(map[string]*list.Element),
+		calls:    make(map[cacheKey]*call),
+	}
+}
+
+// do returns the response for key, computing it at most once across all
+// concurrent callers. Responses are stored only on success; errors are
+// shared with coalesced waiters but never cached.
+func (c *resultCache) do(key cacheKey, skey string, compute func() (*ComposeResponse, error)) (*ComposeResponse, hitKind, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.lru.MoveToFront(el)
+		resp := el.Value.(*cacheEntry).resp
+		c.mu.Unlock()
+		return resp, cacheHit, nil
+	}
+	if cl, ok := c.calls[key]; ok {
+		c.mu.Unlock()
+		<-cl.done
+		return cl.resp, coalesced, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	c.calls[key] = cl
+	c.mu.Unlock()
+
+	cl.resp, cl.err = compute()
+
+	c.mu.Lock()
+	delete(c.calls, key)
+	if cl.err == nil {
+		el := c.lru.PushFront(&cacheEntry{key: key, skey: skey, resp: cl.resp})
+		c.items[key] = el
+		c.byString[skey] = el
+		for c.lru.Len() > c.max {
+			old := c.lru.Back()
+			e := old.Value.(*cacheEntry)
+			c.lru.Remove(old)
+			delete(c.items, e.key)
+			delete(c.byString, e.skey)
+		}
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	return cl.resp, computed, cl.err
+}
+
+// get fetches a cached response by its rendered key.
+func (c *resultCache) get(skey string) (*ComposeResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byString[skey]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// len reports the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,349 @@
+// Package server implements the mapcompd HTTP/JSON API: a serving layer
+// over internal/catalog that registers schemas and mappings (accepting
+// the internal/parser text format as the wire payload) and answers
+// single and batched composition requests. Results are cached in a
+// bounded LRU keyed on (catalog generation, endpoint pair, config
+// fingerprint), so repeated requests against an unchanged catalog are
+// served without re-running ELIMINATE, and identical in-flight requests
+// are coalesced to a single computation. Everything is stdlib net/http;
+// the server is safe for concurrent use.
+//
+// Endpoints (all under /v1):
+//
+//	POST /v1/register       text-format task file → install schemas+mappings
+//	POST /v1/compose        {"from","to"} → composition over the catalog
+//	POST /v1/compose/batch  {"requests":[{"from","to"},…]} → outcomes in order
+//	GET  /v1/results/{key}  fetch a cached composition by its key
+//	GET  /v1/catalog        full catalog listing with versions
+//	GET  /v1/stats          instrumentation counters (cache hits, ELIMINATE runs)
+//	GET  /v1/healthz        liveness probe
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"mapcomp/internal/catalog"
+	"mapcomp/internal/core"
+	"mapcomp/internal/par"
+	"mapcomp/internal/parser"
+)
+
+// DefaultCacheSize bounds the result cache when Config.CacheSize is 0.
+const DefaultCacheSize = 256
+
+// maxBodyBytes bounds request bodies; task files in the text format are
+// small (the paper-scale suite is a few hundred KB).
+const maxBodyBytes = 8 << 20
+
+// maxBatch bounds the number of pairs in one batch request.
+const maxBatch = 1024
+
+// Config configures a Server.
+type Config struct {
+	// Catalog is the backing store; nil creates a fresh empty catalog.
+	Catalog *catalog.Catalog
+	// CacheSize bounds the result cache in entries. 0 means
+	// DefaultCacheSize; negative disables caching and coalescing
+	// entirely (used by the cold-path benchmark).
+	CacheSize int
+	// Compose selects the algorithm configuration; nil means
+	// core.DefaultConfig().
+	Compose *core.Config
+}
+
+// Server is the HTTP handler. Create with New.
+type Server struct {
+	cat   *catalog.Catalog
+	cfg   *core.Config
+	cfgFP uint64
+	cache *resultCache // nil when caching is disabled
+	mux   *http.ServeMux
+
+	composes      atomic.Int64 // compositions actually run
+	cacheHits     atomic.Int64 // compose requests served from the LRU
+	coalescedHits atomic.Int64
+	resultFetches atomic.Int64 // GET /v1/results hits
+	elimAttempts  atomic.Int64 // summed Stats.Attempted of the runs
+
+	// composeHook, when non-nil, runs inside every real composition
+	// before ComposeChain; tests use it to hold computations open so
+	// coalescing is observable.
+	composeHook func()
+}
+
+// New builds a Server around cfg.
+func New(cfg Config) *Server {
+	s := &Server{cat: cfg.Catalog, cfg: cfg.Compose}
+	if s.cat == nil {
+		s.cat = catalog.New()
+	}
+	if s.cfg == nil {
+		s.cfg = core.DefaultConfig()
+	}
+	s.cfgFP = s.cfg.Fingerprint()
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	if size > 0 {
+		s.cache = newResultCache(size)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/register", s.handleRegister)
+	mux.HandleFunc("POST /v1/compose", s.handleCompose)
+	mux.HandleFunc("POST /v1/compose/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// Catalog returns the backing catalog (shared, safe for concurrent use).
+func (s *Server) Catalog() *catalog.Catalog { return s.cat }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Stats snapshots the instrumentation counters.
+func (s *Server) Stats() StatsResponse {
+	out := StatsResponse{
+		Generation:        s.cat.Generation(),
+		Composes:          s.composes.Load(),
+		CacheHits:         s.cacheHits.Load(),
+		Coalesced:         s.coalescedHits.Load(),
+		ResultFetches:     s.resultFetches.Load(),
+		EliminateAttempts: s.elimAttempts.Load(),
+	}
+	if s.cache != nil {
+		out.CacheEntries = s.cache.len()
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorJSON{Error: err.Error()})
+}
+
+// composeStatus maps a resolution/composition error to an HTTP status:
+// missing artifacts are 404, everything else is a client error.
+func composeStatus(err error) int {
+	if errors.Is(err, catalog.ErrUnknownSchema) || errors.Is(err, catalog.ErrNoPath) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	// Read one byte past the limit so an oversized file is an explicit
+	// error rather than a silently-truncated prefix that might parse.
+	src, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(src) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("server: task file exceeds %d bytes", maxBodyBytes))
+		return
+	}
+	p, err := parser.Parse(string(src))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := parser.Validate(p); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	gen, err := s.cat.Apply(p)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		Generation: gen,
+		Schemas:    append([]string{}, p.SchemaOrder...),
+		Mappings:   append([]string{}, p.MapOrder...),
+	})
+}
+
+// keyString renders a cache key as the wire handle clients fetch results
+// by. Schema names are identifiers, so '.' never collides.
+func keyString(k cacheKey) string {
+	return fmt.Sprintf("g%d.%s.%s.%016x", k.gen, k.from, k.to, k.cfg)
+}
+
+// compose resolves and composes one pair through the cache. The cache is
+// probed on the generation alone, so a hit skips not just ELIMINATE but
+// also path resolution and chain materialization; the chain snapshot is
+// only built inside the computation. (If the catalog mutates between the
+// generation read and the snapshot, the entry is keyed at the older
+// generation but holds the fresher result — requests observing the new
+// generation simply miss and recompute.)
+func (s *Server) compose(from, to string) (*ComposeResponse, hitKind, error) {
+	key := cacheKey{gen: s.cat.Generation(), from: from, to: to, cfg: s.cfgFP}
+	skey := keyString(key)
+	run := func() (*ComposeResponse, error) {
+		if s.composeHook != nil {
+			s.composeHook()
+		}
+		ms, path, gen, err := s.cat.Chain(from, to)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.ComposeChain(ms, s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.composes.Add(1)
+		s.elimAttempts.Add(int64(res.Stats.Attempted))
+		return &ComposeResponse{
+			From: from, To: to, Path: path,
+			Generation: gen, Key: skey,
+			Result: NewResultJSON(res),
+		}, nil
+	}
+	if s.cache == nil {
+		resp, err := run()
+		return resp, computed, err
+	}
+	resp, kind, err := s.cache.do(key, skey, run)
+	switch kind {
+	case cacheHit:
+		s.cacheHits.Add(1)
+	case coalesced:
+		s.coalescedHits.Add(1)
+	}
+	return resp, kind, err
+}
+
+// respond returns a per-caller copy of resp with the Cached flag set:
+// the caller that ran the composition reports false, everyone served
+// from the cache or an in-flight computation reports true.
+func respond(resp *ComposeResponse, kind hitKind) *ComposeResponse {
+	out := *resp
+	out.Cached = kind != computed
+	return &out
+}
+
+func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
+	var req ComposeRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad compose request: %w", err))
+		return
+	}
+	if req.From == "" || req.To == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: compose request needs from and to"))
+		return
+	}
+	resp, kind, err := s.compose(req.From, req.To)
+	if err != nil {
+		writeError(w, composeStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, respond(resp, kind))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad batch request: %w", err))
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: batch request needs at least one pair"))
+		return
+	}
+	if len(req.Requests) > maxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: batch of %d exceeds limit %d", len(req.Requests), maxBatch))
+		return
+	}
+	items := make([]BatchItem, len(req.Requests))
+	par.Do(len(req.Requests), func(i int) {
+		q := req.Requests[i]
+		if q.From == "" || q.To == "" {
+			items[i].Error = "compose request needs from and to"
+			return
+		}
+		resp, kind, err := s.compose(q.From, q.To)
+		if err != nil {
+			items[i].Error = err.Error()
+			return
+		}
+		items[i].Response = respond(resp, kind)
+	})
+	writeJSON(w, http.StatusOK, BatchResponse{Results: items})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if s.cache != nil {
+		if resp, ok := s.cache.get(key); ok {
+			s.resultFetches.Add(1)
+			writeJSON(w, http.StatusOK, respond(resp, cacheHit))
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("server: no cached result for key %s", key))
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	schemas, maps, gen := s.cat.Snapshot()
+	out := CatalogResponse{
+		Generation: gen,
+		Schemas:    make([]SchemaJSON, len(schemas)),
+		Mappings:   make([]MappingJSON, len(maps)),
+	}
+	for i, e := range schemas {
+		sj := SchemaJSON{
+			Name: e.Name, Version: e.Version, Generation: e.Generation,
+			Relations: make(map[string]int, len(e.Schema.Sig)),
+		}
+		for name, ar := range e.Schema.Sig {
+			sj.Relations[name] = ar
+		}
+		if len(e.Schema.Keys) > 0 {
+			sj.Keys = make(map[string][]int, len(e.Schema.Keys))
+			for name, cols := range e.Schema.Keys {
+				sj.Keys[name] = cols
+			}
+		}
+		out.Schemas[i] = sj
+	}
+	for i, e := range maps {
+		mj := MappingJSON{
+			Name: e.Name, From: e.From, To: e.To,
+			Version: e.Version, Generation: e.Generation,
+			Constraints: make([]string, len(e.Constraints)),
+		}
+		for j, c := range e.Constraints {
+			mj.Constraints[j] = c.String()
+		}
+		out.Mappings[i] = mj
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,380 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// chainTask is the quickstart movie scenario split into two hops, so
+// compose original→split resolves a multi-hop chain through the graph.
+const chainTask = `
+schema original  { Movies/6; }
+schema fivestar  { FiveStarMovies/3; }
+schema split     { Names/2; Years/2; }
+
+map m12 : original -> fivestar {
+  proj[1,2,3](sel[#4='5'](Movies)) <= FiveStarMovies;
+}
+map m23 : fivestar -> split {
+  proj[1,2,3](FiveStarMovies) <= proj[1,2,4](sel[#1=#3](Names * Years));
+}
+`
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	s := New(Config{})
+	rec := do(t, s, "POST", "/v1/register", chainTask)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("register: %d %s", rec.Code, rec.Body)
+	}
+	return s
+}
+
+func do(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func decode[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decode %q: %v", rec.Body, err)
+	}
+	return v
+}
+
+func TestRegisterEndpoint(t *testing.T) {
+	s := New(Config{})
+	rec := do(t, s, "POST", "/v1/register", chainTask)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	resp := decode[RegisterResponse](t, rec)
+	if resp.Generation != 1 {
+		t.Fatalf("generation = %d, want 1", resp.Generation)
+	}
+	if got := strings.Join(resp.Schemas, ","); got != "original,fivestar,split" {
+		t.Fatalf("schemas = %s", got)
+	}
+	if got := strings.Join(resp.Mappings, ","); got != "m12,m23" {
+		t.Fatalf("mappings = %s", got)
+	}
+
+	// Error paths: syntax error → 400; a batch that breaks registered
+	// mappings → 409; wrong method → 405.
+	if rec := do(t, s, "POST", "/v1/register", "schema x {"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("syntax error: status %d", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/v1/register", "schema fivestar { FiveStarMovies/2; }"); rec.Code != http.StatusConflict {
+		t.Fatalf("breaking update: status %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, s, "GET", "/v1/register", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("wrong method: status %d", rec.Code)
+	}
+}
+
+func TestComposeEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	rec := do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	resp := decode[ComposeResponse](t, rec)
+	if got := strings.Join(resp.Path, ","); got != "m12,m23" {
+		t.Fatalf("path = %s, want m12,m23", got)
+	}
+	if resp.Cached {
+		t.Fatal("first request reported cached")
+	}
+	if resp.Key == "" || resp.Generation != 1 {
+		t.Fatalf("key=%q generation=%d", resp.Key, resp.Generation)
+	}
+	if _, ok := resp.Result.Eliminated["FiveStarMovies"]; !ok {
+		t.Fatalf("intermediate symbol survived: %+v", resp.Result)
+	}
+	if len(resp.Result.Constraints) == 0 || resp.Result.Fingerprint == "" {
+		t.Fatalf("empty result: %+v", resp.Result)
+	}
+
+	// Error paths.
+	for _, tc := range []struct {
+		body string
+		code int
+	}{
+		{`{"from":"original","to":"nowhere"}`, http.StatusNotFound},
+		{`{"from":"split","to":"original"}`, http.StatusNotFound}, // no reverse path
+		{`{"from":"original","to":"original"}`, http.StatusBadRequest},
+		{`{"from":"original"}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	} {
+		rec := do(t, s, "POST", "/v1/compose", tc.body)
+		if rec.Code != tc.code {
+			t.Errorf("compose %s: status %d, want %d (%s)", tc.body, rec.Code, tc.code, rec.Body)
+		}
+		if e := decode[ErrorJSON](t, rec); e.Error == "" {
+			t.Errorf("compose %s: missing error body", tc.body)
+		}
+	}
+}
+
+// TestCacheHitSkipsEliminate is the acceptance check: a repeated request
+// on an unchanged catalog is served from the cache without re-running
+// ELIMINATE, verified by the step-count instrumentation; a catalog
+// mutation invalidates the cache via the generation key component.
+func TestCacheHitSkipsEliminate(t *testing.T) {
+	s := newTestServer(t)
+	first := decode[ComposeResponse](t, do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`))
+	stats := s.Stats()
+	if stats.Composes != 1 || stats.EliminateAttempts == 0 {
+		t.Fatalf("after first request: %+v", stats)
+	}
+
+	second := decode[ComposeResponse](t, do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`))
+	if !second.Cached {
+		t.Fatal("repeat request not served from cache")
+	}
+	if second.Result.Fingerprint != first.Result.Fingerprint {
+		t.Fatal("cached result differs from computed result")
+	}
+	stats2 := s.Stats()
+	if stats2.Composes != 1 || stats2.EliminateAttempts != stats.EliminateAttempts {
+		t.Fatalf("cache hit re-ran ELIMINATE: %+v vs %+v", stats2, stats)
+	}
+	if stats2.CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1", stats2.CacheHits)
+	}
+
+	// Any catalog mutation bumps the generation and invalidates.
+	if rec := do(t, s, "POST", "/v1/register", "schema extra { T/1; }"); rec.Code != http.StatusOK {
+		t.Fatalf("register: %d %s", rec.Code, rec.Body)
+	}
+	third := decode[ComposeResponse](t, do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`))
+	if third.Cached {
+		t.Fatal("request after catalog mutation served stale cache entry")
+	}
+	if third.Generation != 2 {
+		t.Fatalf("generation = %d, want 2", third.Generation)
+	}
+	if s.Stats().Composes != 2 {
+		t.Fatalf("composes = %d, want 2", s.Stats().Composes)
+	}
+}
+
+// TestCoalescing holds one composition open while N identical requests
+// arrive: exactly one computation must run, and exactly one response may
+// report cached=false.
+func TestCoalescing(t *testing.T) {
+	s := newTestServer(t)
+	proceed := make(chan struct{})
+	s.composeHook = func() { <-proceed }
+
+	const n = 16
+	responses := make([]ComposeResponse, n)
+	var wg sync.WaitGroup
+	var started sync.WaitGroup
+	wg.Add(n)
+	started.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			rec := do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`)
+			if rec.Code != http.StatusOK {
+				t.Errorf("status %d: %s", rec.Code, rec.Body)
+				return
+			}
+			responses[i] = decode[ComposeResponse](t, rec)
+		}(i)
+	}
+	started.Wait()
+	close(proceed)
+	wg.Wait()
+
+	if got := s.Stats().Composes; got != 1 {
+		t.Fatalf("composes = %d, want 1 (coalescing failed)", got)
+	}
+	uncached := 0
+	for _, r := range responses {
+		if !r.Cached {
+			uncached++
+		}
+	}
+	if uncached != 1 {
+		t.Fatalf("%d responses report cached=false, want exactly 1", uncached)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	body := `{"requests":[
+		{"from":"original","to":"split"},
+		{"from":"original","to":"fivestar"},
+		{"from":"original","to":"split"},
+		{"from":"original","to":"nowhere"},
+		{"from":"original"}
+	]}`
+	rec := do(t, s, "POST", "/v1/compose/batch", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	resp := decode[BatchResponse](t, rec)
+	if len(resp.Results) != 5 {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	for i := 0; i < 3; i++ {
+		if resp.Results[i].Response == nil || resp.Results[i].Error != "" {
+			t.Fatalf("item %d: %+v", i, resp.Results[i])
+		}
+	}
+	if got := strings.Join(resp.Results[0].Response.Path, ","); got != "m12,m23" {
+		t.Fatalf("item 0 path = %s", got)
+	}
+	if !strings.Contains(resp.Results[3].Error, "unknown schema") {
+		t.Fatalf("item 3 error = %q", resp.Results[3].Error)
+	}
+	if !strings.Contains(resp.Results[4].Error, "from and to") {
+		t.Fatalf("item 4 error = %q", resp.Results[4].Error)
+	}
+	// Duplicate pairs inside one batch share a single composition.
+	if got := s.Stats().Composes; got != 2 {
+		t.Fatalf("composes = %d, want 2", got)
+	}
+
+	// Error paths.
+	if rec := do(t, s, "POST", "/v1/compose/batch", `{"requests":[]}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/v1/compose/batch", "not json"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad json: status %d", rec.Code)
+	}
+}
+
+func TestResultsEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	first := decode[ComposeResponse](t, do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`))
+	rec := do(t, s, "GET", "/v1/results/"+first.Key, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	fetched := decode[ComposeResponse](t, rec)
+	if !fetched.Cached || fetched.Result.Fingerprint != first.Result.Fingerprint {
+		t.Fatalf("fetched = %+v", fetched)
+	}
+	if rec := do(t, s, "GET", "/v1/results/doesnotexist", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown key: status %d", rec.Code)
+	}
+	// Fetches are counted separately from compose-path cache hits.
+	stats := s.Stats()
+	if stats.ResultFetches != 1 || stats.CacheHits != 0 {
+		t.Fatalf("stats = %+v, want 1 result fetch and 0 cache hits", stats)
+	}
+}
+
+func TestCatalogEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	rec := do(t, s, "GET", "/v1/catalog", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	resp := decode[CatalogResponse](t, rec)
+	if resp.Generation != 1 || len(resp.Schemas) != 3 || len(resp.Mappings) != 2 {
+		t.Fatalf("catalog = gen %d, %d schemas, %d mappings", resp.Generation, len(resp.Schemas), len(resp.Mappings))
+	}
+	if resp.Schemas[0].Name != "fivestar" || resp.Schemas[0].Relations["FiveStarMovies"] != 3 {
+		t.Fatalf("schemas[0] = %+v", resp.Schemas[0])
+	}
+	if resp.Mappings[0].Name != "m12" || len(resp.Mappings[0].Constraints) != 1 {
+		t.Fatalf("mappings[0] = %+v", resp.Mappings[0])
+	}
+	if rec := do(t, s, "POST", "/v1/catalog", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("wrong method: status %d", rec.Code)
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	s := newTestServer(t)
+	if rec := do(t, s, "GET", "/v1/healthz", ""); rec.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d", rec.Code)
+	}
+	do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`)
+	do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`)
+	rec := do(t, s, "GET", "/v1/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: status %d", rec.Code)
+	}
+	stats := decode[StatsResponse](t, rec)
+	if stats.Composes != 1 || stats.CacheHits != 1 || stats.CacheEntries != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Generation != 1 || stats.EliminateAttempts == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestCacheEviction drives more distinct keys than the cache holds and
+// checks the bound.
+func TestCacheEviction(t *testing.T) {
+	s := New(Config{CacheSize: 2})
+	if rec := do(t, s, "POST", "/v1/register", chainTask); rec.Code != http.StatusOK {
+		t.Fatalf("register: %s", rec.Body)
+	}
+	// Three distinct keys at the same generation: two pairs now, then a
+	// generation bump and the first pair again.
+	do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`)
+	do(t, s, "POST", "/v1/compose", `{"from":"original","to":"fivestar"}`)
+	do(t, s, "POST", "/v1/register", "schema extra { T/1; }")
+	do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`)
+	if got := s.cache.len(); got > 2 {
+		t.Fatalf("cache grew to %d entries, bound is 2", got)
+	}
+	if got := s.Stats().Composes; got != 3 {
+		t.Fatalf("composes = %d, want 3", got)
+	}
+}
+
+// TestConcurrentMixedTraffic exercises the full server under the race
+// detector: registrations mutating the catalog while single and batched
+// composes stream in.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	s := newTestServer(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				src := fmt.Sprintf("schema aux%d { Aux%d/2; }", w, w)
+				if rec := do(t, s, "POST", "/v1/register", src); rec.Code != http.StatusOK {
+					t.Errorf("register: %d %s", rec.Code, rec.Body)
+					return
+				}
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				rec := do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`)
+				if rec.Code != http.StatusOK {
+					t.Errorf("compose: %d %s", rec.Code, rec.Body)
+					return
+				}
+				rec = do(t, s, "POST", "/v1/compose/batch",
+					`{"requests":[{"from":"original","to":"fivestar"},{"from":"fivestar","to":"split"}]}`)
+				if rec.Code != http.StatusOK {
+					t.Errorf("batch: %d %s", rec.Code, rec.Body)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

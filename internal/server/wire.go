@@ -1,0 +1,170 @@
+package server
+
+import (
+	"fmt"
+
+	"mapcomp/internal/core"
+)
+
+// Wire types of the mapcompd HTTP/JSON API. cmd/mapcompose reuses
+// ResultJSON (via NamedResultJSON) for its -format json output, so the
+// command line and the service emit identical result documents.
+
+// ErrorJSON is the body of every non-2xx response.
+type ErrorJSON struct {
+	Error string `json:"error"`
+}
+
+// StatsJSON mirrors core.Stats.
+type StatsJSON struct {
+	Attempted   int            `json:"attempted"`
+	Eliminated  int            `json:"eliminated"`
+	ByStep      map[string]int `json:"by_step,omitempty"`
+	BlowupFails int            `json:"blowup_fails,omitempty"`
+	DurationMS  float64        `json:"duration_ms"`
+}
+
+// ResultJSON is the wire form of a core.Result. Constraints render in
+// the parser's concrete syntax, so a client can feed them back through
+// the text format; Fingerprint is the order-independent
+// ConstraintSet.Fingerprint as 16 hex digits.
+type ResultJSON struct {
+	Signature   map[string]int    `json:"signature"`
+	Constraints []string          `json:"constraints"`
+	Eliminated  map[string]string `json:"eliminated,omitempty"`
+	Remaining   []string          `json:"remaining,omitempty"`
+	Fingerprint string            `json:"fingerprint"`
+	Stats       StatsJSON         `json:"stats"`
+}
+
+// NewResultJSON converts a composition result to its wire form.
+func NewResultJSON(r *core.Result) *ResultJSON {
+	out := &ResultJSON{
+		Signature:   make(map[string]int, len(r.Sig)),
+		Constraints: make([]string, len(r.Constraints)),
+		Remaining:   r.Remaining,
+		Fingerprint: fmt.Sprintf("%016x", r.Constraints.Fingerprint()),
+		Stats: StatsJSON{
+			Attempted:   r.Stats.Attempted,
+			Eliminated:  r.Stats.Eliminated,
+			BlowupFails: r.Stats.BlowupFails,
+			DurationMS:  float64(r.Stats.Duration.Microseconds()) / 1000,
+		},
+	}
+	for name, ar := range r.Sig {
+		out.Signature[name] = ar
+	}
+	for i, c := range r.Constraints {
+		out.Constraints[i] = c.String()
+	}
+	if len(r.Eliminated) > 0 {
+		out.Eliminated = make(map[string]string, len(r.Eliminated))
+		for s, step := range r.Eliminated {
+			out.Eliminated[s] = string(step)
+		}
+	}
+	if len(r.Stats.ByStep) > 0 {
+		out.Stats.ByStep = make(map[string]int, len(r.Stats.ByStep))
+		for s, n := range r.Stats.ByStep {
+			out.Stats.ByStep[string(s)] = n
+		}
+	}
+	return out
+}
+
+// NamedResultJSON is the document cmd/mapcompose emits per compose
+// declaration with -format json.
+type NamedResultJSON struct {
+	Name   string      `json:"name"`
+	Result *ResultJSON `json:"result"`
+}
+
+// RegisterResponse reports one catalog mutation.
+type RegisterResponse struct {
+	Generation uint64   `json:"generation"`
+	Schemas    []string `json:"schemas"`
+	Mappings   []string `json:"mappings"`
+}
+
+// ComposeRequest asks for the composition σFrom→σTo over the current
+// catalog.
+type ComposeRequest struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// ComposeResponse carries one composition outcome. Key identifies the
+// cached result (fetchable via GET /v1/results/{key}); Cached reports
+// whether this response was served from the result cache rather than by
+// running ELIMINATE.
+type ComposeResponse struct {
+	From       string      `json:"from"`
+	To         string      `json:"to"`
+	Path       []string    `json:"path"`
+	Generation uint64      `json:"generation"`
+	Key        string      `json:"key"`
+	Cached     bool        `json:"cached"`
+	Result     *ResultJSON `json:"result"`
+}
+
+// BatchRequest asks for several compositions in one round trip.
+type BatchRequest struct {
+	Requests []ComposeRequest `json:"requests"`
+}
+
+// BatchItem is one outcome of a batch: a response or a per-item error
+// (a bad pair does not fail the rest of the batch).
+type BatchItem struct {
+	Response *ComposeResponse `json:"response,omitempty"`
+	Error    string           `json:"error,omitempty"`
+}
+
+// BatchResponse carries the outcomes in request order.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// SchemaJSON describes one catalog schema revision.
+type SchemaJSON struct {
+	Name       string           `json:"name"`
+	Version    int              `json:"version"`
+	Generation uint64           `json:"generation"`
+	Relations  map[string]int   `json:"relations"`
+	Keys       map[string][]int `json:"keys,omitempty"`
+}
+
+// MappingJSON describes one catalog mapping revision.
+type MappingJSON struct {
+	Name        string   `json:"name"`
+	From        string   `json:"from"`
+	To          string   `json:"to"`
+	Version     int      `json:"version"`
+	Generation  uint64   `json:"generation"`
+	Constraints []string `json:"constraints"`
+}
+
+// CatalogResponse is the full catalog listing.
+type CatalogResponse struct {
+	Generation uint64        `json:"generation"`
+	Schemas    []SchemaJSON  `json:"schemas"`
+	Mappings   []MappingJSON `json:"mappings"`
+}
+
+// StatsResponse is the server's instrumentation snapshot. Composes
+// counts compositions actually run (cache misses), EliminateAttempts the
+// summed per-symbol ELIMINATE attempts of those runs — the step-count
+// instrumentation that lets tests and operators verify cache hits do not
+// re-run the algorithm. CacheHits counts compose requests served from
+// the LRU, Coalesced requests that waited on an identical in-flight
+// computation instead of starting their own, and ResultFetches cached
+// results served via GET /v1/results/{key} (kept separate so the
+// hit-rate ratio CacheHits:Composes stays meaningful).
+type StatsResponse struct {
+	Generation        uint64 `json:"generation"`
+	Composes          int64  `json:"composes"`
+	CacheHits         int64  `json:"cache_hits"`
+	Coalesced         int64  `json:"coalesced"`
+	ResultFetches     int64  `json:"result_fetches"`
+	EliminateAttempts int64  `json:"eliminate_attempts"`
+	CacheEntries      int    `json:"cache_entries"`
+}

@@ -53,11 +53,41 @@
 // byte-identical to a sequential execution for a fixed seed; only
 // measured wall-clock durations vary. EXPERIMENTS.md records the
 // measured speedups against the pre-interning baseline.
+//
+// # Serving
+//
+// The intended deployments of composition — schema evolution, data
+// integration, ETL pipelines (§1) — are long-lived services: mappings
+// are registered once and composed many times along chains σ1→σ2→…→σn.
+// The serving layer amortizes the batch algorithm across requests:
+//
+//   - internal/catalog is an in-memory, versioned store of named schemas
+//     and mappings. Every mutation bumps a monotonically increasing
+//     catalog generation, and a directed mapping graph over schema names
+//     resolves a requested σA→σB composition to a shortest multi-hop
+//     chain of registered mappings, composed left to right via
+//     ComposeChain (which also backs multi-map compose declarations in
+//     the text format).
+//
+//   - internal/server is the mapcompd HTTP/JSON API (stdlib net/http):
+//     register schemas and mappings by POSTing the text format, request
+//     single or batched compositions, fetch cached results. Results live
+//     in a bounded LRU keyed on (catalog generation, endpoint pair,
+//     config fingerprint), so a repeated request against an unchanged
+//     catalog never re-runs ELIMINATE — verified by the server's
+//     step-count instrumentation (/v1/stats) — and identical in-flight
+//     requests are coalesced to one computation.
+//
+//   - cmd/mapcompd wires it together with flags for address, worker
+//     pool width and cache size, plus graceful shutdown;
+//     examples/service is an end-to-end walkthrough.
+//
+// The "Serving" section of EXPERIMENTS.md records cold versus cache-hit
+// throughput of BenchmarkServerCompose.
 package mapcomp
 
 import (
 	"fmt"
-	"sort"
 
 	"mapcomp/internal/algebra"
 	"mapcomp/internal/core"
@@ -215,48 +245,28 @@ func Run(p *Problem) ([]NamedResult, error) {
 func RunWithConfig(p *Problem, cfg *Config) ([]NamedResult, error) {
 	var out []NamedResult
 	for _, decl := range p.Compositions {
-		cur, err := p.Mapping(decl.Maps[0])
-		if err != nil {
-			return nil, err
-		}
-		var res *Result
-		eliminated := make(map[string]Step)
-		for _, next := range decl.Maps[1:] {
-			m, err := p.Mapping(next)
+		ms := make([]*Mapping, len(decl.Maps))
+		for i, name := range decl.Maps {
+			m, err := p.Mapping(name)
 			if err != nil {
 				return nil, err
 			}
-			res, err = core.ComposeMappings(cur, m, nil, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("compose %s: %w", decl.Name, err)
-			}
-			for s, step := range res.Eliminated {
-				eliminated[s] = step
-			}
-			// Chain: the composition becomes the next left operand;
-			// its signature keeps any symbols that resisted
-			// elimination, so later compositions may retry them.
-			cur = &Mapping{
-				In:          cur.In,
-				Out:         res.Sig,
-				Keys:        cur.Keys,
-				Constraints: res.Constraints,
-			}
+			ms[i] = m
 		}
-		res.Eliminated = eliminated
-		res.Remaining = nil
-		final, _ := p.Mapping(decl.Maps[len(decl.Maps)-1])
-		for s := range res.Sig {
-			if _, inIn := cur.In[s]; inIn {
-				continue
-			}
-			if _, inOut := final.Out[s]; inOut {
-				continue
-			}
-			res.Remaining = append(res.Remaining, s)
+		res, err := core.ComposeChain(ms, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("compose %s: %w", decl.Name, err)
 		}
-		sort.Strings(res.Remaining)
 		out = append(out, NamedResult{Name: decl.Name, Result: res})
 	}
 	return out, nil
+}
+
+// ComposeChain composes a chain of mappings left to right, merging each
+// hop's eliminations and retrying surviving intermediate symbols in later
+// hops. It is the public form of the entry point that backs multi-map
+// compose declarations (Run) and the mapping catalog's multi-hop σA→σB
+// resolution.
+func ComposeChain(ms []*Mapping, cfg *Config) (*Result, error) {
+	return core.ComposeChain(ms, cfg)
 }
