@@ -1,15 +1,39 @@
 // Command mapcompd serves mapping composition over HTTP: a versioned
 // catalog of schemas and mappings plus cached, coalesced composition of
-// multi-hop σA→σB chains (see internal/catalog and internal/server).
+// multi-hop σA→σB chains (see internal/catalog and internal/server),
+// optionally made durable with a write-ahead log and compacted
+// snapshots (internal/persist).
 //
 // Usage:
 //
-//	mapcompd [-addr :8391] [-workers N] [-cache-size N] [file.mc ...]
+//	mapcompd [-addr :8391] [-workers N] [-cache-size N]
+//	         [-data-dir DIR] [-snapshot-every N] [-warm] [file.mc ...]
 //
 // Positional arguments are composition task files in the text format of
-// internal/parser, pre-loaded into the catalog at boot. The server logs
-// the address it actually listens on (useful with -addr 127.0.0.1:0)
-// and shuts down gracefully on SIGINT/SIGTERM.
+// internal/parser, pre-loaded into the catalog at boot (with -data-dir
+// each boot re-applies them, which bumps the generation; preloads are
+// meant for ephemeral runs, persistent deployments register over HTTP).
+// The server logs the address it actually listens on (useful with
+// -addr 127.0.0.1:0) and shuts down gracefully on SIGINT/SIGTERM.
+//
+// # Durability
+//
+// With -data-dir the catalog survives restarts. Every mutation —
+// schema/mapping registration and each POST /v1/register batch — is
+// appended to DIR/wal.log (checksummed, fsynced) before it commits, so
+// any generation a client has observed survives a crash. Every
+// -snapshot-every mutations, and once more on graceful shutdown, the
+// daemon writes a compacted snapshot DIR/snapshot-*.json and truncates
+// the log. On boot it loads the newest snapshot, replays the remaining
+// log records, and serves the exact pre-crash catalog: same generation,
+// schemas, mappings, versions and therefore the same compose results. A
+// torn final record (crash mid-append) is truncated away; any other log
+// corruption is fatal at boot rather than silently dropping state.
+// /v1/stats reports the persistence counters under "persist".
+//
+// With -warm the daemon precomputes compositions for every connected
+// schema pair in the background after recovery, so the result cache is
+// hot before the first client request arrives.
 package main
 
 import (
@@ -28,6 +52,7 @@ import (
 	"mapcomp/internal/catalog"
 	"mapcomp/internal/par"
 	"mapcomp/internal/parser"
+	"mapcomp/internal/persist"
 	"mapcomp/internal/server"
 )
 
@@ -35,11 +60,34 @@ func main() {
 	addr := flag.String("addr", ":8391", "listen address (host:port; port 0 picks a free port)")
 	workers := flag.Int("workers", 0, "batch worker pool width (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache-size", server.DefaultCacheSize, "result cache entries (negative disables caching)")
+	dataDir := flag.String("data-dir", "", "durable catalog directory (empty = memory-only)")
+	snapshotEvery := flag.Int("snapshot-every", persist.DefaultSnapshotEvery,
+		"WAL records between compacting snapshots (negative = only on shutdown)")
+	warm := flag.Bool("warm", false, "precompute all connected schema pairs in the background after boot")
 	flag.Parse()
 
 	par.SetWorkers(*workers)
 
 	cat := catalog.New()
+
+	// Recovery must complete before any mutation: the store replays the
+	// log through the ordinary registration paths, then starts logging.
+	var store *persist.Store
+	if *dataDir != "" {
+		var err error
+		store, err = persist.Open(*dataDir, persist.Options{SnapshotEvery: *snapshotEvery})
+		if err != nil {
+			fatal(err)
+		}
+		if err := store.Recover(cat); err != nil {
+			fatal(err)
+		}
+		cat.SetLogger(store)
+		st := store.Stats()
+		log.Printf("mapcompd: recovered %s: generation %d (snapshot %d + %d WAL records, %d torn bytes dropped)",
+			*dataDir, st.Generation, st.Recovery.SnapshotGeneration, st.Recovery.Replayed, st.Recovery.TornBytesTruncated)
+	}
+
 	for _, path := range flag.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
@@ -59,7 +107,7 @@ func main() {
 		log.Printf("mapcompd: loaded %s (generation %d)", path, gen)
 	}
 
-	srv := server.New(server.Config{Catalog: cat, CacheSize: *cacheSize})
+	srv := server.New(server.Config{Catalog: cat, CacheSize: *cacheSize, Persist: store})
 	httpSrv := &http.Server{Handler: srv}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -70,6 +118,33 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Snapshot cadence: the store signals after every -snapshot-every
+	// WAL appends; snapshots run here, off the request path.
+	if store != nil {
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-store.SnapshotNeeded():
+					if err := store.Snapshot(cat); err != nil {
+						log.Printf("mapcompd: snapshot failed: %v", err)
+					} else {
+						log.Printf("mapcompd: snapshot at generation %d", store.Stats().SnapshotGeneration)
+					}
+				}
+			}
+		}()
+	}
+
+	if *warm {
+		go func() {
+			n := srv.Warm()
+			log.Printf("mapcompd: warmed %d endpoint pairs", n)
+		}()
+	}
+
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
@@ -84,6 +159,15 @@ func main() {
 	}
 	if err := <-done; err != nil {
 		fatal(err)
+	}
+	// Final compacting snapshot: the next boot recovers without replay.
+	if store != nil {
+		if err := store.Snapshot(cat); err != nil {
+			log.Printf("mapcompd: shutdown snapshot failed (WAL still covers the state): %v", err)
+		}
+		if err := store.Close(); err != nil {
+			log.Printf("mapcompd: closing WAL: %v", err)
+		}
 	}
 	log.Printf("mapcompd: bye")
 }

@@ -14,6 +14,15 @@
 // entries with a bumped per-name version, so snapshots handed out under
 // the read lock stay valid without copying. The catalog is safe for
 // concurrent use.
+//
+// The store itself is memory-only; durability is layered on through two
+// hooks. A Logger attached via SetLogger receives every mutation inside
+// the write lock immediately before it commits (internal/persist
+// implements it with a checksummed write-ahead log), and Restore
+// installs a recovered snapshot — entries, versions, generations and the
+// generation counter — into a virgin catalog, after which replaying
+// logged mutations through the ordinary registration paths reconstructs
+// the exact pre-crash state.
 package catalog
 
 import (
@@ -36,6 +45,10 @@ var (
 	// ErrNoPath reports that no chain of registered mappings connects
 	// the requested endpoints.
 	ErrNoPath = errors.New("no mapping path")
+	// ErrPersist wraps a durability-logger failure: the mutation itself
+	// was valid but could not be made durable, so the HTTP layer should
+	// report a retryable server-side error, not a request conflict.
+	ErrPersist = errors.New("persisting mutation")
 )
 
 // SchemaEntry is one installed revision of a named schema.
@@ -58,6 +71,50 @@ type MappingEntry struct {
 	Constraints algebra.ConstraintSet
 }
 
+// MutationKind discriminates catalog mutations for durability logging.
+type MutationKind string
+
+// The three mutation kinds: single schema registration, single mapping
+// registration, and atomic batch apply of a parsed task file.
+const (
+	MutSchema  MutationKind = "schema"
+	MutMapping MutationKind = "mapping"
+	MutApply   MutationKind = "apply"
+)
+
+// Mutation describes one catalog mutation at the moment it commits.
+// Exactly one payload field is set, matching Kind. Gen is the generation
+// the mutation installs (current generation + 1); because every logged
+// mutation bumps the generation by exactly one, Gen doubles as the
+// mutation's sequence number in a durability log.
+type Mutation struct {
+	Gen  uint64
+	Kind MutationKind
+
+	// Name is the schema or mapping name (MutSchema, MutMapping).
+	Name string
+	// From and To are the mapping endpoints (MutMapping).
+	From, To string
+
+	// Schema is the MutSchema payload (already cloned, caller-owned).
+	Schema *algebra.Schema
+	// Constraints is the MutMapping payload (already cloned).
+	Constraints algebra.ConstraintSet
+	// Problem is the MutApply payload. It is the caller's parsed task
+	// file; the logger must encode it before returning.
+	Problem *parser.Problem
+}
+
+// Logger receives every mutation immediately before it commits, inside
+// the catalog's write lock: when it returns an error the mutation is
+// rejected and the catalog is unchanged, so a crash at any point leaves
+// the log covering a superset of the in-memory state — never the
+// reverse. Batch Apply emits a single Mutation, which is what keeps it
+// atomic across a crash: the whole batch is in the log or none of it.
+type Logger interface {
+	AppendMutation(*Mutation) error
+}
+
 // Catalog is the mutex-guarded store. The zero value is not usable; use
 // New.
 type Catalog struct {
@@ -65,6 +122,7 @@ type Catalog struct {
 	gen     uint64
 	schemas map[string]*SchemaEntry
 	maps    map[string]*MappingEntry
+	logger  Logger
 }
 
 // New returns an empty catalog at generation 0.
@@ -82,6 +140,27 @@ func (c *Catalog) Generation() uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.gen
+}
+
+// SetLogger attaches (or, with nil, detaches) the durability logger.
+// Attach it after recovery has replayed any existing log, so replayed
+// mutations are not re-logged.
+func (c *Catalog) SetLogger(l Logger) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.logger = l
+}
+
+// logMutation emits m to the attached logger, if any. Caller holds the
+// write lock and must abort the mutation on error.
+func (c *Catalog) logMutation(m *Mutation) error {
+	if c.logger == nil {
+		return nil
+	}
+	if err := c.logger.AppendMutation(m); err != nil {
+		return fmt.Errorf("catalog: %w %d (%s): %v", ErrPersist, m.Gen, m.Kind, err)
+	}
+	return nil
 }
 
 // RegisterSchema installs or updates a named schema. Updating a schema
@@ -104,6 +183,9 @@ func (c *Catalog) RegisterSchema(name string, sch *algebra.Schema) (*SchemaEntry
 		if err := c.recheckMappings(name, entry.Schema); err != nil {
 			return nil, err
 		}
+	}
+	if err := c.logMutation(&Mutation{Gen: c.gen + 1, Kind: MutSchema, Name: name, Schema: entry.Schema}); err != nil {
+		return nil, err
 	}
 	c.gen++
 	entry.Generation = c.gen
@@ -170,6 +252,12 @@ func (c *Catalog) RegisterMapping(name, from, to string, cs algebra.ConstraintSe
 	if old, ok := c.maps[name]; ok {
 		entry.Version = old.Version + 1
 	}
+	if err := c.logMutation(&Mutation{
+		Gen: c.gen + 1, Kind: MutMapping,
+		Name: name, From: from, To: to, Constraints: entry.Constraints,
+	}); err != nil {
+		return nil, err
+	}
 	c.gen++
 	entry.Generation = c.gen
 	c.maps[name] = entry
@@ -232,7 +320,11 @@ func (c *Catalog) Apply(p *parser.Problem) (uint64, error) {
 		}
 	}
 
-	// Commit under one generation bump.
+	// Commit under one generation bump, logged as one record so the
+	// batch stays atomic across a crash.
+	if err := c.logMutation(&Mutation{Gen: c.gen + 1, Kind: MutApply, Problem: p}); err != nil {
+		return c.gen, err
+	}
 	c.gen++
 	for _, name := range p.SchemaOrder {
 		entry := &SchemaEntry{Name: name, Version: 1, Generation: c.gen, Schema: p.Schemas[name].Clone()}
@@ -400,6 +492,67 @@ func (c *Catalog) Chain(from, to string) ([]*algebra.Mapping, []string, uint64, 
 		ms[i] = algebra.NewMapping(c.schemas[m.From].Schema, c.schemas[m.To].Schema, m.Constraints)
 	}
 	return ms, path, c.gen, nil
+}
+
+// Restore installs a recovered state wholesale: schema and mapping
+// entries with their original versions and generations, plus the
+// generation counter. It is the snapshot-loading half of crash
+// recovery (log replay then re-runs the normal mutation paths). It
+// only operates on a virgin catalog — generation 0, no entries, no
+// logger — and re-validates every mapping against the restored
+// schemas, so a tampered or inconsistent snapshot fails loudly instead
+// of installing a catalog the registration paths could never have
+// built.
+func (c *Catalog) Restore(schemas []*SchemaEntry, maps []*MappingEntry, gen uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != 0 || len(c.schemas) != 0 || len(c.maps) != 0 || c.logger != nil {
+		return fmt.Errorf("catalog: Restore needs a virgin catalog without a logger")
+	}
+	for _, e := range schemas {
+		if e == nil || e.Name == "" || e.Schema == nil || len(e.Schema.Sig) == 0 {
+			return fmt.Errorf("catalog: restore: invalid schema entry")
+		}
+		if e.Generation > gen {
+			return fmt.Errorf("catalog: restore: schema %s at generation %d exceeds catalog generation %d", e.Name, e.Generation, gen)
+		}
+		if _, dup := c.schemas[e.Name]; dup {
+			return fmt.Errorf("catalog: restore: schema %s appears twice", e.Name)
+		}
+		c.schemas[e.Name] = &SchemaEntry{
+			Name: e.Name, Version: e.Version, Generation: e.Generation,
+			Schema: e.Schema.Clone(),
+		}
+	}
+	for _, m := range maps {
+		if m == nil || m.Name == "" {
+			return fmt.Errorf("catalog: restore: invalid mapping entry")
+		}
+		if m.Generation > gen {
+			return fmt.Errorf("catalog: restore: mapping %s at generation %d exceeds catalog generation %d", m.Name, m.Generation, gen)
+		}
+		if _, dup := c.maps[m.Name]; dup {
+			return fmt.Errorf("catalog: restore: mapping %s appears twice", m.Name)
+		}
+		fs, ok := c.schemas[m.From]
+		if !ok {
+			return fmt.Errorf("catalog: restore: mapping %s references unknown schema %s", m.Name, m.From)
+		}
+		ts, ok := c.schemas[m.To]
+		if !ok {
+			return fmt.Errorf("catalog: restore: mapping %s references unknown schema %s", m.Name, m.To)
+		}
+		if err := checkMapping(m.Name, fs.Schema, ts.Schema, m.Constraints); err != nil {
+			return fmt.Errorf("catalog: restore: %w", err)
+		}
+		c.maps[m.Name] = &MappingEntry{
+			Name: m.Name, From: m.From, To: m.To,
+			Version: m.Version, Generation: m.Generation,
+			Constraints: m.Constraints.Clone(),
+		}
+	}
+	c.gen = gen
+	return nil
 }
 
 // Compose resolves from→to to a chain and composes it left to right. It

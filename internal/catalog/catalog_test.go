@@ -267,3 +267,114 @@ func TestConcurrentRegisterAndCompose(t *testing.T) {
 		t.Fatal("writers did not advance the generation")
 	}
 }
+
+// recordingLogger captures mutations and can be told to fail, to test
+// the write-ahead contract: a failing logger aborts the mutation.
+type recordingLogger struct {
+	muts []*Mutation
+	fail bool
+}
+
+func (l *recordingLogger) AppendMutation(m *Mutation) error {
+	if l.fail {
+		return fmt.Errorf("disk full")
+	}
+	l.muts = append(l.muts, m)
+	return nil
+}
+
+// TestLoggerSeesMutationsAndAbortsOnError: every mutation kind reaches
+// the logger with the generation it installs, before it is visible; a
+// logger error rejects the mutation and leaves the catalog untouched.
+func TestLoggerSeesMutationsAndAbortsOnError(t *testing.T) {
+	c := New()
+	lg := &recordingLogger{}
+	c.SetLogger(lg)
+
+	sch := algebra.NewSchema()
+	sch.Sig["R"] = 2
+	if _, err := c.RegisterSchema("src", sch); err != nil {
+		t.Fatal(err)
+	}
+	sch2 := algebra.NewSchema()
+	sch2.Sig["T"] = 2
+	if _, err := c.RegisterSchema("dst", sch2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RegisterMapping("m", "src", "dst", parser.MustParseConstraints("R <= T")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Apply(mustParse(t, chainTask)); err != nil {
+		t.Fatal(err)
+	}
+	kinds := []MutationKind{MutSchema, MutSchema, MutMapping, MutApply}
+	if len(lg.muts) != len(kinds) {
+		t.Fatalf("logger saw %d mutations, want %d", len(lg.muts), len(kinds))
+	}
+	for i, m := range lg.muts {
+		if m.Kind != kinds[i] || m.Gen != uint64(i+1) {
+			t.Fatalf("mutation %d = (%s, gen %d), want (%s, gen %d)", i, m.Kind, m.Gen, kinds[i], i+1)
+		}
+	}
+
+	// An Apply that installs nothing must not reach the logger (it does
+	// not bump the generation either).
+	if _, err := c.Apply(&parser.Problem{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lg.muts) != len(kinds) {
+		t.Fatal("no-op Apply was logged")
+	}
+
+	lg.fail = true
+	gen := c.Generation()
+	if _, err := c.RegisterSchema("nope", sch); err == nil {
+		t.Fatal("mutation committed although the logger failed")
+	}
+	if _, ok := c.Schema("nope"); ok {
+		t.Fatal("rejected mutation is visible")
+	}
+	if g := c.Generation(); g != gen {
+		t.Fatalf("generation moved from %d to %d on a rejected mutation", gen, g)
+	}
+	if _, err := c.Apply(mustParse(t, chainTask)); err == nil {
+		t.Fatal("Apply committed although the logger failed")
+	}
+	if g := c.Generation(); g != gen {
+		t.Fatal("generation moved on a rejected Apply")
+	}
+}
+
+// TestRestoreValidates: Restore only fills virgin catalogs and
+// re-validates mapping endpoints and constraints.
+func TestRestoreValidates(t *testing.T) {
+	src := algebra.NewSchema()
+	src.Sig["R"] = 2
+	entries := []*SchemaEntry{{Name: "src", Version: 1, Generation: 1, Schema: src}}
+	maps := []*MappingEntry{{
+		Name: "m", From: "src", To: "missing", Version: 1, Generation: 2,
+		Constraints: parser.MustParseConstraints("R <= R"),
+	}}
+	if err := New().Restore(entries, maps, 2); err == nil {
+		t.Fatal("Restore accepted a mapping with an unknown endpoint")
+	}
+
+	c := New()
+	if _, err := c.RegisterSchema("x", src); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restore(entries, nil, 1); err == nil {
+		t.Fatal("Restore accepted a non-virgin catalog")
+	}
+
+	c2 := New()
+	if err := c2.Restore(entries, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g := c2.Generation(); g != 1 {
+		t.Fatalf("restored generation = %d, want 1", g)
+	}
+	if _, ok := c2.Schema("src"); !ok {
+		t.Fatal("restored schema missing")
+	}
+}

@@ -77,11 +77,19 @@ func ComposeChain(ms []*algebra.Mapping, cfg *Config) (*Result, error) {
 		}
 		// The composition becomes the next left operand; its signature
 		// keeps any symbols that resisted elimination, so later hops may
-		// retry them.
+		// retry them. Key knowledge accumulates the same way: merging
+		// next.Keys keeps intermediate schemas' keys available to later
+		// hops (§3.5.1 uses them to minimize Skolem dependencies), where
+		// keeping only ms[0].Keys would silently weaken right compose
+		// for every hop ≥ 2.
+		keys := cur.Keys.Clone()
+		for rel, cols := range next.Keys {
+			keys[rel] = append([]int(nil), cols...)
+		}
 		cur = &algebra.Mapping{
 			In:          cur.In,
 			Out:         r.Sig,
-			Keys:        cur.Keys,
+			Keys:        keys,
 			Constraints: r.Constraints,
 		}
 		res = r

@@ -111,12 +111,16 @@ func Eliminate(sig algebra.Signature, cs algebra.ConstraintSet, s string, cfg *C
 		return out, step, true
 	}
 
+	// §3.1 tries the strategies in order: a blow-up abort in one
+	// strategy does not fail the whole elimination — the next strategy
+	// may produce a result within the bound (e.g. unfolding a large view
+	// definition into many occurrence sites blows up, while left compose
+	// substitutes the collapsed bound exactly once).
 	if cfg.ViewUnfolding {
 		if out, ok := ViewUnfold(cs, s); ok {
 			if res, step, ok := accept(out, StepUnfold); ok {
 				return res, step, true
 			}
-			return cs, StepFailed, false // blow-up abort
 		}
 	}
 	if cfg.LeftCompose {
@@ -124,7 +128,6 @@ func Eliminate(sig algebra.Signature, cs algebra.ConstraintSet, s string, cfg *C
 			if res, step, ok := accept(out, StepLeft); ok {
 				return res, step, true
 			}
-			return cs, StepFailed, false
 		}
 	}
 	if cfg.RightCompose {
@@ -132,7 +135,6 @@ func Eliminate(sig algebra.Signature, cs algebra.ConstraintSet, s string, cfg *C
 			if res, step, ok := accept(out, StepRight); ok {
 				return res, step, true
 			}
-			return cs, StepFailed, false
 		}
 	}
 	return cs, StepFailed, false
@@ -216,7 +218,7 @@ func Compose(s1, s2, s3 algebra.Signature, m12, m23 algebra.ConstraintSet, order
 		} else {
 			if step == StepFailed && cfg.MaxBlowup > 0 {
 				// Distinguish blow-up aborts for the §4.2 metric.
-				if wouldBlowUp(sig, cs, s, cfg) {
+				if WouldBlowUp(sig, cs, s, cfg) {
 					stats.BlowupFails++
 				}
 			}
@@ -230,12 +232,22 @@ func Compose(s1, s2, s3 algebra.Signature, m12, m23 algebra.ConstraintSet, order
 	return res, nil
 }
 
-// wouldBlowUp re-runs elimination without the size bound to learn whether
-// the failure was due to the blow-up abort rather than inexpressibility.
-func wouldBlowUp(sig algebra.Signature, cs algebra.ConstraintSet, s string, cfg *Config) bool {
-	unbounded := cfg.Clone()
-	unbounded.MaxBlowup = 0
-	_, _, ok := Eliminate(sig, cs, s, unbounded)
+// blowupProbeFactor scales MaxBlowup for the classification probe below.
+const blowupProbeFactor = 16
+
+// WouldBlowUp re-runs a failed elimination with a relaxed — but still
+// finite — size bound to learn whether the failure was due to the
+// blow-up abort rather than inexpressibility (the §4.2 metric; the
+// evolution driver shares it). The probe bound is blowupProbeFactor ×
+// the configured MaxBlowup: an unbounded re-run would let a single
+// pathological symbol consume unbounded memory just to classify a
+// failure, so a symbol whose elimination would exceed even the relaxed
+// bound is conservatively counted as inexpressible rather than
+// materialized.
+func WouldBlowUp(sig algebra.Signature, cs algebra.ConstraintSet, s string, cfg *Config) bool {
+	probe := cfg.Clone()
+	probe.MaxBlowup = cfg.MaxBlowup * blowupProbeFactor
+	_, _, ok := Eliminate(sig, cs, s, probe)
 	return ok
 }
 

@@ -1,0 +1,220 @@
+package core_test
+
+// Regression tests for three ELIMINATE/chain correctness fixes:
+//
+//  1. Eliminate falls through to the next strategy when a strategy
+//     succeeds structurally but trips the MaxBlowup abort (§3.1 tries
+//     the strategies in order; a blow-up in view unfolding must not
+//     mask a small left/right-compose result).
+//  2. ComposeChain merges every hop's key knowledge into the
+//     accumulated mapping, so hops ≥ 2 still see intermediate schemas'
+//     keys (§3.5.1 uses them to minimize Skolem dependencies).
+//  3. The blow-up classification probe runs with a large finite bound
+//     instead of fully unbounded, so a pathological symbol cannot
+//     consume unbounded memory just to label a failure for the §4.2
+//     metric.
+
+import (
+	"strings"
+	"testing"
+
+	"mapcomp/internal/algebra"
+	"mapcomp/internal/core"
+	"mapcomp/internal/parser"
+)
+
+// fallthroughFixture builds a set where view unfolding succeeds but
+// multiplies a large view definition into every occurrence site, while
+// left compose substitutes the collapsed bound exactly once:
+//
+//	S = A1 ∪ … ∪ A12            (the view definition, size 24)
+//	S ⊆ T1; …; S ⊆ T4           (four occurrence sites)
+//
+// Input size 32. Unfolding rewrites all four sites to Big ⊆ Ti
+// (size 96); left compose yields the single Big ⊆ Big ∩ T1 ∩ … ∩ T4
+// (size 54). With MaxBlowup = 2 the bound is 64: unfolding aborts,
+// left compose fits.
+func fallthroughFixture(t *testing.T) (algebra.Signature, algebra.ConstraintSet) {
+	t.Helper()
+	sig := algebra.NewSignature("S", 1, "T1", 1, "T2", 1, "T3", 1, "T4", 1)
+	names := []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "B1", "B2", "B3"}
+	for _, n := range names {
+		sig[n] = 1
+	}
+	cs := parser.MustParseConstraints(
+		"S = " + strings.Join(names, " + ") +
+			"; S <= T1; S <= T2; S <= T3; S <= T4")
+	if err := cs.Check(sig); err != nil {
+		t.Fatal(err)
+	}
+	return sig, cs
+}
+
+func TestEliminateFallsThroughAfterBlowupAbort(t *testing.T) {
+	sig, cs := fallthroughFixture(t)
+
+	// Sanity: unfolding applies to this set and its result exceeds the
+	// bound, so before the fix the whole elimination failed here.
+	uout, uok := core.ViewUnfold(cs, "S")
+	if !uok {
+		t.Fatal("fixture broken: ViewUnfold does not apply")
+	}
+	if in, out := cs.Size(), uout.Size(); out <= 2*in {
+		t.Fatalf("fixture broken: unfold output %d does not exceed 2×%d", out, in)
+	}
+
+	unfoldOnly := &core.Config{ViewUnfolding: true, MaxBlowup: 2}
+	if _, step, ok := core.Eliminate(sig.Clone(), cs, "S", unfoldOnly); ok {
+		t.Fatalf("unfold-only elimination unexpectedly succeeded via %s", step)
+	}
+
+	full := &core.Config{ViewUnfolding: true, LeftCompose: true, RightCompose: true, MaxBlowup: 2}
+	out, step, ok := core.Eliminate(sig.Clone(), cs, "S", full)
+	if !ok {
+		t.Fatal("elimination failed: blow-up abort in unfolding did not fall through to the later strategies")
+	}
+	if step != core.StepLeft {
+		t.Fatalf("eliminated via %s, want %s", step, core.StepLeft)
+	}
+	for _, c := range out {
+		if c.ContainsRel("S") {
+			t.Fatalf("S still occurs in %s", c)
+		}
+	}
+}
+
+// TestEliminateFallthroughKeepsStrategyOrder: when unfolding fits the
+// bound it still wins, so the fallthrough does not change which step is
+// reported for eliminations that never abort.
+func TestEliminateFallthroughKeepsStrategyOrder(t *testing.T) {
+	sig, cs := fallthroughFixture(t)
+	full := &core.Config{ViewUnfolding: true, LeftCompose: true, RightCompose: true, MaxBlowup: 3}
+	_, step, ok := core.Eliminate(sig, cs, "S", full)
+	if !ok || step != core.StepUnfold {
+		t.Fatalf("got (%s, %v), want (%s, true)", step, ok, core.StepUnfold)
+	}
+}
+
+// chainMappings builds the 3-hop chain σA→σB→σC→σD of
+// TestComposeChainPropagatesIntermediateKeys. Only the middle mapping's
+// revision of schema C declares W's key; the final mapping was built
+// against an older revision without it.
+func chainMappings(t *testing.T, middleKnowsKey bool) []*algebra.Mapping {
+	t.Helper()
+	schA := algebra.NewSchema()
+	schA.Sig["P"] = 2
+	schB := algebra.NewSchema()
+	schB.Sig["Q"] = 2
+	schC := algebra.NewSchema()
+	schC.Sig["W"] = 2
+	schC.Sig["S"] = 3
+	schCKeyed := schC.Clone()
+	schCKeyed.Keys["W"] = []int{1}
+	schD := algebra.NewSchema()
+	schD.Sig["V"] = 2
+	schD.Sig["T"] = 2
+
+	middleC := schC
+	if middleKnowsKey {
+		middleC = schCKeyed
+	}
+	m1 := algebra.NewMapping(schA, schB, parser.MustParseConstraints("Q = P"))
+	m2 := algebra.NewMapping(schB, middleC, parser.MustParseConstraints(
+		"Q <= W; W <= proj[1,2](S)"))
+	m3 := algebra.NewMapping(schC, schD, parser.MustParseConstraints(
+		"proj[1,3](S) <= V; proj[3,1](S) <= T; proj[1,3](S) <= T"))
+	return []*algebra.Mapping{m1, m2, m3}
+}
+
+// TestComposeChainPropagatesIntermediateKeys: eliminating S at hop 2
+// right-composes through W ⊆ π(S), Skolemizing the missing column of S.
+// W's key (declared only by the middle mapping's schema revision) lets
+// §3.5.1 narrow the Skolem dependencies, which keeps the deskolemized
+// result inside MaxBlowup; with the key dropped the result blows past
+// the bound and S survives. Before the fix ComposeChain kept only
+// ms[0].Keys, so hop 2 never saw the key and S always survived.
+func TestComposeChainPropagatesIntermediateKeys(t *testing.T) {
+	cfg := &core.Config{ViewUnfolding: true, RightCompose: true, MaxBlowup: 1, Simplify: true}
+
+	res, err := core.ComposeChain(chainMappings(t, true), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step, ok := res.Eliminated["S"]; !ok || step != core.StepRight {
+		t.Fatalf("S not eliminated by right compose with hop-2 keys propagated: eliminated=%v remaining=%v",
+			res.Eliminated, res.Remaining)
+	}
+	if len(res.Remaining) != 0 {
+		t.Fatalf("unexpected surviving symbols %v", res.Remaining)
+	}
+
+	// Control: the same chain with the key knowledge stripped from the
+	// middle mapping is exactly what the pre-fix ComposeChain computed
+	// at hop 2 (cur.Keys stayed ms[0].Keys = {}), and there S survives.
+	res, err = core.ComposeChain(chainMappings(t, false), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Eliminated["S"]; ok {
+		t.Fatalf("S eliminated without the middle mapping's key; the fixture no longer exercises key propagation (eliminated=%v)",
+			res.Eliminated)
+	}
+}
+
+// TestBlowupProbeIsBounded: the §4.2 blow-up classification re-runs a
+// failed elimination with a relaxed bound to tell blow-up aborts from
+// inexpressibility. The probe bound is 16 × MaxBlowup, not infinity: a
+// symbol whose elimination would exceed even the relaxed bound counts
+// as inexpressible instead of being materialized at unbounded cost.
+func TestBlowupProbeIsBounded(t *testing.T) {
+	s1 := algebra.NewSignature("A", 1)
+	s2 := algebra.NewSignature("S", 1)
+	cfg := &core.Config{ViewUnfolding: true, MaxBlowup: 1}
+
+	// def is a 32-leaf union (size 63); n occurrence sites S ⊆ T blow
+	// up to n×64 on unfolding against an input of size 64+2n.
+	def := "A" + strings.Repeat(" + A", 31)
+	build := func(n int) (algebra.Signature, algebra.ConstraintSet, algebra.Signature) {
+		s3 := algebra.NewSignature("T", 1)
+		src := "S = " + def
+		for i := 0; i < n; i++ {
+			src += "; S <= T"
+		}
+		cs := parser.MustParseConstraints(src)
+		sig, err := s1.Merge(s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, err = sig.Merge(s3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cs.Check(sig); err != nil {
+			t.Fatal(err)
+		}
+		return sig, cs, s3
+	}
+
+	// 20 sites: output 1280 > input 104 fails the bound, but fits the
+	// 16× probe (1664) — classified as a blow-up abort.
+	_, cs, s3 := build(20)
+	res, err := core.Compose(s1, s2, s3, cs, nil, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BlowupFails != 1 || len(res.Remaining) != 1 {
+		t.Fatalf("20 sites: BlowupFails=%d remaining=%v, want 1 blow-up abort", res.Stats.BlowupFails, res.Remaining)
+	}
+
+	// 33 sites: output 2112 exceeds even the 16× probe bound (2080) —
+	// conservatively classified as inexpressible rather than unfolded
+	// without any bound (which is the pre-fix behaviour under test).
+	_, cs, s3 = build(33)
+	res, err = core.Compose(s1, s2, s3, cs, nil, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BlowupFails != 0 || len(res.Remaining) != 1 {
+		t.Fatalf("33 sites: BlowupFails=%d remaining=%v, want bounded probe to report no blow-up", res.Stats.BlowupFails, res.Remaining)
+	}
+}

@@ -134,12 +134,10 @@ func RunEditing(cfg *EditingConfig) *EditingRun {
 					stat.Eliminated++
 				} else {
 					pending[edit.Input] = true
-					if coreCfg.MaxBlowup > 0 {
-						unbounded := cc.Clone()
-						unbounded.MaxBlowup = 0
-						if _, _, ok := core.Eliminate(sigAll, constraints, edit.Input, unbounded); ok {
-							stat.Blowup++
-						}
+					// Classify blow-up aborts with the shared bounded
+					// probe (16 × MaxBlowup, never unbounded).
+					if coreCfg.MaxBlowup > 0 && core.WouldBlowUp(sigAll, constraints, edit.Input, cc) {
+						stat.Blowup++
 					}
 				}
 			}

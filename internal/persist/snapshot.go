@@ -1,0 +1,256 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mapcomp/internal/algebra"
+	"mapcomp/internal/catalog"
+	"mapcomp/internal/parser"
+)
+
+// Snapshots are compacted checkpoints of the whole catalog: one JSON
+// document holding every entry with its version and generation plus the
+// generation counter. A snapshot at generation G makes every WAL record
+// with gen ≤ G redundant; recovery loads the newest snapshot and
+// replays only the records after it. Snapshot files are written to a
+// temp file and renamed into place, so a crash mid-write leaves the
+// previous snapshot intact; the two newest snapshots are kept as a
+// safety margin and older ones are pruned.
+
+const (
+	snapshotPrefix = "snapshot-"
+	snapshotSuffix = ".json"
+	snapshotsKept  = 2
+)
+
+// snapSchema is one schema entry in a snapshot document.
+type snapSchema struct {
+	Name       string           `json:"name"`
+	Version    int              `json:"version"`
+	Generation uint64           `json:"generation"`
+	Relations  map[string]int   `json:"relations"`
+	Keys       map[string][]int `json:"keys,omitempty"`
+}
+
+// snapMapping is one mapping entry in a snapshot document; constraints
+// are stored in the parser's concrete syntax (Format∘Parse is the
+// identity, which the parser package tests).
+type snapMapping struct {
+	Name        string   `json:"name"`
+	From        string   `json:"from"`
+	To          string   `json:"to"`
+	Version     int      `json:"version"`
+	Generation  uint64   `json:"generation"`
+	Constraints []string `json:"constraints"`
+}
+
+// snapshotDoc is the full snapshot document.
+type snapshotDoc struct {
+	Generation uint64        `json:"generation"`
+	Schemas    []snapSchema  `json:"schemas"`
+	Mappings   []snapMapping `json:"mappings"`
+}
+
+// encodeSchema / decodeSchema and encodeConstraints / decodeConstraints
+// are the single wire codec for catalog payloads; both the WAL records
+// and the snapshot documents go through them, so the two encodings can
+// never drift apart.
+
+func encodeSchema(sch *algebra.Schema) (rels map[string]int, keys map[string][]int) {
+	rels = make(map[string]int, len(sch.Sig))
+	for rel, ar := range sch.Sig {
+		rels[rel] = ar
+	}
+	if len(sch.Keys) > 0 {
+		keys = make(map[string][]int, len(sch.Keys))
+		for rel, cols := range sch.Keys {
+			keys[rel] = append([]int(nil), cols...)
+		}
+	}
+	return rels, keys
+}
+
+func decodeSchema(rels map[string]int, keys map[string][]int) *algebra.Schema {
+	sch := algebra.NewSchema()
+	for rel, ar := range rels {
+		sch.Sig[rel] = ar
+	}
+	for rel, cols := range keys {
+		sch.Keys[rel] = append([]int(nil), cols...)
+	}
+	return sch
+}
+
+func encodeConstraints(cs algebra.ConstraintSet) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.String()
+	}
+	return out
+}
+
+func decodeConstraints(ss []string) (algebra.ConstraintSet, error) {
+	return parser.ParseConstraints(strings.Join(ss, ";\n"))
+}
+
+func snapshotName(gen uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapshotPrefix, gen, snapshotSuffix)
+}
+
+// snapshotGen parses a snapshot file name back into its generation.
+func snapshotGen(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, snapshotSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, snapshotPrefix), snapshotSuffix)
+	var gen uint64
+	if _, err := fmt.Sscanf(hex, "%016x", &gen); err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// buildSnapshot renders a catalog snapshot (as returned by
+// catalog.Snapshot) into a snapshot document.
+func buildSnapshot(schemas []*catalog.SchemaEntry, maps []*catalog.MappingEntry, gen uint64) *snapshotDoc {
+	doc := &snapshotDoc{Generation: gen}
+	for _, e := range schemas {
+		rels, keys := encodeSchema(e.Schema)
+		doc.Schemas = append(doc.Schemas, snapSchema{
+			Name: e.Name, Version: e.Version, Generation: e.Generation,
+			Relations: rels, Keys: keys,
+		})
+	}
+	for _, m := range maps {
+		doc.Mappings = append(doc.Mappings, snapMapping{
+			Name: m.Name, From: m.From, To: m.To,
+			Version: m.Version, Generation: m.Generation,
+			Constraints: encodeConstraints(m.Constraints),
+		})
+	}
+	return doc
+}
+
+// restoreSnapshot installs a snapshot document into a virgin catalog.
+func restoreSnapshot(doc *snapshotDoc, cat *catalog.Catalog) error {
+	schemas := make([]*catalog.SchemaEntry, len(doc.Schemas))
+	for i, ss := range doc.Schemas {
+		schemas[i] = &catalog.SchemaEntry{
+			Name: ss.Name, Version: ss.Version, Generation: ss.Generation,
+			Schema: decodeSchema(ss.Relations, ss.Keys),
+		}
+	}
+	maps := make([]*catalog.MappingEntry, len(doc.Mappings))
+	for i, sm := range doc.Mappings {
+		cs, err := decodeConstraints(sm.Constraints)
+		if err != nil {
+			return fmt.Errorf("persist: snapshot mapping %s: %w", sm.Name, err)
+		}
+		maps[i] = &catalog.MappingEntry{
+			Name: sm.Name, From: sm.From, To: sm.To,
+			Version: sm.Version, Generation: sm.Generation, Constraints: cs,
+		}
+	}
+	return cat.Restore(schemas, maps, doc.Generation)
+}
+
+// writeSnapshotFile writes doc to dir atomically (temp file, fsync,
+// rename, directory fsync).
+func writeSnapshotFile(dir string, doc *snapshotDoc) error {
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return fmt.Errorf("persist: encoding snapshot: %w", err)
+	}
+	final := filepath.Join(dir, snapshotName(doc.Generation))
+	tmp, err := os.CreateTemp(dir, snapshotPrefix+"*.tmp")
+	if err != nil {
+		return fmt.Errorf("persist: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return fmt.Errorf("persist: installing snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// loadLatestSnapshot reads the newest snapshot in dir. ok is false when
+// the directory holds none. A snapshot that exists but does not decode
+// is corruption and fails loudly — silently starting empty would drop
+// acknowledged state.
+func loadLatestSnapshot(dir string) (*snapshotDoc, bool, error) {
+	gens, err := listSnapshotGens(dir)
+	if err != nil || len(gens) == 0 {
+		return nil, false, err
+	}
+	newest := gens[len(gens)-1]
+	data, err := os.ReadFile(filepath.Join(dir, snapshotName(newest)))
+	if err != nil {
+		return nil, false, fmt.Errorf("persist: reading snapshot: %w", err)
+	}
+	var doc snapshotDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, false, fmt.Errorf("persist: snapshot %s does not decode: %v", snapshotName(newest), err)
+	}
+	if doc.Generation != newest {
+		return nil, false, fmt.Errorf("persist: snapshot %s claims generation %d", snapshotName(newest), doc.Generation)
+	}
+	return &doc, true, nil
+}
+
+// listSnapshotGens returns the generations of all snapshots in dir,
+// ascending.
+func listSnapshotGens(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: listing %s: %w", dir, err)
+	}
+	var gens []uint64
+	for _, e := range entries {
+		if gen, ok := snapshotGen(e.Name()); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// pruneSnapshots removes all but the newest snapshotsKept snapshots.
+// Pruning is best-effort: a leftover file costs disk, not correctness.
+func pruneSnapshots(dir string) {
+	gens, err := listSnapshotGens(dir)
+	if err != nil {
+		return
+	}
+	for _, gen := range gens[:max(0, len(gens)-snapshotsKept)] {
+		os.Remove(filepath.Join(dir, snapshotName(gen)))
+	}
+}
+
+// syncDir fsyncs a directory so a just-renamed file is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: opening %s for sync: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing %s: %w", dir, err)
+	}
+	return nil
+}

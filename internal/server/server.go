@@ -31,6 +31,7 @@ import (
 	"mapcomp/internal/core"
 	"mapcomp/internal/par"
 	"mapcomp/internal/parser"
+	"mapcomp/internal/persist"
 )
 
 // DefaultCacheSize bounds the result cache when Config.CacheSize is 0.
@@ -54,21 +55,28 @@ type Config struct {
 	// Compose selects the algorithm configuration; nil means
 	// core.DefaultConfig().
 	Compose *core.Config
+	// Persist, when non-nil, is the durability backend whose counters
+	// /v1/stats exposes. The server does not drive it — cmd/mapcompd
+	// owns recovery, logging and snapshot cadence — it only reports.
+	Persist *persist.Store
 }
 
 // Server is the HTTP handler. Create with New.
 type Server struct {
-	cat   *catalog.Catalog
-	cfg   *core.Config
-	cfgFP uint64
-	cache *resultCache // nil when caching is disabled
-	mux   *http.ServeMux
+	cat      *catalog.Catalog
+	cfg      *core.Config
+	cfgFP    uint64
+	cache    *resultCache // nil when caching is disabled
+	cacheCap int
+	persist  *persist.Store // nil without a durability backend
+	mux      *http.ServeMux
 
 	composes      atomic.Int64 // compositions actually run
 	cacheHits     atomic.Int64 // compose requests served from the LRU
 	coalescedHits atomic.Int64
 	resultFetches atomic.Int64 // GET /v1/results hits
 	elimAttempts  atomic.Int64 // summed Stats.Attempted of the runs
+	warmed        atomic.Int64 // pairs precomputed by Warm
 
 	// composeHook, when non-nil, runs inside every real composition
 	// before ComposeChain; tests use it to hold computations open so
@@ -78,7 +86,7 @@ type Server struct {
 
 // New builds a Server around cfg.
 func New(cfg Config) *Server {
-	s := &Server{cat: cfg.Catalog, cfg: cfg.Compose}
+	s := &Server{cat: cfg.Catalog, cfg: cfg.Compose, persist: cfg.Persist}
 	if s.cat == nil {
 		s.cat = catalog.New()
 	}
@@ -92,6 +100,7 @@ func New(cfg Config) *Server {
 	}
 	if size > 0 {
 		s.cache = newResultCache(size)
+		s.cacheCap = size
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/register", s.handleRegister)
@@ -121,11 +130,56 @@ func (s *Server) Stats() StatsResponse {
 		Coalesced:         s.coalescedHits.Load(),
 		ResultFetches:     s.resultFetches.Load(),
 		EliminateAttempts: s.elimAttempts.Load(),
+		Warmed:            s.warmed.Load(),
 	}
 	if s.cache != nil {
 		out.CacheEntries = s.cache.len()
 	}
+	if s.persist != nil {
+		st := s.persist.Stats()
+		out.Persist = &st
+	}
 	return out
+}
+
+// Warm precomputes compositions for the catalog's connected ordered
+// schema pairs, filling the result cache so the first client request
+// after a restart is a hit instead of a cold ELIMINATE run. Pair
+// discovery is a cheap BFS per pair; the compositions themselves run on
+// the internal/par worker pool. The number of pairs attempted is capped
+// at the cache capacity (warming beyond it would evict its own
+// entries). Warm returns the number of pairs actually cached — the same
+// count /v1/stats reports as "warmed" — and skips pairs whose
+// composition fails: Warm is an optimization pass, the request path
+// reports real errors. cmd/mapcompd runs it in the background after
+// recovery.
+func (s *Server) Warm() int {
+	if s.cache == nil {
+		return 0
+	}
+	schemas, _, _ := s.cat.Snapshot()
+	var pairs [][2]string
+	for _, a := range schemas {
+		for _, b := range schemas {
+			if len(pairs) >= s.cacheCap {
+				break
+			}
+			if a.Name == b.Name {
+				continue
+			}
+			if _, err := s.cat.Path(a.Name, b.Name); err == nil {
+				pairs = append(pairs, [2]string{a.Name, b.Name})
+			}
+		}
+	}
+	var ok atomic.Int64
+	par.Do(len(pairs), func(i int) {
+		if _, _, err := s.compose(pairs[i][0], pairs[i][1]); err == nil {
+			ok.Add(1)
+		}
+	})
+	s.warmed.Add(ok.Load())
+	return int(ok.Load())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -173,6 +227,12 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	gen, err := s.cat.Apply(p)
 	if err != nil {
+		// A durability failure is the server's problem, not the
+		// client's: 503 invites a retry, 409 means fix the payload.
+		if errors.Is(err, catalog.ErrPersist) {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeError(w, http.StatusConflict, err)
 		return
 	}

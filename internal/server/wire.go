@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mapcomp/internal/core"
+	"mapcomp/internal/persist"
 )
 
 // Wire types of the mapcompd HTTP/JSON API. cmd/mapcompose reuses
@@ -159,12 +160,18 @@ type CatalogResponse struct {
 // computation instead of starting their own, and ResultFetches cached
 // results served via GET /v1/results/{key} (kept separate so the
 // hit-rate ratio CacheHits:Composes stays meaningful).
+// Warmed counts cache entries precomputed by the post-recovery warm-up
+// pass, and Persist carries the durability backend's counters (WAL
+// size, snapshot coverage, recovery summary) when the daemon runs with
+// a data directory.
 type StatsResponse struct {
-	Generation        uint64 `json:"generation"`
-	Composes          int64  `json:"composes"`
-	CacheHits         int64  `json:"cache_hits"`
-	Coalesced         int64  `json:"coalesced"`
-	ResultFetches     int64  `json:"result_fetches"`
-	EliminateAttempts int64  `json:"eliminate_attempts"`
-	CacheEntries      int    `json:"cache_entries"`
+	Generation        uint64         `json:"generation"`
+	Composes          int64          `json:"composes"`
+	CacheHits         int64          `json:"cache_hits"`
+	Coalesced         int64          `json:"coalesced"`
+	ResultFetches     int64          `json:"result_fetches"`
+	EliminateAttempts int64          `json:"eliminate_attempts"`
+	CacheEntries      int            `json:"cache_entries"`
+	Warmed            int64          `json:"warmed,omitempty"`
+	Persist           *persist.Stats `json:"persist,omitempty"`
 }
