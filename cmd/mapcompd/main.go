@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mapcompd [-addr :8391] [-workers N] [-cache-size N]
+//	mapcompd [-addr :8391] [-workers N] [-cache-size N] [-compose-timeout D]
 //	         [-data-dir DIR] [-snapshot-every N] [-warm] [file.mc ...]
 //
 // Positional arguments are composition task files in the text format of
@@ -34,6 +34,17 @@
 // With -warm the daemon precomputes compositions for every connected
 // schema pair in the background after recovery, so the result cache is
 // hot before the first client request arrives.
+//
+// # Preemption
+//
+// Composition cost is worst-case exponential, so every compose request
+// runs under a deadline: -compose-timeout (default 30s, 0 disables)
+// bounds the run server-side, and a request can shorten — never extend —
+// its own deadline with a "timeout_ms" field. An expired deadline
+// preempts ELIMINATE between strategy attempts and returns 504 with the
+// partial statistics; the preempted result is never cached, and a
+// concurrent identical request with a live deadline takes over the
+// computation instead of inheriting the failure.
 package main
 
 import (
@@ -60,6 +71,8 @@ func main() {
 	addr := flag.String("addr", ":8391", "listen address (host:port; port 0 picks a free port)")
 	workers := flag.Int("workers", 0, "batch worker pool width (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache-size", server.DefaultCacheSize, "result cache entries (negative disables caching)")
+	composeTimeout := flag.Duration("compose-timeout", 30*time.Second,
+		"server-side deadline per composition; expired deadlines return 504 (0 disables)")
 	dataDir := flag.String("data-dir", "", "durable catalog directory (empty = memory-only)")
 	snapshotEvery := flag.Int("snapshot-every", persist.DefaultSnapshotEvery,
 		"WAL records between compacting snapshots (negative = only on shutdown)")
@@ -107,8 +120,18 @@ func main() {
 		log.Printf("mapcompd: loaded %s (generation %d)", path, gen)
 	}
 
-	srv := server.New(server.Config{Catalog: cat, CacheSize: *cacheSize, Persist: store})
-	httpSrv := &http.Server{Handler: srv}
+	srv := server.New(server.Config{
+		Catalog: cat, CacheSize: *cacheSize, Persist: store,
+		ComposeTimeout: *composeTimeout,
+	})
+	// ReadHeaderTimeout defeats slowloris header dribbling and
+	// IdleTimeout reaps abandoned keep-alive connections; request bodies
+	// are bounded per-handler via http.MaxBytesReader (oversize → 413).
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -140,7 +163,9 @@ func main() {
 
 	if *warm {
 		go func() {
-			n := srv.Warm()
+			// ctx is the shutdown context: SIGTERM stops the warm-up at
+			// the next pair instead of racing it against Shutdown.
+			n := srv.Warm(ctx)
 			log.Printf("mapcompd: warmed %d endpoint pairs", n)
 		}()
 	}

@@ -3,16 +3,21 @@
 //
 // Usage:
 //
-//	mapcompose [-v] [-format text|json] file.mc
-//	mapcompose [-v] [-format text|json] < file.mc
+//	mapcompose [-v] [-format text|json] [-timeout D] file.mc
+//	mapcompose [-v] [-format text|json] [-timeout D] < file.mc
 //
 // The file declares schemas, maps and compose statements; see
 // internal/parser for the grammar and examples/quickstart for a worked
 // file. With -format json the output is an array of the same result
 // documents the mapcompd service returns from its compose endpoint.
+// With -timeout the whole run is bounded by a deadline: composition cost
+// is worst-case exponential, and the deadline preempts ELIMINATE between
+// strategy attempts, reporting how many symbols were eliminated before
+// time ran out (the same contract as the service's -compose-timeout).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +32,7 @@ import (
 func main() {
 	verbose := flag.Bool("v", false, "print per-symbol elimination steps")
 	format := flag.String("format", "text", "output format: text or json")
+	timeout := flag.Duration("timeout", 0, "deadline for the whole run; preempted compositions fail (0 = none)")
 	flag.Parse()
 	if *format != "text" && *format != "json" {
 		usage(fmt.Errorf("unknown format %q (want text or json)", *format))
@@ -53,7 +59,13 @@ func main() {
 	if len(problem.Compositions) == 0 {
 		fatal(fmt.Errorf("no compose declarations in input"))
 	}
-	results, err := mapcomp.Run(problem)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	results, err := mapcomp.RunContext(ctx, problem, nil)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,10 +1,32 @@
 // Service walkthrough: boot an in-process mapcompd server, register the
 // quickstart schema-evolution chain over HTTP, and drive the composition
 // API end to end — multi-hop chain resolution, the result cache, batched
-// requests, and the instrumentation counters that prove a cache hit
-// never re-runs ELIMINATE.
+// requests, the instrumentation counters that prove a cache hit never
+// re-runs ELIMINATE, and the preemption surface: request deadlines
+// (504), oversized payloads (413), and partial-route error reporting.
 //
 // Run with: go run ./examples/service
+//
+// # Deadlines
+//
+// Composition cost is worst-case exponential, so a production daemon
+// always runs with a compose deadline: `mapcompd -compose-timeout 30s`
+// bounds every request server-side, and a client can shorten (never
+// extend) its own request's bound with a "timeout_ms" field. An expired
+// deadline preempts ELIMINATE between strategy attempts and returns
+// HTTP 504 whose body carries the resolved mapping path and the partial
+// statistics — how many symbols were eliminated before time ran out.
+// Preempted results are never cached, and a concurrent identical
+// request with a live deadline takes the computation over instead of
+// inheriting the failure.
+//
+// # Body limits
+//
+// Register and compose bodies pass through http.MaxBytesReader: a
+// payload over 8 MiB is rejected with HTTP 413 instead of being read
+// without bound. The daemon additionally sets ReadHeaderTimeout and
+// IdleTimeout on its http.Server, so slow-header and abandoned
+// keep-alive connections cannot pin goroutines.
 package main
 
 import (
@@ -16,6 +38,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"time"
 
 	"mapcomp/internal/server"
 )
@@ -55,6 +78,20 @@ func main() {
 	// the one-hop pair) against three-plus requests served.
 	stats := get(ts.URL + "/v1/stats")
 	fmt.Printf("\nstats: %s\n", stats)
+
+	// 6. Deadlines. A server with a (deliberately absurd) 1ns compose
+	// timeout preempts every composition: the request comes back as 504
+	// and the error body names the resolved path it was about to
+	// compose. Real deployments pass something like
+	// `mapcompd -compose-timeout 30s`; a client can also shorten a
+	// single request's bound with {"timeout_ms": ...}.
+	deadline := httptest.NewServer(server.New(server.Config{
+		ComposeTimeout: time.Nanosecond,
+	}))
+	defer deadline.Close()
+	postRaw(deadline.URL+"/v1/register", "text/plain", chainTask)
+	resp, body := postStatus(deadline.URL+"/v1/compose", "application/json", `{"from":"original","to":"split"}`)
+	fmt.Printf("\ncompose under a 1ns deadline: HTTP %d\n%s\n", resp, pretty(body))
 }
 
 func post(url, contentType, body string) []byte {
@@ -71,6 +108,31 @@ func post(url, contentType, body string) []byte {
 		log.Fatalf("%s: %d %s", url, resp.StatusCode, out)
 	}
 	return bytes.TrimSpace(out)
+}
+
+// postRaw posts without failing on non-2xx statuses.
+func postRaw(url, contentType, body string) {
+	resp, err := http.Post(url, contentType, bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// postStatus posts and returns the status code with the body, for steps
+// that demonstrate error responses.
+func postStatus(url, contentType, body string) (int, []byte) {
+	resp, err := http.Post(url, contentType, bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return resp.StatusCode, bytes.TrimSpace(out)
 }
 
 func get(url string) []byte {

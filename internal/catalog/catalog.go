@@ -10,10 +10,18 @@
 // σA→σB composition resolves to a shortest multi-hop chain of
 // registered mappings, composed left to right via core.ComposeChain.
 //
-// All entries are immutable once installed: updates install fresh
-// entries with a bumped per-name version, so snapshots handed out under
-// the read lock stay valid without copying. The catalog is safe for
-// concurrent use.
+// The store is copy-on-write: the entire catalog state — entries,
+// generation, sorted listings, and the precomputed BFS adjacency of the
+// mapping graph — lives in one immutable snapshot behind an
+// atomic.Pointer. Reads (Schema, Mapping, Snapshot, Path, Chain,
+// Compose, Generation) load the pointer and never take a lock, so they
+// scale with cores; mutations serialize under a write mutex, validate
+// and log against the current snapshot, then publish a fresh one.
+// Entries are immutable once installed: updates install fresh entries
+// with a bumped per-name version, so a snapshot handed out to a reader
+// stays valid forever. A single reader observes non-decreasing
+// generations across calls (atomic pointer stores are ordered by the
+// mutation lock).
 //
 // The store itself is memory-only; durability is layered on through two
 // hooks. A Logger attached via SetLogger receives every mutation inside
@@ -26,10 +34,12 @@
 package catalog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mapcomp/internal/algebra"
 	"mapcomp/internal/core"
@@ -107,39 +117,129 @@ type Mutation struct {
 
 // Logger receives every mutation immediately before it commits, inside
 // the catalog's write lock: when it returns an error the mutation is
-// rejected and the catalog is unchanged, so a crash at any point leaves
-// the log covering a superset of the in-memory state — never the
-// reverse. Batch Apply emits a single Mutation, which is what keeps it
-// atomic across a crash: the whole batch is in the log or none of it.
+// rejected and the snapshot readers see is never replaced, so a crash at
+// any point leaves the log covering a superset of the published state —
+// never the reverse. Batch Apply emits a single Mutation, which is what
+// keeps it atomic across a crash: the whole batch is in the log or none
+// of it.
 type Logger interface {
 	AppendMutation(*Mutation) error
 }
 
-// Catalog is the mutex-guarded store. The zero value is not usable; use
-// New.
-type Catalog struct {
-	mu      sync.RWMutex
+// view is one immutable catalog snapshot. Everything a read needs —
+// entry maps, sorted listings, the dense-index BFS adjacency of the
+// mapping graph, and the materialized algebra.Mapping per edge — is
+// precomputed when the view is built (once per mutation), so readers
+// share it without copying, locking, or per-request materialization.
+type view struct {
 	gen     uint64
 	schemas map[string]*SchemaEntry
 	maps    map[string]*MappingEntry
-	logger  Logger
+
+	// schemaList and mapList are the listings sorted by name.
+	schemaList []*SchemaEntry
+	mapList    []*MappingEntry
+
+	// schemaIdx assigns each schema a dense index into edges, so BFS
+	// runs over slices instead of maps.
+	schemaIdx map[string]int
+	// edges is the adjacency by schema index; per source, edges are
+	// sorted by mapping name, so path discovery order — and hence
+	// tie-breaks — are deterministic.
+	edges [][]viewEdge
+
+	// mappings holds one materialized algebra.Mapping per entry, shared
+	// by every Chain/Compose over this view. NewMapping clones its
+	// inputs and the compose stack never mutates a source mapping, so
+	// sharing is safe and a compose request materializes nothing.
+	mappings map[string]*algebra.Mapping
+}
+
+type viewEdge struct {
+	to int
+	m  *MappingEntry
+}
+
+// freeze builds the derived read structures from the entry maps. prev
+// is the view this one was derived from (nil for the first): entries
+// are immutable and pointer-shared across views, so any mapping whose
+// entry and endpoint schema entries are unchanged reuses prev's
+// materialized algebra.Mapping instead of re-cloning it — without this,
+// registering N mappings one at a time (which is exactly what WAL
+// replay does on boot) would cost O(N²) constraint clones.
+func (v *view) freeze(prev *view) *view {
+	v.schemaList = make([]*SchemaEntry, 0, len(v.schemas))
+	for _, e := range v.schemas {
+		v.schemaList = append(v.schemaList, e)
+	}
+	sort.Slice(v.schemaList, func(i, j int) bool { return v.schemaList[i].Name < v.schemaList[j].Name })
+	v.mapList = make([]*MappingEntry, 0, len(v.maps))
+	for _, e := range v.maps {
+		v.mapList = append(v.mapList, e)
+	}
+	sort.Slice(v.mapList, func(i, j int) bool { return v.mapList[i].Name < v.mapList[j].Name })
+	v.schemaIdx = make(map[string]int, len(v.schemaList))
+	for i, e := range v.schemaList {
+		v.schemaIdx[e.Name] = i
+	}
+	v.edges = make([][]viewEdge, len(v.schemaList))
+	v.mappings = make(map[string]*algebra.Mapping, len(v.mapList))
+	for _, m := range v.mapList {
+		from, to := v.schemas[m.From], v.schemas[m.To]
+		v.edges[v.schemaIdx[m.From]] = append(v.edges[v.schemaIdx[m.From]], viewEdge{to: v.schemaIdx[m.To], m: m})
+		if prev != nil && prev.maps[m.Name] == m &&
+			prev.schemas[m.From] == from && prev.schemas[m.To] == to {
+			v.mappings[m.Name] = prev.mappings[m.Name]
+			continue
+		}
+		v.mappings[m.Name] = algebra.NewMapping(from.Schema, to.Schema, m.Constraints)
+	}
+	return v
+}
+
+// mutate returns a draft copying the entry maps of v; the caller
+// installs new entries into the draft and freezes it. Entries themselves
+// are immutable and shared between views.
+func (v *view) mutate() *view {
+	next := &view{
+		gen:     v.gen,
+		schemas: make(map[string]*SchemaEntry, len(v.schemas)+1),
+		maps:    make(map[string]*MappingEntry, len(v.maps)+1),
+	}
+	for n, e := range v.schemas {
+		next.schemas[n] = e
+	}
+	for n, e := range v.maps {
+		next.maps[n] = e
+	}
+	return next
+}
+
+// Catalog is the copy-on-write store. The zero value is not usable; use
+// New.
+type Catalog struct {
+	// mu serializes mutations (and logger attachment); reads never take
+	// it.
+	mu     sync.Mutex
+	snap   atomic.Pointer[view]
+	logger Logger
 }
 
 // New returns an empty catalog at generation 0.
 func New() *Catalog {
-	return &Catalog{
+	c := &Catalog{}
+	c.snap.Store((&view{
 		schemas: make(map[string]*SchemaEntry),
 		maps:    make(map[string]*MappingEntry),
-	}
+	}).freeze(nil))
+	return c
 }
 
 // Generation returns the current catalog generation: 0 for an empty
 // catalog, incremented by one for every successful mutation (an Apply
 // counts as one mutation however many artifacts it installs).
 func (c *Catalog) Generation() uint64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.gen
+	return c.snap.Load().gen
 }
 
 // SetLogger attaches (or, with nil, detaches) the durability logger.
@@ -152,7 +252,7 @@ func (c *Catalog) SetLogger(l Logger) {
 }
 
 // logMutation emits m to the attached logger, if any. Caller holds the
-// write lock and must abort the mutation on error.
+// mutation lock and must abort the mutation on error.
 func (c *Catalog) logMutation(m *Mutation) error {
 	if c.logger == nil {
 		return nil
@@ -177,19 +277,22 @@ func (c *Catalog) RegisterSchema(name string, sch *algebra.Schema) (*SchemaEntry
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	cur := c.snap.Load()
 	entry := &SchemaEntry{Name: name, Version: 1, Schema: sch.Clone()}
-	if old, ok := c.schemas[name]; ok {
+	if old, ok := cur.schemas[name]; ok {
 		entry.Version = old.Version + 1
-		if err := c.recheckMappings(name, entry.Schema); err != nil {
+		if err := recheckMappings(cur, name, entry.Schema); err != nil {
 			return nil, err
 		}
 	}
-	if err := c.logMutation(&Mutation{Gen: c.gen + 1, Kind: MutSchema, Name: name, Schema: entry.Schema}); err != nil {
+	if err := c.logMutation(&Mutation{Gen: cur.gen + 1, Kind: MutSchema, Name: name, Schema: entry.Schema}); err != nil {
 		return nil, err
 	}
-	c.gen++
-	entry.Generation = c.gen
-	c.schemas[name] = entry
+	next := cur.mutate()
+	next.gen++
+	entry.Generation = next.gen
+	next.schemas[name] = entry
+	c.snap.Store(next.freeze(cur))
 	return entry, nil
 }
 
@@ -208,13 +311,13 @@ func checkMapping(name string, from, to *algebra.Schema, cs algebra.ConstraintSe
 }
 
 // recheckMappings validates every registered mapping touching schema
-// name against its proposed replacement. Caller holds the write lock.
-func (c *Catalog) recheckMappings(name string, sch *algebra.Schema) error {
-	for _, m := range c.maps {
+// name against its proposed replacement.
+func recheckMappings(v *view, name string, sch *algebra.Schema) error {
+	for _, m := range v.mapList {
 		if m.From != name && m.To != name {
 			continue
 		}
-		from, to := c.schemas[m.From].Schema, c.schemas[m.To].Schema
+		from, to := v.schemas[m.From].Schema, v.schemas[m.To].Schema
 		if m.From == name {
 			from = sch
 		}
@@ -237,11 +340,12 @@ func (c *Catalog) RegisterMapping(name, from, to string, cs algebra.ConstraintSe
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	fs, ok := c.schemas[from]
+	cur := c.snap.Load()
+	fs, ok := cur.schemas[from]
 	if !ok {
 		return nil, fmt.Errorf("catalog: mapping %s references unknown schema %s", name, from)
 	}
-	ts, ok := c.schemas[to]
+	ts, ok := cur.schemas[to]
 	if !ok {
 		return nil, fmt.Errorf("catalog: mapping %s references unknown schema %s", name, to)
 	}
@@ -249,18 +353,20 @@ func (c *Catalog) RegisterMapping(name, from, to string, cs algebra.ConstraintSe
 		return nil, err
 	}
 	entry := &MappingEntry{Name: name, From: from, To: to, Version: 1, Constraints: cs.Clone()}
-	if old, ok := c.maps[name]; ok {
+	if old, ok := cur.maps[name]; ok {
 		entry.Version = old.Version + 1
 	}
 	if err := c.logMutation(&Mutation{
-		Gen: c.gen + 1, Kind: MutMapping,
+		Gen: cur.gen + 1, Kind: MutMapping,
 		Name: name, From: from, To: to, Constraints: entry.Constraints,
 	}); err != nil {
 		return nil, err
 	}
-	c.gen++
-	entry.Generation = c.gen
-	c.maps[name] = entry
+	next := cur.mutate()
+	next.gen++
+	entry.Generation = next.gen
+	next.maps[name] = entry
+	c.snap.Store(next.freeze(cur))
 	return entry, nil
 }
 
@@ -272,23 +378,24 @@ func (c *Catalog) RegisterMapping(name, from, to string, cs algebra.ConstraintSe
 func (c *Catalog) Apply(p *parser.Problem) (uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	cur := c.snap.Load()
 	if len(p.SchemaOrder) == 0 && len(p.MapOrder) == 0 {
 		// Nothing to install: don't burn a generation (and with it every
 		// cached result keyed on the current one).
-		return c.gen, nil
+		return cur.gen, nil
 	}
 
 	// Stage: a view of the schemas as they will be after the apply, so
 	// new mappings can reference new schemas and mapping re-validation
 	// sees updated signatures.
-	staged := make(map[string]*algebra.Schema, len(c.schemas)+len(p.Schemas))
-	for n, e := range c.schemas {
+	staged := make(map[string]*algebra.Schema, len(cur.schemas)+len(p.Schemas))
+	for n, e := range cur.schemas {
 		staged[n] = e.Schema
 	}
 	for _, name := range p.SchemaOrder {
 		sch := p.Schemas[name]
 		if len(sch.Sig) == 0 {
-			return c.gen, fmt.Errorf("catalog: schema %s has no relations", name)
+			return cur.gen, fmt.Errorf("catalog: schema %s has no relations", name)
 		}
 		staged[name] = sch
 	}
@@ -305,193 +412,170 @@ func (c *Catalog) Apply(p *parser.Problem) (uint64, error) {
 		}
 		return checkMapping(m.Name, from, to, m.Constraints)
 	}
-	for _, m := range c.maps {
+	for _, m := range cur.mapList {
 		if _, incoming := p.Maps[m.Name]; incoming {
 			continue // replaced below; validated as incoming
 		}
 		if err := check(m); err != nil {
-			return c.gen, err
+			return cur.gen, err
 		}
 	}
 	for _, name := range p.MapOrder {
 		d := p.Maps[name]
 		if err := check(&MappingEntry{Name: name, From: d.From, To: d.To, Constraints: d.Constraints}); err != nil {
-			return c.gen, err
+			return cur.gen, err
 		}
 	}
 
 	// Commit under one generation bump, logged as one record so the
 	// batch stays atomic across a crash.
-	if err := c.logMutation(&Mutation{Gen: c.gen + 1, Kind: MutApply, Problem: p}); err != nil {
-		return c.gen, err
+	if err := c.logMutation(&Mutation{Gen: cur.gen + 1, Kind: MutApply, Problem: p}); err != nil {
+		return cur.gen, err
 	}
-	c.gen++
+	next := cur.mutate()
+	next.gen++
 	for _, name := range p.SchemaOrder {
-		entry := &SchemaEntry{Name: name, Version: 1, Generation: c.gen, Schema: p.Schemas[name].Clone()}
-		if old, ok := c.schemas[name]; ok {
+		entry := &SchemaEntry{Name: name, Version: 1, Generation: next.gen, Schema: p.Schemas[name].Clone()}
+		if old, ok := cur.schemas[name]; ok {
 			entry.Version = old.Version + 1
 		}
-		c.schemas[name] = entry
+		next.schemas[name] = entry
 	}
 	for _, name := range p.MapOrder {
 		d := p.Maps[name]
 		entry := &MappingEntry{
 			Name: name, From: d.From, To: d.To,
-			Version: 1, Generation: c.gen,
+			Version: 1, Generation: next.gen,
 			Constraints: d.Constraints.Clone(),
 		}
-		if old, ok := c.maps[name]; ok {
+		if old, ok := cur.maps[name]; ok {
 			entry.Version = old.Version + 1
 		}
-		c.maps[name] = entry
+		next.maps[name] = entry
 	}
-	return c.gen, nil
+	c.snap.Store(next.freeze(cur))
+	return next.gen, nil
 }
 
 // Schema returns the current revision of a named schema.
 func (c *Catalog) Schema(name string) (*SchemaEntry, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	e, ok := c.schemas[name]
+	e, ok := c.snap.Load().schemas[name]
 	return e, ok
 }
 
 // Mapping returns the current revision of a named mapping.
 func (c *Catalog) Mapping(name string) (*MappingEntry, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	e, ok := c.maps[name]
+	e, ok := c.snap.Load().maps[name]
 	return e, ok
 }
 
-// schemasLocked and mappingsLocked build the sorted listings; caller
-// holds at least the read lock.
-func (c *Catalog) schemasLocked() []*SchemaEntry {
-	out := make([]*SchemaEntry, 0, len(c.schemas))
-	for _, e := range c.schemas {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
-}
-
-func (c *Catalog) mappingsLocked() []*MappingEntry {
-	out := make([]*MappingEntry, 0, len(c.maps))
-	for _, e := range c.maps {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
-}
-
-// Schemas lists the current schema revisions sorted by name.
+// Schemas lists the current schema revisions sorted by name. The slice
+// is shared with the snapshot; callers must not modify it.
 func (c *Catalog) Schemas() []*SchemaEntry {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.schemasLocked()
+	return c.snap.Load().schemaList
 }
 
-// Mappings lists the current mapping revisions sorted by name.
+// Mappings lists the current mapping revisions sorted by name. The
+// slice is shared with the snapshot; callers must not modify it.
 func (c *Catalog) Mappings() []*MappingEntry {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.mappingsLocked()
+	return c.snap.Load().mapList
 }
 
 // Snapshot returns the schema and mapping listings (sorted by name) plus
-// the generation, all read under one lock acquisition so the three are
+// the generation, all from one immutable snapshot so the three are
 // mutually consistent.
 func (c *Catalog) Snapshot() ([]*SchemaEntry, []*MappingEntry, uint64) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.schemasLocked(), c.mappingsLocked(), c.gen
+	v := c.snap.Load()
+	return v.schemaList, v.mapList, v.gen
 }
 
-// Path resolves the schema pair from→to to a chain of registered mapping
-// names by breadth-first search over the mapping graph, so the returned
-// chain has the fewest hops. Parallel edges and equal-length paths are
-// broken deterministically by mapping name. Caller must hold at least
-// the read lock.
-func (c *Catalog) path(from, to string) ([]string, error) {
-	if _, ok := c.schemas[from]; !ok {
+// path resolves the schema pair from→to to a chain of registered mapping
+// names by breadth-first search over the snapshot's precomputed mapping
+// graph, so the returned chain has the fewest hops. Parallel edges and
+// equal-length paths are broken deterministically by mapping name.
+//
+// When the endpoints are registered but no chain connects them, path
+// returns ErrNoPath together with the partial route: the chain to the
+// reachable schema that BFS explored last (the deepest frontier, ties
+// broken by discovery order). Callers surface it so a failing request
+// names how far the mapping graph got instead of reporting nothing.
+func (v *view) path(from, to string) ([]string, error) {
+	if _, ok := v.schemas[from]; !ok {
 		return nil, fmt.Errorf("catalog: %w %s", ErrUnknownSchema, from)
 	}
-	if _, ok := c.schemas[to]; !ok {
+	if _, ok := v.schemas[to]; !ok {
 		return nil, fmt.Errorf("catalog: %w %s", ErrUnknownSchema, to)
 	}
 	if from == to {
 		return nil, fmt.Errorf("catalog: compose endpoints are the same schema %s", from)
 	}
-	// Deterministic adjacency: edges sorted by mapping name, so BFS
-	// discovery order — and hence tie-breaks — do not depend on map
-	// iteration order.
-	names := make([]string, 0, len(c.maps))
-	for n := range c.maps {
-		names = append(names, n)
+	src, dst := v.schemaIdx[from], v.schemaIdx[to]
+	n := len(v.schemaList)
+	// Dense-index BFS: via[i] is the edge that discovered schema i (nil
+	// for the source and undiscovered nodes), prev[i] its predecessor.
+	via := make([]*MappingEntry, n)
+	prev := make([]int, n)
+	visited := make([]bool, n)
+	visited[src] = true
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	chainTo := func(i int) []string {
+		var chain []string
+		for x := i; via[x] != nil; x = prev[x] {
+			chain = append(chain, via[x].Name)
+		}
+		for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+			chain[i], chain[j] = chain[j], chain[i]
+		}
+		return chain
 	}
-	sort.Strings(names)
-	adj := make(map[string][]*MappingEntry)
-	for _, n := range names {
-		m := c.maps[n]
-		adj[m.From] = append(adj[m.From], m)
-	}
-	type hop struct {
-		schema string
-		via    *MappingEntry // edge that reached schema; nil at the source
-		prev   *hop
-	}
-	visited := map[string]bool{from: true}
-	queue := []*hop{{schema: from}}
+	frontier := src
 	for len(queue) > 0 {
 		h := queue[0]
 		queue = queue[1:]
-		if h.schema == to {
-			var chain []string
-			for x := h; x.via != nil; x = x.prev {
-				chain = append(chain, x.via.Name)
-			}
-			for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
-				chain[i], chain[j] = chain[j], chain[i]
-			}
-			return chain, nil
+		frontier = h
+		if h == dst {
+			return chainTo(h), nil
 		}
-		for _, m := range adj[h.schema] {
-			if visited[m.To] {
+		for _, e := range v.edges[h] {
+			if visited[e.to] {
 				continue
 			}
-			visited[m.To] = true
-			queue = append(queue, &hop{schema: m.To, via: m, prev: h})
+			visited[e.to] = true
+			via[e.to] = e.m
+			prev[e.to] = h
+			queue = append(queue, e.to)
 		}
 	}
-	return nil, fmt.Errorf("catalog: %w from %s to %s", ErrNoPath, from, to)
+	return chainTo(frontier), fmt.Errorf("catalog: %w from %s to %s", ErrNoPath, from, to)
 }
 
-// Path is the exported, locking form of path.
+// Path is the exported form of path, against the current snapshot. On
+// ErrNoPath the returned slice is the partial route (see path).
 func (c *Catalog) Path(from, to string) ([]string, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.path(from, to)
+	return c.snap.Load().path(from, to)
 }
 
-// Chain resolves from→to and materializes the chain's mappings via
-// algebra.NewMapping (the same constructor the text-format path uses,
-// so key knowledge merges identically). It returns the mappings,
-// the mapping names along the path, and the catalog generation the
-// snapshot was taken at — all read under one lock acquisition, so the
-// three are mutually consistent even under concurrent registration.
+// Chain resolves from→to and assembles the chain's mappings. Each
+// mapping was materialized once via algebra.NewMapping when its
+// snapshot was built (the same constructor the text-format path uses,
+// so key knowledge merges identically) and is shared read-only across
+// requests. Chain returns the mappings, the mapping names along the
+// path, and the catalog generation — all from one immutable snapshot,
+// so the three are mutually consistent even under concurrent
+// registration, without taking any lock. On a resolution error the
+// mappings are nil and the path is the partial route (see path).
 func (c *Catalog) Chain(from, to string) ([]*algebra.Mapping, []string, uint64, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	path, err := c.path(from, to)
+	v := c.snap.Load()
+	path, err := v.path(from, to)
 	if err != nil {
-		return nil, nil, c.gen, err
+		return nil, path, v.gen, err
 	}
 	ms := make([]*algebra.Mapping, len(path))
 	for i, name := range path {
-		m := c.maps[name]
-		ms[i] = algebra.NewMapping(c.schemas[m.From].Schema, c.schemas[m.To].Schema, m.Constraints)
+		ms[i] = v.mappings[name]
 	}
-	return ms, path, c.gen, nil
+	return ms, path, v.gen, nil
 }
 
 // Restore installs a recovered state wholesale: schema and mapping
@@ -506,9 +590,11 @@ func (c *Catalog) Chain(from, to string) ([]*algebra.Mapping, []string, uint64, 
 func (c *Catalog) Restore(schemas []*SchemaEntry, maps []*MappingEntry, gen uint64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.gen != 0 || len(c.schemas) != 0 || len(c.maps) != 0 || c.logger != nil {
+	cur := c.snap.Load()
+	if cur.gen != 0 || len(cur.schemas) != 0 || len(cur.maps) != 0 || c.logger != nil {
 		return fmt.Errorf("catalog: Restore needs a virgin catalog without a logger")
 	}
+	next := cur.mutate()
 	for _, e := range schemas {
 		if e == nil || e.Name == "" || e.Schema == nil || len(e.Schema.Sig) == 0 {
 			return fmt.Errorf("catalog: restore: invalid schema entry")
@@ -516,10 +602,10 @@ func (c *Catalog) Restore(schemas []*SchemaEntry, maps []*MappingEntry, gen uint
 		if e.Generation > gen {
 			return fmt.Errorf("catalog: restore: schema %s at generation %d exceeds catalog generation %d", e.Name, e.Generation, gen)
 		}
-		if _, dup := c.schemas[e.Name]; dup {
+		if _, dup := next.schemas[e.Name]; dup {
 			return fmt.Errorf("catalog: restore: schema %s appears twice", e.Name)
 		}
-		c.schemas[e.Name] = &SchemaEntry{
+		next.schemas[e.Name] = &SchemaEntry{
 			Name: e.Name, Version: e.Version, Generation: e.Generation,
 			Schema: e.Schema.Clone(),
 		}
@@ -531,39 +617,44 @@ func (c *Catalog) Restore(schemas []*SchemaEntry, maps []*MappingEntry, gen uint
 		if m.Generation > gen {
 			return fmt.Errorf("catalog: restore: mapping %s at generation %d exceeds catalog generation %d", m.Name, m.Generation, gen)
 		}
-		if _, dup := c.maps[m.Name]; dup {
+		if _, dup := next.maps[m.Name]; dup {
 			return fmt.Errorf("catalog: restore: mapping %s appears twice", m.Name)
 		}
-		fs, ok := c.schemas[m.From]
+		fs, ok := next.schemas[m.From]
 		if !ok {
 			return fmt.Errorf("catalog: restore: mapping %s references unknown schema %s", m.Name, m.From)
 		}
-		ts, ok := c.schemas[m.To]
+		ts, ok := next.schemas[m.To]
 		if !ok {
 			return fmt.Errorf("catalog: restore: mapping %s references unknown schema %s", m.Name, m.To)
 		}
 		if err := checkMapping(m.Name, fs.Schema, ts.Schema, m.Constraints); err != nil {
 			return fmt.Errorf("catalog: restore: %w", err)
 		}
-		c.maps[m.Name] = &MappingEntry{
+		next.maps[m.Name] = &MappingEntry{
 			Name: m.Name, From: m.From, To: m.To,
 			Version: m.Version, Generation: m.Generation,
 			Constraints: m.Constraints.Clone(),
 		}
 	}
-	c.gen = gen
+	next.gen = gen
+	c.snap.Store(next.freeze(cur))
 	return nil
 }
 
 // Compose resolves from→to to a chain and composes it left to right. It
 // returns the composition result, the mapping names along the path, and
-// the generation of the catalog snapshot that produced the result.
-func (c *Catalog) Compose(from, to string, cfg *core.Config) (*core.Result, []string, uint64, error) {
+// the generation of the catalog snapshot that produced the result. On a
+// resolution failure the returned path is the partial route resolved so
+// far (see Path), so error reports can name where the chain breaks; on a
+// composition failure — including context preemption — it is the full
+// resolved path.
+func (c *Catalog) Compose(ctx context.Context, from, to string, cfg *core.Config) (*core.Result, []string, uint64, error) {
 	ms, path, gen, err := c.Chain(from, to)
 	if err != nil {
-		return nil, nil, gen, err
+		return nil, path, gen, err
 	}
-	res, err := core.ComposeChain(ms, cfg)
+	res, err := core.ComposeChain(ctx, ms, cfg)
 	if err != nil {
 		return nil, path, gen, err
 	}

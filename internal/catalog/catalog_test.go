@@ -1,6 +1,8 @@
 package catalog
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -194,7 +196,7 @@ func TestPathResolution(t *testing.T) {
 // constraints as manually chaining core.Compose over the same mappings.
 func TestComposeMatchesManualChain(t *testing.T) {
 	c := loadedCatalog(t)
-	res, path, gen, err := c.Compose("original", "split", nil)
+	res, path, gen, err := c.Compose(context.Background(), "original", "split", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +213,7 @@ func TestComposeMatchesManualChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	manual, err := core.ComposeMappings(m12, m23, nil, nil)
+	manual, err := core.ComposeMappings(context.Background(), m12, m23, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +257,7 @@ func TestConcurrentRegisterAndCompose(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 25; i++ {
-				if _, _, _, err := c.Compose("original", "split", nil); err != nil {
+				if _, _, _, err := c.Compose(context.Background(), "original", "split", nil); err != nil {
 					t.Error(err)
 					return
 				}
@@ -376,5 +378,149 @@ func TestRestoreValidates(t *testing.T) {
 	}
 	if _, ok := c2.Schema("src"); !ok {
 		t.Fatal("restored schema missing")
+	}
+}
+
+// TestPathPartialRouteOnNoPath: when the endpoints are registered but
+// disconnected, Path reports ErrNoPath together with the partial route
+// to the deepest schema BFS reached, and Compose forwards it.
+func TestPathPartialRouteOnNoPath(t *testing.T) {
+	c := loadedCatalog(t)
+	sch := algebra.NewSchema()
+	sch.Sig["Lonely"] = 1
+	if _, err := c.RegisterSchema("island", sch); err != nil {
+		t.Fatal(err)
+	}
+	partial, err := c.Path("original", "island")
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("err = %v, want ErrNoPath", err)
+	}
+	// From original the graph explores m12→fivestar, mArch→archive, then
+	// m23→split; the deepest frontier is split via m12,m23.
+	if got := strings.Join(partial, ","); got != "m12,m23" {
+		t.Fatalf("partial route = %v, want m12,m23", partial)
+	}
+	_, path, _, err := c.Compose(context.Background(), "original", "island", nil)
+	if !errors.Is(err, ErrNoPath) || strings.Join(path, ",") != "m12,m23" {
+		t.Fatalf("Compose = (path %v, err %v), want the partial route with ErrNoPath", path, err)
+	}
+
+	// Unknown endpoints still resolve to nothing.
+	if partial, err := c.Path("original", "nowhere"); err == nil || len(partial) != 0 {
+		t.Fatalf("unknown schema returned partial %v err %v", partial, err)
+	}
+}
+
+// TestComposePreemptedReturnsPath: a dead context preempts the
+// composition but the resolved path and generation still come back with
+// the error, so the serving layer can report what it was composing.
+func TestComposePreemptedReturnsPath(t *testing.T) {
+	c := loadedCatalog(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, path, gen, err := c.Compose(ctx, "original", "split", nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled through *core.Canceled", err)
+	}
+	var canceled *core.Canceled
+	if !errors.As(err, &canceled) {
+		t.Fatalf("err %T does not carry partial stats", err)
+	}
+	if len(path) != 2 || gen != c.Generation() {
+		t.Fatalf("path=%v gen=%d, want the resolved chain at the current generation", path, gen)
+	}
+}
+
+// TestLockFreeReadsGenerationMonotonic is the -race hammer for the
+// copy-on-write store: writers register new schemas and mappings (and
+// re-register existing ones) while readers spin over the lock-free
+// read surface asserting that (a) the generation each reader observes
+// never decreases, (b) every snapshot is internally consistent (no
+// entry newer than the snapshot generation), and (c) Chain materializes
+// against exactly one snapshot (its reported generation).
+func TestLockFreeReadsGenerationMonotonic(t *testing.T) {
+	c := loadedCatalog(t)
+	const writers, readers, rounds = 3, 6, 60
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < rounds; i++ {
+				sch := algebra.NewSchema()
+				sch.Sig[fmt.Sprintf("Aux%d", w)] = 2
+				name := fmt.Sprintf("aux%d", w)
+				if _, err := c.RegisterSchema(name, sch); err != nil {
+					t.Error(err)
+					return
+				}
+				cs := parser.MustParseConstraints(fmt.Sprintf("proj[1,2](Movies) <= Aux%d;", w))
+				if _, err := c.RegisterMapping(fmt.Sprintf("mAux%d", w), "original", name, cs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if g := c.Generation(); g < last {
+					t.Errorf("generation went backwards: %d then %d", last, g)
+					return
+				} else {
+					last = g
+				}
+				schemas, maps, gen := c.Snapshot()
+				if gen < last {
+					t.Errorf("snapshot generation %d older than observed %d", gen, last)
+					return
+				}
+				last = gen
+				for _, e := range schemas {
+					if e.Generation > gen {
+						t.Errorf("schema %s at generation %d inside snapshot %d", e.Name, e.Generation, gen)
+						return
+					}
+				}
+				for _, m := range maps {
+					if m.Generation > gen {
+						t.Errorf("mapping %s at generation %d inside snapshot %d", m.Name, m.Generation, gen)
+						return
+					}
+				}
+				ms, path, cgen, err := c.Chain("original", "split")
+				if err != nil || len(ms) != len(path) {
+					t.Errorf("chain: %v (%d mappings, %d hops)", err, len(ms), len(path))
+					return
+				}
+				if cgen < last {
+					t.Errorf("chain generation %d older than observed %d", cgen, last)
+					return
+				}
+				last = cgen
+				if _, _, _, err := c.Compose(context.Background(), "original", "split", nil); err != nil {
+					t.Errorf("compose: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Writers finish first, then readers are released; every reader must
+	// have seen a strictly advancing catalog throughout.
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+	if got, want := c.Generation(), uint64(1+2*writers*rounds); got != want && !t.Failed() {
+		t.Fatalf("final generation %d, want %d", got, want)
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -45,7 +47,11 @@ func (c *Config) Fingerprint() uint64 {
 // signature that belong to neither the first mapping's input schema nor
 // the last mapping's output schema — the best-effort contract of §1.3
 // applied to the whole chain.
-func ComposeChain(ms []*algebra.Mapping, cfg *Config) (*Result, error) {
+// Cancellation is checked before every hop and inside each hop's
+// eliminations; a preempted chain returns a *Canceled error whose Stats
+// merge every completed hop's progress with the preempted hop's partial
+// counts.
+func ComposeChain(ctx context.Context, ms []*algebra.Mapping, cfg *Config) (*Result, error) {
 	if len(ms) == 0 {
 		return nil, fmt.Errorf("core: ComposeChain needs at least one mapping")
 	}
@@ -67,8 +73,15 @@ func ComposeChain(ms []*algebra.Mapping, cfg *Config) (*Result, error) {
 	eliminated := make(map[string]Step)
 	var res *Result
 	for i, next := range ms[1:] {
-		r, err := ComposeMappings(cur, next, nil, cfg)
+		r, err := ComposeMappings(ctx, cur, next, nil, cfg)
 		if err != nil {
+			var canceled *Canceled
+			if errors.As(err, &canceled) {
+				// Fold the completed hops' progress into the partial
+				// stats, so the caller's 504 reports the whole chain.
+				stats.add(canceled.Stats)
+				return nil, &Canceled{Reason: canceled.Reason, Stats: stats}
+			}
 			return nil, fmt.Errorf("core: chain hop %d: %w", i+1, err)
 		}
 		stats.add(r.Stats)

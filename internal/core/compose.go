@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"time"
 
@@ -17,7 +19,31 @@ const (
 	StepRight  Step = "right-compose"
 	StepAbsent Step = "absent" // the symbol did not occur in any constraint
 	StepFailed Step = "failed"
+	// StepCanceled reports that the elimination was preempted by context
+	// cancellation before any strategy produced a result; the symbol's
+	// status is unknown, not failed.
+	StepCanceled Step = "canceled"
 )
+
+// Canceled reports a composition preempted by context cancellation or
+// deadline expiry. It wraps the context's error (errors.Is sees
+// context.Canceled / context.DeadlineExceeded through it) and carries
+// the statistics accumulated up to the preemption point, so a serving
+// layer can surface partial progress (e.g. in a 504 body) without
+// pretending the run completed.
+type Canceled struct {
+	// Reason is the context's error at preemption.
+	Reason error
+	// Stats is the progress made before the run was preempted.
+	Stats *Stats
+}
+
+func (e *Canceled) Error() string {
+	return fmt.Sprintf("core: compose preempted after %d/%d eliminations: %v",
+		e.Stats.Eliminated, e.Stats.Attempted, e.Reason)
+}
+
+func (e *Canceled) Unwrap() error { return e.Reason }
 
 // Config selects algorithm features; the zero value is NOT useful — use
 // DefaultConfig. The switches correspond to the experimental
@@ -88,7 +114,16 @@ func (s *Stats) add(o *Stats) {
 //
 // sig must cover every symbol in cs including s. A symbol that occurs in
 // no constraint is trivially eliminated (StepAbsent).
-func Eliminate(sig algebra.Signature, cs algebra.ConstraintSet, s string, cfg *Config) (algebra.ConstraintSet, Step, bool) {
+//
+// Cancellation is checked between strategy attempts: each strategy is a
+// full normalize–substitute–deskolemize pass, so a request deadline
+// preempts the elimination at the next strategy boundary rather than
+// after the whole symbol. A preempted call returns the input set with
+// StepCanceled and ok = false.
+func Eliminate(ctx context.Context, sig algebra.Signature, cs algebra.ConstraintSet, s string, cfg *Config) (algebra.ConstraintSet, Step, bool) {
+	if ctx.Err() != nil {
+		return cs, StepCanceled, false
+	}
 	occurs := false
 	for _, c := range cs {
 		if c.ContainsRel(s) {
@@ -123,12 +158,18 @@ func Eliminate(sig algebra.Signature, cs algebra.ConstraintSet, s string, cfg *C
 			}
 		}
 	}
+	if ctx.Err() != nil {
+		return cs, StepCanceled, false
+	}
 	if cfg.LeftCompose {
 		if out, ok := LeftCompose(sig, cs, s); ok {
 			if res, step, ok := accept(out, StepLeft); ok {
 				return res, step, true
 			}
 		}
+	}
+	if ctx.Err() != nil {
+		return cs, StepCanceled, false
 	}
 	if cfg.RightCompose {
 		if out, ok := RightCompose(sig, cs, s, cfg.Keys); ok {
@@ -173,7 +214,17 @@ func (r *Result) Fraction() float64 {
 // Symbols of σ2 that also belong to σ1 or σ3 are not elimination targets:
 // in schema-evolution settings unchanged relations are shared between
 // versions, and eliminating them would change the mapping's meaning.
-func Compose(s1, s2, s3 algebra.Signature, m12, m23 algebra.ConstraintSet, order []string, cfg *Config) (*Result, error) {
+//
+// Elimination runs to a fixpoint: removing one symbol can unblock an
+// earlier failure (its defining equality or a non-monotone occurrence
+// only disappears once another σ2 symbol is gone), so symbols that fail
+// a pass are retried — in the same order — until a full pass makes no
+// progress. Stats count each symbol once however many passes attempt it.
+//
+// Cancellation preempts the run between eliminations (and, via
+// Eliminate, between strategy attempts); a preempted run returns a
+// *Canceled error carrying the statistics accumulated so far.
+func Compose(ctx context.Context, s1, s2, s3 algebra.Signature, m12, m23 algebra.ConstraintSet, order []string, cfg *Config) (*Result, error) {
 	if cfg == nil {
 		cfg = DefaultConfig()
 	}
@@ -198,6 +249,11 @@ func Compose(s1, s2, s3 algebra.Signature, m12, m23 algebra.ConstraintSet, order
 	}
 	stats := newStats()
 	res := &Result{Eliminated: make(map[string]Step), Stats: stats}
+	preempted := func() (*Result, error) {
+		stats.Duration = time.Since(start)
+		return nil, &Canceled{Reason: context.Cause(ctx), Stats: stats}
+	}
+	var pending []string
 	for _, s := range targets {
 		if _, inS2 := s2[s]; !inS2 {
 			continue
@@ -207,23 +263,48 @@ func Compose(s1, s2, s3 algebra.Signature, m12, m23 algebra.ConstraintSet, order
 		if inS1 || inS3 {
 			continue
 		}
-		stats.Attempted++
-		out, step, ok := Eliminate(sig, cs, s, cfg)
-		if ok {
-			cs = out
-			delete(sig, s)
-			stats.Eliminated++
-			stats.ByStep[step]++
-			res.Eliminated[s] = step
-		} else {
-			if step == StepFailed && cfg.MaxBlowup > 0 {
-				// Distinguish blow-up aborts for the §4.2 metric.
-				if WouldBlowUp(sig, cs, s, cfg) {
-					stats.BlowupFails++
-				}
+		pending = append(pending, s)
+	}
+	stats.Attempted = len(pending)
+	for pass := 0; len(pending) > 0; pass++ {
+		progress := false
+		next := pending[:0:len(pending)]
+		for _, s := range pending {
+			if ctx.Err() != nil {
+				return preempted()
 			}
-			res.Remaining = append(res.Remaining, s)
+			out, step, ok := Eliminate(ctx, sig, cs, s, cfg)
+			switch {
+			case ok:
+				cs = out
+				delete(sig, s)
+				stats.Eliminated++
+				stats.ByStep[step]++
+				res.Eliminated[s] = step
+				progress = true
+			case step == StepCanceled:
+				return preempted()
+			default:
+				next = append(next, s)
+			}
 		}
+		pending = next
+		if !progress {
+			break
+		}
+	}
+	// Classify the survivors' failures for the §4.2 metric only after the
+	// fixpoint: a symbol rescued by a later pass is not a failure at all.
+	for _, s := range pending {
+		if cfg.MaxBlowup > 0 {
+			if ctx.Err() != nil {
+				return preempted()
+			}
+			if WouldBlowUp(ctx, sig, cs, s, cfg) {
+				stats.BlowupFails++
+			}
+		}
+		res.Remaining = append(res.Remaining, s)
 	}
 	sort.Strings(res.Remaining)
 	res.Sig = sig
@@ -244,17 +325,17 @@ const blowupProbeFactor = 16
 // failure, so a symbol whose elimination would exceed even the relaxed
 // bound is conservatively counted as inexpressible rather than
 // materialized.
-func WouldBlowUp(sig algebra.Signature, cs algebra.ConstraintSet, s string, cfg *Config) bool {
+func WouldBlowUp(ctx context.Context, sig algebra.Signature, cs algebra.ConstraintSet, s string, cfg *Config) bool {
 	probe := cfg.Clone()
 	probe.MaxBlowup = cfg.MaxBlowup * blowupProbeFactor
-	_, _, ok := Eliminate(sig, cs, s, probe)
+	_, _, ok := Eliminate(ctx, sig, cs, s, probe)
 	return ok
 }
 
 // ComposeMappings is the two-mapping convenience wrapper used by the
 // public API: it composes m12 and m23 and returns the result plus the
 // derived input/output signatures.
-func ComposeMappings(m12, m23 *algebra.Mapping, order []string, cfg *Config) (*Result, error) {
+func ComposeMappings(ctx context.Context, m12, m23 *algebra.Mapping, order []string, cfg *Config) (*Result, error) {
 	if cfg == nil {
 		cfg = DefaultConfig()
 	}
@@ -266,5 +347,5 @@ func ComposeMappings(m12, m23 *algebra.Mapping, order []string, cfg *Config) (*R
 		}
 		cfg.Keys = keys
 	}
-	return Compose(m12.In, m12.Out, m23.Out, m12.Constraints, m23.Constraints, order, cfg)
+	return Compose(ctx, m12.In, m12.Out, m23.Out, m12.Constraints, m23.Constraints, order, cfg)
 }

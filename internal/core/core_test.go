@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -222,7 +223,7 @@ func TestViewUnfoldRequiresIsolatedEquality(t *testing.T) {
 func TestEliminateAbsentSymbol(t *testing.T) {
 	sig := algebra.NewSignature("R", 1, "S", 1, "Z", 1)
 	cs := parser.MustParseConstraints("R <= S")
-	out, step, ok := core.Eliminate(sig, cs, "Z", core.DefaultConfig())
+	out, step, ok := core.Eliminate(context.Background(), sig, cs, "Z", core.DefaultConfig())
 	if !ok || step != core.StepAbsent || len(out) != 1 {
 		t.Errorf("absent symbol: ok=%v step=%s out=%s", ok, step, out)
 	}
@@ -235,11 +236,11 @@ func TestEliminateBlowupAbort(t *testing.T) {
 	cs := parser.MustParseConstraints("R - S <= T; proj[1](S) <= U; S <= T; T <= S + R")
 	cfg := core.DefaultConfig()
 	cfg.MaxBlowup = 1
-	if _, _, ok := core.Eliminate(sig, cs, "S", cfg); ok {
+	if _, _, ok := core.Eliminate(context.Background(), sig, cs, "S", cfg); ok {
 		t.Skip("composition output unexpectedly small; bound not exercised")
 	}
 	cfg.MaxBlowup = 1000
-	if _, _, ok := core.Eliminate(sig, cs, "S", cfg); !ok {
+	if _, _, ok := core.Eliminate(context.Background(), sig, cs, "S", cfg); !ok {
 		t.Error("elimination should succeed with a generous bound")
 	}
 }
@@ -250,7 +251,7 @@ func TestComposeBestEffortKeepsSymbols(t *testing.T) {
 	s3 := algebra.NewSignature("T", 2)
 	m12 := parser.MustParseConstraints("R <= S; S = tc(S); R <= V")
 	m23 := parser.MustParseConstraints("S <= T; V <= T")
-	res, err := core.Compose(s1, s2, s3, m12, m23, nil, core.DefaultConfig())
+	res, err := core.Compose(context.Background(), s1, s2, s3, m12, m23, nil, core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestComposeSharedSymbolsNotEliminated(t *testing.T) {
 	s3 := algebra.NewSignature("T", 1)
 	m12 := parser.MustParseConstraints("R <= S")
 	m23 := parser.MustParseConstraints("S <= T")
-	res, err := core.Compose(s1, s2, s3, m12, m23, nil, core.DefaultConfig())
+	res, err := core.Compose(context.Background(), s1, s2, s3, m12, m23, nil, core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,13 +296,13 @@ func TestConfigSwitches(t *testing.T) {
 	noUnfold.ViewUnfolding = false
 	noUnfold.LeftCompose = false
 	noUnfold.RightCompose = false
-	if _, _, ok := core.Eliminate(sig, cs, "S", noUnfold); ok {
+	if _, _, ok := core.Eliminate(context.Background(), sig, cs, "S", noUnfold); ok {
 		t.Error("all strategies disabled: elimination should fail")
 	}
 	onlyUnfold := core.DefaultConfig()
 	onlyUnfold.LeftCompose = false
 	onlyUnfold.RightCompose = false
-	if _, step, ok := core.Eliminate(sig, cs, "S", onlyUnfold); !ok || step != core.StepUnfold {
+	if _, step, ok := core.Eliminate(context.Background(), sig, cs, "S", onlyUnfold); !ok || step != core.StepUnfold {
 		t.Errorf("unfold-only: ok=%v step=%s", ok, step)
 	}
 }
@@ -333,7 +334,7 @@ func TestEliminatePreservesEquivalenceProperty(t *testing.T) {
 		if err := cs.Check(sig); err != nil {
 			return true // skip ill-formed draws
 		}
-		out, _, ok := core.Eliminate(sig, cs, "S", core.DefaultConfig())
+		out, _, ok := core.Eliminate(context.Background(), sig, cs, "S", core.DefaultConfig())
 		if !ok {
 			return true // failure keeps the input; trivially fine
 		}

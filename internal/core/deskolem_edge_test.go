@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"mapcomp/internal/algebra"
@@ -161,7 +162,7 @@ func TestRightNormalizeUnionBothSidesFails(t *testing.T) {
 func TestLiteralsFlowThroughComposition(t *testing.T) {
 	sig := mustSig("R", 1, "S", 2, "T", 2)
 	in := parser.MustParseConstraints("R * {('x')} = S; S <= T")
-	out, step, ok := core.Eliminate(sig, in, "S", core.DefaultConfig())
+	out, step, ok := core.Eliminate(context.Background(), sig, in, "S", core.DefaultConfig())
 	if !ok || step != core.StepUnfold {
 		t.Fatalf("ok=%v step=%s", ok, step)
 	}
@@ -181,7 +182,7 @@ func TestEliminateOrderSensitivity(t *testing.T) {
 	m12 := parser.MustParseConstraints("R <= S1; R <= S2")
 	m23 := parser.MustParseConstraints("S1 <= T; S2 <= T")
 	for _, order := range [][]string{{"S1", "S2"}, {"S2", "S1"}} {
-		res, err := core.Compose(s1, s2, s3, m12, m23, order, core.DefaultConfig())
+		res, err := core.Compose(context.Background(), s1, s2, s3, m12, m23, order, core.DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -184,7 +185,7 @@ func TestRemoveImpliedOnCompositionOutput(t *testing.T) {
 	s3 := algebra.NewSignature("T", 1, "U", 1)
 	m12 := parser.MustParseConstraints("R <= S")
 	m23 := parser.MustParseConstraints("S <= T & U; S <= T")
-	res, err := core.Compose(s1, s2, s3, m12, m23, nil, core.DefaultConfig())
+	res, err := core.Compose(context.Background(), s1, s2, s3, m12, m23, nil, core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ package core_test
 // instance enumeration.
 
 import (
+	"context"
 	"testing"
 
 	"mapcomp/internal/algebra"
@@ -28,7 +29,7 @@ func eliminate(t *testing.T, sig algebra.Signature, src, sym string) (algebra.Co
 	if err := cs.Check(sig); err != nil {
 		t.Fatalf("ill-formed fixture: %v", err)
 	}
-	return core.Eliminate(sig, cs, sym, core.DefaultConfig())
+	return core.Eliminate(context.Background(), sig, cs, sym, core.DefaultConfig())
 }
 
 // checkEquiv verifies Σ ≡ Σ' per §2 over a two-value domain. The
@@ -259,7 +260,7 @@ func TestExample17RepeatedFunctionSymbol(t *testing.T) {
 	cfg := core.DefaultConfig()
 
 	// Eliminating F succeeds (right compose: E substituted for F).
-	afterF, _, ok := core.Eliminate(sig, in, "F", cfg)
+	afterF, _, ok := core.Eliminate(context.Background(), sig, in, "F", cfg)
 	if !ok {
 		t.Fatal("eliminating F failed; the paper reports success")
 	}
@@ -272,7 +273,7 @@ func TestExample17RepeatedFunctionSymbol(t *testing.T) {
 	// Eliminating C must fail.
 	sigNoF := sig.Clone()
 	delete(sigNoF, "F")
-	if _, _, ok := core.Eliminate(sigNoF, afterF, "C", cfg); ok {
+	if _, _, ok := core.Eliminate(context.Background(), sigNoF, afterF, "C", cfg); ok {
 		t.Error("eliminating C succeeded; the paper proves it is impossible")
 	}
 }
@@ -299,7 +300,7 @@ func TestExample1Movies(t *testing.T) {
 	m23 := parser.MustParseConstraints(
 		"proj[1,2,3](FiveStarMovies) <= proj[1,2,4](sel[#1=#3](Names * Years))")
 
-	res, err := core.Compose(s1, s2, s3, m12, m23, nil, core.DefaultConfig())
+	res, err := core.Compose(context.Background(), s1, s2, s3, m12, m23, nil, core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

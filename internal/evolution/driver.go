@@ -1,6 +1,7 @@
 package evolution
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -127,7 +128,7 @@ func RunEditing(cfg *EditingConfig) *EditingRun {
 		if edit.Input != "" {
 			if _, inOrig := original.Sig[edit.Input]; !inOrig {
 				stat.Attempted++
-				out, _, ok := core.Eliminate(sigAll, constraints, edit.Input, cc)
+				out, _, ok := core.Eliminate(context.Background(), sigAll, constraints, edit.Input, cc)
 				if ok {
 					constraints = out
 					delete(sigAll, edit.Input)
@@ -136,7 +137,7 @@ func RunEditing(cfg *EditingConfig) *EditingRun {
 					pending[edit.Input] = true
 					// Classify blow-up aborts with the shared bounded
 					// probe (16 × MaxBlowup, never unbounded).
-					if coreCfg.MaxBlowup > 0 && core.WouldBlowUp(sigAll, constraints, edit.Input, cc) {
+					if coreCfg.MaxBlowup > 0 && core.WouldBlowUp(context.Background(), sigAll, constraints, edit.Input, cc) {
 						stat.Blowup++
 					}
 				}
@@ -146,7 +147,7 @@ func RunEditing(cfg *EditingConfig) *EditingRun {
 		// Retry leftovers from earlier edits.
 		for _, s := range sortedNames(pending) {
 			stat.LeftoverAttempted++
-			out, _, ok := core.Eliminate(sigAll, constraints, s, cc)
+			out, _, ok := core.Eliminate(context.Background(), sigAll, constraints, s, cc)
 			if ok {
 				constraints = out
 				delete(sigAll, s)
@@ -263,7 +264,7 @@ func runEditingStrict(cfg *EditingConfig, original *algebra.Schema, par *Params,
 		if target != "" {
 			cc := coreCfg.Clone()
 			cc.Keys = mergedKeys(original, current)
-			out, _, ok := core.Eliminate(sigAll, candidate, target, cc)
+			out, _, ok := core.Eliminate(context.Background(), sigAll, candidate, target, cc)
 			if !ok {
 				// Roll back: restore the schema, drop the edit.
 				current = snapshot
@@ -294,7 +295,7 @@ func ComposeReconciliation(task *ReconciliationTask, cfg *core.Config) (*core.Re
 	for r, k := range mergedKeys(task.Original, task.SchemaB) {
 		cc.Keys[r] = k
 	}
-	return core.Compose(task.SchemaA.Sig, task.Original.Sig, task.SchemaB.Sig,
+	return core.Compose(context.Background(), task.SchemaA.Sig, task.Original.Sig, task.SchemaB.Sig,
 		task.MapA, task.MapB, nil, cc)
 }
 

@@ -12,6 +12,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -475,7 +476,7 @@ func OrderInvariance(tasks, schemaSize, edits, shuffles int, seed int64) (varian
 		for s := 0; s < shuffles; s++ {
 			order := append([]string(nil), names...)
 			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-			res, err := core.Compose(task.SchemaA.Sig, task.Original.Sig, task.SchemaB.Sig,
+			res, err := core.Compose(context.Background(), task.SchemaA.Sig, task.Original.Sig, task.SchemaB.Sig,
 				task.MapA, task.MapB, order, coreCfg)
 			if err != nil {
 				continue

@@ -8,6 +8,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -62,13 +63,24 @@ func (e *PanicError) Error() string {
 // *PanicError carrying the first panicking item's index, value and
 // worker stack.
 func Do(n int, f func(i int)) {
+	_ = DoContext(context.Background(), n, f)
+}
+
+// DoContext is Do with preemption: once ctx is cancelled, workers stop
+// claiming new items — every call already in flight runs to completion,
+// mirroring how the compose stack only preempts at strategy boundaries —
+// and DoContext reports the context's error exactly when the
+// cancellation left items unrun. A nil error therefore means every f(i)
+// ran, and a non-nil error means at least one did not.
+func DoContext(ctx context.Context, n int, f func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	var (
 		panicOnce sync.Once
 		pe        *PanicError
 		failed    atomic.Bool
+		done      atomic.Int64
 	)
 	run := func(i int) {
 		defer func() {
@@ -80,13 +92,14 @@ func Do(n int, f func(i int)) {
 			}
 		}()
 		f(i)
+		done.Add(1)
 	}
 	w := Workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
-		for i := 0; i < n && !failed.Load(); i++ {
+		for i := 0; i < n && !failed.Load() && ctx.Err() == nil; i++ {
 			run(i)
 		}
 	} else {
@@ -96,7 +109,7 @@ func Do(n int, f func(i int)) {
 		for g := 0; g < w; g++ {
 			go func() {
 				defer wg.Done()
-				for !failed.Load() {
+				for !failed.Load() && ctx.Err() == nil {
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
@@ -110,4 +123,10 @@ func Do(n int, f func(i int)) {
 	if pe != nil {
 		panic(pe)
 	}
+	// Report cancellation only if it actually left work unrun: a cancel
+	// that races with the final items completing is not a partial sweep.
+	if ctx.Err() != nil && done.Load() < int64(n) {
+		return context.Cause(ctx)
+	}
+	return nil
 }

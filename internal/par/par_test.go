@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -123,5 +125,54 @@ func TestSetWorkersRestores(t *testing.T) {
 	SetWorkers(prev)
 	if got := Workers(); got < 1 {
 		t.Fatalf("Workers() = %d after restore", got)
+	}
+}
+
+func TestDoContextStopsClaimingOnCancel(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	const n = 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := DoContext(ctx, n, func(i int) {
+		if ran.Add(1) == 8 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Everything in flight at cancellation finished; nothing new was
+	// claimed afterwards (allow the workers that were mid-claim).
+	if got := ran.Load(); got < 8 || got > 8+4 {
+		t.Fatalf("ran %d items around a cancellation at item 8 with 4 workers", got)
+	}
+}
+
+func TestDoContextCompletedSweepReturnsNil(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	var ran atomic.Int64
+	if err := DoContext(context.Background(), 50, func(int) { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d of 50", ran.Load())
+	}
+}
+
+func TestDoContextSequentialCancel(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int
+	err := DoContext(ctx, 10, func(i int) {
+		ran++
+		if i == 2 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) || ran != 3 {
+		t.Fatalf("sequential cancel: ran=%d err=%v, want 3 items then context.Canceled", ran, err)
 	}
 }

@@ -38,6 +38,67 @@ func benchWorkerCounts() []int {
 	return out
 }
 
+// BenchmarkServerComposeSaturated drives the compose handler directly
+// (no TCP client in the way) from GOMAXPROCS-scaled goroutines, all
+// hitting the warm cache for one pair. At this saturation the handler's
+// only real work is the catalog generation read plus the cache probe, so
+// the benchmark isolates read-path contention: run with -cpu 8 to
+// compare the mutex catalog baseline against copy-on-write reads
+// (EXPERIMENTS.md records both).
+func BenchmarkServerComposeSaturated(b *testing.B) {
+	s := New(Config{})
+	req := httptest.NewRequest("POST", "/v1/register", bytes.NewReader([]byte(chainTask)))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("register: %d %s", rec.Code, rec.Body)
+	}
+	body := []byte(`{"from":"original","to":"split"}`)
+	// Prime the cache so the measured loop is pure hit path.
+	warm := httptest.NewRequest("POST", "/v1/compose", bytes.NewReader(body))
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, warm)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warm compose: %d %s", rec.Code, rec.Body)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest("POST", "/v1/compose", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+		}
+	})
+}
+
+// BenchmarkServerCatalogSaturated saturates GET /v1/catalog the same
+// way: the handler is a pure catalog read (snapshot + listing render),
+// so it shows the copy-on-write read path end to end over HTTP without
+// the result-cache mutex or composition in the way.
+func BenchmarkServerCatalogSaturated(b *testing.B) {
+	s := New(Config{})
+	req := httptest.NewRequest("POST", "/v1/register", bytes.NewReader([]byte(chainTask)))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("register: %d %s", rec.Code, rec.Body)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest("GET", "/v1/catalog", nil)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+		}
+	})
+}
+
 func benchCompose(b *testing.B, cfg Config, workers int) {
 	s := New(cfg)
 	req := httptest.NewRequest("POST", "/v1/register", bytes.NewReader([]byte(chainTask)))

@@ -2,6 +2,8 @@ package server
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"sync"
 )
 
@@ -15,6 +17,15 @@ import (
 // the first caller computes, every caller that arrives while the
 // computation is in flight waits for it and shares the outcome, so N
 // identical requests cost one ELIMINATE run, not N.
+//
+// Cancellation never poisons the cache. A waiter whose own context ends
+// stops waiting and reports its context's error. A leader preempted by
+// its context abandons the flight instead of completing it: nothing is
+// stored, and the waiters re-enter the cache, where one of them — the
+// first with a live context — becomes the new leader and computes under
+// its own deadline. Waiters that share the leader's cancelled context
+// observe their own cancellation on re-entry, so they all see the error
+// and the key is left unclaimed for future requests.
 type cacheKey struct {
 	gen      uint64
 	from, to string
@@ -32,6 +43,10 @@ type call struct {
 	done chan struct{}
 	resp *ComposeResponse
 	err  error
+	// abandoned marks a flight whose leader was preempted by context
+	// cancellation: the outcome is the leader's deadline, not the key's,
+	// so waiters retry instead of adopting it.
+	abandoned bool
 }
 
 // hitKind classifies how a request was satisfied.
@@ -63,44 +78,65 @@ func newResultCache(max int) *resultCache {
 }
 
 // do returns the response for key, computing it at most once across all
-// concurrent callers. Responses are stored only on success; errors are
-// shared with coalesced waiters but never cached.
-func (c *resultCache) do(key cacheKey, skey string, compute func() (*ComposeResponse, error)) (*ComposeResponse, hitKind, error) {
-	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
-		c.lru.MoveToFront(el)
-		resp := el.Value.(*cacheEntry).resp
-		c.mu.Unlock()
-		return resp, cacheHit, nil
-	}
-	if cl, ok := c.calls[key]; ok {
-		c.mu.Unlock()
-		<-cl.done
-		return cl.resp, coalesced, cl.err
-	}
-	cl := &call{done: make(chan struct{})}
-	c.calls[key] = cl
-	c.mu.Unlock()
-
-	cl.resp, cl.err = compute()
-
-	c.mu.Lock()
-	delete(c.calls, key)
-	if cl.err == nil {
-		el := c.lru.PushFront(&cacheEntry{key: key, skey: skey, resp: cl.resp})
-		c.items[key] = el
-		c.byString[skey] = el
-		for c.lru.Len() > c.max {
-			old := c.lru.Back()
-			e := old.Value.(*cacheEntry)
-			c.lru.Remove(old)
-			delete(c.items, e.key)
-			delete(c.byString, e.skey)
+// concurrent callers with live contexts. Responses are stored only on
+// success; errors are shared with coalesced waiters but never cached,
+// and a context-cancellation outcome is not even shared — it hands the
+// flight off (see the type comment).
+func (c *resultCache) do(ctx context.Context, key cacheKey, skey string, compute func(context.Context) (*ComposeResponse, error)) (*ComposeResponse, hitKind, error) {
+	for {
+		c.mu.Lock()
+		// Probe the cache before honouring the deadline: a hit costs
+		// microseconds, so even an already-expired request is served its
+		// cached response rather than a pointless 504.
+		if el, ok := c.items[key]; ok {
+			c.lru.MoveToFront(el)
+			resp := el.Value.(*cacheEntry).resp
+			c.mu.Unlock()
+			return resp, cacheHit, nil
 		}
+		if err := ctx.Err(); err != nil {
+			c.mu.Unlock()
+			return nil, computed, context.Cause(ctx)
+		}
+		if cl, ok := c.calls[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-cl.done:
+				if cl.abandoned {
+					continue // leader preempted; retry under our own context
+				}
+				return cl.resp, coalesced, cl.err
+			case <-ctx.Done():
+				return nil, coalesced, context.Cause(ctx)
+			}
+		}
+		cl := &call{done: make(chan struct{})}
+		c.calls[key] = cl
+		c.mu.Unlock()
+
+		cl.resp, cl.err = compute(ctx)
+
+		c.mu.Lock()
+		delete(c.calls, key)
+		switch {
+		case cl.err == nil:
+			el := c.lru.PushFront(&cacheEntry{key: key, skey: skey, resp: cl.resp})
+			c.items[key] = el
+			c.byString[skey] = el
+			for c.lru.Len() > c.max {
+				old := c.lru.Back()
+				e := old.Value.(*cacheEntry)
+				c.lru.Remove(old)
+				delete(c.items, e.key)
+				delete(c.byString, e.skey)
+			}
+		case errors.Is(cl.err, context.Canceled) || errors.Is(cl.err, context.DeadlineExceeded):
+			cl.abandoned = true
+		}
+		c.mu.Unlock()
+		close(cl.done)
+		return cl.resp, computed, cl.err
 	}
-	c.mu.Unlock()
-	close(cl.done)
-	return cl.resp, computed, cl.err
 }
 
 // get fetches a cached response by its rendered key.

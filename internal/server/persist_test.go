@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"testing"
@@ -110,7 +111,7 @@ func TestWarmFillsCache(t *testing.T) {
 
 	s2, _ := bootPersistent(t, dir)
 	// chainTask connects original→fivestar, original→split, fivestar→split.
-	if n := s2.Warm(); n != 3 {
+	if n := s2.Warm(context.Background()); n != 3 {
 		t.Fatalf("warmed %d pairs, want 3", n)
 	}
 	runsBefore := s2.Stats().Composes
@@ -133,7 +134,7 @@ func TestWarmRespectsDisabledCache(t *testing.T) {
 	if rec := do(t, s, "POST", "/v1/register", chainTask); rec.Code != http.StatusOK {
 		t.Fatalf("register: %d %s", rec.Code, rec.Body)
 	}
-	if n := s.Warm(); n != 0 {
+	if n := s.Warm(context.Background()); n != 0 {
 		t.Fatalf("Warm with disabled cache touched %d pairs", n)
 	}
 }

@@ -20,12 +20,14 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"mapcomp/internal/catalog"
 	"mapcomp/internal/core"
@@ -59,6 +61,13 @@ type Config struct {
 	// /v1/stats exposes. The server does not drive it — cmd/mapcompd
 	// owns recovery, logging and snapshot cadence — it only reports.
 	Persist *persist.Store
+	// ComposeTimeout bounds every composition run (cmd/mapcompd's
+	// -compose-timeout). 0 means no server-side deadline. A request may
+	// shorten its own deadline via timeout_ms but never extend past this
+	// bound. An expired deadline preempts ELIMINATE between strategy
+	// attempts and surfaces as 504 with the partial statistics; the
+	// result is never cached.
+	ComposeTimeout time.Duration
 }
 
 // Server is the HTTP handler. Create with New.
@@ -69,6 +78,7 @@ type Server struct {
 	cache    *resultCache // nil when caching is disabled
 	cacheCap int
 	persist  *persist.Store // nil without a durability backend
+	timeout  time.Duration  // server-side compose deadline; 0 = none
 	mux      *http.ServeMux
 
 	composes      atomic.Int64 // compositions actually run
@@ -86,7 +96,7 @@ type Server struct {
 
 // New builds a Server around cfg.
 func New(cfg Config) *Server {
-	s := &Server{cat: cfg.Catalog, cfg: cfg.Compose, persist: cfg.Persist}
+	s := &Server{cat: cfg.Catalog, cfg: cfg.Compose, persist: cfg.Persist, timeout: cfg.ComposeTimeout}
 	if s.cat == nil {
 		s.cat = catalog.New()
 	}
@@ -146,14 +156,18 @@ func (s *Server) Stats() StatsResponse {
 // schema pairs, filling the result cache so the first client request
 // after a restart is a hit instead of a cold ELIMINATE run. Pair
 // discovery is a cheap BFS per pair; the compositions themselves run on
-// the internal/par worker pool. The number of pairs attempted is capped
-// at the cache capacity (warming beyond it would evict its own
-// entries). Warm returns the number of pairs actually cached — the same
-// count /v1/stats reports as "warmed" — and skips pairs whose
-// composition fails: Warm is an optimization pass, the request path
-// reports real errors. cmd/mapcompd runs it in the background after
-// recovery.
-func (s *Server) Warm() int {
+// the internal/par worker pool and stop claiming pairs once ctx is
+// cancelled (cmd/mapcompd passes its shutdown context, so a SIGTERM
+// during warm-up is not held hostage by the remaining pairs). The
+// number of pairs attempted is capped at the cache capacity (warming
+// beyond it would evict its own entries). Warm returns the number of
+// pairs actually cached — the same count /v1/stats reports as "warmed"
+// — and skips pairs whose composition fails: Warm is an optimization
+// pass, the request path reports real errors. Each pair runs under the
+// server's compose deadline, if any, so one pathological pair cannot
+// stall the whole warm-up. cmd/mapcompd runs Warm in the background
+// after recovery.
+func (s *Server) Warm(ctx context.Context) int {
 	if s.cache == nil {
 		return 0
 	}
@@ -173,8 +187,10 @@ func (s *Server) Warm() int {
 		}
 	}
 	var ok atomic.Int64
-	par.Do(len(pairs), func(i int) {
-		if _, _, err := s.compose(pairs[i][0], pairs[i][1]); err == nil {
+	_ = par.DoContext(ctx, len(pairs), func(i int) {
+		pairCtx, cancel := s.composeContext(ctx, 0)
+		defer cancel()
+		if _, _, err := s.compose(pairCtx, pairs[i][0], pairs[i][1]); err == nil {
 			ok.Add(1)
 		}
 	})
@@ -195,25 +211,99 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 // composeStatus maps a resolution/composition error to an HTTP status:
-// missing artifacts are 404, everything else is a client error.
+// a preempted composition is a gateway timeout, missing artifacts are
+// 404, everything else is a client error.
 func composeStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
 	if errors.Is(err, catalog.ErrUnknownSchema) || errors.Is(err, catalog.ErrNoPath) {
 		return http.StatusNotFound
 	}
 	return http.StatusBadRequest
 }
 
-func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
-	// Read one byte past the limit so an oversized file is an explicit
-	// error rather than a silently-truncated prefix that might parse.
-	src, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+// pathError decorates a composition failure with the route the failed
+// run itself resolved — partial for a resolution failure, full for a
+// composition failure — from the same catalog snapshot the run used, so
+// the error body cannot contradict the error under concurrent
+// registration. It renders as the underlying error (batch items embed
+// just the message) and unwraps for errors.Is/As classification.
+type pathError struct {
+	path []string
+	err  error
+}
+
+func (e *pathError) Error() string { return e.err.Error() }
+func (e *pathError) Unwrap() error { return e.err }
+
+// composeError builds the error body for a failed composition: the
+// route the failed run resolved (see pathError) and, for a preempted
+// run, the statistics accumulated before the deadline hit. A run that
+// died before resolving anything (deadline already expired at the cache
+// probe) reports the current snapshot's route as a best effort.
+func (s *Server) composeError(from, to string, err error) ErrorJSON {
+	out := ErrorJSON{Error: err.Error()}
+	var withPath *pathError
+	if errors.As(err, &withPath) {
+		out.Path = withPath.path
+	} else if path, _ := s.cat.Path(from, to); len(path) > 0 {
+		out.Path = path
+	}
+	var canceled *core.Canceled
+	if errors.As(err, &canceled) {
+		st := newStatsJSON(canceled.Stats)
+		out.Stats = &st
+	}
+	return out
+}
+
+// composeContext derives the deadline for one composition from the
+// request context: the server-wide bound (ComposeTimeout), optionally
+// shortened — never extended — by the request's timeout_ms.
+func (s *Server) composeContext(ctx context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	timeout := s.timeout
+	if timeoutMS > 0 {
+		req := time.Duration(timeoutMS) * time.Millisecond
+		if timeout == 0 || req < timeout {
+			timeout = req
+		}
+	}
+	if timeout <= 0 {
+		// No deadline to add: pass the request context through rather
+		// than paying a WithCancel allocation on every request.
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, timeout)
+}
+
+// writeBodyError classifies a body-read failure: an http.MaxBytesReader
+// overflow is an explicit 413 — and closes the connection — rather than
+// a silently-truncated prefix that might parse or an unbounded read an
+// attacker can drive to OOM; anything else is a 400.
+func writeBodyError(w http.ResponseWriter, what string, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("server: %s body exceeds %d bytes", what, tooBig.Limit))
 		return
 	}
-	if len(src) > maxBodyBytes {
-		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("server: task file exceeds %d bytes", maxBodyBytes))
+	writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad %s request: %w", what, err))
+}
+
+// readBody drains the request body through http.MaxBytesReader.
+func readBody(w http.ResponseWriter, r *http.Request, what string) ([]byte, bool) {
+	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeBodyError(w, what, err)
+		return nil, false
+	}
+	return src, true
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	src, ok := readBody(w, r, "register")
+	if !ok {
 		return
 	}
 	p, err := parser.Parse(string(src))
@@ -255,21 +345,24 @@ func keyString(k cacheKey) string {
 // only built inside the computation. (If the catalog mutates between the
 // generation read and the snapshot, the entry is keyed at the older
 // generation but holds the fresher result — requests observing the new
-// generation simply miss and recompute.)
-func (s *Server) compose(from, to string) (*ComposeResponse, hitKind, error) {
+// generation simply miss and recompute.) ctx preempts the composition
+// between elimination strategies; a preempted run is never cached and
+// its in-flight slot is handed off to any live waiter (see resultCache).
+func (s *Server) compose(ctx context.Context, from, to string) (*ComposeResponse, hitKind, error) {
 	key := cacheKey{gen: s.cat.Generation(), from: from, to: to, cfg: s.cfgFP}
 	skey := keyString(key)
-	run := func() (*ComposeResponse, error) {
+	run := func(ctx context.Context) (*ComposeResponse, error) {
 		if s.composeHook != nil {
 			s.composeHook()
 		}
 		ms, path, gen, err := s.cat.Chain(from, to)
 		if err != nil {
-			return nil, err
+			// path is the partial route this snapshot resolved.
+			return nil, &pathError{path: path, err: err}
 		}
-		res, err := core.ComposeChain(ms, s.cfg)
+		res, err := core.ComposeChain(ctx, ms, s.cfg)
 		if err != nil {
-			return nil, err
+			return nil, &pathError{path: path, err: err}
 		}
 		s.composes.Add(1)
 		s.elimAttempts.Add(int64(res.Stats.Attempted))
@@ -280,10 +373,10 @@ func (s *Server) compose(from, to string) (*ComposeResponse, hitKind, error) {
 		}, nil
 	}
 	if s.cache == nil {
-		resp, err := run()
+		resp, err := run(ctx)
 		return resp, computed, err
 	}
-	resp, kind, err := s.cache.do(key, skey, run)
+	resp, kind, err := s.cache.do(ctx, key, skey, run)
 	switch kind {
 	case cacheHit:
 		s.cacheHits.Add(1)
@@ -302,19 +395,30 @@ func respond(resp *ComposeResponse, kind hitKind) *ComposeResponse {
 	return &out
 }
 
+// decodeJSON decodes a JSON request body through MaxBytesReader,
+// classifying oversize as 413 and malformed JSON as 400.
+func decodeJSON(w http.ResponseWriter, r *http.Request, what string, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v); err != nil {
+		writeBodyError(w, what, err)
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
 	var req ComposeRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad compose request: %w", err))
+	if !decodeJSON(w, r, "compose", &req) {
 		return
 	}
 	if req.From == "" || req.To == "" {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("server: compose request needs from and to"))
 		return
 	}
-	resp, kind, err := s.compose(req.From, req.To)
+	ctx, cancel := s.composeContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	resp, kind, err := s.compose(ctx, req.From, req.To)
 	if err != nil {
-		writeError(w, composeStatus(err), err)
+		writeJSON(w, composeStatus(err), s.composeError(req.From, req.To, err))
 		return
 	}
 	writeJSON(w, http.StatusOK, respond(resp, kind))
@@ -322,8 +426,7 @@ func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad batch request: %w", err))
+	if !decodeJSON(w, r, "batch", &req) {
 		return
 	}
 	if len(req.Requests) == 0 {
@@ -335,13 +438,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	items := make([]BatchItem, len(req.Requests))
-	par.Do(len(req.Requests), func(i int) {
+	// The batch fans out over the worker pool under the request context:
+	// a disconnected client stops the sweep, and each item gets its own
+	// compose deadline so one pathological pair cannot eat the batch.
+	_ = par.DoContext(r.Context(), len(req.Requests), func(i int) {
 		q := req.Requests[i]
 		if q.From == "" || q.To == "" {
 			items[i].Error = "compose request needs from and to"
 			return
 		}
-		resp, kind, err := s.compose(q.From, q.To)
+		ctx, cancel := s.composeContext(r.Context(), q.TimeoutMS)
+		defer cancel()
+		resp, kind, err := s.compose(ctx, q.From, q.To)
 		if err != nil {
 			items[i].Error = err.Error()
 			return

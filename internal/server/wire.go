@@ -11,9 +11,16 @@ import (
 // ResultJSON (via NamedResultJSON) for its -format json output, so the
 // command line and the service emit identical result documents.
 
-// ErrorJSON is the body of every non-2xx response.
+// ErrorJSON is the body of every non-2xx response. For failed compose
+// requests Path names the route resolved so far — the partial route
+// toward the target when no chain connects the endpoints (ErrNoPath),
+// or the fully resolved chain when composition itself failed — and
+// Stats carries the partial progress of a run preempted by its deadline
+// (504), so a timeout reports how far ELIMINATE got instead of nothing.
 type ErrorJSON struct {
-	Error string `json:"error"`
+	Error string     `json:"error"`
+	Path  []string   `json:"path,omitempty"`
+	Stats *StatsJSON `json:"stats,omitempty"`
 }
 
 // StatsJSON mirrors core.Stats.
@@ -38,6 +45,24 @@ type ResultJSON struct {
 	Stats       StatsJSON         `json:"stats"`
 }
 
+// newStatsJSON converts run statistics to their wire form; error bodies
+// reuse it for the partial stats of a preempted composition.
+func newStatsJSON(st *core.Stats) StatsJSON {
+	out := StatsJSON{
+		Attempted:   st.Attempted,
+		Eliminated:  st.Eliminated,
+		BlowupFails: st.BlowupFails,
+		DurationMS:  float64(st.Duration.Microseconds()) / 1000,
+	}
+	if len(st.ByStep) > 0 {
+		out.ByStep = make(map[string]int, len(st.ByStep))
+		for s, n := range st.ByStep {
+			out.ByStep[string(s)] = n
+		}
+	}
+	return out
+}
+
 // NewResultJSON converts a composition result to its wire form.
 func NewResultJSON(r *core.Result) *ResultJSON {
 	out := &ResultJSON{
@@ -45,12 +70,7 @@ func NewResultJSON(r *core.Result) *ResultJSON {
 		Constraints: make([]string, len(r.Constraints)),
 		Remaining:   r.Remaining,
 		Fingerprint: fmt.Sprintf("%016x", r.Constraints.Fingerprint()),
-		Stats: StatsJSON{
-			Attempted:   r.Stats.Attempted,
-			Eliminated:  r.Stats.Eliminated,
-			BlowupFails: r.Stats.BlowupFails,
-			DurationMS:  float64(r.Stats.Duration.Microseconds()) / 1000,
-		},
+		Stats:       newStatsJSON(r.Stats),
 	}
 	for name, ar := range r.Sig {
 		out.Signature[name] = ar
@@ -62,12 +82,6 @@ func NewResultJSON(r *core.Result) *ResultJSON {
 		out.Eliminated = make(map[string]string, len(r.Eliminated))
 		for s, step := range r.Eliminated {
 			out.Eliminated[s] = string(step)
-		}
-	}
-	if len(r.Stats.ByStep) > 0 {
-		out.Stats.ByStep = make(map[string]int, len(r.Stats.ByStep))
-		for s, n := range r.Stats.ByStep {
-			out.Stats.ByStep[string(s)] = n
 		}
 	}
 	return out
@@ -88,10 +102,15 @@ type RegisterResponse struct {
 }
 
 // ComposeRequest asks for the composition σFrom→σTo over the current
-// catalog.
+// catalog. TimeoutMS, when positive, bounds this request's composition
+// in milliseconds; the effective deadline is the tighter of it and the
+// server's -compose-timeout (a request can shorten its deadline, never
+// extend past the server's). An expired deadline returns 504 with the
+// partial statistics, and the preempted result is never cached.
 type ComposeRequest struct {
-	From string `json:"from"`
-	To   string `json:"to"`
+	From      string `json:"from"`
+	To        string `json:"to"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
 // ComposeResponse carries one composition outcome. Key identifies the

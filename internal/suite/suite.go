@@ -15,6 +15,7 @@
 package suite
 
 import (
+	"context"
 	"fmt"
 
 	"mapcomp/internal/algebra"
@@ -73,7 +74,7 @@ func (p *Problem) Run(cfg *core.Config) *Outcome {
 	}
 	sig := p.Sig.Clone()
 	for _, s := range p.Targets {
-		next, _, ok := core.Eliminate(sig, cs, s, cfg)
+		next, _, ok := core.Eliminate(context.Background(), sig, cs, s, cfg)
 		if ok {
 			cs = next
 			delete(sig, s)

@@ -67,7 +67,12 @@
 //     resolves a requested σA→σB composition to a shortest multi-hop
 //     chain of registered mappings, composed left to right via
 //     ComposeChain (which also backs multi-map compose declarations in
-//     the text format).
+//     the text format). The store is copy-on-write: reads load an
+//     immutable snapshot — entries, sorted listings, precomputed BFS
+//     adjacency and per-edge materialized mappings — from an atomic
+//     pointer without locking, so they scale with cores, while
+//     mutations serialize under a write mutex and publish fresh
+//     snapshots.
 //
 //   - internal/server is the mapcompd HTTP/JSON API (stdlib net/http):
 //     register schemas and mappings by POSTing the text format, request
@@ -79,14 +84,25 @@
 //     requests are coalesced to one computation.
 //
 //   - cmd/mapcompd wires it together with flags for address, worker
-//     pool width and cache size, plus graceful shutdown;
-//     examples/service is an end-to-end walkthrough.
+//     pool width, cache size and the compose deadline, plus graceful
+//     shutdown; examples/service is an end-to-end walkthrough.
+//
+// Composition cost is worst-case exponential, so the serving stack is
+// preemptible end to end: ComposeContext / ComposeChainContext /
+// RunContext thread a context.Context into ELIMINATE, which checks
+// cancellation between strategy attempts. The daemon's -compose-timeout
+// (shortenable per request via "timeout_ms") surfaces an expired
+// deadline as HTTP 504 carrying the partial statistics; preempted
+// results are never cached, and a preempted cache leader hands its
+// in-flight slot to a waiter with a live deadline.
 //
 // The "Serving" section of EXPERIMENTS.md records cold versus cache-hit
-// throughput of BenchmarkServerCompose.
+// throughput of BenchmarkServerCompose, and the PR 4 section the
+// parallel read-path benchmarks of the copy-on-write catalog.
 package mapcomp
 
 import (
+	"context"
 	"fmt"
 
 	"mapcomp/internal/algebra"
@@ -180,15 +196,23 @@ func SubstituteRel(e Expr, name string, repl Expr) Expr {
 // Compose composes two mappings, eliminating as many intermediate symbols
 // (m12.Out = m23.In) as possible. cfg may be nil for defaults. The order
 // of elimination follows sorted symbol names; use ComposeOrdered for an
-// explicit order.
+// explicit order. Use ComposeContext to bound the run with a deadline.
 func Compose(m12, m23 *Mapping, cfg *Config) (*Result, error) {
-	return core.ComposeMappings(m12, m23, nil, cfg)
+	return core.ComposeMappings(context.Background(), m12, m23, nil, cfg)
+}
+
+// ComposeContext is Compose under a context: cancellation or deadline
+// expiry preempts ELIMINATE between strategy attempts, returning a
+// *core.Canceled error (errors.Is-compatible with the context error)
+// that carries the statistics accumulated up to the preemption point.
+func ComposeContext(ctx context.Context, m12, m23 *Mapping, cfg *Config) (*Result, error) {
+	return core.ComposeMappings(ctx, m12, m23, nil, cfg)
 }
 
 // ComposeOrdered is Compose with a user-specified symbol elimination order
 // (the order can matter for which symbols get eliminated; see §3.1).
 func ComposeOrdered(m12, m23 *Mapping, order []string, cfg *Config) (*Result, error) {
-	return core.ComposeMappings(m12, m23, order, cfg)
+	return core.ComposeMappings(context.Background(), m12, m23, order, cfg)
 }
 
 // Eliminate attempts to remove a single relation symbol from a constraint
@@ -198,7 +222,7 @@ func Eliminate(sig Signature, cs ConstraintSet, symbol string, cfg *Config) (Con
 	if cfg == nil {
 		cfg = core.DefaultConfig()
 	}
-	return core.Eliminate(sig, cs, symbol, cfg)
+	return core.Eliminate(context.Background(), sig, cs, symbol, cfg)
 }
 
 // Simplify applies the domain/empty-relation elimination rules and other
@@ -238,11 +262,19 @@ type NamedResult struct {
 // Run executes every compose declaration in a parsed problem, chaining
 // multi-map compositions left to right.
 func Run(p *Problem) ([]NamedResult, error) {
-	return RunWithConfig(p, nil)
+	return RunContext(context.Background(), p, nil)
 }
 
 // RunWithConfig is Run with an explicit configuration.
 func RunWithConfig(p *Problem, cfg *Config) ([]NamedResult, error) {
+	return RunContext(context.Background(), p, cfg)
+}
+
+// RunContext is Run under a context and an explicit configuration (nil
+// for defaults): cancellation or deadline expiry preempts the current
+// composition between elimination strategies (cmd/mapcompose's -timeout
+// uses it).
+func RunContext(ctx context.Context, p *Problem, cfg *Config) ([]NamedResult, error) {
 	var out []NamedResult
 	for _, decl := range p.Compositions {
 		ms := make([]*Mapping, len(decl.Maps))
@@ -253,7 +285,7 @@ func RunWithConfig(p *Problem, cfg *Config) ([]NamedResult, error) {
 			}
 			ms[i] = m
 		}
-		res, err := core.ComposeChain(ms, cfg)
+		res, err := core.ComposeChain(ctx, ms, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("compose %s: %w", decl.Name, err)
 		}
@@ -268,5 +300,11 @@ func RunWithConfig(p *Problem, cfg *Config) ([]NamedResult, error) {
 // compose declarations (Run) and the mapping catalog's multi-hop σA→σB
 // resolution.
 func ComposeChain(ms []*Mapping, cfg *Config) (*Result, error) {
-	return core.ComposeChain(ms, cfg)
+	return core.ComposeChain(context.Background(), ms, cfg)
+}
+
+// ComposeChainContext is ComposeChain under a context; see ComposeContext
+// for the preemption contract.
+func ComposeChainContext(ctx context.Context, ms []*Mapping, cfg *Config) (*Result, error) {
+	return core.ComposeChain(ctx, ms, cfg)
 }
