@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	mapcompd [-addr :8391] [-workers N] [-cache-size N] [-compose-timeout D]
-//	         [-data-dir DIR] [-snapshot-every N] [-warm] [file.mc ...]
+//	mapcompd [-addr :8391] [-workers N] [-cache-size N] [-cache-shards N]
+//	         [-compose-timeout D] [-data-dir DIR] [-snapshot-every N]
+//	         [-warm] [file.mc ...]
 //
 // Positional arguments are composition task files in the text format of
 // internal/parser, pre-loaded into the catalog at boot (with -data-dir
@@ -71,6 +72,8 @@ func main() {
 	addr := flag.String("addr", ":8391", "listen address (host:port; port 0 picks a free port)")
 	workers := flag.Int("workers", 0, "batch worker pool width (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache-size", server.DefaultCacheSize, "result cache entries (negative disables caching)")
+	cacheShards := flag.Int("cache-shards", 0,
+		"result cache shards, rounded up to a power of two, max 64 (0 = derived from GOMAXPROCS); /v1/stats reports per-shard entry counts")
 	composeTimeout := flag.Duration("compose-timeout", 30*time.Second,
 		"server-side deadline per composition; expired deadlines return 504 (0 disables)")
 	dataDir := flag.String("data-dir", "", "durable catalog directory (empty = memory-only)")
@@ -121,8 +124,8 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Catalog: cat, CacheSize: *cacheSize, Persist: store,
-		ComposeTimeout: *composeTimeout,
+		Catalog: cat, CacheSize: *cacheSize, CacheShards: *cacheShards,
+		Persist: store, ComposeTimeout: *composeTimeout,
 	})
 	// ReadHeaderTimeout defeats slowloris header dribbling and
 	// IdleTimeout reaps abandoned keep-alive connections; request bodies

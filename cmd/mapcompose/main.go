@@ -18,7 +18,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -75,10 +74,9 @@ func main() {
 		for i, r := range results {
 			docs[i] = server.NamedResultJSON{Name: r.Name, Result: server.NewResultJSON(r.Result)}
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetEscapeHTML(false)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(docs); err != nil {
+		// server.EncodeWire is the one canonical encoder: the documents
+		// printed here are byte-compatible with the service's responses.
+		if err := server.EncodeWire(os.Stdout, docs, "  "); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,11 +1,24 @@
 // Service walkthrough: boot an in-process mapcompd server, register the
 // quickstart schema-evolution chain over HTTP, and drive the composition
-// API end to end — multi-hop chain resolution, the result cache, batched
-// requests, the instrumentation counters that prove a cache hit never
-// re-runs ELIMINATE, and the preemption surface: request deadlines
-// (504), oversized payloads (413), and partial-route error reporting.
+// API end to end — multi-hop chain resolution, the sharded result
+// cache, batched requests, the instrumentation counters that prove a
+// cache hit never re-runs ELIMINATE, and the preemption surface:
+// request deadlines (504), oversized payloads (413), and partial-route
+// error reporting.
 //
 // Run with: go run ./examples/service
+//
+// # The result cache
+//
+// Composition results live in a sharded cache keyed on (catalog
+// generation, endpoint pair, config fingerprint). The shard count
+// derives from GOMAXPROCS (mapcompd -cache-shards overrides it), keys
+// hash to shards, and each entry stores the response pre-encoded in the
+// wire format — so a repeated request is a lock-free shard probe plus a
+// byte copy, with no JSON marshaling and no cross-shard lock traffic.
+// GET /v1/results/{key} serves the same pre-encoded bytes, and
+// /v1/stats reports the shard count and per-shard entry distribution
+// under cache_shards / cache_shard_entries.
 //
 // # Deadlines
 //
@@ -64,9 +77,15 @@ func main() {
 	fmt.Printf("\nfirst compose (cold):\n%s\n", pretty(first))
 
 	// 3. The same request again: served from the result cache — same
-	// key, no ELIMINATE re-run.
+	// key, no ELIMINATE re-run, and the body is the entry's pre-encoded
+	// bytes written straight to the socket (zero marshals on a hit).
 	second := post(ts.URL+"/v1/compose", "application/json", `{"from":"original","to":"split"}`)
 	fmt.Printf("\nsecond compose (cached=%v)\n", gjson(second, "cached"))
+
+	// 3b. Any cached result can be re-fetched by its key; the bytes are
+	// identical to the cached compose response.
+	fetched := get(ts.URL + "/v1/results/" + fmt.Sprint(gjson(second, "key")))
+	fmt.Printf("refetched by key (cached=%v, same bytes as the hit)\n", gjson(fetched, "cached"))
 
 	// 4. A batch: duplicate pairs inside the batch coalesce to one
 	// computation.
@@ -75,9 +94,12 @@ func main() {
 	fmt.Printf("\nbatch results:\n%s\n", pretty(batch))
 
 	// 5. The stats endpoint shows two compositions total (the chain and
-	// the one-hop pair) against three-plus requests served.
+	// the one-hop pair) against three-plus requests served, plus the
+	// result cache's shard count and per-shard entry distribution.
 	stats := get(ts.URL + "/v1/stats")
 	fmt.Printf("\nstats: %s\n", stats)
+	fmt.Printf("cache shards: %v, per-shard entries: %v\n",
+		gjson(stats, "cache_shards"), gjson(stats, "cache_shard_entries"))
 
 	// 6. Deadlines. A server with a (deliberately absurd) 1ns compose
 	// timeout preempts every composition: the request comes back as 504

@@ -1,0 +1,80 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary input at the text-format parser. The
+// parser fronts untrusted bytes in two places — mapcompose reads stdin,
+// and every POST /v1/register body goes through Parse — so it must
+// return errors, never panic or die, on any input. For inputs that do
+// parse and validate, the Format round-trip must hold: Format renders
+// the problem back into the concrete syntax, and reparsing that output
+// must succeed and validate (the documented Format∘Parse identity).
+//
+// The committed seed corpus lives in testdata/fuzz/FuzzParse; run
+// `go test -fuzz=FuzzParse ./internal/parser/` to explore further.
+// Building this harness surfaced the unbounded recursion fixed by
+// maxNestDepth — deeply nested "(" / "!" exhausted the goroutine stack
+// and killed the process (pinned by TestDeepNestingRejected).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"schema s { R/2; }",
+		"schema s { R/2 key[1]; T/3 key[1,2]; }",
+		"schema a { A/1; }\nschema b { B/1; }\nmap m : a -> b { A <= B; }",
+		"schema a { A/2; }\nschema b { B/2; }\nmap m : a -> b {\n  proj[1](sel[#1='x'](A)) <= proj[2](B);\n}",
+		"schema a { A/3; }\nschema b { B/3; }\nmap m : a -> b { sk[f:1,2](A) = B; }",
+		"schema a { A/1; }\nschema b { B/1; }\nschema c { C/1; }\n" +
+			"map m1 : a -> b { A <= B; }\nmap m2 : b -> c { B <= C; }\ncompose r = m1 * m2;",
+		"schema a { A/2; }\nschema b { B/2; }\nmap m : a -> b { sel[#1=#2 & !(#1='a'|#2>'b')](A) <= B & B; }",
+		"schema a { A/2; }\nschema b { B/2; }\nmap m : a -> b { {('x','y'),('u','v')} <= B; A >= {}^2 + D^2 - empty^2; }",
+		"-- comment\nschema s { R/1; } ;;",
+		"schema s { R/1; }\nschema t { S/1; }\nmap m : s -> t { join[1](R, S) <= S; }",
+		"sel[", "proj[1](", "'unterminated", "{()}", "R/0", "schema s {",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := Validate(p); err != nil {
+			return
+		}
+		out := Format(p)
+		p2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Format output does not reparse: %v\ninput: %q\nformatted: %q", err, src, out)
+		}
+		if err := Validate(p2); err != nil {
+			t.Fatalf("Format output does not revalidate: %v\ninput: %q\nformatted: %q", err, src, out)
+		}
+	})
+}
+
+// TestDeepNestingRejected pins the stack-exhaustion fix: megabytes of
+// nested parens or negations must come back as a parse error, not kill
+// the process. (Before maxNestDepth this crashed with a stack overflow
+// once the nesting outgrew the 1 GB goroutine stack bound — reachable
+// through an 8 MiB register body.)
+func TestDeepNestingRejected(t *testing.T) {
+	deep := "schema a { A/1; }\nschema b { B/1; }\nmap m : a -> b { " +
+		strings.Repeat("(", 1<<20) + "A" + strings.Repeat(")", 1<<20) + " <= B; }"
+	if _, err := Parse(deep); err == nil || !strings.Contains(err.Error(), "nesting") {
+		t.Fatalf("deeply nested parens: err = %v, want nesting error", err)
+	}
+	deepCond := "schema a { A/1; }\nschema b { B/1; }\nmap m : a -> b { sel[" +
+		strings.Repeat("!", 1<<20) + "true](A) <= B; }"
+	if _, err := Parse(deepCond); err == nil || !strings.Contains(err.Error(), "nesting") {
+		t.Fatalf("deeply nested negations: err = %v, want nesting error", err)
+	}
+	// Plausible depth must keep parsing: the bound exists to stop
+	// attacks, not real constraints.
+	ok := "schema a { A/1; }\nschema b { B/1; }\nmap m : a -> b { " +
+		strings.Repeat("(", 100) + "A" + strings.Repeat(")", 100) + " <= B; }"
+	if _, err := Parse(ok); err != nil {
+		t.Fatalf("100-deep parens rejected: %v", err)
+	}
+}

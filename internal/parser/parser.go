@@ -37,10 +37,30 @@ var reserved = map[string]bool{
 	"D": true, "empty": true,
 }
 
+// maxNestDepth bounds expression and condition nesting. The parser is
+// recursive-descent, so without a bound a pathological input — megabytes
+// of "(" or "!" inside an 8 MiB /v1/register body — exhausts the
+// goroutine stack and kills the process instead of returning an error.
+// 512 levels is far beyond any meaningful mapping constraint.
+const maxNestDepth = 512
+
 type parser struct {
-	toks []token
-	pos  int
+	toks  []token
+	pos   int
+	depth int
 }
+
+// enter guards one level of expression/condition recursion; callers
+// must pair it with leave on the success path.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxNestDepth {
+		return p.errf("expression nesting exceeds %d levels", maxNestDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) cur() token { return p.toks[p.pos] }
 func (p *parser) at(text string) bool {
@@ -298,8 +318,14 @@ func (p *parser) parseConstraint() (algebra.ConstraintSet, error) {
 	return nil, p.errf("expected <=, >= or = in constraint, found %q", p.cur().text)
 }
 
-// expression grammar with precedence +,- < & < *.
+// expression grammar with precedence +,- < & < *. Every nesting level
+// re-enters parseExpr (parenthesised primaries, operator arguments), so
+// the depth guard here bounds all expression recursion.
 func (p *parser) parseExpr() (algebra.Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	l, err := p.parseTerm()
 	if err != nil {
 		return nil, err
@@ -606,7 +632,13 @@ func (p *parser) parseAndCond() (algebra.Condition, error) {
 	return l, nil
 }
 
+// parseUnaryCond recurses directly on "!" and "(", so it carries its
+// own depth guard (condition nesting does not pass through parseExpr).
 func (p *parser) parseUnaryCond() (algebra.Condition, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch {
 	case p.at("!"):
 		p.bump()

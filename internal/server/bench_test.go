@@ -38,13 +38,57 @@ func benchWorkerCounts() []int {
 	return out
 }
 
+// benchWriter is a minimal ResponseWriter for the direct-handler
+// benchmarks: it records the status and discards the body the way a
+// kernel socket buffer would, without httptest.ResponseRecorder's
+// per-request buffer churn (which at saturation costs more GC sweep
+// time than the handler itself and masks server-side wins).
+type benchWriter struct {
+	h    http.Header
+	code int
+}
+
+func (w *benchWriter) Header() http.Header  { return w.h }
+func (w *benchWriter) WriteHeader(code int) { w.code = code }
+func (w *benchWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return len(p), nil
+}
+func (w *benchWriter) reset() { w.code = 0 }
+
+// saturate drives one pre-built request against the handler from every
+// parallel worker, reusing the request, body reader and writer across
+// iterations so the measured loop is the handler's own work.
+func saturate(b *testing.B, s *Server, method, path string, body []byte) {
+	b.Helper()
+	b.RunParallel(func(pb *testing.PB) {
+		rd := bytes.NewReader(body)
+		req := httptest.NewRequest(method, path, rd)
+		w := &benchWriter{h: make(http.Header)}
+		for pb.Next() {
+			if body != nil {
+				rd.Seek(0, io.SeekStart)
+				req.Body = io.NopCloser(rd)
+			}
+			w.reset()
+			s.ServeHTTP(w, req)
+			if w.code != http.StatusOK {
+				b.Fatalf("status %d", w.code)
+			}
+		}
+	})
+}
+
 // BenchmarkServerComposeSaturated drives the compose handler directly
 // (no TCP client in the way) from GOMAXPROCS-scaled goroutines, all
-// hitting the warm cache for one pair. At this saturation the handler's
-// only real work is the catalog generation read plus the cache probe, so
-// the benchmark isolates read-path contention: run with -cpu 8 to
-// compare the mutex catalog baseline against copy-on-write reads
-// (EXPERIMENTS.md records both).
+// hitting the warm cache for one hot pair. At this saturation the
+// handler's only real work is decoding the request, the lock-free shard
+// probe and copying the entry's pre-encoded bytes to the writer — run
+// with -cpu 1,4,8 to see how the hit path scales (EXPERIMENTS.md
+// records the single-LRU + per-hit-marshal baseline against the sharded
+// pre-encoded cache).
 func BenchmarkServerComposeSaturated(b *testing.B) {
 	s := New(Config{})
 	req := httptest.NewRequest("POST", "/v1/register", bytes.NewReader([]byte(chainTask)))
@@ -62,22 +106,13 @@ func BenchmarkServerComposeSaturated(b *testing.B) {
 		b.Fatalf("warm compose: %d %s", rec.Code, rec.Body)
 	}
 	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		for pb.Next() {
-			req := httptest.NewRequest("POST", "/v1/compose", bytes.NewReader(body))
-			rec := httptest.NewRecorder()
-			s.ServeHTTP(rec, req)
-			if rec.Code != http.StatusOK {
-				b.Fatalf("status %d: %s", rec.Code, rec.Body)
-			}
-		}
-	})
+	saturate(b, s, "POST", "/v1/compose", body)
 }
 
 // BenchmarkServerCatalogSaturated saturates GET /v1/catalog the same
 // way: the handler is a pure catalog read (snapshot + listing render),
-// so it shows the copy-on-write read path end to end over HTTP without
-// the result-cache mutex or composition in the way.
+// so it shows the copy-on-write read path end to end without the result
+// cache or composition in the way.
 func BenchmarkServerCatalogSaturated(b *testing.B) {
 	s := New(Config{})
 	req := httptest.NewRequest("POST", "/v1/register", bytes.NewReader([]byte(chainTask)))
@@ -87,16 +122,93 @@ func BenchmarkServerCatalogSaturated(b *testing.B) {
 		b.Fatalf("register: %d %s", rec.Code, rec.Body)
 	}
 	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		for pb.Next() {
-			req := httptest.NewRequest("GET", "/v1/catalog", nil)
-			rec := httptest.NewRecorder()
-			s.ServeHTTP(rec, req)
-			if rec.Code != http.StatusOK {
-				b.Fatalf("status %d: %s", rec.Code, rec.Body)
-			}
+	saturate(b, s, "GET", "/v1/catalog", nil)
+}
+
+// BenchmarkServerComposeHit is the allocation-regression guard for the
+// hit path: a single goroutine repeating one cached pair. It reports
+// allocs/op and fails outright if a hit marshals anything — the cache
+// stores pre-encoded bytes precisely so this number stays zero — or if
+// per-hit allocations creep past a coarse bound (the steady state is
+// the pooled body read, the decoded request strings and the response
+// headers; recompute the bound if the wire format grows).
+func BenchmarkServerComposeHit(b *testing.B) {
+	s := New(Config{})
+	req := httptest.NewRequest("POST", "/v1/register", bytes.NewReader([]byte(chainTask)))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("register: %d %s", rec.Code, rec.Body)
+	}
+	body := []byte(`{"from":"original","to":"split"}`)
+	warm := httptest.NewRequest("POST", "/v1/compose", bytes.NewReader(body))
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, warm)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warm compose: %d %s", rec.Code, rec.Body)
+	}
+
+	rd := bytes.NewReader(body)
+	hit := httptest.NewRequest("POST", "/v1/compose", rd)
+	w := &benchWriter{h: make(http.Header)}
+	encodesBefore := wireEncodes.Load()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Seek(0, io.SeekStart)
+		hit.Body = io.NopCloser(rd)
+		w.reset()
+		s.ServeHTTP(w, hit)
+		if w.code != http.StatusOK {
+			b.Fatalf("status %d", w.code)
 		}
+	}
+	b.StopTimer()
+	if d := wireEncodes.Load() - encodesBefore; d != 0 {
+		b.Fatalf("hit path marshaled %d times over %d requests, want 0", d, b.N)
+	}
+}
+
+// TestComposeHitPathAllocBound is the alloc guard that runs in every
+// plain `go test` pass (benchmarks only run in the CI smoke): a cache
+// hit must not marshal anything and must stay under a coarse
+// allocations-per-request ceiling. The measured steady state is ~13
+// allocations (pooled body read, the two decoded request strings, the
+// response headers); the bound leaves room for harness noise but
+// catches reintroducing a per-hit marshal (~10 allocations and ~2 KB
+// on its own) or another per-request decoder.
+func TestComposeHitPathAllocBound(t *testing.T) {
+	s := New(Config{})
+	if rec := do(t, s, "POST", "/v1/register", chainTask); rec.Code != http.StatusOK {
+		t.Fatalf("register: %d %s", rec.Code, rec.Body)
+	}
+	body := []byte(`{"from":"original","to":"split"}`)
+	if rec := do(t, s, "POST", "/v1/compose", string(body)); rec.Code != http.StatusOK {
+		t.Fatalf("warm compose: %d %s", rec.Code, rec.Body)
+	}
+
+	rd := bytes.NewReader(body)
+	req := httptest.NewRequest("POST", "/v1/compose", rd)
+	w := &benchWriter{h: make(http.Header)}
+	encodesBefore := wireEncodes.Load()
+	var runs int64
+	avg := testing.AllocsPerRun(200, func() {
+		rd.Seek(0, io.SeekStart)
+		req.Body = io.NopCloser(rd)
+		w.reset()
+		s.ServeHTTP(w, req)
+		if w.code != http.StatusOK {
+			t.Fatalf("status %d", w.code)
+		}
+		runs++
 	})
+	if d := wireEncodes.Load() - encodesBefore; d != 0 {
+		t.Errorf("hit path marshaled %d times over %d requests, want 0", d, runs)
+	}
+	const maxAllocs = 24
+	if avg > maxAllocs {
+		t.Errorf("hit path allocates %.1f objects per request, bound is %d", avg, maxAllocs)
+	}
 }
 
 func benchCompose(b *testing.B, cfg Config, workers int) {

@@ -1,22 +1,45 @@
 package server
 
 import (
-	"container/list"
 	"context"
 	"errors"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// resultCache is the bounded LRU of composed results, keyed on (catalog
-// generation, endpoint pair, config fingerprint). The generation is part
-// of the key, so a catalog mutation implicitly invalidates every cached
-// result without any eviction scan — stale generations simply stop being
-// requested and age out of the LRU.
+// resultCache is the bounded cache of composed results, keyed on
+// (catalog generation, endpoint pair, config fingerprint). The
+// generation is part of the key, so a catalog mutation implicitly
+// invalidates every cached result without any eviction scan — stale
+// generations simply stop being requested and age out.
 //
-// Concurrent requests for the same key are coalesced singleflight-style:
-// the first caller computes, every caller that arrives while the
-// computation is in flight waits for it and shares the outcome, so N
-// identical requests cost one ELIMINATE run, not N.
+// The cache is sharded: keys hash to one of a power-of-two number of
+// shards (derived from GOMAXPROCS unless overridden), so concurrent
+// requests for distinct keys never contend on a shared lock. Within a
+// shard, mutations — inserts, evictions and the singleflight book-
+// keeping — serialize under the shard mutex, while lookups are
+// lock-free: each shard publishes an immutable view of its entries
+// through an atomic pointer (the same copy-on-write discipline as
+// internal/catalog), and a hit only loads the pointer, probes a map
+// that is never mutated after publication, and bumps the entry's
+// recency clock. Eviction is approximate LRU per shard: entries carry
+// an atomically updated use counter and the least recently used entry
+// of the full shard is dropped when the shard exceeds its slice of the
+// global bound (the per-shard capacities sum exactly to the configured
+// size, so the global entry bound is strict even though recency is
+// tracked per shard).
+//
+// Every stored entry carries the response pre-encoded in the wire
+// encoding with cached=true (see newCacheEntry), so the serving layer
+// writes hits — POST /v1/compose hits, coalesced waiters, batch items
+// and GET /v1/results/{key} — straight to the ResponseWriter without
+// marshaling anything.
+//
+// Concurrent requests for the same key are coalesced singleflight-style
+// per shard: the first caller computes, every caller that arrives while
+// the computation is in flight waits for it and shares the outcome, so
+// N identical requests cost one ELIMINATE run, not N.
 //
 // Cancellation never poisons the cache. A waiter whose own context ends
 // stops waiting and reports its context's error. A leader preempted by
@@ -32,16 +55,36 @@ type cacheKey struct {
 	cfg      uint64
 }
 
+// cacheEntry is one stored result: the decoded response (Cached=false,
+// as computed), its rendered key — the wire handle for
+// GET /v1/results/{key} — and the pre-encoded cached=true body.
 type cacheEntry struct {
 	key  cacheKey
-	skey string // rendered key, the wire handle for GET /v1/results/{key}
+	skey string
 	resp *ComposeResponse
+	enc  []byte       // pre-encoded wire body with cached=true; nil only if encoding failed
+	used atomic.Int64 // shard clock value at last touch (approximate LRU)
+}
+
+// newCacheEntry builds the stored form of a freshly computed response,
+// paying the single hit-path encode up front: every future hit writes
+// enc verbatim. An encoding failure (impossible for the wire types, but
+// kept non-fatal) leaves enc nil and the handlers fall back to
+// marshaling per hit.
+func newCacheEntry(key cacheKey, resp *ComposeResponse) *cacheEntry {
+	ent := &cacheEntry{key: key, skey: resp.Key, resp: resp}
+	hit := *resp
+	hit.Cached = true
+	if b, err := marshalWire(&hit); err == nil {
+		ent.enc = b
+	}
+	return ent
 }
 
 // call is one in-flight computation other requests can wait on.
 type call struct {
 	done chan struct{}
-	resp *ComposeResponse
+	ent  *cacheEntry
 	err  error
 	// abandoned marks a flight whose leader was preempted by context
 	// cancellation: the outcome is the leader's deadline, not the key's,
@@ -54,106 +97,266 @@ type hitKind int
 
 const (
 	computed  hitKind = iota // this caller ran the composition
-	cacheHit                 // served from the LRU
+	cacheHit                 // served from the cache
 	coalesced                // waited on another caller's computation
 )
 
+// shardView is the immutable snapshot a shard publishes: both maps are
+// built under the shard mutex and never mutated after the pointer swap,
+// so readers need no lock.
+type shardView struct {
+	items    map[cacheKey]*cacheEntry
+	byString map[string]*cacheEntry
+}
+
+var emptyShardView = &shardView{
+	items:    map[cacheKey]*cacheEntry{},
+	byString: map[string]*cacheEntry{},
+}
+
+type cacheShard struct {
+	view  atomic.Pointer[shardView]
+	clock atomic.Int64 // recency clock; bumped on every touch
+
+	mu    sync.Mutex // guards view mutations and calls
+	calls map[cacheKey]*call
+	max   int // this shard's slice of the global entry bound
+}
+
 type resultCache struct {
-	mu       sync.Mutex
-	max      int
-	lru      *list.List // front = most recently used; values are *cacheEntry
-	items    map[cacheKey]*list.Element
-	byString map[string]*list.Element
-	calls    map[cacheKey]*call
+	shards []*cacheShard
+	mask   uint64
 }
 
-func newResultCache(max int) *resultCache {
-	return &resultCache{
-		max:      max,
-		lru:      list.New(),
-		items:    make(map[cacheKey]*list.Element),
-		byString: make(map[string]*list.Element),
-		calls:    make(map[cacheKey]*call),
+// minShardCap is the smallest per-shard capacity worth sharding for:
+// below it the shard count is halved so tiny caches keep exact bounds
+// (and the degenerate 1-shard cache behaves like the old single LRU).
+const minShardCap = 8
+
+// defaultShardCount derives the shard count from GOMAXPROCS, rounded up
+// to a power of two and capped at 64 — beyond the core count extra
+// shards only spread the same contention thinner.
+func defaultShardCount() int {
+	n := nextPow2(runtime.GOMAXPROCS(0))
+	if n > 64 {
+		n = 64
 	}
+	return n
 }
 
-// do returns the response for key, computing it at most once across all
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// newResultCache builds a cache bounded to max entries across shards
+// shards (0 = derived from GOMAXPROCS; other values round up to a power
+// of two, capped at 64 like the derivation — the cap also keeps an
+// absurd -cache-shards from overflowing nextPow2). The shard count is
+// reduced until every shard holds at least minShardCap entries, so
+// small caches keep tight bounds.
+func newResultCache(max, shards int) *resultCache {
+	n := shards
+	if n <= 0 {
+		n = defaultShardCount()
+	}
+	if n > 64 {
+		n = 64
+	}
+	n = nextPow2(n)
+	for n > 1 && max/n < minShardCap {
+		n >>= 1
+	}
+	c := &resultCache{shards: make([]*cacheShard, n), mask: uint64(n - 1)}
+	base, rem := max/n, max%n
+	for i := range c.shards {
+		capacity := base
+		if i < rem {
+			capacity++
+		}
+		sh := &cacheShard{calls: make(map[cacheKey]*call), max: capacity}
+		sh.view.Store(emptyShardView)
+		c.shards[i] = sh
+	}
+	return c
+}
+
+// shard selects the shard for key by FNV-1a over the key fields; the
+// hash never allocates (no rendered key string on the probe path).
+func (c *resultCache) shard(key cacheKey) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key.from); i++ {
+		h = (h ^ uint64(key.from[i])) * prime64
+	}
+	h = (h ^ 0xff) * prime64 // separator: ("ab","c") must differ from ("a","bc")
+	for i := 0; i < len(key.to); i++ {
+		h = (h ^ uint64(key.to[i])) * prime64
+	}
+	h = (h ^ key.gen) * prime64
+	h = (h ^ key.cfg) * prime64
+	return c.shards[h&c.mask]
+}
+
+// touch records a use for approximate-LRU eviction.
+func (sh *cacheShard) touch(ent *cacheEntry) {
+	ent.used.Store(sh.clock.Add(1))
+}
+
+// do returns the entry for key, computing it at most once across all
 // concurrent callers with live contexts. Responses are stored only on
 // success; errors are shared with coalesced waiters but never cached,
 // and a context-cancellation outcome is not even shared — it hands the
-// flight off (see the type comment).
-func (c *resultCache) do(ctx context.Context, key cacheKey, skey string, compute func(context.Context) (*ComposeResponse, error)) (*ComposeResponse, hitKind, error) {
+// flight off (see the type comment). The stored entry's skey is the
+// computed response's Key field, rendered once inside the computation.
+func (c *resultCache) do(ctx context.Context, key cacheKey, compute func(context.Context) (*ComposeResponse, error)) (*cacheEntry, hitKind, error) {
+	sh := c.shard(key)
 	for {
-		c.mu.Lock()
-		// Probe the cache before honouring the deadline: a hit costs
-		// microseconds, so even an already-expired request is served its
-		// cached response rather than a pointless 504.
-		if el, ok := c.items[key]; ok {
-			c.lru.MoveToFront(el)
-			resp := el.Value.(*cacheEntry).resp
-			c.mu.Unlock()
-			return resp, cacheHit, nil
+		// Lock-free probe, and before honouring the deadline: a hit
+		// costs microseconds, so even an already-expired request is
+		// served its cached response rather than a pointless 504.
+		if ent := sh.view.Load().items[key]; ent != nil {
+			sh.touch(ent)
+			return ent, cacheHit, nil
 		}
 		if err := ctx.Err(); err != nil {
-			c.mu.Unlock()
 			return nil, computed, context.Cause(ctx)
 		}
-		if cl, ok := c.calls[key]; ok {
-			c.mu.Unlock()
+		sh.mu.Lock()
+		// Re-probe under the mutex: a computation may have completed
+		// between the lock-free miss and the lock acquisition.
+		if ent := sh.view.Load().items[key]; ent != nil {
+			sh.mu.Unlock()
+			sh.touch(ent)
+			return ent, cacheHit, nil
+		}
+		if cl, ok := sh.calls[key]; ok {
+			sh.mu.Unlock()
 			select {
 			case <-cl.done:
 				if cl.abandoned {
 					continue // leader preempted; retry under our own context
 				}
-				return cl.resp, coalesced, cl.err
+				return cl.ent, coalesced, cl.err
 			case <-ctx.Done():
 				return nil, coalesced, context.Cause(ctx)
 			}
 		}
 		cl := &call{done: make(chan struct{})}
-		c.calls[key] = cl
-		c.mu.Unlock()
+		sh.calls[key] = cl
+		sh.mu.Unlock()
 
-		cl.resp, cl.err = compute(ctx)
+		resp, err := compute(ctx)
+		cl.err = err
+		if err == nil {
+			// Encode outside the lock: the store below is map copies only.
+			cl.ent = newCacheEntry(key, resp)
+		}
 
-		c.mu.Lock()
-		delete(c.calls, key)
+		sh.mu.Lock()
+		delete(sh.calls, key)
 		switch {
-		case cl.err == nil:
-			el := c.lru.PushFront(&cacheEntry{key: key, skey: skey, resp: cl.resp})
-			c.items[key] = el
-			c.byString[skey] = el
-			for c.lru.Len() > c.max {
-				old := c.lru.Back()
-				e := old.Value.(*cacheEntry)
-				c.lru.Remove(old)
-				delete(c.items, e.key)
-				delete(c.byString, e.skey)
-			}
-		case errors.Is(cl.err, context.Canceled) || errors.Is(cl.err, context.DeadlineExceeded):
+		case err == nil:
+			sh.touch(cl.ent)
+			sh.insertLocked(cl.ent)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			cl.abandoned = true
 		}
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		close(cl.done)
-		return cl.resp, computed, cl.err
+		return cl.ent, computed, cl.err
 	}
 }
 
-// get fetches a cached response by its rendered key.
-func (c *resultCache) get(skey string) (*ComposeResponse, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.byString[skey]
-	if !ok {
-		return nil, false
+// insertLocked publishes a new view containing ent, evicting the least
+// recently used entries while the shard exceeds its capacity. Callers
+// hold sh.mu.
+//
+// The full-map copy per insert is the deliberate price of lock-free
+// readers: the published maps must never be mutated (Go maps tolerate
+// no concurrent read/write), so "mutate then republish the pointer"
+// is not an option. The copy is O(shard capacity) — at the default
+// 256 entries spread over the shards it is microseconds — and it only
+// runs on a miss, whose composition costs orders of magnitude more;
+// raise the shard count before raising per-shard capacity if inserts
+// ever show up in a profile.
+func (sh *cacheShard) insertLocked(ent *cacheEntry) {
+	old := sh.view.Load()
+	next := &shardView{
+		items:    make(map[cacheKey]*cacheEntry, len(old.items)+1),
+		byString: make(map[string]*cacheEntry, len(old.byString)+1),
 	}
-	c.lru.MoveToFront(el)
-	return el.Value.(*cacheEntry).resp, true
+	for k, e := range old.items {
+		next.items[k] = e
+	}
+	for k, e := range old.byString {
+		next.byString[k] = e
+	}
+	next.items[ent.key] = ent
+	next.byString[ent.skey] = ent
+	for len(next.items) > sh.max {
+		var victim *cacheEntry
+		for _, e := range next.items {
+			if victim == nil || e.used.Load() < victim.used.Load() {
+				victim = e
+			}
+		}
+		delete(next.items, victim.key)
+		// A duplicate skey (possible only for hand-built entries with
+		// colliding Key fields) must not unlink a survivor's handle.
+		if next.byString[victim.skey] == victim {
+			delete(next.byString, victim.skey)
+		}
+	}
+	sh.view.Store(next)
 }
 
-// len reports the number of cached entries.
+// get fetches a cached entry by its rendered key. The shard is not
+// derivable from the string without re-parsing it, so all shards are
+// probed — each probe is one lock-free pointer load and map lookup, and
+// GET /v1/results is far off the hot path.
+func (c *resultCache) get(skey string) (*cacheEntry, bool) {
+	for _, sh := range c.shards {
+		if ent := sh.view.Load().byString[skey]; ent != nil {
+			sh.touch(ent)
+			return ent, true
+		}
+	}
+	return nil, false
+}
+
+// len reports the number of cached entries across all shards.
 func (c *resultCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
+	n := 0
+	for _, sh := range c.shards {
+		n += len(sh.view.Load().items)
+	}
+	return n
+}
+
+// shardLens reports per-shard entry counts, for /v1/stats.
+func (c *resultCache) shardLens() []int {
+	out := make([]int, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = len(sh.view.Load().items)
+	}
+	return out
+}
+
+// keys snapshots every cached key; tests use it to assert invariants
+// (e.g. that no abandoned flight was ever stored).
+func (c *resultCache) keys() []cacheKey {
+	var out []cacheKey
+	for _, sh := range c.shards {
+		for k := range sh.view.Load().items {
+			out = append(out, k)
+		}
+	}
+	return out
 }

@@ -1,0 +1,131 @@
+package server
+
+// Golden wire tests for the pre-encoded result cache: the bytes a hit
+// serves must be exactly the bytes a marshal of the same
+// ComposeResponse would produce — cold, hit, coalesced, batch item and
+// GET /v1/results/{key} may never drift apart, and the cached paths
+// must produce them without encoding anything.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestGoldenWireBytes locks the serving bytes down:
+//
+//  1. the cold body re-marshals to itself (decode → marshalWire is the
+//     identity, so the pre-encoding step cannot diverge from what
+//     encoding the struct produces),
+//  2. the hit body is byte-identical to marshalWire of the same
+//     ComposeResponse with Cached=true,
+//  3. GET /v1/results/{key} serves the exact hit bytes,
+//  4. cold and hit bodies differ only in the cached flag,
+//  5. none of the cached paths marshals anything.
+func TestGoldenWireBytes(t *testing.T) {
+	s := newTestServer(t)
+	const reqBody = `{"from":"original","to":"split"}`
+
+	coldRec := do(t, s, "POST", "/v1/compose", reqBody)
+	if coldRec.Code != http.StatusOK {
+		t.Fatalf("cold: %d %s", coldRec.Code, coldRec.Body)
+	}
+	cold := coldRec.Body.Bytes()
+
+	var coldResp ComposeResponse
+	if err := json.Unmarshal(cold, &coldResp); err != nil {
+		t.Fatalf("decode cold body: %v", err)
+	}
+	if coldResp.Cached {
+		t.Fatal("cold response claims cached=true")
+	}
+	remarshal, err := marshalWire(&coldResp)
+	if err != nil {
+		t.Fatalf("marshalWire: %v", err)
+	}
+	if want := append(remarshal, '\n'); !bytes.Equal(cold, want) {
+		t.Fatalf("cold body is not marshal-stable:\ngot  %q\nwant %q", cold, want)
+	}
+
+	encodesBefore := wireEncodes.Load()
+
+	hitRec := do(t, s, "POST", "/v1/compose", reqBody)
+	if hitRec.Code != http.StatusOK {
+		t.Fatalf("hit: %d %s", hitRec.Code, hitRec.Body)
+	}
+	hit := hitRec.Body.Bytes()
+
+	cachedResp := coldResp
+	cachedResp.Cached = true
+	wantHit, err := marshalWire(&cachedResp)
+	wireEncodes.Add(-1) // the expectation marshal is the test's, not the server's
+	if err != nil {
+		t.Fatalf("marshalWire: %v", err)
+	}
+	wantHit = append(wantHit, '\n')
+	if !bytes.Equal(hit, wantHit) {
+		t.Fatalf("hit body != marshal of the same response with cached=true:\ngot  %q\nwant %q", hit, wantHit)
+	}
+
+	fetchRec := do(t, s, "GET", "/v1/results/"+coldResp.Key, "")
+	if fetchRec.Code != http.StatusOK {
+		t.Fatalf("fetch: %d %s", fetchRec.Code, fetchRec.Body)
+	}
+	if !bytes.Equal(fetchRec.Body.Bytes(), hit) {
+		t.Fatalf("GET /v1/results body differs from the compose hit body:\nhit   %q\nfetch %q", hit, fetchRec.Body.Bytes())
+	}
+
+	if flipped := bytes.Replace(hit, []byte(`"cached":true`), []byte(`"cached":false`), 1); !bytes.Equal(flipped, cold) {
+		t.Fatalf("hit and cold bodies differ beyond the cached flag:\ncold %q\nhit  %q", cold, hit)
+	}
+
+	if d := wireEncodes.Load() - encodesBefore; d != 0 {
+		t.Fatalf("cached paths marshaled %d times, want 0", d)
+	}
+}
+
+// TestGoldenBatchSplicesCachedBytes proves batch items reuse the cached
+// bytes verbatim: each item's raw JSON equals the single-compose hit
+// body, and a batch full of hits costs exactly one marshal (the
+// envelope).
+func TestGoldenBatchSplicesCachedBytes(t *testing.T) {
+	s := newTestServer(t)
+	const reqBody = `{"from":"original","to":"split"}`
+	if rec := do(t, s, "POST", "/v1/compose", reqBody); rec.Code != http.StatusOK {
+		t.Fatalf("prime: %d %s", rec.Code, rec.Body)
+	}
+	hitRec := do(t, s, "POST", "/v1/compose", reqBody)
+	hitBody := bytes.TrimSuffix(hitRec.Body.Bytes(), []byte("\n"))
+
+	encodesBefore := wireEncodes.Load()
+	batchRec := do(t, s, "POST", "/v1/compose/batch",
+		`{"requests":[{"from":"original","to":"split"},{"from":"original","to":"split"}]}`)
+	if batchRec.Code != http.StatusOK {
+		t.Fatalf("batch: %d %s", batchRec.Code, batchRec.Body)
+	}
+	if d := wireEncodes.Load() - encodesBefore; d != 1 {
+		t.Fatalf("batch of hits marshaled %d times, want 1 (the envelope)", d)
+	}
+
+	var raw struct {
+		Results []struct {
+			Response json.RawMessage `json:"response"`
+			Error    string          `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(batchRec.Body.Bytes(), &raw); err != nil {
+		t.Fatalf("decode batch: %v", err)
+	}
+	if len(raw.Results) != 2 {
+		t.Fatalf("batch results = %d, want 2", len(raw.Results))
+	}
+	for i, item := range raw.Results {
+		if item.Error != "" {
+			t.Fatalf("item %d error: %s", i, item.Error)
+		}
+		if !bytes.Equal(item.Response, hitBody) {
+			t.Fatalf("item %d bytes differ from the hit body:\nitem %q\nhit  %q", i, item.Response, hitBody)
+		}
+	}
+}

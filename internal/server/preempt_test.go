@@ -13,6 +13,19 @@ import (
 	"time"
 )
 
+// awaitDeadline is a composeHook for preemption tests: it returns once
+// the composition's deadline has demonstrably expired, so the test is
+// deterministic instead of racing a sleep against the context timer (a
+// loaded scheduler can otherwise let a short-deadline composition
+// finish before its timer fires and legitimately cache the result).
+// The fallback bounds a test that reaches the hook without a deadline.
+func awaitDeadline(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+	}
+}
+
 // TestComposeDeadlineReturns504WithPartialStats: a request whose
 // deadline expires mid-composition gets a 504 whose body carries the
 // resolved path and the partial statistics; the preempted result is
@@ -20,8 +33,8 @@ import (
 // cold (cached=false) — proving the failure left no trace.
 func TestComposeDeadlineReturns504WithPartialStats(t *testing.T) {
 	s := newTestServer(t)
-	// Hold the composition open well past the request's 5ms deadline.
-	s.composeHook = func() { time.Sleep(50 * time.Millisecond) }
+	// Hold the composition open until the request's 5ms deadline fires.
+	s.composeHook = awaitDeadline
 
 	rec := do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split","timeout_ms":5}`)
 	if rec.Code != http.StatusGatewayTimeout {
@@ -61,9 +74,10 @@ func TestComposeDeadlineReturns504WithPartialStats(t *testing.T) {
 func TestCancelledComposeNeverCachedAndWaitersObserveError(t *testing.T) {
 	s := newTestServer(t)
 	entered := make(chan struct{})
-	s.composeHook = func() {
-		close(entered)
-		time.Sleep(30 * time.Millisecond)
+	enteredOnce := sync.OnceFunc(func() { close(entered) })
+	s.composeHook = func(ctx context.Context) {
+		enteredOnce()
+		awaitDeadline(ctx)
 	}
 
 	var wg sync.WaitGroup
@@ -104,7 +118,7 @@ func TestCancelledComposeNeverCachedAndWaitersObserveError(t *testing.T) {
 // and completes the computation — the leader's cancellation is not
 // inherited.
 func TestAbandonedFlightHandsOffToLiveWaiter(t *testing.T) {
-	c := newResultCache(4)
+	c := newResultCache(4, 0)
 	key := cacheKey{gen: 1, from: "a", to: "b", cfg: 7}
 
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
@@ -112,7 +126,7 @@ func TestAbandonedFlightHandsOffToLiveWaiter(t *testing.T) {
 	leaderGo := make(chan struct{})
 	leaderDone := make(chan error, 1)
 	go func() {
-		_, _, err := c.do(leaderCtx, key, "k", func(ctx context.Context) (*ComposeResponse, error) {
+		_, _, err := c.do(leaderCtx, key, func(ctx context.Context) (*ComposeResponse, error) {
 			close(leaderIn)
 			<-leaderGo
 			return nil, ctx.Err()
@@ -123,13 +137,13 @@ func TestAbandonedFlightHandsOffToLiveWaiter(t *testing.T) {
 
 	waiterRan := make(chan struct{}, 1)
 	waiterDone := make(chan error, 1)
-	var got *ComposeResponse
+	var got *cacheEntry
 	go func() {
-		resp, _, err := c.do(context.Background(), key, "k", func(context.Context) (*ComposeResponse, error) {
+		ent, _, err := c.do(context.Background(), key, func(context.Context) (*ComposeResponse, error) {
 			waiterRan <- struct{}{}
-			return &ComposeResponse{From: "a", To: "b"}, nil
+			return &ComposeResponse{From: "a", To: "b", Key: "k"}, nil
 		})
-		got = resp
+		got = ent
 		waiterDone <- err
 	}()
 	// Let the waiter block on the in-flight call before killing the
@@ -149,7 +163,7 @@ func TestAbandonedFlightHandsOffToLiveWaiter(t *testing.T) {
 	if err := <-waiterDone; err != nil {
 		t.Fatalf("waiter failed after handoff: %v", err)
 	}
-	if got == nil || got.From != "a" {
+	if got == nil || got.resp.From != "a" {
 		t.Fatalf("waiter response = %+v", got)
 	}
 	if n := c.len(); n != 1 {
@@ -161,22 +175,22 @@ func TestAbandonedFlightHandsOffToLiveWaiter(t *testing.T) {
 // stops waiting when its own context ends, without disturbing the
 // leader's computation.
 func TestWaiterOwnDeadlineWins(t *testing.T) {
-	c := newResultCache(4)
+	c := newResultCache(4, 0)
 	key := cacheKey{gen: 1, from: "a", to: "b", cfg: 7}
 	leaderGo := make(chan struct{})
 	leaderIn := make(chan struct{})
 	go func() {
-		_, _, _ = c.do(context.Background(), key, "k", func(context.Context) (*ComposeResponse, error) {
+		_, _, _ = c.do(context.Background(), key, func(context.Context) (*ComposeResponse, error) {
 			close(leaderIn)
 			<-leaderGo
-			return &ComposeResponse{From: "a"}, nil
+			return &ComposeResponse{From: "a", Key: "k"}, nil
 		})
 	}()
 	<-leaderIn
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
 	defer cancel()
-	_, kind, err := c.do(ctx, key, "k", func(context.Context) (*ComposeResponse, error) {
+	_, kind, err := c.do(ctx, key, func(context.Context) (*ComposeResponse, error) {
 		t.Error("waiter with dead context must not compute")
 		return nil, nil
 	})
@@ -192,7 +206,7 @@ func TestWaiterOwnDeadlineWins(t *testing.T) {
 func TestServerComposeTimeoutCapsRequests(t *testing.T) {
 	cat := newTestServer(t).Catalog()
 	s := New(Config{Catalog: cat, ComposeTimeout: time.Millisecond})
-	s.composeHook = func() { time.Sleep(30 * time.Millisecond) }
+	s.composeHook = awaitDeadline
 	// Asks for 10s; the server caps it at 1ms.
 	rec := do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split","timeout_ms":10000}`)
 	if rec.Code != http.StatusGatewayTimeout {

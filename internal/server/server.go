@@ -2,11 +2,13 @@
 // over internal/catalog that registers schemas and mappings (accepting
 // the internal/parser text format as the wire payload) and answers
 // single and batched composition requests. Results are cached in a
-// bounded LRU keyed on (catalog generation, endpoint pair, config
-// fingerprint), so repeated requests against an unchanged catalog are
-// served without re-running ELIMINATE, and identical in-flight requests
-// are coalesced to a single computation. Everything is stdlib net/http;
-// the server is safe for concurrent use.
+// bounded, sharded cache keyed on (catalog generation, endpoint pair,
+// config fingerprint): entries store the response pre-encoded in the
+// wire format, so repeated requests against an unchanged catalog are
+// served without re-running ELIMINATE and without marshaling anything —
+// a hit is a lock-free shard probe plus a byte copy to the socket — and
+// identical in-flight requests are coalesced to a single computation.
+// Everything is stdlib net/http; the server is safe for concurrent use.
 //
 // Endpoints (all under /v1):
 //
@@ -20,12 +22,16 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -54,6 +60,11 @@ type Config struct {
 	// DefaultCacheSize; negative disables caching and coalescing
 	// entirely (used by the cold-path benchmark).
 	CacheSize int
+	// CacheShards sets the result cache's shard count (mapcompd's
+	// -cache-shards). 0 derives a power of two from GOMAXPROCS; other
+	// values round up to a power of two, capped at 64. Small caches
+	// reduce the count so per-shard capacity stays useful.
+	CacheShards int
 	// Compose selects the algorithm configuration; nil means
 	// core.DefaultConfig().
 	Compose *core.Config
@@ -89,9 +100,10 @@ type Server struct {
 	warmed        atomic.Int64 // pairs precomputed by Warm
 
 	// composeHook, when non-nil, runs inside every real composition
-	// before ComposeChain; tests use it to hold computations open so
-	// coalescing is observable.
-	composeHook func()
+	// before ComposeChain, receiving the composition's context; tests
+	// use it to hold computations open (or until the deadline has
+	// demonstrably expired) so coalescing and preemption are observable.
+	composeHook func(context.Context)
 }
 
 // New builds a Server around cfg.
@@ -109,7 +121,7 @@ func New(cfg Config) *Server {
 		size = DefaultCacheSize
 	}
 	if size > 0 {
-		s.cache = newResultCache(size)
+		s.cache = newResultCache(size, cfg.CacheShards)
 		s.cacheCap = size
 	}
 	mux := http.NewServeMux()
@@ -144,6 +156,8 @@ func (s *Server) Stats() StatsResponse {
 	}
 	if s.cache != nil {
 		out.CacheEntries = s.cache.len()
+		out.CacheShards = len(s.cache.shards)
+		out.CacheShardEntries = s.cache.shardLens()
 	}
 	if s.persist != nil {
 		st := s.persist.Stats()
@@ -198,12 +212,25 @@ func (s *Server) Warm(ctx context.Context) int {
 	return int(ok.Load())
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeRaw serves a pre-encoded wire body (no trailing newline) exactly
+// as writeJSON would have: the newline the canonical encoder appends is
+// written back, and the explicit Content-Length lets net/http skip
+// chunked framing for large cached bodies.
+func writeRaw(w http.ResponseWriter, code int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)+1))
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	_, _ = w.Write(body)
+	_, _ = io.WriteString(w, "\n")
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := marshalWire(v)
+	if err != nil {
+		http.Error(w, `{"error":"server: response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	writeRaw(w, code, body)
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
@@ -260,10 +287,14 @@ func (s *Server) composeError(from, to string, err error) ErrorJSON {
 
 // composeContext derives the deadline for one composition from the
 // request context: the server-wide bound (ComposeTimeout), optionally
-// shortened — never extended — by the request's timeout_ms.
+// shortened — never extended — by the request's timeout_ms. A timeout_ms
+// too large for a time.Duration (≳292 years in milliseconds) is treated
+// as "no shortening" rather than multiplied into an overflowed negative
+// duration, which would have let a client slip past the server-wide cap
+// (found by FuzzComposeRequest).
 func (s *Server) composeContext(ctx context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
 	timeout := s.timeout
-	if timeoutMS > 0 {
+	if timeoutMS > 0 && timeoutMS <= math.MaxInt64/int64(time.Millisecond) {
 		req := time.Duration(timeoutMS) * time.Millisecond
 		if timeout == 0 || req < timeout {
 			timeout = req
@@ -341,19 +372,20 @@ func keyString(k cacheKey) string {
 
 // compose resolves and composes one pair through the cache. The cache is
 // probed on the generation alone, so a hit skips not just ELIMINATE but
-// also path resolution and chain materialization; the chain snapshot is
-// only built inside the computation. (If the catalog mutates between the
-// generation read and the snapshot, the entry is keyed at the older
-// generation but holds the fresher result — requests observing the new
-// generation simply miss and recompute.) ctx preempts the composition
-// between elimination strategies; a preempted run is never cached and
-// its in-flight slot is handed off to any live waiter (see resultCache).
-func (s *Server) compose(ctx context.Context, from, to string) (*ComposeResponse, hitKind, error) {
+// also path resolution, chain materialization and — because the entry
+// carries its pre-encoded wire bytes — response encoding; even the key
+// string is only rendered inside the computation. (If the catalog
+// mutates between the generation read and the snapshot, the entry is
+// keyed at the older generation but holds the fresher result — requests
+// observing the new generation simply miss and recompute.) ctx preempts
+// the composition between elimination strategies; a preempted run is
+// never cached and its in-flight slot is handed off to any live waiter
+// (see resultCache).
+func (s *Server) compose(ctx context.Context, from, to string) (*cacheEntry, hitKind, error) {
 	key := cacheKey{gen: s.cat.Generation(), from: from, to: to, cfg: s.cfgFP}
-	skey := keyString(key)
 	run := func(ctx context.Context) (*ComposeResponse, error) {
 		if s.composeHook != nil {
-			s.composeHook()
+			s.composeHook(ctx)
 		}
 		ms, path, gen, err := s.cat.Chain(from, to)
 		if err != nil {
@@ -368,22 +400,25 @@ func (s *Server) compose(ctx context.Context, from, to string) (*ComposeResponse
 		s.elimAttempts.Add(int64(res.Stats.Attempted))
 		return &ComposeResponse{
 			From: from, To: to, Path: path,
-			Generation: gen, Key: skey,
+			Generation: gen, Key: keyString(key),
 			Result: NewResultJSON(res),
 		}, nil
 	}
 	if s.cache == nil {
 		resp, err := run(ctx)
-		return resp, computed, err
+		if err != nil {
+			return nil, computed, err
+		}
+		return &cacheEntry{key: key, skey: resp.Key, resp: resp}, computed, nil
 	}
-	resp, kind, err := s.cache.do(ctx, key, skey, run)
+	ent, kind, err := s.cache.do(ctx, key, run)
 	switch kind {
 	case cacheHit:
 		s.cacheHits.Add(1)
 	case coalesced:
 		s.coalescedHits.Add(1)
 	}
-	return resp, kind, err
+	return ent, kind, err
 }
 
 // respond returns a per-caller copy of resp with the Cached flag set:
@@ -395,10 +430,56 @@ func respond(resp *ComposeResponse, kind hitKind) *ComposeResponse {
 	return &out
 }
 
+// writeEntry serves one composition outcome. Anything served from the
+// cache — a hit, a coalesced waiter — writes the entry's pre-encoded
+// cached=true bytes verbatim (zero marshals); the caller that computed
+// pays the one marshal for its cached=false body. The nil-enc fallback
+// covers cache-disabled servers and the (theoretical) encode failure.
+func writeEntry(w http.ResponseWriter, ent *cacheEntry, kind hitKind) {
+	if kind != computed && ent.enc != nil {
+		writeRaw(w, http.StatusOK, ent.enc)
+		return
+	}
+	writeJSON(w, http.StatusOK, respond(ent.resp, kind))
+}
+
+// entryWire returns the wire bytes of one outcome for splicing into a
+// batch envelope: cached outcomes reuse the entry's pre-encoded bytes,
+// fresh computations marshal once.
+func entryWire(ent *cacheEntry, kind hitKind) (json.RawMessage, error) {
+	if kind != computed && ent.enc != nil {
+		return ent.enc, nil
+	}
+	return marshalWire(respond(ent.resp, kind))
+}
+
+// bodyBufs pools the scratch buffers request bodies are read into.
+// json.Unmarshal copies every string it keeps, so a buffer never
+// outlives its handler call. Buffers grown past maxPooledBody (a large
+// batch body can reach maxBodyBytes = 8 MiB) are dropped instead of
+// pooled, so a burst of huge requests cannot pin one oversized buffer
+// per P until the next GC; compose bodies are normally tens of bytes.
+var bodyBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBody = 64 << 10
+
 // decodeJSON decodes a JSON request body through MaxBytesReader,
-// classifying oversize as 413 and malformed JSON as 400.
+// classifying oversize as 413 and malformed JSON as 400. The body is
+// read into a pooled buffer and unmarshaled in place, so the hot
+// compose path allocates no per-request decoder state.
 func decodeJSON(w http.ResponseWriter, r *http.Request, what string, v any) bool {
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v); err != nil {
+	buf := bodyBufs.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= maxPooledBody {
+			buf.Reset()
+			bodyBufs.Put(buf)
+		}
+	}()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
+		writeBodyError(w, what, err)
+		return false
+	}
+	if err := json.Unmarshal(buf.Bytes(), v); err != nil {
 		writeBodyError(w, what, err)
 		return false
 	}
@@ -416,12 +497,12 @@ func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.composeContext(r.Context(), req.TimeoutMS)
 	defer cancel()
-	resp, kind, err := s.compose(ctx, req.From, req.To)
+	ent, kind, err := s.compose(ctx, req.From, req.To)
 	if err != nil {
 		writeJSON(w, composeStatus(err), s.composeError(req.From, req.To, err))
 		return
 	}
-	writeJSON(w, http.StatusOK, respond(resp, kind))
+	writeEntry(w, ent, kind)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -437,7 +518,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("server: batch of %d exceeds limit %d", len(req.Requests), maxBatch))
 		return
 	}
-	items := make([]BatchItem, len(req.Requests))
+	items := make([]batchItemWire, len(req.Requests))
 	// The batch fans out over the worker pool under the request context:
 	// a disconnected client stops the sweep, and each item gets its own
 	// compose deadline so one pathological pair cannot eat the batch.
@@ -449,22 +530,27 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx, cancel := s.composeContext(r.Context(), q.TimeoutMS)
 		defer cancel()
-		resp, kind, err := s.compose(ctx, q.From, q.To)
+		ent, kind, err := s.compose(ctx, q.From, q.To)
 		if err != nil {
 			items[i].Error = err.Error()
 			return
 		}
-		items[i].Response = respond(resp, kind)
+		raw, err := entryWire(ent, kind)
+		if err != nil {
+			items[i].Error = err.Error()
+			return
+		}
+		items[i].Response = raw
 	})
-	writeJSON(w, http.StatusOK, BatchResponse{Results: items})
+	writeJSON(w, http.StatusOK, batchResponseWire{Results: items})
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
 	if s.cache != nil {
-		if resp, ok := s.cache.get(key); ok {
+		if ent, ok := s.cache.get(key); ok {
 			s.resultFetches.Add(1)
-			writeJSON(w, http.StatusOK, respond(resp, cacheHit))
+			writeEntry(w, ent, cacheHit)
 			return
 		}
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -175,7 +176,7 @@ func TestCacheHitSkipsEliminate(t *testing.T) {
 func TestCoalescing(t *testing.T) {
 	s := newTestServer(t)
 	proceed := make(chan struct{})
-	s.composeHook = func() { <-proceed }
+	s.composeHook = func(context.Context) { <-proceed }
 
 	const n = 16
 	responses := make([]ComposeResponse, n)

@@ -1,7 +1,11 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"sync/atomic"
 
 	"mapcomp/internal/core"
 	"mapcomp/internal/persist"
@@ -10,6 +14,41 @@ import (
 // Wire types of the mapcompd HTTP/JSON API. cmd/mapcompose reuses
 // ResultJSON (via NamedResultJSON) for its -format json output, so the
 // command line and the service emit identical result documents.
+
+// EncodeWire writes v in the canonical wire encoding every response
+// body uses: JSON with HTML escaping disabled (constraints render
+// operators like <= literally) and a trailing newline. indent is the
+// per-level indent string ("" emits the compact single-line form the
+// HTTP handlers serve; cmd/mapcompose passes two spaces). Having one
+// encoder means the bytes a cache entry pre-encodes, the bytes writeJSON
+// marshals, the bytes batch responses splice and the documents
+// mapcompose emits can never drift apart.
+func EncodeWire(w io.Writer, v any, indent string) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if indent != "" {
+		enc.SetIndent("", indent)
+	}
+	return enc.Encode(v)
+}
+
+// wireEncodes counts response-body marshals. The hit path serves
+// pre-encoded bytes and must never bump it — the zero-marshal tests and
+// BenchmarkServerComposeHit assert exactly that.
+var wireEncodes atomic.Int64
+
+// marshalWire renders v as one compact wire body without the trailing
+// newline EncodeWire appends (writeRaw adds it back when serving, and
+// batch responses splice the bare bytes as a json.RawMessage).
+func marshalWire(v any) ([]byte, error) {
+	wireEncodes.Add(1)
+	var buf bytes.Buffer
+	if err := EncodeWire(&buf, v, ""); err != nil {
+		return nil, err
+	}
+	b := buf.Bytes()
+	return b[:len(b)-1], nil
+}
 
 // ErrorJSON is the body of every non-2xx response. For failed compose
 // requests Path names the route resolved so far — the partial route
@@ -144,6 +183,21 @@ type BatchResponse struct {
 	Results []BatchItem `json:"results"`
 }
 
+// batchItemWire and batchResponseWire are the server-side encode shapes
+// of BatchItem/BatchResponse: Response holds the item's pre-encoded
+// wire bytes (a cached entry's bytes verbatim for hits, one marshal for
+// fresh computations), spliced into the envelope as a json.RawMessage
+// so a batch of hits re-encodes nothing per item. Clients decode the
+// identical wire form with the public types.
+type batchItemWire struct {
+	Response json.RawMessage `json:"response,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+type batchResponseWire struct {
+	Results []batchItemWire `json:"results"`
+}
+
 // SchemaJSON describes one catalog schema revision.
 type SchemaJSON struct {
 	Name       string           `json:"name"`
@@ -182,7 +236,10 @@ type CatalogResponse struct {
 // Warmed counts cache entries precomputed by the post-recovery warm-up
 // pass, and Persist carries the durability backend's counters (WAL
 // size, snapshot coverage, recovery summary) when the daemon runs with
-// a data directory.
+// a data directory. CacheShards is the result cache's shard count
+// (mapcompd -cache-shards, default derived from GOMAXPROCS) and
+// CacheShardEntries the per-shard entry counts, so an operator can see
+// whether the key-hash distribution is balanced.
 type StatsResponse struct {
 	Generation        uint64         `json:"generation"`
 	Composes          int64          `json:"composes"`
@@ -191,6 +248,8 @@ type StatsResponse struct {
 	ResultFetches     int64          `json:"result_fetches"`
 	EliminateAttempts int64          `json:"eliminate_attempts"`
 	CacheEntries      int            `json:"cache_entries"`
+	CacheShards       int            `json:"cache_shards,omitempty"`
+	CacheShardEntries []int          `json:"cache_shard_entries,omitempty"`
 	Warmed            int64          `json:"warmed,omitempty"`
 	Persist           *persist.Stats `json:"persist,omitempty"`
 }

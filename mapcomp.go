@@ -54,6 +54,18 @@
 // measured wall-clock durations vary. EXPERIMENTS.md records the
 // measured speedups against the pre-interning baseline.
 //
+// The serving layer applies the same discipline to its result cache:
+// composition results are stored in an N-way sharded cache (shard count
+// a power of two derived from GOMAXPROCS, keys hashed to shards), each
+// shard publishing an immutable copy-on-write view through an atomic
+// pointer, so a cache hit is a lock-free map probe with no cross-shard
+// lock traffic. Entries carry the response pre-encoded in the wire
+// format: hits, coalesced waiters, batch items and result fetches write
+// the stored bytes straight to the client with zero JSON marshals —
+// the hit path performs no encoding work at all, enforced by an
+// allocation/marshal regression guard (BenchmarkServerComposeHit) and a
+// CI throughput ceiling on the saturated benchmark.
+//
 // # Serving
 //
 // The intended deployments of composition — schema evolution, data
@@ -76,16 +88,19 @@
 //
 //   - internal/server is the mapcompd HTTP/JSON API (stdlib net/http):
 //     register schemas and mappings by POSTing the text format, request
-//     single or batched compositions, fetch cached results. Results live
-//     in a bounded LRU keyed on (catalog generation, endpoint pair,
-//     config fingerprint), so a repeated request against an unchanged
-//     catalog never re-runs ELIMINATE — verified by the server's
-//     step-count instrumentation (/v1/stats) — and identical in-flight
-//     requests are coalesced to one computation.
+//     single or batched compositions, fetch cached results. Results
+//     live in a bounded sharded cache keyed on (catalog generation,
+//     endpoint pair, config fingerprint) that stores each response
+//     pre-encoded, so a repeated request against an unchanged catalog
+//     never re-runs ELIMINATE — verified by the server's step-count
+//     instrumentation (/v1/stats) — and never re-encodes the response
+//     either; identical in-flight requests are coalesced to one
+//     computation per shard.
 //
 //   - cmd/mapcompd wires it together with flags for address, worker
-//     pool width, cache size and the compose deadline, plus graceful
-//     shutdown; examples/service is an end-to-end walkthrough.
+//     pool width, cache size and sharding, and the compose deadline,
+//     plus graceful shutdown; examples/service is an end-to-end
+//     walkthrough.
 //
 // Composition cost is worst-case exponential, so the serving stack is
 // preemptible end to end: ComposeContext / ComposeChainContext /
