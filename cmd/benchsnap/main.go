@@ -1,0 +1,238 @@
+// Command benchsnap produces the machine-readable benchmark snapshot
+// committed per PR (BENCH_*.json): the recorded perf trajectory the
+// ROADMAP asks for. It measures three things against an in-process
+// server (no TCP in the way):
+//
+//   - the cache hit path, ns per request (direct handler dispatch of a
+//     cached compose),
+//   - the mixed read/write workload: a catalog of many disjoint schema
+//     clusters, 1 cluster re-registration per 100 composes (each
+//     mutation touches <1% of the endpoint pairs), run twice — once
+//     with generation-delta cache survival (the default) and once with
+//     the wipe-on-write baseline (-delta=false) — reporting the
+//     steady-state cache hit rate of each and their ratio,
+//   - the snapshot-diff cost: mean ComputeDelta time per publish, µs.
+//
+// Usage:
+//
+//	benchsnap [-out BENCH.json] [-clusters N] [-rounds N] [-check]
+//
+// With -check the exit status enforces the PR 6 acceptance floor: the
+// delta hit rate must be at least 5× the wipe baseline. CI runs it on
+// every push, so a regression in cache survival fails the build rather
+// than silently eroding the hit rate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"mapcomp/internal/server"
+)
+
+// snapshot is the committed JSON document.
+type snapshot struct {
+	PR    int    `json:"pr"`
+	Go    string `json:"go"`
+	Procs int    `json:"gomaxprocs"`
+
+	HitPathNSPerOp int64 `json:"hit_path_ns_per_op"`
+
+	Mixed struct {
+		Clusters            int      `json:"clusters"`
+		Pairs               int      `json:"pairs"`
+		ComposesPerRegister int      `json:"composes_per_register"`
+		Rounds              int      `json:"rounds"`
+		MutationTouchesPct  float64  `json:"mutation_touches_pct"`
+		Delta               mixedRun `json:"delta"`
+		Wipe                mixedRun `json:"wipe"`
+		HitRateRatio        float64  `json:"hit_rate_ratio"`
+	} `json:"mixed_workload"`
+
+	DeltaComputeUSMean float64 `json:"delta_compute_us_mean"`
+}
+
+type mixedRun struct {
+	Requests int64   `json:"requests"`
+	Hits     int64   `json:"hits"`
+	Composes int64   `json:"composes"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+func clusterTask(i int) string {
+	return fmt.Sprintf(`
+schema c%da { A%d/2; }
+schema c%db { B%d/2; }
+schema c%dc { C%d/2; }
+map m%dab : c%da -> c%db { A%d <= B%d; }
+map m%dbc : c%db -> c%dc { B%d <= C%d; }
+`, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i)
+}
+
+func clusterPairs(i int) [][2]string {
+	a, b, c := fmt.Sprintf("c%da", i), fmt.Sprintf("c%db", i), fmt.Sprintf("c%dc", i)
+	return [][2]string{{a, b}, {b, c}, {a, c}}
+}
+
+// sink discards response bodies the way a kernel socket buffer would,
+// recording only the status — httptest.ResponseRecorder's per-request
+// buffers would dominate the hit-path measurement.
+type sink struct {
+	h    http.Header
+	code int
+}
+
+func (w *sink) Header() http.Header  { return w.h }
+func (w *sink) WriteHeader(code int) { w.code = code }
+func (w *sink) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return len(p), nil
+}
+
+// post dispatches one request directly into the handler.
+func post(s *server.Server, path string, body []byte) int {
+	rd := bytes.NewReader(body)
+	req := httptest.NewRequest("POST", path, rd)
+	req.Body = io.NopCloser(rd)
+	w := &sink{h: make(http.Header)}
+	s.ServeHTTP(w, req)
+	return w.code
+}
+
+func must(code int, what string) {
+	if code != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "benchsnap: %s: status %d\n", what, code)
+		os.Exit(1)
+	}
+}
+
+// buildServer registers the cluster catalog on a fresh server and warms
+// every pair once.
+func buildServer(clusters int, disableDelta bool) *server.Server {
+	s := server.New(server.Config{CacheBytes: 64 << 20, DisableDelta: disableDelta})
+	for i := 0; i < clusters; i++ {
+		must(post(s, "/v1/register", []byte(clusterTask(i))), "register")
+	}
+	for i := 0; i < clusters; i++ {
+		for _, p := range clusterPairs(i) {
+			must(post(s, "/v1/compose", composeBody(p)), "warm compose")
+		}
+	}
+	return s
+}
+
+func composeBody(p [2]string) []byte {
+	return []byte(fmt.Sprintf(`{"from":%q,"to":%q}`, p[0], p[1]))
+}
+
+// runMixed drives the steady-state mixed workload: per round, composesPerReg
+// uniform-random composes across every pair, then one cluster
+// re-registration. Both invalidation modes consume the identical
+// pseudo-random request stream (same seed), so the comparison is
+// apples to apples.
+func runMixed(s *server.Server, clusters, rounds, composesPerReg int, seed int64) mixedRun {
+	rng := rand.New(rand.NewSource(seed))
+	before := s.Stats()
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < composesPerReg; i++ {
+			p := clusterPairs(rng.Intn(clusters))[rng.Intn(3)]
+			must(post(s, "/v1/compose", composeBody(p)), "compose")
+		}
+		must(post(s, "/v1/register", []byte(clusterTask(rng.Intn(clusters)))), "register")
+	}
+	after := s.Stats()
+	out := mixedRun{
+		Requests: int64(rounds * composesPerReg),
+		Hits:     after.CacheHits - before.CacheHits,
+		Composes: after.Composes - before.Composes,
+	}
+	out.HitRate = float64(out.Hits) / float64(out.Requests)
+	return out
+}
+
+// measureHitPath times the end-to-end handler cost of one cached
+// compose request.
+func measureHitPath(s *server.Server, iters int) int64 {
+	body := composeBody(clusterPairs(0)[0])
+	must(post(s, "/v1/compose", body), "hit-path warm")
+	rd := bytes.NewReader(body)
+	req := httptest.NewRequest("POST", "/v1/compose", rd)
+	w := &sink{h: make(http.Header)}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		rd.Seek(0, io.SeekStart)
+		req.Body = io.NopCloser(rd)
+		w.code = 0
+		s.ServeHTTP(w, req)
+		if w.code != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "benchsnap: hit path status %d\n", w.code)
+			os.Exit(1)
+		}
+	}
+	return time.Since(start).Nanoseconds() / int64(iters)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR6.json", "output path for the benchmark snapshot")
+	clusters := flag.Int("clusters", 150, "disjoint 3-schema clusters in the benchmark catalog")
+	rounds := flag.Int("rounds", 30, "mixed-workload rounds (1 registration per round)")
+	composesPerReg := flag.Int("composes-per-register", 100, "compose requests per registration")
+	hitIters := flag.Int("hit-iters", 20000, "iterations for the hit-path timing")
+	check := flag.Bool("check", false, "exit non-zero unless delta hit rate ≥ 5× the wipe baseline")
+	flag.Parse()
+
+	var snap snapshot
+	snap.PR = 6
+	snap.Go = runtime.Version()
+	snap.Procs = runtime.GOMAXPROCS(0)
+
+	const seed = 61
+	deltaSrv := buildServer(*clusters, false)
+	snap.Mixed.Delta = runMixed(deltaSrv, *clusters, *rounds, *composesPerReg, seed)
+	wipeSrv := buildServer(*clusters, true)
+	snap.Mixed.Wipe = runMixed(wipeSrv, *clusters, *rounds, *composesPerReg, seed)
+
+	snap.Mixed.Clusters = *clusters
+	snap.Mixed.Pairs = *clusters * 3
+	snap.Mixed.ComposesPerRegister = *composesPerReg
+	snap.Mixed.Rounds = *rounds
+	snap.Mixed.MutationTouchesPct = 100 * 3 / float64(*clusters*3)
+	if snap.Mixed.Wipe.HitRate > 0 {
+		snap.Mixed.HitRateRatio = snap.Mixed.Delta.HitRate / snap.Mixed.Wipe.HitRate
+	}
+
+	st := deltaSrv.Stats()
+	if st.Migrations > 0 {
+		snap.DeltaComputeUSMean = float64(st.DeltaComputeUS) / float64(st.Migrations)
+	}
+	snap.HitPathNSPerOp = measureHitPath(deltaSrv, *hitIters)
+
+	b, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(b)
+
+	if *check && snap.Mixed.HitRateRatio < 5 {
+		fmt.Fprintf(os.Stderr, "benchsnap: FAIL: delta hit rate %.3f is only %.2f× the wipe baseline %.3f (floor 5×)\n",
+			snap.Mixed.Delta.HitRate, snap.Mixed.HitRateRatio, snap.Mixed.Wipe.HitRate)
+		os.Exit(1)
+	}
+}

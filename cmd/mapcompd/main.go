@@ -6,9 +6,9 @@
 //
 // Usage:
 //
-//	mapcompd [-addr :8391] [-workers N] [-cache-size N] [-cache-shards N]
+//	mapcompd [-addr :8391] [-workers N] [-cache-bytes N] [-cache-shards N]
 //	         [-compose-timeout D] [-data-dir DIR] [-snapshot-every N]
-//	         [-warm] [file.mc ...]
+//	         [-warm] [-rewarm] [-delta=false] [file.mc ...]
 //
 // Positional arguments are composition task files in the text format of
 // internal/parser, pre-loaded into the catalog at boot (with -data-dir
@@ -34,7 +34,25 @@
 //
 // With -warm the daemon precomputes compositions for every connected
 // schema pair in the background after recovery, so the result cache is
-// hot before the first client request arrives.
+// hot before the first client request arrives; pairs that already
+// survived into the cache (via migration) are skipped.
+//
+// # Cache survival
+//
+// Catalog mutations do not wipe the result cache. On every publish the
+// server diffs the old and new snapshots and drops only the entries
+// whose composition route actually changed; every other entry migrates
+// in place, keeping its key and pre-encoded bytes ("entries_migrated"
+// vs "entries_dropped" in /v1/stats). -delta=false reverts to the
+// wipe-on-write baseline for A/B comparison. With -rewarm a background
+// loop recomputes invalidated pairs — hottest first — as soon as a
+// mutation drops them, so steady read traffic finds the cache already
+// rebuilt ("rewarm_queue_depth" and "rewarmed" in /v1/stats).
+//
+// The cache is bounded by -cache-bytes (exact pre-encoded body sizes
+// plus per-entry overhead; default 64 MiB). -cache-size still bounds it
+// by entry count, deprecated and 0 (unbounded) by default; a negative
+// -cache-size disables caching entirely.
 //
 // # Preemption
 //
@@ -71,9 +89,16 @@ import (
 func main() {
 	addr := flag.String("addr", ":8391", "listen address (host:port; port 0 picks a free port)")
 	workers := flag.Int("workers", 0, "batch worker pool width (0 = GOMAXPROCS)")
-	cacheSize := flag.Int("cache-size", server.DefaultCacheSize, "result cache entries (negative disables caching)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20,
+		"result cache byte budget, charging exact pre-encoded body sizes plus per-entry overhead (0 = unbounded)")
+	cacheSize := flag.Int("cache-size", 0,
+		"deprecated: result cache bound in entries (0 = bytes-only via -cache-bytes; negative disables caching)")
 	cacheShards := flag.Int("cache-shards", 0,
 		"result cache shards, rounded up to a power of two, max 64 (0 = derived from GOMAXPROCS); /v1/stats reports per-shard entry counts")
+	delta := flag.Bool("delta", true,
+		"delta cache invalidation: migrate unaffected cache entries across catalog mutations (false = wipe-on-write baseline, for A/B)")
+	rewarm := flag.Bool("rewarm", false,
+		"recompute invalidated pairs in the background after each mutation, hottest first")
 	composeTimeout := flag.Duration("compose-timeout", 30*time.Second,
 		"server-side deadline per composition; expired deadlines return 504 (0 disables)")
 	dataDir := flag.String("data-dir", "", "durable catalog directory (empty = memory-only)")
@@ -124,8 +149,9 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Catalog: cat, CacheSize: *cacheSize, CacheShards: *cacheShards,
+		Catalog: cat, CacheSize: *cacheSize, CacheBytes: *cacheBytes, CacheShards: *cacheShards,
 		Persist: store, ComposeTimeout: *composeTimeout,
+		DisableDelta: !*delta, Rewarm: *rewarm,
 	})
 	// ReadHeaderTimeout defeats slowloris header dribbling and
 	// IdleTimeout reaps abandoned keep-alive connections; request bodies
@@ -162,6 +188,12 @@ func main() {
 				}
 			}
 		}()
+	}
+
+	if *rewarm {
+		// Drains the delta-invalidation queue until shutdown; idle when
+		// nothing is invalidated.
+		go srv.Rewarm(ctx)
 	}
 
 	if *warm {

@@ -20,6 +20,12 @@
 // /v1/stats reports the shard count and per-shard entry distribution
 // under cache_shards / cache_shard_entries.
 //
+// Entries survive catalog mutations: each publish diffs the old and new
+// catalog snapshots and drops only the entries whose composition route
+// changed, migrating the rest in place (step 6 below shows both
+// outcomes). The cache is bounded in bytes (mapcompd -cache-bytes), and
+// -rewarm recomputes invalidated pairs in the background.
+//
 // # Deadlines
 //
 // Composition cost is worst-case exponential, so a production daemon
@@ -101,7 +107,29 @@ func main() {
 	fmt.Printf("cache shards: %v, per-shard entries: %v\n",
 		gjson(stats, "cache_shards"), gjson(stats, "cache_shard_entries"))
 
-	// 6. Deadlines. A server with a (deliberately absurd) 1ns compose
+	// 6. Cache survival. Catalog mutations no longer wipe the result
+	// cache: on every publish the server diffs the old and new snapshots
+	// and migrates every entry whose composition route is untouched. An
+	// unrelated registration leaves original→split cached (same key,
+	// same route generation, no ELIMINATE re-run); re-registering the
+	// chain itself invalidates exactly the routes through it, so the
+	// next compose is cold again. /v1/stats splits each publish into
+	// entries_migrated vs entries_dropped. mapcompd -delta=false reverts
+	// to wipe-on-write for A/B, and -rewarm recomputes dropped pairs in
+	// the background, hottest first.
+	post(ts.URL+"/v1/register", "text/plain", "schema unrelated { U/1; }")
+	survived := post(ts.URL+"/v1/compose", "application/json", `{"from":"original","to":"split"}`)
+	fmt.Printf("\nafter an unrelated registration: cached=%v, key=%v (entry migrated in place)\n",
+		gjson(survived, "cached"), gjson(survived, "key"))
+	post(ts.URL+"/v1/register", "text/plain", chainTask)
+	invalidated := post(ts.URL+"/v1/compose", "application/json", `{"from":"original","to":"split"}`)
+	fmt.Printf("after re-registering the chain: cached=%v (route changed, entry dropped)\n",
+		gjson(invalidated, "cached"))
+	stats = get(ts.URL + "/v1/stats")
+	fmt.Printf("migrations: %v, entries migrated: %v, entries dropped: %v\n",
+		gjson(stats, "migrations"), gjson(stats, "entries_migrated"), gjson(stats, "entries_dropped"))
+
+	// 7. Deadlines. A server with a (deliberately absurd) 1ns compose
 	// timeout preempts every composition: the request comes back as 504
 	// and the error body names the resolved path it was about to
 	// compose. Real deployments pass something like

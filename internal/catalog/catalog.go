@@ -31,6 +31,14 @@
 // generation counter — into a virgin catalog, after which replaying
 // logged mutations through the ordinary registration paths reconstructs
 // the exact pre-crash state.
+//
+// The copy-on-write snapshots also power precise cache invalidation:
+// Snap hands out an immutable snapshot, Snap.Route resolves a pair to
+// its chain plus a route generation (the newest mutation that affected
+// the route), ComputeDelta diffs two snapshots into the exact set of
+// endpoint pairs whose route changed, and SetPublishHook lets the
+// serving layer observe every publication in order so it can migrate
+// its result cache by that delta instead of wiping it (see delta.go).
 package catalog
 
 import (
@@ -218,11 +226,24 @@ func (v *view) mutate() *view {
 // Catalog is the copy-on-write store. The zero value is not usable; use
 // New.
 type Catalog struct {
-	// mu serializes mutations (and logger attachment); reads never take
-	// it.
+	// mu serializes mutations (and logger/hook attachment); reads never
+	// take it.
 	mu     sync.Mutex
 	snap   atomic.Pointer[view]
 	logger Logger
+	// publish, when attached, observes every snapshot publication in
+	// order, inside mu, right after the new snapshot becomes visible
+	// (see PublishHook in delta.go).
+	publish PublishHook
+}
+
+// published stores next as the current snapshot and notifies the
+// publish hook. Caller holds mu; prev is the snapshot next replaces.
+func (c *Catalog) published(prev, next *view) {
+	c.snap.Store(next)
+	if c.publish != nil {
+		c.publish(Snap{v: prev}, Snap{v: next})
+	}
 }
 
 // New returns an empty catalog at generation 0.
@@ -292,7 +313,7 @@ func (c *Catalog) RegisterSchema(name string, sch *algebra.Schema) (*SchemaEntry
 	next.gen++
 	entry.Generation = next.gen
 	next.schemas[name] = entry
-	c.snap.Store(next.freeze(cur))
+	c.published(cur, next.freeze(cur))
 	return entry, nil
 }
 
@@ -366,7 +387,7 @@ func (c *Catalog) RegisterMapping(name, from, to string, cs algebra.ConstraintSe
 	next.gen++
 	entry.Generation = next.gen
 	next.maps[name] = entry
-	c.snap.Store(next.freeze(cur))
+	c.published(cur, next.freeze(cur))
 	return entry, nil
 }
 
@@ -453,7 +474,7 @@ func (c *Catalog) Apply(p *parser.Problem) (uint64, error) {
 		}
 		next.maps[name] = entry
 	}
-	c.snap.Store(next.freeze(cur))
+	c.published(cur, next.freeze(cur))
 	return next.gen, nil
 }
 
@@ -638,7 +659,7 @@ func (c *Catalog) Restore(schemas []*SchemaEntry, maps []*MappingEntry, gen uint
 		}
 	}
 	next.gen = gen
-	c.snap.Store(next.freeze(cur))
+	c.published(cur, next.freeze(cur))
 	return nil
 }
 

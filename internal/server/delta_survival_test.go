@@ -1,0 +1,338 @@
+package server
+
+// Tests for generation-delta cache survival: the equivalence property
+// test (delta-invalidated cache ≡ wipe-everything cache ≡ full
+// recompute, byte for byte), the -race migration hammer (registration
+// storm against saturated reads, counter identity per publish), the
+// warm-skip behaviour and the background rewarm loop.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// clusterTask renders a self-contained registration body for cluster i:
+// a three-schema chain c<i>a → c<i>b → c<i>c. Re-registering the body
+// bumps the cluster's schema and mapping revisions, invalidating
+// exactly the cluster's routes and nothing else.
+func clusterTask(i int) string {
+	return fmt.Sprintf(`
+schema c%da { A%d/2; }
+schema c%db { B%d/2; }
+schema c%dc { C%d/2; }
+map m%dab : c%da -> c%db { A%d <= B%d; }
+map m%dbc : c%db -> c%dc { B%d <= C%d; }
+`, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i)
+}
+
+// clusterPairs are the connected ordered pairs inside one cluster.
+func clusterPairs(i int) [][2]string {
+	a, b, c := fmt.Sprintf("c%da", i), fmt.Sprintf("c%db", i), fmt.Sprintf("c%dc", i)
+	return [][2]string{{a, b}, {b, c}, {a, c}}
+}
+
+// normalizeResponse strips the two legitimately volatile response
+// fields — the cached flag and the measured composition durations — and
+// re-renders through the canonical encoder. Every other byte (path,
+// route generation, key, constraints, fingerprint, eliminations,
+// attempt counts) must be identical across a migrated entry, a fresh
+// recompute and a wipe-rebuilt entry.
+func normalizeResponse(t *testing.T, rec *httptest.ResponseRecorder) []byte {
+	t.Helper()
+	resp := decode[ComposeResponse](t, rec)
+	resp.Cached = false
+	if resp.Result != nil {
+		resp.Result.Stats.DurationMS = 0
+	}
+	b, err := marshalWire(&resp)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	return b
+}
+
+// TestDeltaEquivalenceProperty interleaves randomized cluster
+// re-registrations with composes over three servers fed identical
+// mutation streams: one with delta invalidation (the default), one with
+// wipe-on-write (DisableDelta), and one with the cache disabled — the
+// full-recompute oracle. After every mutation the full pair sweep must
+// agree byte-for-byte (modulo the cached flag and measured durations)
+// across all three, which proves both halves of the property: a
+// migrated entry is byte-identical to a wipe-rebuilt one, and no
+// route-changed pair is ever served a stale migrated entry (the oracle
+// recomputes everything, every time).
+func TestDeltaEquivalenceProperty(t *testing.T) {
+	const clusters = 6
+	delta := New(Config{})
+	wipe := New(Config{DisableDelta: true})
+	oracle := New(Config{CacheSize: -1})
+	servers := []*Server{delta, wipe, oracle}
+
+	apply := func(body string) {
+		t.Helper()
+		for _, s := range servers {
+			if rec := do(t, s, "POST", "/v1/register", body); rec.Code != http.StatusOK {
+				t.Fatalf("register: %d %s", rec.Code, rec.Body)
+			}
+		}
+	}
+	for i := 0; i < clusters; i++ {
+		apply(clusterTask(i))
+	}
+
+	sweep := func(step string) {
+		t.Helper()
+		for i := 0; i < clusters; i++ {
+			for _, p := range clusterPairs(i) {
+				body := fmt.Sprintf(`{"from":%q,"to":%q}`, p[0], p[1])
+				var got [][]byte
+				for _, s := range servers {
+					rec := do(t, s, "POST", "/v1/compose", body)
+					if rec.Code != http.StatusOK {
+						t.Fatalf("%s: compose %s: %d %s", step, body, rec.Code, rec.Body)
+					}
+					got = append(got, normalizeResponse(t, rec))
+				}
+				if !bytes.Equal(got[0], got[1]) {
+					t.Fatalf("%s: %s: delta cache diverged from wipe cache:\ndelta %s\nwipe  %s", step, body, got[0], got[1])
+				}
+				if !bytes.Equal(got[0], got[2]) {
+					t.Fatalf("%s: %s: delta cache diverged from full recompute:\ndelta  %s\noracle %s", step, body, got[0], got[2])
+				}
+			}
+		}
+	}
+
+	sweep("initial")
+	rng := rand.New(rand.NewSource(61))
+	for step := 0; step < 12; step++ {
+		// Mutate: mostly cluster re-registrations (route-changing for
+		// that cluster), sometimes an unrelated noise schema (route-
+		// changing for nothing).
+		if rng.Intn(3) == 0 {
+			apply(fmt.Sprintf("schema noise%d { N%d/1; }", step, step))
+		} else {
+			apply(clusterTask(rng.Intn(clusters)))
+		}
+		// A few random composes first, so the sweep also compares pairs
+		// whose entries were touched at different recencies.
+		for k := 0; k < 4; k++ {
+			p := clusterPairs(rng.Intn(clusters))[rng.Intn(3)]
+			body := fmt.Sprintf(`{"from":%q,"to":%q}`, p[0], p[1])
+			for _, s := range servers {
+				if rec := do(t, s, "POST", "/v1/compose", body); rec.Code != http.StatusOK {
+					t.Fatalf("compose %s: %d %s", body, rec.Code, rec.Body)
+				}
+			}
+		}
+		sweep(fmt.Sprintf("step %d", step))
+	}
+
+	// The whole point: the delta cache must have actually survived —
+	// far fewer recomputations than the wipe baseline.
+	dc, wc := delta.Stats(), wipe.Stats()
+	if dc.Composes >= wc.Composes {
+		t.Fatalf("delta server composed %d times, wipe server %d — survival bought nothing", dc.Composes, wc.Composes)
+	}
+	if dc.EntriesMigrated == 0 {
+		t.Fatal("no entries were ever migrated")
+	}
+}
+
+// TestMigrationHammer runs a registration storm (both route-changing
+// cluster re-registrations and unrelated noise schemas) against
+// saturated concurrent composes under -race, asserting on every single
+// publish the counter identity candidates = migrated + dropped — every
+// pre-publish entry is classified exactly once, none lost, none seen
+// twice — and that no request ever observes a torn view (non-200, or a
+// response for the wrong pair).
+func TestMigrationHammer(t *testing.T) {
+	const clusters = 4
+	s := New(Config{CacheShards: 8})
+	var mu sync.Mutex
+	var records []migrationRecord
+	s.migrateHook = func(r migrationRecord) {
+		mu.Lock()
+		records = append(records, r)
+		mu.Unlock()
+	}
+	for i := 0; i < clusters; i++ {
+		if rec := do(t, s, "POST", "/v1/register", clusterTask(i)); rec.Code != http.StatusOK {
+			t.Fatalf("register: %d %s", rec.Code, rec.Body)
+		}
+	}
+
+	const (
+		readWorkers = 6
+		regWorkers  = 2
+		iters       = 40
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < readWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				p := clusterPairs(rng.Intn(clusters))[rng.Intn(3)]
+				rec := do(t, s, "POST", "/v1/compose", fmt.Sprintf(`{"from":%q,"to":%q}`, p[0], p[1]))
+				if rec.Code != http.StatusOK {
+					t.Errorf("compose %v: %d %s", p, rec.Code, rec.Body)
+					return
+				}
+				resp := decode[ComposeResponse](t, rec)
+				if resp.From != p[0] || resp.To != p[1] {
+					t.Errorf("torn response: asked %v, got %s→%s", p, resp.From, resp.To)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < regWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < iters/2; i++ {
+				var body string
+				if rng.Intn(2) == 0 {
+					body = clusterTask(rng.Intn(clusters))
+				} else {
+					body = fmt.Sprintf("schema hnoise%d_%d { H%d_%d/1; }", w, i, w, i)
+				}
+				if rec := do(t, s, "POST", "/v1/register", body); rec.Code != http.StatusOK {
+					t.Errorf("register: %d %s", rec.Code, rec.Body)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(records) != clusters+regWorkers*(iters/2) {
+		t.Fatalf("observed %d migrations, want one per publish (%d)", len(records), clusters+regWorkers*(iters/2))
+	}
+	var lastGen uint64
+	for _, r := range records {
+		if r.candidates != r.migrated+r.dropped {
+			t.Fatalf("publish %d→%d: candidates %d != migrated %d + dropped %d",
+				r.fromGen, r.toGen, r.candidates, r.migrated, r.dropped)
+		}
+		if r.fromGen != lastGen || r.toGen != lastGen+1 {
+			t.Fatalf("publishes out of order: %d→%d after generation %d", r.fromGen, r.toGen, lastGen)
+		}
+		lastGen = r.toGen
+	}
+}
+
+// TestWarmSkipsMigratedEntries: a warm-up after entries survived a
+// migration recomputes nothing; after a route-changing mutation it
+// recomputes exactly the invalidated pairs.
+func TestWarmSkipsMigratedEntries(t *testing.T) {
+	s := New(Config{})
+	if rec := do(t, s, "POST", "/v1/register", clusterTask(0)); rec.Code != http.StatusOK {
+		t.Fatalf("register: %d %s", rec.Code, rec.Body)
+	}
+	for _, p := range clusterPairs(0) {
+		if rec := do(t, s, "POST", "/v1/compose", fmt.Sprintf(`{"from":%q,"to":%q}`, p[0], p[1])); rec.Code != http.StatusOK {
+			t.Fatalf("compose: %d %s", rec.Code, rec.Body)
+		}
+	}
+	// Unrelated mutation: all three entries migrate in place.
+	if rec := do(t, s, "POST", "/v1/register", "schema warmnoise { W/1; }"); rec.Code != http.StatusOK {
+		t.Fatalf("register noise: %d %s", rec.Code, rec.Body)
+	}
+	before := s.Stats().Composes
+	if n := s.Warm(context.Background()); n != 0 {
+		t.Fatalf("Warm recomputed %d surviving pairs, want 0", n)
+	}
+	if got := s.Stats().Composes; got != before {
+		t.Fatalf("Warm ran %d compositions for surviving entries", got-before)
+	}
+	// Route-changing mutation: the cluster's entries drop, Warm rebuilds
+	// exactly them.
+	if rec := do(t, s, "POST", "/v1/register", clusterTask(0)); rec.Code != http.StatusOK {
+		t.Fatalf("re-register: %d %s", rec.Code, rec.Body)
+	}
+	if n := s.Warm(context.Background()); n != 3 {
+		t.Fatalf("Warm rebuilt %d pairs, want the 3 invalidated", n)
+	}
+	if got := s.Stats().Composes; got != before+3 {
+		t.Fatalf("composes = %d, want %d", got, before+3)
+	}
+}
+
+// TestRewarmRebuildsInvalidatedPairs: with -rewarm semantics enabled, a
+// route-changing mutation queues the dropped pairs and the background
+// loop recomputes them without any client request; the next request is
+// a hit.
+func TestRewarmRebuildsInvalidatedPairs(t *testing.T) {
+	s := New(Config{Rewarm: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rewarmDone := make(chan struct{})
+	go func() { defer close(rewarmDone); s.Rewarm(ctx) }()
+
+	if rec := do(t, s, "POST", "/v1/register", clusterTask(0)); rec.Code != http.StatusOK {
+		t.Fatalf("register: %d %s", rec.Code, rec.Body)
+	}
+	for _, p := range clusterPairs(0) {
+		if rec := do(t, s, "POST", "/v1/compose", fmt.Sprintf(`{"from":%q,"to":%q}`, p[0], p[1])); rec.Code != http.StatusOK {
+			t.Fatalf("compose: %d %s", rec.Code, rec.Body)
+		}
+	}
+	composesBefore := s.Stats().Composes
+
+	// Invalidate the cluster; the rewarm loop must rebuild all three
+	// pairs on its own.
+	if rec := do(t, s, "POST", "/v1/register", clusterTask(0)); rec.Code != http.StatusOK {
+		t.Fatalf("re-register: %d %s", rec.Code, rec.Body)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Rewarmed >= 3 && st.RewarmQueueDepth == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rewarm never completed: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := s.Stats().Composes; got != composesBefore+3 {
+		t.Fatalf("rewarm composes = %d, want %d", got, composesBefore+3)
+	}
+
+	// Every pair is a hit now — the client pays nothing post-mutation.
+	for _, p := range clusterPairs(0) {
+		rec := do(t, s, "POST", "/v1/compose", fmt.Sprintf(`{"from":%q,"to":%q}`, p[0], p[1]))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("compose: %d %s", rec.Code, rec.Body)
+		}
+		if resp := decode[ComposeResponse](t, rec); !resp.Cached {
+			t.Fatalf("pair %v not rewarmed", p)
+		}
+	}
+	if got := s.Stats().Composes; got != composesBefore+3 {
+		t.Fatalf("post-rewarm requests recomputed: composes = %d, want %d", got, composesBefore+3)
+	}
+
+	cancel()
+	select {
+	case <-rewarmDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Rewarm loop did not stop on context cancellation")
+	}
+}

@@ -118,18 +118,18 @@ func TestCancelledComposeNeverCachedAndWaitersObserveError(t *testing.T) {
 // and completes the computation — the leader's cancellation is not
 // inherited.
 func TestAbandonedFlightHandsOffToLiveWaiter(t *testing.T) {
-	c := newResultCache(4, 0)
-	key := cacheKey{gen: 1, from: "a", to: "b", cfg: 7}
+	c := newResultCache(4, 0, 0)
+	pair := pairKey{from: "a", to: "b", cfg: 7}
 
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
 	leaderIn := make(chan struct{})
 	leaderGo := make(chan struct{})
 	leaderDone := make(chan error, 1)
 	go func() {
-		_, _, err := c.do(leaderCtx, key, func(ctx context.Context) (*ComposeResponse, error) {
+		_, _, err := c.do(leaderCtx, pair, 1, func(ctx context.Context) (*ComposeResponse, uint64, error) {
 			close(leaderIn)
 			<-leaderGo
-			return nil, ctx.Err()
+			return nil, 0, ctx.Err()
 		})
 		leaderDone <- err
 	}()
@@ -139,9 +139,9 @@ func TestAbandonedFlightHandsOffToLiveWaiter(t *testing.T) {
 	waiterDone := make(chan error, 1)
 	var got *cacheEntry
 	go func() {
-		ent, _, err := c.do(context.Background(), key, func(context.Context) (*ComposeResponse, error) {
+		ent, _, err := c.do(context.Background(), pair, 1, func(context.Context) (*ComposeResponse, uint64, error) {
 			waiterRan <- struct{}{}
-			return &ComposeResponse{From: "a", To: "b", Key: "k"}, nil
+			return &ComposeResponse{From: "a", To: "b", Key: "k"}, 1, nil
 		})
 		got = ent
 		waiterDone <- err
@@ -175,24 +175,24 @@ func TestAbandonedFlightHandsOffToLiveWaiter(t *testing.T) {
 // stops waiting when its own context ends, without disturbing the
 // leader's computation.
 func TestWaiterOwnDeadlineWins(t *testing.T) {
-	c := newResultCache(4, 0)
-	key := cacheKey{gen: 1, from: "a", to: "b", cfg: 7}
+	c := newResultCache(4, 0, 0)
+	pair := pairKey{from: "a", to: "b", cfg: 7}
 	leaderGo := make(chan struct{})
 	leaderIn := make(chan struct{})
 	go func() {
-		_, _, _ = c.do(context.Background(), key, func(context.Context) (*ComposeResponse, error) {
+		_, _, _ = c.do(context.Background(), pair, 1, func(context.Context) (*ComposeResponse, uint64, error) {
 			close(leaderIn)
 			<-leaderGo
-			return &ComposeResponse{From: "a", Key: "k"}, nil
+			return &ComposeResponse{From: "a", Key: "k"}, 1, nil
 		})
 	}()
 	<-leaderIn
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
 	defer cancel()
-	_, kind, err := c.do(ctx, key, func(context.Context) (*ComposeResponse, error) {
+	_, kind, err := c.do(ctx, pair, 1, func(context.Context) (*ComposeResponse, uint64, error) {
 		t.Error("waiter with dead context must not compute")
-		return nil, nil
+		return nil, 0, nil
 	})
 	if !errors.Is(err, context.DeadlineExceeded) || kind != coalesced {
 		t.Fatalf("waiter got (%v, %v), want its own deadline error while coalesced", kind, err)

@@ -2,12 +2,17 @@
 // over internal/catalog that registers schemas and mappings (accepting
 // the internal/parser text format as the wire payload) and answers
 // single and batched composition requests. Results are cached in a
-// bounded, sharded cache keyed on (catalog generation, endpoint pair,
-// config fingerprint): entries store the response pre-encoded in the
-// wire format, so repeated requests against an unchanged catalog are
-// served without re-running ELIMINATE and without marshaling anything —
-// a hit is a lock-free shard probe plus a byte copy to the socket — and
-// identical in-flight requests are coalesced to a single computation.
+// bounded, sharded cache keyed on (endpoint pair, config fingerprint)
+// with the catalog generation as a validated-at watermark: entries
+// store the response pre-encoded in the wire format, so repeated
+// requests are served without re-running ELIMINATE and without
+// marshaling anything — a hit is a lock-free shard probe plus a byte
+// copy to the socket — and identical in-flight requests are coalesced
+// to a single computation. Catalog mutations do not wipe the cache: a
+// publish hook diffs the old and new snapshots (catalog.ComputeDelta),
+// drops only the entries whose route actually changed, migrates every
+// other entry in place by bumping its watermark, and optionally feeds
+// the invalidated pairs to a background rewarm loop (hot pairs first).
 // Everything is stdlib net/http; the server is safe for concurrent use.
 //
 // Endpoints (all under /v1):
@@ -57,9 +62,15 @@ type Config struct {
 	// Catalog is the backing store; nil creates a fresh empty catalog.
 	Catalog *catalog.Catalog
 	// CacheSize bounds the result cache in entries. 0 means
-	// DefaultCacheSize; negative disables caching and coalescing
-	// entirely (used by the cold-path benchmark).
+	// DefaultCacheSize unless CacheBytes sets a byte budget; negative
+	// disables caching and coalescing entirely (used by the cold-path
+	// benchmark). Deprecated in mapcompd in favour of -cache-bytes;
+	// kept as the exact entry bound for callers that want one.
 	CacheSize int
+	// CacheBytes bounds the result cache by exact byte footprint
+	// (pre-encoded body sizes plus fixed per-entry overhead). 0 means
+	// no byte budget. Both bounds apply when both are set.
+	CacheBytes int64
 	// CacheShards sets the result cache's shard count (mapcompd's
 	// -cache-shards). 0 derives a power of two from GOMAXPROCS; other
 	// values round up to a power of two, capped at 64. Small caches
@@ -79,6 +90,17 @@ type Config struct {
 	// attempts and surfaces as 504 with the partial statistics; the
 	// result is never cached.
 	ComposeTimeout time.Duration
+	// DisableDelta reverts cache invalidation to the wipe-on-write
+	// baseline: every catalog publish drops every pre-publish entry
+	// instead of migrating the unaffected ones (mapcompd -delta=false,
+	// for A/B benchmarking the delta machinery).
+	DisableDelta bool
+	// Rewarm enables the background rewarm queue: pairs a publish
+	// invalidated (and pairs that became newly reachable) are queued,
+	// hottest first, for recomputation by Server.Rewarm. The caller
+	// must run Rewarm on a goroutine for the queue to drain (mapcompd
+	// -rewarm does).
+	Rewarm bool
 }
 
 // Server is the HTTP handler. Create with New.
@@ -90,6 +112,8 @@ type Server struct {
 	cacheCap int
 	persist  *persist.Store // nil without a durability backend
 	timeout  time.Duration  // server-side compose deadline; 0 = none
+	deltaOff bool           // wipe-on-write baseline (Config.DisableDelta)
+	rewarmQ  *rewarmQueue   // nil unless Config.Rewarm
 	mux      *http.ServeMux
 
 	composes      atomic.Int64 // compositions actually run
@@ -98,17 +122,38 @@ type Server struct {
 	resultFetches atomic.Int64 // GET /v1/results hits
 	elimAttempts  atomic.Int64 // summed Stats.Attempted of the runs
 	warmed        atomic.Int64 // pairs precomputed by Warm
+	rewarmed      atomic.Int64 // pairs recomputed by the rewarm loop
+
+	migrations      atomic.Int64 // catalog publishes the cache transitioned across
+	entriesMigrated atomic.Int64 // entries whose watermark was bumped in place
+	entriesDropped  atomic.Int64 // entries a publish invalidated
+	deltaUS         atomic.Int64 // cumulative ComputeDelta time, µs
 
 	// composeHook, when non-nil, runs inside every real composition
 	// before ComposeChain, receiving the composition's context; tests
 	// use it to hold computations open (or until the deadline has
 	// demonstrably expired) so coalescing and preemption are observable.
 	composeHook func(context.Context)
+	// migrateHook, when non-nil, observes every publish-driven cache
+	// migration with its per-publish counters; the race hammer uses it
+	// to assert the candidates = migrated + dropped identity on every
+	// generation.
+	migrateHook func(migrationRecord)
 }
 
-// New builds a Server around cfg.
+// migrationRecord is one publish-driven cache transition as observed by
+// the migrate hook.
+type migrationRecord struct {
+	fromGen, toGen                uint64
+	candidates, migrated, dropped int
+}
+
+// New builds a Server around cfg. When caching is enabled the server
+// installs itself as the catalog's publish hook, so every mutation —
+// whoever drives it — migrates the cache by the snapshot delta.
 func New(cfg Config) *Server {
-	s := &Server{cat: cfg.Catalog, cfg: cfg.Compose, persist: cfg.Persist, timeout: cfg.ComposeTimeout}
+	s := &Server{cat: cfg.Catalog, cfg: cfg.Compose, persist: cfg.Persist,
+		timeout: cfg.ComposeTimeout, deltaOff: cfg.DisableDelta}
 	if s.cat == nil {
 		s.cat = catalog.New()
 	}
@@ -117,12 +162,21 @@ func New(cfg Config) *Server {
 	}
 	s.cfgFP = s.cfg.Fingerprint()
 	size := cfg.CacheSize
-	if size == 0 {
+	if size == 0 && cfg.CacheBytes == 0 {
 		size = DefaultCacheSize
 	}
-	if size > 0 {
-		s.cache = newResultCache(size, cfg.CacheShards)
+	if size >= 0 {
+		s.cache = newResultCache(size, cfg.CacheBytes, cfg.CacheShards)
 		s.cacheCap = size
+		if size == 0 {
+			// Bytes-only bound: cap Warm's pair sweep at the smallest
+			// entry count that could exhaust the budget.
+			s.cacheCap = int(cfg.CacheBytes / entryOverhead)
+		}
+		if cfg.Rewarm {
+			s.rewarmQ = newRewarmQueue()
+		}
+		s.cat.SetPublishHook(s.onPublish)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/register", s.handleRegister)
@@ -153,11 +207,20 @@ func (s *Server) Stats() StatsResponse {
 		ResultFetches:     s.resultFetches.Load(),
 		EliminateAttempts: s.elimAttempts.Load(),
 		Warmed:            s.warmed.Load(),
+		Rewarmed:          s.rewarmed.Load(),
+		Migrations:        s.migrations.Load(),
+		EntriesMigrated:   s.entriesMigrated.Load(),
+		EntriesDropped:    s.entriesDropped.Load(),
+		DeltaComputeUS:    s.deltaUS.Load(),
 	}
 	if s.cache != nil {
 		out.CacheEntries = s.cache.len()
+		out.CacheBytes = s.cache.bytes()
 		out.CacheShards = len(s.cache.shards)
 		out.CacheShardEntries = s.cache.shardLens()
+	}
+	if s.rewarmQ != nil {
+		out.RewarmQueueDepth = s.rewarmQ.depth()
 	}
 	if s.persist != nil {
 		st := s.persist.Stats()
@@ -177,14 +240,17 @@ func (s *Server) Stats() StatsResponse {
 // beyond it would evict its own entries). Warm returns the number of
 // pairs actually cached — the same count /v1/stats reports as "warmed"
 // — and skips pairs whose composition fails: Warm is an optimization
-// pass, the request path reports real errors. Each pair runs under the
-// server's compose deadline, if any, so one pathological pair cannot
-// stall the whole warm-up. cmd/mapcompd runs Warm in the background
-// after recovery.
+// pass, the request path reports real errors. Pairs already cached with
+// a current watermark are skipped, so a warm-up after recovery does not
+// recompute entries that survived via migration. Each pair runs under
+// the server's compose deadline, if any, so one pathological pair
+// cannot stall the whole warm-up. cmd/mapcompd runs Warm in the
+// background after recovery.
 func (s *Server) Warm(ctx context.Context) int {
 	if s.cache == nil {
 		return 0
 	}
+	gen := s.cat.Generation()
 	schemas, _, _ := s.cat.Snapshot()
 	var pairs [][2]string
 	for _, a := range schemas {
@@ -194,6 +260,9 @@ func (s *Server) Warm(ctx context.Context) int {
 			}
 			if a.Name == b.Name {
 				continue
+			}
+			if s.cache.valid(pairKey{from: a.Name, to: b.Name, cfg: s.cfgFP}, gen) {
+				continue // survived migration; nothing to recompute
 			}
 			if _, err := s.cat.Path(a.Name, b.Name); err == nil {
 				pairs = append(pairs, [2]string{a.Name, b.Name})
@@ -365,53 +434,61 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 }
 
 // keyString renders a cache key as the wire handle clients fetch results
-// by. Schema names are identifiers, so '.' never collides.
-func keyString(k cacheKey) string {
-	return fmt.Sprintf("g%d.%s.%s.%016x", k.gen, k.from, k.to, k.cfg)
+// by. Schema names are identifiers, so '.' never collides. gen is the
+// route generation — the newest mutation that affected this route — so
+// the handle (like the entry it names) is stable across unrelated
+// catalog mutations.
+func keyString(gen uint64, pair pairKey) string {
+	return fmt.Sprintf("g%d.%s.%s.%016x", gen, pair.from, pair.to, pair.cfg)
 }
 
-// compose resolves and composes one pair through the cache. The cache is
-// probed on the generation alone, so a hit skips not just ELIMINATE but
-// also path resolution, chain materialization and — because the entry
-// carries its pre-encoded wire bytes — response encoding; even the key
-// string is only rendered inside the computation. (If the catalog
-// mutates between the generation read and the snapshot, the entry is
-// keyed at the older generation but holds the fresher result — requests
-// observing the new generation simply miss and recompute.) ctx preempts
-// the composition between elimination strategies; a preempted run is
-// never cached and its in-flight slot is handed off to any live waiter
-// (see resultCache).
+// compose resolves and composes one pair through the cache. The cache
+// is probed on the pair alone (the observed generation only gates the
+// entry's watermark), so a hit skips not just ELIMINATE but also path
+// resolution, chain materialization and — because the entry carries its
+// pre-encoded wire bytes — response encoding; even the key string is
+// only rendered inside the computation. The response's Generation and
+// Key carry the route generation, which unrelated mutations never move
+// — a migrated entry and a fresh recompute of an unchanged route are
+// byte-identical. (If the catalog mutates between the generation read
+// and the snapshot, the entry is watermarked at the fresher snapshot's
+// generation — requests observing the new generation hit it directly.)
+// ctx preempts the composition between elimination strategies; a
+// preempted run is never cached and its in-flight slot is handed off to
+// any live waiter (see resultCache).
 func (s *Server) compose(ctx context.Context, from, to string) (*cacheEntry, hitKind, error) {
-	key := cacheKey{gen: s.cat.Generation(), from: from, to: to, cfg: s.cfgFP}
-	run := func(ctx context.Context) (*ComposeResponse, error) {
+	pair := pairKey{from: from, to: to, cfg: s.cfgFP}
+	gen := s.cat.Generation()
+	run := func(ctx context.Context) (*ComposeResponse, uint64, error) {
 		if s.composeHook != nil {
 			s.composeHook(ctx)
 		}
-		ms, path, gen, err := s.cat.Chain(from, to)
+		snap := s.cat.Snap()
+		route, err := snap.Route(from, to)
 		if err != nil {
-			// path is the partial route this snapshot resolved.
-			return nil, &pathError{path: path, err: err}
+			// route.Path is the partial route this snapshot resolved.
+			return nil, 0, &pathError{path: route.Path, err: err}
 		}
-		res, err := core.ComposeChain(ctx, ms, s.cfg)
+		res, err := core.ComposeChain(ctx, route.Mappings(), s.cfg)
 		if err != nil {
-			return nil, &pathError{path: path, err: err}
+			return nil, 0, &pathError{path: route.Path, err: err}
 		}
 		s.composes.Add(1)
 		s.elimAttempts.Add(int64(res.Stats.Attempted))
 		return &ComposeResponse{
-			From: from, To: to, Path: path,
-			Generation: gen, Key: keyString(key),
+			From: from, To: to, Path: route.Path,
+			Generation: route.Gen, Key: keyString(route.Gen, pair),
 			Result: NewResultJSON(res),
-		}, nil
+		}, snap.Generation(), nil
 	}
 	if s.cache == nil {
-		resp, err := run(ctx)
+		resp, _, err := run(ctx)
 		if err != nil {
 			return nil, computed, err
 		}
-		return &cacheEntry{key: key, skey: resp.Key, resp: resp}, computed, nil
+		return &cacheEntry{pair: pair, skey: resp.Key, resp: resp}, computed, nil
 	}
-	ent, kind, err := s.cache.do(ctx, key, run)
+	ent, kind, err := s.cache.do(ctx, pair, gen, run)
 	switch kind {
 	case cacheHit:
 		s.cacheHits.Add(1)

@@ -129,8 +129,10 @@ func TestComposeEndpoint(t *testing.T) {
 
 // TestCacheHitSkipsEliminate is the acceptance check: a repeated request
 // on an unchanged catalog is served from the cache without re-running
-// ELIMINATE, verified by the step-count instrumentation; a catalog
-// mutation invalidates the cache via the generation key component.
+// ELIMINATE, verified by the step-count instrumentation. An unrelated
+// catalog mutation migrates the entry — it keeps serving, at its
+// original route generation — while a mutation touching the route
+// invalidates exactly it.
 func TestCacheHitSkipsEliminate(t *testing.T) {
 	s := newTestServer(t)
 	first := decode[ComposeResponse](t, do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`))
@@ -154,19 +156,50 @@ func TestCacheHitSkipsEliminate(t *testing.T) {
 		t.Fatalf("cache hits = %d, want 1", stats2.CacheHits)
 	}
 
-	// Any catalog mutation bumps the generation and invalidates.
+	// An unrelated catalog mutation no longer wipes the cache: the entry
+	// is migrated in place and keeps serving at its original route
+	// generation, with zero additional ELIMINATE work.
 	if rec := do(t, s, "POST", "/v1/register", "schema extra { T/1; }"); rec.Code != http.StatusOK {
 		t.Fatalf("register: %d %s", rec.Code, rec.Body)
 	}
 	third := decode[ComposeResponse](t, do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`))
-	if third.Cached {
-		t.Fatal("request after catalog mutation served stale cache entry")
+	if !third.Cached {
+		t.Fatal("entry did not survive an unrelated catalog mutation")
 	}
-	if third.Generation != 2 {
-		t.Fatalf("generation = %d, want 2", third.Generation)
+	if third.Generation != 1 {
+		t.Fatalf("generation = %d, want the route generation 1 (unrelated mutations must not move it)", third.Generation)
+	}
+	if third.Key != first.Key {
+		t.Fatalf("key changed across an unrelated mutation: %q vs %q", third.Key, first.Key)
+	}
+	st := s.Stats()
+	if st.Composes != 1 {
+		t.Fatalf("composes = %d, want 1 (migration must not recompute)", st.Composes)
+	}
+	// Two publishes so far (the initial register transitioned an empty
+	// cache); only the second had an entry to migrate.
+	if st.Migrations != 2 || st.EntriesMigrated != 1 || st.EntriesDropped != 0 {
+		t.Fatalf("migration counters = {migrations:%d migrated:%d dropped:%d}, want {2 1 0}",
+			st.Migrations, st.EntriesMigrated, st.EntriesDropped)
+	}
+
+	// Re-registering a mapping on the route invalidates exactly this
+	// entry: the next request recomputes at the new route generation.
+	if rec := do(t, s, "POST", "/v1/register", chainTask); rec.Code != http.StatusOK {
+		t.Fatalf("re-register chain: %d %s", rec.Code, rec.Body)
+	}
+	fourth := decode[ComposeResponse](t, do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`))
+	if fourth.Cached {
+		t.Fatal("route-changing mutation served a stale cache entry")
+	}
+	if fourth.Generation != 3 {
+		t.Fatalf("generation = %d, want 3 after the route mutated", fourth.Generation)
 	}
 	if s.Stats().Composes != 2 {
 		t.Fatalf("composes = %d, want 2", s.Stats().Composes)
+	}
+	if got := s.Stats().EntriesDropped; got != 1 {
+		t.Fatalf("entries dropped = %d, want 1", got)
 	}
 }
 
@@ -328,17 +361,67 @@ func TestCacheEviction(t *testing.T) {
 	if rec := do(t, s, "POST", "/v1/register", chainTask); rec.Code != http.StatusOK {
 		t.Fatalf("register: %s", rec.Body)
 	}
-	// Three distinct keys at the same generation: two pairs now, then a
-	// generation bump and the first pair again.
-	do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`)
+	// Three distinct pairs through a 2-entry cache: the third insert
+	// must evict the least recently used pair, and re-requesting the
+	// evicted pair recomputes.
 	do(t, s, "POST", "/v1/compose", `{"from":"original","to":"fivestar"}`)
-	do(t, s, "POST", "/v1/register", "schema extra { T/1; }")
 	do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`)
+	do(t, s, "POST", "/v1/compose", `{"from":"fivestar","to":"split"}`)
 	if got := s.cache.len(); got > 2 {
 		t.Fatalf("cache grew to %d entries, bound is 2", got)
 	}
 	if got := s.Stats().Composes; got != 3 {
 		t.Fatalf("composes = %d, want 3", got)
+	}
+	// original→fivestar was evicted; requesting it again recomputes.
+	resp := decode[ComposeResponse](t, do(t, s, "POST", "/v1/compose", `{"from":"original","to":"fivestar"}`))
+	if resp.Cached {
+		t.Fatal("evicted pair reported cached")
+	}
+	if got := s.Stats().Composes; got != 4 {
+		t.Fatalf("composes = %d, want 4 after re-requesting the evicted pair", got)
+	}
+}
+
+// TestCacheByteBudget bounds the cache by bytes: entries charge their
+// exact pre-encoded size plus overhead, and the budget evicts before
+// the entry count does.
+func TestCacheByteBudget(t *testing.T) {
+	// Room for roughly two chainTask entries (each a few hundred bytes
+	// encoded + 512 overhead) but far more than two by count.
+	s := New(Config{CacheBytes: 2 << 10})
+	if rec := do(t, s, "POST", "/v1/register", chainTask); rec.Code != http.StatusOK {
+		t.Fatalf("register: %s", rec.Body)
+	}
+	for _, pair := range []string{
+		`{"from":"original","to":"fivestar"}`,
+		`{"from":"original","to":"split"}`,
+		`{"from":"fivestar","to":"split"}`,
+	} {
+		if rec := do(t, s, "POST", "/v1/compose", pair); rec.Code != http.StatusOK {
+			t.Fatalf("compose %s: %d %s", pair, rec.Code, rec.Body)
+		}
+	}
+	st := s.Stats()
+	if st.CacheBytes == 0 {
+		t.Fatal("cache_bytes not reported")
+	}
+	if st.CacheBytes > 2<<10 {
+		t.Fatalf("cache bytes = %d, exceeds the 2KiB budget", st.CacheBytes)
+	}
+	if st.CacheEntries >= 3 {
+		t.Fatalf("cache entries = %d, the byte budget should have evicted", st.CacheEntries)
+	}
+	// An accounting cross-check: the reported bytes equal the summed
+	// entry sizes.
+	var sum int64
+	for _, sh := range s.cache.shards {
+		for _, e := range sh.view.Load().items {
+			sum += e.size
+		}
+	}
+	if sum != st.CacheBytes {
+		t.Fatalf("cache_bytes %d != summed entry sizes %d", st.CacheBytes, sum)
 	}
 }
 

@@ -240,6 +240,16 @@ type CatalogResponse struct {
 // (mapcompd -cache-shards, default derived from GOMAXPROCS) and
 // CacheShardEntries the per-shard entry counts, so an operator can see
 // whether the key-hash distribution is balanced.
+//
+// The migration block instruments generation-delta cache survival:
+// Migrations counts catalog publishes the cache transitioned across,
+// EntriesMigrated/EntriesDropped the cumulative per-publish split of
+// surviving vs delta-invalidated entries, and DeltaComputeUS the
+// cumulative snapshot-diff time in microseconds. RewarmQueueDepth and
+// Rewarmed report the background rewarm loop (mapcompd -rewarm): pairs
+// awaiting recomputation and pairs recomputed so far. CacheBytes is the
+// exact byte footprint of the cached pre-encoded bodies (the -cache-bytes
+// budget applies to it).
 type StatsResponse struct {
 	Generation        uint64         `json:"generation"`
 	Composes          int64          `json:"composes"`
@@ -248,8 +258,15 @@ type StatsResponse struct {
 	ResultFetches     int64          `json:"result_fetches"`
 	EliminateAttempts int64          `json:"eliminate_attempts"`
 	CacheEntries      int            `json:"cache_entries"`
+	CacheBytes        int64          `json:"cache_bytes,omitempty"`
 	CacheShards       int            `json:"cache_shards,omitempty"`
 	CacheShardEntries []int          `json:"cache_shard_entries,omitempty"`
+	Migrations        int64          `json:"migrations,omitempty"`
+	EntriesMigrated   int64          `json:"entries_migrated,omitempty"`
+	EntriesDropped    int64          `json:"entries_dropped,omitempty"`
+	DeltaComputeUS    int64          `json:"delta_compute_us,omitempty"`
+	RewarmQueueDepth  int            `json:"rewarm_queue_depth,omitempty"`
+	Rewarmed          int64          `json:"rewarmed,omitempty"`
 	Warmed            int64          `json:"warmed,omitempty"`
 	Persist           *persist.Stats `json:"persist,omitempty"`
 }
