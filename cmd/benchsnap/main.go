@@ -11,16 +11,22 @@
 //     with generation-delta cache survival (the default) and once with
 //     the wipe-on-write baseline (-delta=false) — reporting the
 //     steady-state cache hit rate of each and their ratio,
-//   - the snapshot-diff cost: mean ComputeDelta time per publish, µs.
+//   - the snapshot-diff cost: mean ComputeDelta time per publish, µs,
+//   - per-phase compose latency percentiles (p50/p99/p999, µs), read
+//     from the server's own histograms via temporal snapshot diffs —
+//     the same instruments GET /metrics serves, so the committed
+//     numbers and the scraped ones can never disagree on method.
 //
 // Usage:
 //
 //	benchsnap [-out BENCH.json] [-clusters N] [-rounds N] [-check]
 //
-// With -check the exit status enforces the PR 6 acceptance floor: the
-// delta hit rate must be at least 5× the wipe baseline. CI runs it on
-// every push, so a regression in cache survival fails the build rather
-// than silently eroding the hit rate.
+// With -check the exit status enforces the acceptance floors: the
+// delta hit rate must be at least 5× the wipe baseline (PR 6), and
+// every phase's percentiles must be present and ordered
+// (0 < p50 ≤ p99 ≤ p999, PR 7). CI runs it on every push, so a
+// regression in cache survival or in the telemetry itself fails the
+// build rather than silently eroding.
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"runtime"
 	"time"
 
+	"mapcomp/internal/obs"
 	"mapcomp/internal/server"
 )
 
@@ -59,6 +66,17 @@ type snapshot struct {
 	} `json:"mixed_workload"`
 
 	DeltaComputeUSMean float64 `json:"delta_compute_us_mean"`
+
+	// Phases carries per-phase compose latency percentiles, diffed from
+	// the server's /metrics histograms around each phase (the compose
+	// histograms are process-global, so isolation is temporal, not
+	// per-server).
+	Phases struct {
+		Warm       phasePct `json:"warm"`
+		MixedDelta phasePct `json:"mixed_delta"`
+		MixedWipe  phasePct `json:"mixed_wipe"`
+		HitPath    phasePct `json:"hit_path"`
+	} `json:"phases"`
 }
 
 type mixedRun struct {
@@ -66,6 +84,32 @@ type mixedRun struct {
 	Hits     int64   `json:"hits"`
 	Composes int64   `json:"composes"`
 	HitRate  float64 `json:"hit_rate"`
+}
+
+// phasePct is one phase's compose latency distribution in microseconds.
+type phasePct struct {
+	Count  int64   `json:"count"`
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
+}
+
+// phaseDiff extracts the percentiles of the observations made between
+// two histogram snapshots.
+func phaseDiff(before, after *obs.HistSnapshot) phasePct {
+	d := after.Sub(before)
+	return phasePct{
+		Count:  int64(d.Count),
+		P50US:  float64(d.Quantile(0.5).Nanoseconds()) / 1e3,
+		P99US:  float64(d.Quantile(0.99).Nanoseconds()) / 1e3,
+		P999US: float64(d.Quantile(0.999).Nanoseconds()) / 1e3,
+	}
+}
+
+// ordered reports whether a phase's percentiles are present and
+// monotone — the -check invariant for PR 7.
+func (p phasePct) ordered() bool {
+	return p.Count > 0 && p.P50US > 0 && p.P50US <= p.P99US && p.P99US <= p.P999US
 }
 
 func clusterTask(i int) string {
@@ -184,24 +228,34 @@ func measureHitPath(s *server.Server, iters int) int64 {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "output path for the benchmark snapshot")
+	out := flag.String("out", "BENCH_PR7.json", "output path for the benchmark snapshot")
 	clusters := flag.Int("clusters", 150, "disjoint 3-schema clusters in the benchmark catalog")
 	rounds := flag.Int("rounds", 30, "mixed-workload rounds (1 registration per round)")
 	composesPerReg := flag.Int("composes-per-register", 100, "compose requests per registration")
 	hitIters := flag.Int("hit-iters", 20000, "iterations for the hit-path timing")
-	check := flag.Bool("check", false, "exit non-zero unless delta hit rate ≥ 5× the wipe baseline")
+	check := flag.Bool("check", false,
+		"exit non-zero unless delta hit rate ≥ 5× the wipe baseline and every phase's percentiles are present and ordered")
 	flag.Parse()
 
 	var snap snapshot
-	snap.PR = 6
+	snap.PR = 7
 	snap.Go = runtime.Version()
 	snap.Procs = runtime.GOMAXPROCS(0)
 
 	const seed = 61
+	mark := server.ComposeLatencySnapshot()
 	deltaSrv := buildServer(*clusters, false)
+	next := server.ComposeLatencySnapshot()
+	snap.Phases.Warm = phaseDiff(mark, next)
+	mark = next
+
 	snap.Mixed.Delta = runMixed(deltaSrv, *clusters, *rounds, *composesPerReg, seed)
+	snap.Phases.MixedDelta = phaseDiff(mark, server.ComposeLatencySnapshot())
+
 	wipeSrv := buildServer(*clusters, true)
+	mark = server.ComposeLatencySnapshot()
 	snap.Mixed.Wipe = runMixed(wipeSrv, *clusters, *rounds, *composesPerReg, seed)
+	snap.Phases.MixedWipe = phaseDiff(mark, server.ComposeLatencySnapshot())
 
 	snap.Mixed.Clusters = *clusters
 	snap.Mixed.Pairs = *clusters * 3
@@ -216,7 +270,9 @@ func main() {
 	if st.Migrations > 0 {
 		snap.DeltaComputeUSMean = float64(st.DeltaComputeUS) / float64(st.Migrations)
 	}
+	mark = server.ComposeLatencySnapshot()
 	snap.HitPathNSPerOp = measureHitPath(deltaSrv, *hitIters)
+	snap.Phases.HitPath = phaseDiff(mark, server.ComposeLatencySnapshot())
 
 	b, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {
@@ -230,9 +286,22 @@ func main() {
 	}
 	os.Stdout.Write(b)
 
-	if *check && snap.Mixed.HitRateRatio < 5 {
-		fmt.Fprintf(os.Stderr, "benchsnap: FAIL: delta hit rate %.3f is only %.2f× the wipe baseline %.3f (floor 5×)\n",
-			snap.Mixed.Delta.HitRate, snap.Mixed.HitRateRatio, snap.Mixed.Wipe.HitRate)
-		os.Exit(1)
+	if *check {
+		if snap.Mixed.HitRateRatio < 5 {
+			fmt.Fprintf(os.Stderr, "benchsnap: FAIL: delta hit rate %.3f is only %.2f× the wipe baseline %.3f (floor 5×)\n",
+				snap.Mixed.Delta.HitRate, snap.Mixed.HitRateRatio, snap.Mixed.Wipe.HitRate)
+			os.Exit(1)
+		}
+		for name, p := range map[string]phasePct{
+			"warm": snap.Phases.Warm, "mixed_delta": snap.Phases.MixedDelta,
+			"mixed_wipe": snap.Phases.MixedWipe, "hit_path": snap.Phases.HitPath,
+		} {
+			if !p.ordered() {
+				fmt.Fprintf(os.Stderr,
+					"benchsnap: FAIL: phase %s percentiles missing or unordered: count=%d p50=%.1f p99=%.1f p999=%.1f (µs)\n",
+					name, p.Count, p.P50US, p.P99US, p.P999US)
+				os.Exit(1)
+			}
+		}
 	}
 }

@@ -8,7 +8,9 @@
 //
 //	mapcompd [-addr :8391] [-workers N] [-cache-bytes N] [-cache-shards N]
 //	         [-compose-timeout D] [-data-dir DIR] [-snapshot-every N]
-//	         [-warm] [-rewarm] [-delta=false] [file.mc ...]
+//	         [-warm] [-rewarm] [-delta=false]
+//	         [-log-format text|json] [-slow-ms N] [-debug-addr HOST:PORT]
+//	         [file.mc ...]
 //
 // Positional arguments are composition task files in the text format of
 // internal/parser, pre-loaded into the catalog at boot (with -data-dir
@@ -16,6 +18,21 @@
 // meant for ephemeral runs, persistent deployments register over HTTP).
 // The server logs the address it actually listens on (useful with
 // -addr 127.0.0.1:0) and shuts down gracefully on SIGINT/SIGTERM.
+//
+// # Observability
+//
+// The daemon logs through log/slog: -log-format text (default) emits
+// key=value lines, -log-format json one JSON object per line for log
+// shippers. Every request is assigned an X-Request-Id at ingress,
+// echoed in the response headers and in error bodies; -slow-ms N logs
+// any request slower than N milliseconds with its method, path, status
+// and request id, so the slow tail is attributable without tracing
+// every request. GET /v1/stats and GET /metrics (Prometheus text
+// format: per-route latency quantiles, per-strategy ELIMINATE timings,
+// WAL fsync and cache-migration histograms) stay responsive even while
+// every compose slot is saturated. -debug-addr serves net/http/pprof
+// and a second /metrics on a private listener, keeping profiling
+// endpoints off the public address.
 //
 // # Durability
 //
@@ -71,9 +88,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -105,7 +123,17 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", persist.DefaultSnapshotEvery,
 		"WAL records between compacting snapshots (negative = only on shutdown)")
 	warm := flag.Bool("warm", false, "precompute all connected schema pairs in the background after boot")
+	logFormat := flag.String("log-format", "text", "log output format: text (key=value) or json (one object per line)")
+	slowMS := flag.Int64("slow-ms", 0, "log requests slower than N milliseconds with their request id (0 disables)")
+	debugAddr := flag.String("debug-addr", "",
+		"private listener serving net/http/pprof and /metrics (empty disables; keep it off the public address)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
 
 	par.SetWorkers(*workers)
 
@@ -125,8 +153,9 @@ func main() {
 		}
 		cat.SetLogger(store)
 		st := store.Stats()
-		log.Printf("mapcompd: recovered %s: generation %d (snapshot %d + %d WAL records, %d torn bytes dropped)",
-			*dataDir, st.Generation, st.Recovery.SnapshotGeneration, st.Recovery.Replayed, st.Recovery.TornBytesTruncated)
+		logger.Info("recovered catalog", "data_dir", *dataDir, "generation", st.Generation,
+			"snapshot_generation", st.Recovery.SnapshotGeneration, "wal_replayed", st.Recovery.Replayed,
+			"torn_bytes_dropped", st.Recovery.TornBytesTruncated)
 	}
 
 	for _, path := range flag.Args() {
@@ -145,13 +174,15 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}
-		log.Printf("mapcompd: loaded %s (generation %d)", path, gen)
+		logger.Info("loaded task file", "path", path, "generation", gen)
 	}
 
 	srv := server.New(server.Config{
 		Catalog: cat, CacheSize: *cacheSize, CacheBytes: *cacheBytes, CacheShards: *cacheShards,
 		Persist: store, ComposeTimeout: *composeTimeout,
 		DisableDelta: !*delta, Rewarm: *rewarm,
+		SlowRequest: time.Duration(*slowMS) * time.Millisecond,
+		Logger:      logger,
 	})
 	// ReadHeaderTimeout defeats slowloris header dribbling and
 	// IdleTimeout reaps abandoned keep-alive connections; request bodies
@@ -166,10 +197,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("mapcompd: listening on %s", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		go serveDebug(dln, srv, logger)
+	}
 
 	// Snapshot cadence: the store signals after every -snapshot-every
 	// WAL appends; snapshots run here, off the request path.
@@ -181,9 +220,9 @@ func main() {
 					return
 				case <-store.SnapshotNeeded():
 					if err := store.Snapshot(cat); err != nil {
-						log.Printf("mapcompd: snapshot failed: %v", err)
+						logger.Error("snapshot failed", "err", err)
 					} else {
-						log.Printf("mapcompd: snapshot at generation %d", store.Stats().SnapshotGeneration)
+						logger.Info("snapshot written", "generation", store.Stats().SnapshotGeneration)
 					}
 				}
 			}
@@ -201,14 +240,14 @@ func main() {
 			// ctx is the shutdown context: SIGTERM stops the warm-up at
 			// the next pair instead of racing it against Shutdown.
 			n := srv.Warm(ctx)
-			log.Printf("mapcompd: warmed %d endpoint pairs", n)
+			logger.Info("warm-up complete", "pairs", n)
 		}()
 	}
 
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
-		log.Printf("mapcompd: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		done <- httpSrv.Shutdown(shutdownCtx)
@@ -223,13 +262,43 @@ func main() {
 	// Final compacting snapshot: the next boot recovers without replay.
 	if store != nil {
 		if err := store.Snapshot(cat); err != nil {
-			log.Printf("mapcompd: shutdown snapshot failed (WAL still covers the state): %v", err)
+			logger.Error("shutdown snapshot failed (WAL still covers the state)", "err", err)
 		}
 		if err := store.Close(); err != nil {
-			log.Printf("mapcompd: closing WAL: %v", err)
+			logger.Error("closing WAL", "err", err)
 		}
 	}
-	log.Printf("mapcompd: bye")
+	logger.Info("bye")
+}
+
+// newLogger builds the daemon's slog.Logger from -log-format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
+	}
+}
+
+// serveDebug runs the private diagnostics listener: pprof registered
+// explicitly on its own mux (never on the public server's), plus a
+// second /metrics so a scraper pointed only at -debug-addr sees the
+// full telemetry.
+func serveDebug(ln net.Listener, srv *server.Server, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", srv.MetricsHandler())
+	logger.Info("debug listener up", "addr", ln.Addr().String())
+	if err := http.Serve(ln, mux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("debug listener failed", "err", err)
+	}
 }
 
 func fatal(err error) {

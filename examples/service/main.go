@@ -2,9 +2,11 @@
 // quickstart schema-evolution chain over HTTP, and drive the composition
 // API end to end — multi-hop chain resolution, the sharded result
 // cache, batched requests, the instrumentation counters that prove a
-// cache hit never re-runs ELIMINATE, and the preemption surface:
-// request deadlines (504), oversized payloads (413), and partial-route
-// error reporting.
+// cache hit never re-runs ELIMINATE, the preemption surface: request
+// deadlines (504), oversized payloads (413), and partial-route error
+// reporting — and the observability surface: a traced compose with its
+// per-stage timing breakdown, and the Prometheus /metrics endpoint
+// (step 8).
 //
 // Run with: go run ./examples/service
 //
@@ -142,6 +144,43 @@ func main() {
 	postRaw(deadline.URL+"/v1/register", "text/plain", chainTask)
 	resp, body := postStatus(deadline.URL+"/v1/compose", "application/json", `{"from":"original","to":"split"}`)
 	fmt.Printf("\ncompose under a 1ns deadline: HTTP %d\n%s\n", resp, pretty(body))
+
+	// 8. Observability. Every request is assigned an X-Request-Id at
+	// ingress (echoed in error bodies, so failures are attributable from
+	// the body alone), and a request carrying "trace":true gets an inline
+	// per-stage timing breakdown: the server's compose span and each
+	// chain hop, in microseconds. Tracing is strictly opt-in — a traced
+	// response is marshaled fresh, the cache's pre-encoded bytes stay
+	// trace-free.
+	traced := post(ts.URL+"/v1/compose", "application/json",
+		`{"from":"original","to":"split","trace":true}`)
+	fmt.Printf("\ntraced compose (cached=%v):\ntrace: %s\n",
+		gjson(traced, "cached"), pretty(jfield(traced, "trace")))
+
+	// GET /metrics renders the full telemetry in the Prometheus text
+	// format with zero dependencies: per-route/per-outcome request
+	// latency quantiles (p50/p99/p999), per-strategy ELIMINATE timings,
+	// verdict-partitioned compose durations (closed / skolemized /
+	// partial / aborted), WAL and cache-migration histograms, and the
+	// counters /v1/stats reports. mapcompd additionally serves it (plus
+	// net/http/pprof) on a private -debug-addr listener, and -slow-ms
+	// samples slow requests to the structured log by request id.
+	metrics := get(ts.URL + "/metrics")
+	fmt.Printf("\n/metrics (compose latency series):\n")
+	for _, line := range bytes.Split(metrics, []byte("\n")) {
+		if bytes.Contains(line, []byte(`route="compose",outcome="hit"`)) {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}
+
+// jfield extracts one top-level field of a JSON document as raw JSON.
+func jfield(b []byte, field string) []byte {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil
+	}
+	return m[field]
 }
 
 func post(url, contentType, body string) []byte {

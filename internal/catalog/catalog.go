@@ -48,11 +48,24 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mapcomp/internal/algebra"
 	"mapcomp/internal/core"
+	"mapcomp/internal/obs"
 	"mapcomp/internal/parser"
 )
+
+// Per-kind mutation timings, covering the whole write-locked section:
+// validation, the WAL append + fsync (via logMutation), the
+// copy-on-write rebuild and publish (delta computation included, since
+// PublishHook runs inside the lock). Rejected attempts are recorded
+// too — they hold the same lock and stall the same writers.
+var mutationSeconds = map[MutationKind]*obs.Histogram{
+	MutSchema:  obs.Hist("mapcomp_catalog_mutation_seconds", `kind="schema"`),
+	MutMapping: obs.Hist("mapcomp_catalog_mutation_seconds", `kind="mapping"`),
+	MutApply:   obs.Hist("mapcomp_catalog_mutation_seconds", `kind="apply"`),
+}
 
 // Sentinel errors for composition-request resolution, so callers (the
 // HTTP layer) can classify failures without matching message text.
@@ -298,6 +311,7 @@ func (c *Catalog) RegisterSchema(name string, sch *algebra.Schema) (*SchemaEntry
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer func(start time.Time) { mutationSeconds[MutSchema].Observe(time.Since(start)) }(time.Now())
 	cur := c.snap.Load()
 	entry := &SchemaEntry{Name: name, Version: 1, Schema: sch.Clone()}
 	if old, ok := cur.schemas[name]; ok {
@@ -361,6 +375,7 @@ func (c *Catalog) RegisterMapping(name, from, to string, cs algebra.ConstraintSe
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer func(start time.Time) { mutationSeconds[MutMapping].Observe(time.Since(start)) }(time.Now())
 	cur := c.snap.Load()
 	fs, ok := cur.schemas[from]
 	if !ok {
@@ -399,6 +414,7 @@ func (c *Catalog) RegisterMapping(name, from, to string, cs algebra.ConstraintSe
 func (c *Catalog) Apply(p *parser.Problem) (uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer func(start time.Time) { mutationSeconds[MutApply].Observe(time.Since(start)) }(time.Now())
 	cur := c.snap.Load()
 	if len(p.SchemaOrder) == 0 && len(p.MapOrder) == 0 {
 		// Nothing to install: don't burn a generation (and with it every

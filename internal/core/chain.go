@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"time"
 
 	"mapcomp/internal/algebra"
+	"mapcomp/internal/obs"
 )
 
 // Fingerprint returns a stable hash of the configuration's algorithmic
@@ -71,9 +73,16 @@ func ComposeChain(ctx context.Context, ms []*algebra.Mapping, cfg *Config) (*Res
 	cur := ms[0]
 	stats := newStats()
 	eliminated := make(map[string]Step)
+	tr := obs.TraceFrom(ctx)
 	var res *Result
 	for i, next := range ms[1:] {
+		hopStart := time.Now()
 		r, err := ComposeMappings(ctx, cur, next, nil, cfg)
+		hopDur := time.Since(hopStart)
+		hopSeconds.Observe(hopDur)
+		if tr != nil {
+			tr.Observe(fmt.Sprintf("chain/hop%d", i+1), hopDur)
+		}
 		if err != nil {
 			var canceled *Canceled
 			if errors.As(err, &canceled) {

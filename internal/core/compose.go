@@ -7,6 +7,22 @@ import (
 	"time"
 
 	"mapcomp/internal/algebra"
+	"mapcomp/internal/obs"
+)
+
+// Per-strategy elimination timings and the blow-up abort counter: the
+// serving-time view of the paper's §4.2 breakdown (where does ELIMINATE
+// spend its time, and how often does the size bound fire). Instruments
+// are resolved once at init — Observe on the elimination path is two
+// atomic adds, nothing else.
+var (
+	stratSeconds = map[Step]*obs.Histogram{
+		StepUnfold: obs.Hist("mapcomp_eliminate_strategy_seconds", `strategy="unfold"`),
+		StepLeft:   obs.Hist("mapcomp_eliminate_strategy_seconds", `strategy="left-compose"`),
+		StepRight:  obs.Hist("mapcomp_eliminate_strategy_seconds", `strategy="right-compose"`),
+	}
+	blowupAborts = obs.Count("mapcomp_eliminate_blowup_aborts_total", "")
+	hopSeconds   = obs.Hist("mapcomp_chain_hop_seconds", "")
 )
 
 // Step identifies which elimination strategy succeeded for a symbol.
@@ -141,6 +157,7 @@ func Eliminate(ctx context.Context, sig algebra.Signature, cs algebra.Constraint
 			out = SimplifyConstraints(out, sig)
 		}
 		if cfg.MaxBlowup > 0 && out.Size() > cfg.MaxBlowup*inputSize {
+			blowupAborts.Inc()
 			return nil, step, false
 		}
 		return out, step, true
@@ -150,32 +167,49 @@ func Eliminate(ctx context.Context, sig algebra.Signature, cs algebra.Constraint
 	// strategy does not fail the whole elimination — the next strategy
 	// may produce a result within the bound (e.g. unfolding a large view
 	// definition into many occurrence sites blows up, while left compose
-	// substitutes the collapsed bound exactly once).
+	// substitutes the collapsed bound exactly once). Each attempt —
+	// rewrite plus simplify plus the size check — is timed into the
+	// per-strategy histogram, whether or not it is accepted.
 	if cfg.ViewUnfolding {
+		start := time.Now()
+		var res algebra.ConstraintSet
+		acc := false
 		if out, ok := ViewUnfold(cs, s); ok {
-			if res, step, ok := accept(out, StepUnfold); ok {
-				return res, step, true
-			}
+			res, _, acc = accept(out, StepUnfold)
+		}
+		stratSeconds[StepUnfold].Observe(time.Since(start))
+		if acc {
+			return res, StepUnfold, true
 		}
 	}
 	if ctx.Err() != nil {
 		return cs, StepCanceled, false
 	}
 	if cfg.LeftCompose {
+		start := time.Now()
+		var res algebra.ConstraintSet
+		acc := false
 		if out, ok := LeftCompose(sig, cs, s); ok {
-			if res, step, ok := accept(out, StepLeft); ok {
-				return res, step, true
-			}
+			res, _, acc = accept(out, StepLeft)
+		}
+		stratSeconds[StepLeft].Observe(time.Since(start))
+		if acc {
+			return res, StepLeft, true
 		}
 	}
 	if ctx.Err() != nil {
 		return cs, StepCanceled, false
 	}
 	if cfg.RightCompose {
+		start := time.Now()
+		var res algebra.ConstraintSet
+		acc := false
 		if out, ok := RightCompose(sig, cs, s, cfg.Keys); ok {
-			if res, step, ok := accept(out, StepRight); ok {
-				return res, step, true
-			}
+			res, _, acc = accept(out, StepRight)
+		}
+		stratSeconds[StepRight].Observe(time.Since(start))
+		if acc {
+			return res, StepRight, true
 		}
 	}
 	return cs, StepFailed, false
@@ -325,6 +359,11 @@ const blowupProbeFactor = 16
 // failure, so a symbol whose elimination would exceed even the relaxed
 // bound is conservatively counted as inexpressible rather than
 // materialized.
+//
+// The probe's Eliminate call feeds the same per-strategy histograms and
+// blow-up counter as real eliminations — probe aborts are genuine
+// blow-up events, just at the relaxed bound — so the §4.2 telemetry
+// includes classification cost rather than hiding it.
 func WouldBlowUp(ctx context.Context, sig algebra.Signature, cs algebra.ConstraintSet, s string, cfg *Config) bool {
 	probe := cfg.Clone()
 	probe.MaxBlowup = cfg.MaxBlowup * blowupProbeFactor

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonic event counter (blow-up aborts, slow-request
+// samples, …). Add is one atomic add; the zero value is ready.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.n.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// metricKey identifies one instrument: a metric name plus its rendered
+// label set (e.g. `route="compose",outcome="hit"`). Label strings are
+// pre-rendered by the caller so lookup is a plain map probe with no
+// per-call formatting.
+type metricKey struct {
+	name   string
+	labels string
+}
+
+// Registry is a get-or-create store of named instruments plus the
+// Prometheus text renderer over all of them. Lookup takes a mutex, so
+// callers on hot paths resolve their instruments once (at construction)
+// and hold the *Histogram/*Counter pointer; the registry is for
+// registration and scraping, never per-observation.
+type Registry struct {
+	mu       sync.Mutex
+	hists    map[metricKey]*Histogram
+	counters map[metricKey]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		hists:    make(map[metricKey]*Histogram),
+		counters: make(map[metricKey]*Counter),
+	}
+}
+
+// Default is the process-wide registry. Package-level Hist/Count and
+// the server's /metrics endpoint all use it.
+var Default = NewRegistry()
+
+// Hist returns the histogram registered under (name, labels), creating
+// it on first use. labels is a pre-rendered Prometheus label body
+// (`k="v",k2="v2"`) or "" for none.
+func (r *Registry) Hist(name, labels string) *Histogram {
+	k := metricKey{name, labels}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[k]
+	if !ok {
+		h = &Histogram{}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// Counter returns the counter registered under (name, labels),
+// creating it on first use.
+func (r *Registry) Counter(name, labels string) *Counter {
+	k := metricKey{name, labels}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Hist is Default.Hist.
+func Hist(name, labels string) *Histogram { return Default.Hist(name, labels) }
+
+// Count is Default.Counter.
+func Count(name, labels string) *Counter { return Default.Counter(name, labels) }
+
+// quantiles rendered for every histogram: the ROADMAP's p50/p99/p999.
+var promQuantiles = []struct {
+	q     float64
+	label string
+}{
+	{0.5, "0.5"},
+	{0.99, "0.99"},
+	{0.999, "0.999"},
+}
+
+func joinLabels(base, extra string) string {
+	if base == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + base + "," + extra + "}"
+}
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format. Histograms render as summaries (pre-computed
+// p50/p99/p999 plus _sum/_count, durations in seconds), counters as
+// counters. Output is sorted by metric name then label set, so scrapes
+// are diff-stable.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	histKeys := make([]metricKey, 0, len(r.hists))
+	for k := range r.hists {
+		histKeys = append(histKeys, k)
+	}
+	counterKeys := make([]metricKey, 0, len(r.counters))
+	for k := range r.counters {
+		counterKeys = append(counterKeys, k)
+	}
+	hists := make(map[metricKey]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	counters := make(map[metricKey]*Counter, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c
+	}
+	r.mu.Unlock()
+
+	sortKeys := func(ks []metricKey) {
+		sort.Slice(ks, func(i, j int) bool {
+			if ks[i].name != ks[j].name {
+				return ks[i].name < ks[j].name
+			}
+			return ks[i].labels < ks[j].labels
+		})
+	}
+	sortKeys(histKeys)
+	sortKeys(counterKeys)
+
+	var b strings.Builder
+	prevName := ""
+	for _, k := range histKeys {
+		if k.name != prevName {
+			fmt.Fprintf(&b, "# TYPE %s summary\n", k.name)
+			prevName = k.name
+		}
+		s := hists[k].Snapshot()
+		for _, pq := range promQuantiles {
+			fmt.Fprintf(&b, "%s%s %g\n", k.name,
+				joinLabels(k.labels, `quantile="`+pq.label+`"`),
+				s.Quantile(pq.q).Seconds())
+		}
+		suffix := ""
+		if k.labels != "" {
+			suffix = "{" + k.labels + "}"
+		}
+		fmt.Fprintf(&b, "%s_sum%s %g\n", k.name, suffix, float64(s.Sum)/1e9)
+		fmt.Fprintf(&b, "%s_count%s %d\n", k.name, suffix, s.Count)
+	}
+	prevName = ""
+	for _, k := range counterKeys {
+		if k.name != prevName {
+			fmt.Fprintf(&b, "# TYPE %s counter\n", k.name)
+			prevName = k.name
+		}
+		suffix := ""
+		if k.labels != "" {
+			suffix = "{" + k.labels + "}"
+		}
+		fmt.Fprintf(&b, "%s%s %d\n", k.name, suffix, counters[k].Value())
+	}
+	io.WriteString(w, b.String())
+}

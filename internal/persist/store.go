@@ -39,9 +39,22 @@ import (
 	"path/filepath"
 	"sync"
 	"syscall"
+	"time"
 
 	"mapcomp/internal/catalog"
+	"mapcomp/internal/obs"
 	"mapcomp/internal/parser"
+)
+
+// Durability timings: the WAL append (write + fsync, the latency every
+// catalog mutation pays inside the write lock), the fsync alone (the
+// disk's contribution), and whole-snapshot duration. These are the
+// signals that tell an operator whether mutation tail latency is the
+// disk or the catalog.
+var (
+	walAppendSeconds = obs.Hist("mapcomp_wal_append_seconds", "")
+	walFsyncSeconds  = obs.Hist("mapcomp_wal_fsync_seconds", "")
+	snapshotSeconds  = obs.Hist("mapcomp_snapshot_seconds", "")
 )
 
 // walFile is the WAL's file name inside the data directory.
@@ -330,12 +343,17 @@ func (s *Store) AppendMutation(m *catalog.Mutation) error {
 	if m.Gen != s.lastGen+1 {
 		return fmt.Errorf("persist: mutation generation %d does not follow logged generation %d", m.Gen, s.lastGen)
 	}
+	start := time.Now()
 	if _, err := s.wal.Write(frame); err != nil {
 		return s.rollback(fmt.Errorf("persist: appending to WAL: %w", err))
 	}
+	syncStart := time.Now()
 	if err := s.wal.Sync(); err != nil {
 		return s.rollback(fmt.Errorf("persist: syncing WAL: %w", err))
 	}
+	now := time.Now()
+	walFsyncSeconds.Observe(now.Sub(syncStart))
+	walAppendSeconds.Observe(now.Sub(start))
 	s.lastGen = m.Gen
 	s.walRecords++
 	s.walBytes += int64(len(frame))
@@ -405,9 +423,11 @@ func (s *Store) Snapshot(cat *catalog.Catalog) error {
 	// snapMu guarantees no other snapshot interleaves, and appends that
 	// land meanwhile only make lastGen > gen below, which skips the
 	// truncation until the next quiet snapshot.
+	snapStart := time.Now()
 	if err := writeSnapshotFile(s.dir, buildSnapshot(schemas, maps, gen)); err != nil {
 		return err
 	}
+	snapshotSeconds.Observe(time.Since(snapStart))
 
 	s.mu.Lock()
 	s.snapGen = gen

@@ -523,11 +523,25 @@ func (c *resultCache) bytes() int64 {
 	return n
 }
 
-// shardLens reports per-shard entry counts, for /v1/stats.
-func (c *resultCache) shardLens() []int {
-	out := make([]int, len(c.shards))
+// cacheStats is a mutually consistent cache summary: every number is
+// derived from a single load of each shard's published view, so the
+// total always equals the per-shard sum and the byte count describes
+// exactly the counted entries — three separate sweeps (len, bytes,
+// shardLens) could each observe a different set of views under load.
+type cacheStats struct {
+	entries  int
+	bytes    int64
+	perShard []int
+}
+
+// stats collects the consistent summary /v1/stats serves.
+func (c *resultCache) stats() cacheStats {
+	out := cacheStats{perShard: make([]int, len(c.shards))}
 	for i, sh := range c.shards {
-		out[i] = len(sh.view.Load().items)
+		v := sh.view.Load()
+		out.perShard[i] = len(v.items)
+		out.entries += len(v.items)
+		out.bytes += v.bytes
 	}
 	return out
 }

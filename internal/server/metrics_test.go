@@ -1,0 +1,326 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The request histograms are process-global (obs.Default), so these
+// tests assert presence and monotonicity of series, never exact counts —
+// other tests in the package observe into the same instruments.
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	// One miss and one hit, so both outcome series carry observations.
+	for i := 0; i < 2; i++ {
+		if rec := do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`); rec.Code != http.StatusOK {
+			t.Fatalf("compose %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	rec := do(t, s, "GET", "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		// Compose route histogram: the quantile series and the count.
+		`mapcomp_http_request_seconds{route="compose",outcome="hit",quantile="0.5"}`,
+		`mapcomp_http_request_seconds{route="compose",outcome="hit",quantile="0.99"}`,
+		`mapcomp_http_request_seconds{route="compose",outcome="hit",quantile="0.999"}`,
+		`mapcomp_http_request_seconds_count{route="compose",outcome="miss"}`,
+		// Register route (newTestServer registered the chain task).
+		`mapcomp_http_request_seconds_count{route="register",outcome="ok"}`,
+		// Per-strategy ELIMINATE and per-hop chain timings from the core.
+		`mapcomp_eliminate_strategy_seconds`,
+		`mapcomp_chain_hop_seconds`,
+		// Verdict partition: the chain composition closes.
+		`mapcomp_compose_verdict_seconds{verdict="closed",quantile="0.5"}`,
+		// Server counters and gauges from the single Stats() pass.
+		"# TYPE mapcomp_requests_total counter",
+		"# TYPE mapcomp_generation gauge",
+		"# TYPE mapcomp_cache_entries gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// The server's own compose counters must be non-zero for this server.
+	if !strings.Contains(body, "mapcomp_cache_hits_total 1") {
+		t.Errorf("cache_hits_total not rendered from this server's stats:\n%s", firstLines(body, 20))
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestRequestIDAssignedAndEchoed(t *testing.T) {
+	s := newTestServer(t)
+	rec1 := do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`)
+	rec2 := do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`)
+	id1, id2 := rec1.Header().Get("X-Request-Id"), rec2.Header().Get("X-Request-Id")
+	if id1 == "" || id2 == "" {
+		t.Fatalf("missing X-Request-Id: %q %q", id1, id2)
+	}
+	if id1 == id2 {
+		t.Fatalf("request IDs not unique: %q", id1)
+	}
+
+	// Error bodies carry the ID, so a failure is attributable from the
+	// body alone.
+	rec := do(t, s, "POST", "/v1/compose", `{"from":"original","to":"nowhere"}`)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d", rec.Code)
+	}
+	errBody := decode[ErrorJSON](t, rec)
+	if errBody.RequestID == "" || errBody.RequestID != rec.Header().Get("X-Request-Id") {
+		t.Fatalf("error body request_id %q, header %q", errBody.RequestID, rec.Header().Get("X-Request-Id"))
+	}
+}
+
+func TestComposeTrace(t *testing.T) {
+	s := newTestServer(t)
+
+	// Miss: the trace carries the server span and the chain hop (two
+	// mappings fold in one ComposeMappings call).
+	rec := do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split","trace":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	resp := decode[ComposeResponse](t, rec)
+	if resp.Trace == nil {
+		t.Fatal("traced miss returned no trace")
+	}
+	if resp.Trace.RequestID != rec.Header().Get("X-Request-Id") {
+		t.Fatalf("trace request_id %q, header %q", resp.Trace.RequestID, rec.Header().Get("X-Request-Id"))
+	}
+	names := map[string]bool{}
+	for _, st := range resp.Trace.Stages {
+		names[st.Name] = true
+		if st.DurUS < 0 {
+			t.Fatalf("negative stage duration: %+v", st)
+		}
+	}
+	for _, want := range []string{"chain/hop1", "server/compose"} {
+		if !names[want] {
+			t.Fatalf("traced miss missing stage %q: %+v", want, resp.Trace.Stages)
+		}
+	}
+
+	// Hit: the entry's pre-encoded bytes are trace-free, so a traced hit
+	// is marshaled fresh — cached, with the server span but no hops.
+	rec = do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split","trace":true}`)
+	resp = decode[ComposeResponse](t, rec)
+	if !resp.Cached {
+		t.Fatal("second traced compose not served from cache")
+	}
+	if resp.Trace == nil || len(resp.Trace.Stages) == 0 {
+		t.Fatalf("traced hit returned no stages: %+v", resp.Trace)
+	}
+	if resp.Trace.Stages[0].Name != "server/compose" {
+		t.Fatalf("traced hit stages: %+v", resp.Trace.Stages)
+	}
+
+	// Untraced requests stay trace-free (the cached bytes are reused).
+	rec = do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`)
+	if resp := decode[ComposeResponse](t, rec); resp.Trace != nil {
+		t.Fatalf("untraced request returned a trace: %+v", resp.Trace)
+	}
+}
+
+func TestBatchTrace(t *testing.T) {
+	s := newTestServer(t)
+	body := `{"requests":[{"from":"original","to":"split","trace":true},{"from":"original","to":"fivestar"}]}`
+	rec := do(t, s, "POST", "/v1/compose/batch", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	resp := decode[BatchResponse](t, rec)
+	if len(resp.Results) != 2 {
+		t.Fatalf("results = %d", len(resp.Results))
+	}
+	if tr := resp.Results[0].Response.Trace; tr == nil || len(tr.Stages) == 0 {
+		t.Fatalf("traced batch item has no stages: %+v", tr)
+	}
+	if tr := resp.Results[1].Response.Trace; tr != nil {
+		t.Fatalf("untraced batch item has a trace: %+v", tr)
+	}
+}
+
+// TestStatsRequestsIdentity hammers the compose endpoint from many
+// goroutines while reading /v1/stats concurrently: every snapshot must
+// satisfy requests == cache_hits + composes + coalesced exactly — the
+// satellite-2 consistency contract.
+func TestStatsRequestsIdentity(t *testing.T) {
+	s := newTestServer(t)
+	const workers, iters = 8, 50
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < iters; i++ {
+				body := fmt.Sprintf(`{"from":"original","to":"%s"}`, []string{"split", "fivestar"}[i%2])
+				if rec := do(t, s, "POST", "/v1/compose", body); rec.Code != http.StatusOK {
+					t.Errorf("compose: %d %s", rec.Code, rec.Body)
+					return
+				}
+			}
+		}(w)
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var st StatsResponse
+			rec := do(t, s, "GET", "/v1/stats", "")
+			if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+				t.Errorf("decode stats: %v", err)
+				return
+			}
+			if got := st.CacheHits + st.Composes + st.Coalesced; got != st.Requests {
+				t.Errorf("requests %d != hits %d + composes %d + coalesced %d",
+					st.Requests, st.CacheHits, st.Composes, st.Coalesced)
+				return
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	st := decode[StatsResponse](t, do(t, s, "GET", "/v1/stats", ""))
+	if st.Requests != workers*iters {
+		t.Fatalf("requests = %d, want %d", st.Requests, workers*iters)
+	}
+	if got := st.CacheHits + st.Composes + st.Coalesced; got != st.Requests {
+		t.Fatalf("final identity broken: %d != %d", got, st.Requests)
+	}
+}
+
+// TestStatsAndMetricsDuringTimeoutStorm pins satellite 3: with every
+// compose slot blocked on a held-open composition, GET /v1/stats and
+// GET /metrics must still answer promptly — they take no singleflight
+// slot and read no body, so a timeout storm cannot starve observability.
+func TestStatsAndMetricsDuringTimeoutStorm(t *testing.T) {
+	s := newTestServer(t)
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	unblock := func() { releaseOnce.Do(func() { close(release) }) }
+	defer unblock()
+	s.composeHook = func(ctx context.Context) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+
+	const stormers = 8
+	var started, wgDone sync.WaitGroup
+	started.Add(stormers)
+	wgDone.Add(stormers)
+	for w := 0; w < stormers; w++ {
+		go func(w int) {
+			defer wgDone.Done()
+			started.Done()
+			// Two pairs across the stormers: leaders hold flights open,
+			// the rest pile up as coalesced waiters.
+			body := fmt.Sprintf(`{"from":"original","to":"%s","timeout_ms":2000}`, []string{"split", "fivestar"}[w%2])
+			do(t, s, "POST", "/v1/compose", body)
+		}(w)
+	}
+	started.Wait()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for _, path := range []string{"/v1/stats", "/metrics"} {
+		done := make(chan int, 1)
+		go func() { done <- do(t, s, "GET", path, "").Code }()
+		select {
+		case code := <-done:
+			if code != http.StatusOK {
+				t.Fatalf("GET %s during storm: %d", path, code)
+			}
+		case <-time.After(time.Until(deadline)):
+			t.Fatalf("GET %s blocked behind the compose storm", path)
+		}
+	}
+	unblock()
+	wgDone.Wait()
+	s.composeHook = nil
+}
+
+func TestSlowRequestLogged(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewTextHandler(&syncWriter{w: &buf, mu: &mu}, nil))
+	s := New(Config{SlowRequest: time.Nanosecond, Logger: logger})
+	if rec := do(t, s, "POST", "/v1/register", chainTask); rec.Code != http.StatusOK {
+		t.Fatalf("register: %d %s", rec.Code, rec.Body)
+	}
+	rec := do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("compose: %d %s", rec.Code, rec.Body)
+	}
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "slow request") {
+		t.Fatalf("no slow-request sample logged:\n%s", out)
+	}
+	if !strings.Contains(out, "request_id="+rec.Header().Get("X-Request-Id")) {
+		t.Fatalf("slow-request sample missing the request id %q:\n%s", rec.Header().Get("X-Request-Id"), out)
+	}
+	if !strings.Contains(out, "path=/v1/compose") || !strings.Contains(out, "status=200") {
+		t.Fatalf("slow-request sample missing path/status:\n%s", out)
+	}
+	if slowRequestsTotal.Value() == 0 {
+		t.Fatal("slow_requests_total not incremented")
+	}
+}
+
+type syncWriter struct {
+	w  *bytes.Buffer
+	mu *sync.Mutex
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// BenchmarkRequestTelemetry isolates exactly the work PR 7 added to the
+// hit path: one request-id generation, the header assignment, the two
+// clock reads bracketing the handler, and one histogram observation.
+// EXPERIMENTS.md cites this as the per-request overhead.
+func BenchmarkRequestTelemetry(b *testing.B) {
+	h := make(http.Header)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := nextRequestID()
+		h["X-Request-Id"] = []string{id}
+		start := time.Now()
+		composeSeconds[outHit].Observe(time.Since(start))
+	}
+}

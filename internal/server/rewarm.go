@@ -36,11 +36,15 @@ func (s *Server) onPublish(oldSnap, newSnap catalog.Snap) {
 	if !s.deltaOff {
 		start := time.Now()
 		d := catalog.ComputeDelta(oldSnap, newSnap)
-		s.deltaUS.Add(time.Since(start).Microseconds())
+		dd := time.Since(start)
+		s.deltaUS.Add(dd.Microseconds()) // benchsnap's mean; the histogram has the tail
+		deltaComputeSeconds.Observe(dd)
 		invalid = d.Invalidated
 		gained = d.Gained
 	}
+	migStart := time.Now()
 	m := s.cache.migrate(oldSnap.Generation(), newSnap.Generation(), invalid)
+	cacheMigrateSeconds.Observe(time.Since(migStart))
 	s.migrations.Add(1)
 	s.entriesMigrated.Add(int64(m.migrated))
 	s.entriesDropped.Add(int64(m.dropped))
@@ -145,10 +149,12 @@ func (s *Server) Rewarm(ctx context.Context) {
 				continue
 			}
 			pairCtx, cancel := s.composeContext(ctx, 0)
+			start := time.Now()
 			_, kind, err := s.compose(pairCtx, pair.from, pair.to)
 			cancel()
 			if err == nil && kind == computed {
 				s.rewarmed.Add(1)
+				rewarmSeconds.Observe(time.Since(start))
 			}
 		}
 	}

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -42,6 +43,7 @@ import (
 
 	"mapcomp/internal/catalog"
 	"mapcomp/internal/core"
+	"mapcomp/internal/obs"
 	"mapcomp/internal/par"
 	"mapcomp/internal/parser"
 	"mapcomp/internal/persist"
@@ -101,6 +103,13 @@ type Config struct {
 	// must run Rewarm on a goroutine for the queue to drain (mapcompd
 	// -rewarm does).
 	Rewarm bool
+	// SlowRequest, when positive, samples requests that take at least
+	// this long to the structured log (mapcompd -slow-ms). Zero
+	// disables sampling — and with it the response-writer wrapping, so
+	// the hit path is untouched.
+	SlowRequest time.Duration
+	// Logger receives slow-request samples; nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // Server is the HTTP handler. Create with New.
@@ -114,6 +123,8 @@ type Server struct {
 	timeout  time.Duration  // server-side compose deadline; 0 = none
 	deltaOff bool           // wipe-on-write baseline (Config.DisableDelta)
 	rewarmQ  *rewarmQueue   // nil unless Config.Rewarm
+	slow     time.Duration  // slow-request log threshold; 0 = off
+	logger   *slog.Logger
 	mux      *http.ServeMux
 
 	composes      atomic.Int64 // compositions actually run
@@ -153,7 +164,11 @@ type migrationRecord struct {
 // whoever drives it — migrates the cache by the snapshot delta.
 func New(cfg Config) *Server {
 	s := &Server{cat: cfg.Catalog, cfg: cfg.Compose, persist: cfg.Persist,
-		timeout: cfg.ComposeTimeout, deltaOff: cfg.DisableDelta}
+		timeout: cfg.ComposeTimeout, deltaOff: cfg.DisableDelta,
+		slow: cfg.SlowRequest, logger: cfg.Logger}
+	if s.logger == nil {
+		s.logger = slog.Default()
+	}
 	if s.cat == nil {
 		s.cat = catalog.New()
 	}
@@ -186,6 +201,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s
 }
@@ -193,17 +209,47 @@ func New(cfg Config) *Server {
 // Catalog returns the backing catalog (shared, safe for concurrent use).
 func (s *Server) Catalog() *catalog.Catalog { return s.cat }
 
+// ServeHTTP is the ingress: every request gets an X-Request-Id (echoed
+// in the response headers and, via writeError, in error bodies) before
+// dispatch. When slow-request sampling is armed the response writer is
+// wrapped to capture the status and the whole request is timed; with it
+// off (the default, and the benchmark configuration) the handlers get
+// the original writer and no extra timing.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	id := nextRequestID()
+	w.Header()["X-Request-Id"] = []string{id}
+	if s.slow <= 0 {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	sw := statusWriter{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(&sw, r)
+	if d := time.Since(start); d >= s.slow {
+		slowRequestsTotal.Inc()
+		s.logger.Warn("slow request",
+			"method", r.Method, "path", r.URL.Path, "status", sw.status,
+			"dur_ms", float64(d.Microseconds())/1000, "request_id", id)
+	}
 }
 
-// Stats snapshots the instrumentation counters.
+// Stats snapshots the instrumentation counters. The three compose
+// counters are loaded in one pass and Requests is derived as their sum,
+// so the identity hits + composes + coalesced == requests holds exactly
+// in every snapshot, load or no load; likewise the cache numbers
+// (entries, bytes, per-shard split) come from a single load of each
+// shard's published view, so they are mutually consistent rather than
+// three racing sweeps.
 func (s *Server) Stats() StatsResponse {
+	hits := s.cacheHits.Load()
+	composes := s.composes.Load()
+	coalesced := s.coalescedHits.Load()
 	out := StatsResponse{
 		Generation:        s.cat.Generation(),
-		Composes:          s.composes.Load(),
-		CacheHits:         s.cacheHits.Load(),
-		Coalesced:         s.coalescedHits.Load(),
+		Requests:          hits + composes + coalesced,
+		Composes:          composes,
+		CacheHits:         hits,
+		Coalesced:         coalesced,
 		ResultFetches:     s.resultFetches.Load(),
 		EliminateAttempts: s.elimAttempts.Load(),
 		Warmed:            s.warmed.Load(),
@@ -214,10 +260,11 @@ func (s *Server) Stats() StatsResponse {
 		DeltaComputeUS:    s.deltaUS.Load(),
 	}
 	if s.cache != nil {
-		out.CacheEntries = s.cache.len()
-		out.CacheBytes = s.cache.bytes()
+		cs := s.cache.stats()
+		out.CacheEntries = cs.entries
+		out.CacheBytes = cs.bytes
 		out.CacheShards = len(s.cache.shards)
-		out.CacheShardEntries = s.cache.shardLens()
+		out.CacheShardEntries = cs.perShard
 	}
 	if s.rewarmQ != nil {
 		out.RewarmQueueDepth = s.rewarmQ.depth()
@@ -303,7 +350,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, ErrorJSON{Error: err.Error()})
+	writeJSON(w, code, ErrorJSON{Error: err.Error(), RequestID: requestID(w)})
 }
 
 // composeStatus maps a resolution/composition error to an HTTP status:
@@ -402,18 +449,27 @@ func readBody(w http.ResponseWriter, r *http.Request, what string) ([]byte, bool
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.serveRegister(w, r) {
+		registerOKSecs.Observe(time.Since(start))
+	} else {
+		registerErrSecs.Observe(time.Since(start))
+	}
+}
+
+func (s *Server) serveRegister(w http.ResponseWriter, r *http.Request) bool {
 	src, ok := readBody(w, r, "register")
 	if !ok {
-		return
+		return false
 	}
 	p, err := parser.Parse(string(src))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
-		return
+		return false
 	}
 	if err := parser.Validate(p); err != nil {
 		writeError(w, http.StatusBadRequest, err)
-		return
+		return false
 	}
 	gen, err := s.cat.Apply(p)
 	if err != nil {
@@ -421,16 +477,17 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		// client's: 503 invites a retry, 409 means fix the payload.
 		if errors.Is(err, catalog.ErrPersist) {
 			writeError(w, http.StatusServiceUnavailable, err)
-			return
+			return false
 		}
 		writeError(w, http.StatusConflict, err)
-		return
+		return false
 	}
 	writeJSON(w, http.StatusOK, RegisterResponse{
 		Generation: gen,
 		Schemas:    append([]string{}, p.SchemaOrder...),
 		Mappings:   append([]string{}, p.MapOrder...),
 	})
+	return true
 }
 
 // keyString renders a cache key as the wire handle clients fetch results
@@ -475,6 +532,18 @@ func (s *Server) compose(ctx context.Context, from, to string) (*cacheEntry, hit
 		}
 		s.composes.Add(1)
 		s.elimAttempts.Add(int64(res.Stats.Attempted))
+		// Verdict partition (Arenas et al.): symbols survived → partial;
+		// Skolem functions in the result → skolemized; else closed-form.
+		// Aborted (deadline) runs never reach here — the handler records
+		// them from the 504 path.
+		verdict := "closed"
+		switch {
+		case len(res.Remaining) > 0:
+			verdict = "partial"
+		case res.Constraints.ContainsSkolem():
+			verdict = "skolemized"
+		}
+		verdictSeconds[verdict].Observe(res.Stats.Duration)
 		return &ComposeResponse{
 			From: from, To: to, Path: route.Path,
 			Generation: route.Gen, Key: keyString(route.Gen, pair),
@@ -564,36 +633,91 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, what string, v any) bool
 }
 
 func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	out := s.serveCompose(w, r)
+	d := time.Since(start)
+	composeSeconds[out].Observe(d)
+	if out == outTimeout {
+		verdictSeconds["aborted"].Observe(d)
+	}
+}
+
+// serveCompose runs one compose request and reports its outcome for
+// the route histograms. A traced request ("trace":true) carries an
+// obs.Trace in its context — the layers below record their stages into
+// it — and its response is marshaled fresh with the trace block (the
+// pre-encoded cache bytes stay trace-free).
+func (s *Server) serveCompose(w http.ResponseWriter, r *http.Request) composeOutcome {
 	var req ComposeRequest
 	if !decodeJSON(w, r, "compose", &req) {
-		return
+		return outError
 	}
 	if req.From == "" || req.To == "" {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("server: compose request needs from and to"))
-		return
+		return outError
 	}
 	ctx, cancel := s.composeContext(r.Context(), req.TimeoutMS)
 	defer cancel()
-	ent, kind, err := s.compose(ctx, req.From, req.To)
-	if err != nil {
-		writeJSON(w, composeStatus(err), s.composeError(req.From, req.To, err))
-		return
+	var ent *cacheEntry
+	var kind hitKind
+	var err error
+	var tr *obs.Trace
+	if req.Trace {
+		ctx, tr = obs.WithTrace(ctx)
+		t0 := time.Now()
+		ent, kind, err = s.compose(ctx, req.From, req.To)
+		tr.Observe("server/compose", time.Since(t0))
+	} else {
+		ent, kind, err = s.compose(ctx, req.From, req.To)
 	}
-	writeEntry(w, ent, kind)
+	if err != nil {
+		status := composeStatus(err)
+		body := s.composeError(req.From, req.To, err)
+		body.RequestID = requestID(w)
+		writeJSON(w, status, body)
+		if status == http.StatusGatewayTimeout {
+			return outTimeout
+		}
+		return outError
+	}
+	if tr != nil {
+		resp := respond(ent.resp, kind)
+		resp.Trace = newTraceJSON(requestID(w), tr)
+		writeJSON(w, http.StatusOK, resp)
+	} else {
+		writeEntry(w, ent, kind)
+	}
+	switch kind {
+	case cacheHit:
+		return outHit
+	case coalesced:
+		return outCoalesced
+	default:
+		return outMiss
+	}
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.serveBatch(w, r) {
+		batchOKSeconds.Observe(time.Since(start))
+	} else {
+		batchErrSeconds.Observe(time.Since(start))
+	}
+}
+
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) bool {
 	var req BatchRequest
 	if !decodeJSON(w, r, "batch", &req) {
-		return
+		return false
 	}
 	if len(req.Requests) == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("server: batch request needs at least one pair"))
-		return
+		return false
 	}
 	if len(req.Requests) > maxBatch {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("server: batch of %d exceeds limit %d", len(req.Requests), maxBatch))
-		return
+		return false
 	}
 	items := make([]batchItemWire, len(req.Requests))
 	// The batch fans out over the worker pool under the request context:
@@ -607,12 +731,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx, cancel := s.composeContext(r.Context(), q.TimeoutMS)
 		defer cancel()
+		var tr *obs.Trace
+		if q.Trace {
+			ctx, tr = obs.WithTrace(ctx)
+		}
 		ent, kind, err := s.compose(ctx, q.From, q.To)
 		if err != nil {
 			items[i].Error = err.Error()
 			return
 		}
-		raw, err := entryWire(ent, kind)
+		var raw json.RawMessage
+		if tr != nil {
+			resp := respond(ent.resp, kind)
+			resp.Trace = newTraceJSON("", tr)
+			raw, err = marshalWire(resp)
+		} else {
+			raw, err = entryWire(ent, kind)
+		}
 		if err != nil {
 			items[i].Error = err.Error()
 			return
@@ -620,18 +755,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		items[i].Response = raw
 	})
 	writeJSON(w, http.StatusOK, batchResponseWire{Results: items})
+	return true
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	key := r.PathValue("key")
 	if s.cache != nil {
 		if ent, ok := s.cache.get(key); ok {
 			s.resultFetches.Add(1)
 			writeEntry(w, ent, cacheHit)
+			fetchHitSeconds.Observe(time.Since(start))
 			return
 		}
 	}
 	writeError(w, http.StatusNotFound, fmt.Errorf("server: no cached result for key %s", key))
+	fetchMissSeconds.Observe(time.Since(start))
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {

@@ -60,6 +60,9 @@ type ErrorJSON struct {
 	Error string     `json:"error"`
 	Path  []string   `json:"path,omitempty"`
 	Stats *StatsJSON `json:"stats,omitempty"`
+	// RequestID echoes the X-Request-Id the server assigned at ingress,
+	// so a failed request can be found in the logs from its body alone.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // StatsJSON mirrors core.Stats.
@@ -150,6 +153,12 @@ type ComposeRequest struct {
 	From      string `json:"from"`
 	To        string `json:"to"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	// Trace requests the inline stage-timing breakdown: the response
+	// carries a TraceJSON with per-stage durations (chain hops, server
+	// compose time). Traced responses are marshaled fresh — they never
+	// reuse the cache's pre-encoded bytes — so tracing is strictly
+	// opt-in diagnostic traffic.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ComposeResponse carries one composition outcome. Key identifies the
@@ -164,6 +173,22 @@ type ComposeResponse struct {
 	Key        string      `json:"key"`
 	Cached     bool        `json:"cached"`
 	Result     *ResultJSON `json:"result"`
+	// Trace carries the stage-timing breakdown of a "trace":true
+	// request; absent otherwise (cached entries pre-encode without it).
+	Trace *TraceJSON `json:"trace,omitempty"`
+}
+
+// TraceJSON is the inline stage-timing breakdown of a traced request.
+type TraceJSON struct {
+	RequestID string      `json:"request_id,omitempty"`
+	Stages    []StageJSON `json:"stages"`
+}
+
+// StageJSON is one named stage timing (a chain hop, the server's
+// compose span) in microseconds.
+type StageJSON struct {
+	Name  string  `json:"name"`
+	DurUS float64 `json:"dur_us"`
 }
 
 // BatchRequest asks for several compositions in one round trip.
@@ -251,7 +276,10 @@ type CatalogResponse struct {
 // exact byte footprint of the cached pre-encoded bodies (the -cache-bytes
 // budget applies to it).
 type StatsResponse struct {
-	Generation        uint64         `json:"generation"`
+	Generation uint64 `json:"generation"`
+	// Requests is derived as CacheHits + Composes + Coalesced from one
+	// load of each counter, so the identity holds in every snapshot.
+	Requests          int64          `json:"requests"`
 	Composes          int64          `json:"composes"`
 	CacheHits         int64          `json:"cache_hits"`
 	Coalesced         int64          `json:"coalesced"`
