@@ -15,18 +15,26 @@
 //   - per-phase compose latency percentiles (p50/p99/p999, µs), read
 //     from the server's own histograms via temporal snapshot diffs —
 //     the same instruments GET /metrics serves, so the committed
-//     numbers and the scraped ones can never disagree on method.
+//     numbers and the scraped ones can never disagree on method,
+//   - the bidirectional-graph reachability multiplier: ordered schema
+//     pairs servable over registered + derived-inverse edges versus
+//     registered edges alone, from the server's own graph statistics.
+//     Two of every three clusters use invertible permutation equalities
+//     (their reverse pairs ride derived inverses), the third uses
+//     containments (forward-only), and the mixed workload composes
+//     reverse pairs alongside forward ones.
 //
 // Usage:
 //
 //	benchsnap [-out BENCH.json] [-clusters N] [-rounds N] [-check]
 //
 // With -check the exit status enforces the acceptance floors: the
-// delta hit rate must be at least 5× the wipe baseline (PR 6), and
-// every phase's percentiles must be present and ordered
-// (0 < p50 ≤ p99 ≤ p999, PR 7). CI runs it on every push, so a
-// regression in cache survival or in the telemetry itself fails the
-// build rather than silently eroding.
+// delta hit rate must be at least 5× the wipe baseline (PR 6), every
+// phase's percentiles must be present and ordered
+// (0 < p50 ≤ p99 ≤ p999, PR 7), and the reachability multiplier must
+// be at least 1.5× (PR 8). CI runs it on every push, so a regression
+// in cache survival, in the telemetry, or in inverse-edge derivation
+// fails the build rather than silently eroding.
 package main
 
 import (
@@ -66,6 +74,17 @@ type snapshot struct {
 	} `json:"mixed_workload"`
 
 	DeltaComputeUSMean float64 `json:"delta_compute_us_mean"`
+
+	// Reachability reports the bidirectional graph's coverage, read from
+	// the delta server's /v1/stats counters after the catalog is built.
+	Reachability struct {
+		RegisteredEdges       int     `json:"registered_edges"`
+		DerivedInverseEdges   int     `json:"derived_inverse_edges"`
+		InvertibleMappings    int     `json:"invertible_mappings"`
+		ForwardReachablePairs int     `json:"forward_reachable_pairs"`
+		ReachablePairs        int     `json:"reachable_pairs"`
+		Multiplier            float64 `json:"multiplier"`
+	} `json:"reachability"`
 
 	// Phases carries per-phase compose latency percentiles, diffed from
 	// the server's /metrics histograms around each phase (the compose
@@ -112,19 +131,47 @@ func (p phasePct) ordered() bool {
 	return p.Count > 0 && p.P50US > 0 && p.P50US <= p.P99US && p.P99US <= p.P999US
 }
 
+// clusterTask builds one disjoint 3-schema cluster. Two of every three
+// clusters use invertible permutation equalities, so their reverse
+// pairs are servable over derived inverse edges; every third uses
+// open-world containments and stays forward-only. The split fixes the
+// catalog's reachability multiplier at (2·6+1·3)/(3·3) ≈ 1.67.
 func clusterTask(i int) string {
-	return fmt.Sprintf(`
+	if i%3 == 0 {
+		return fmt.Sprintf(`
 schema c%da { A%d/2; }
 schema c%db { B%d/2; }
 schema c%dc { C%d/2; }
 map m%dab : c%da -> c%db { A%d <= B%d; }
 map m%dbc : c%db -> c%dc { B%d <= C%d; }
 `, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i)
+	}
+	return fmt.Sprintf(`
+schema c%da { A%d/2; }
+schema c%db { B%d/2; }
+schema c%dc { C%d/2; }
+map m%dab : c%da -> c%db { proj[2,1](A%d) = B%d; }
+map m%dbc : c%db -> c%dc { B%d = C%d; }
+`, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i)
 }
 
+// clusterPairs is the forward pair set of a cluster; clusterAllPairs
+// adds the reverse pairs where derived inverses make them servable, so
+// the mixed workload exercises both cache-key directions.
 func clusterPairs(i int) [][2]string {
 	a, b, c := fmt.Sprintf("c%da", i), fmt.Sprintf("c%db", i), fmt.Sprintf("c%dc", i)
 	return [][2]string{{a, b}, {b, c}, {a, c}}
+}
+
+func clusterAllPairs(i int) [][2]string {
+	ps := clusterPairs(i)
+	if i%3 == 0 {
+		return ps
+	}
+	for _, p := range clusterPairs(i) {
+		ps = append(ps, [2]string{p[1], p[0]})
+	}
+	return ps
 }
 
 // sink discards response bodies the way a kernel socket buffer would,
@@ -169,7 +216,7 @@ func buildServer(clusters int, disableDelta bool) *server.Server {
 		must(post(s, "/v1/register", []byte(clusterTask(i))), "register")
 	}
 	for i := 0; i < clusters; i++ {
-		for _, p := range clusterPairs(i) {
+		for _, p := range clusterAllPairs(i) {
 			must(post(s, "/v1/compose", composeBody(p)), "warm compose")
 		}
 	}
@@ -190,8 +237,8 @@ func runMixed(s *server.Server, clusters, rounds, composesPerReg int, seed int64
 	before := s.Stats()
 	for r := 0; r < rounds; r++ {
 		for i := 0; i < composesPerReg; i++ {
-			p := clusterPairs(rng.Intn(clusters))[rng.Intn(3)]
-			must(post(s, "/v1/compose", composeBody(p)), "compose")
+			ps := clusterAllPairs(rng.Intn(clusters))
+			must(post(s, "/v1/compose", composeBody(ps[rng.Intn(len(ps))])), "compose")
 		}
 		must(post(s, "/v1/register", []byte(clusterTask(rng.Intn(clusters)))), "register")
 	}
@@ -228,17 +275,17 @@ func measureHitPath(s *server.Server, iters int) int64 {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "output path for the benchmark snapshot")
+	out := flag.String("out", "BENCH_PR8.json", "output path for the benchmark snapshot")
 	clusters := flag.Int("clusters", 150, "disjoint 3-schema clusters in the benchmark catalog")
 	rounds := flag.Int("rounds", 30, "mixed-workload rounds (1 registration per round)")
 	composesPerReg := flag.Int("composes-per-register", 100, "compose requests per registration")
 	hitIters := flag.Int("hit-iters", 20000, "iterations for the hit-path timing")
 	check := flag.Bool("check", false,
-		"exit non-zero unless delta hit rate ≥ 5× the wipe baseline and every phase's percentiles are present and ordered")
+		"exit non-zero unless delta hit rate ≥ 5× the wipe baseline, every phase's percentiles are present and ordered, and the reachability multiplier is ≥ 1.5×")
 	flag.Parse()
 
 	var snap snapshot
-	snap.PR = 7
+	snap.PR = 8
 	snap.Go = runtime.Version()
 	snap.Procs = runtime.GOMAXPROCS(0)
 
@@ -257,11 +304,17 @@ func main() {
 	snap.Mixed.Wipe = runMixed(wipeSrv, *clusters, *rounds, *composesPerReg, seed)
 	snap.Phases.MixedWipe = phaseDiff(mark, server.ComposeLatencySnapshot())
 
+	totalPairs := 0
+	for i := 0; i < *clusters; i++ {
+		totalPairs += len(clusterAllPairs(i))
+	}
 	snap.Mixed.Clusters = *clusters
-	snap.Mixed.Pairs = *clusters * 3
+	snap.Mixed.Pairs = totalPairs
 	snap.Mixed.ComposesPerRegister = *composesPerReg
 	snap.Mixed.Rounds = *rounds
-	snap.Mixed.MutationTouchesPct = 100 * 3 / float64(*clusters*3)
+	// A mutation republishes one cluster and so touches at most 6 of the
+	// workload's pairs (both directions of an invertible cluster).
+	snap.Mixed.MutationTouchesPct = 100 * 6 / float64(totalPairs)
 	if snap.Mixed.Wipe.HitRate > 0 {
 		snap.Mixed.HitRateRatio = snap.Mixed.Delta.HitRate / snap.Mixed.Wipe.HitRate
 	}
@@ -269,6 +322,14 @@ func main() {
 	st := deltaSrv.Stats()
 	if st.Migrations > 0 {
 		snap.DeltaComputeUSMean = float64(st.DeltaComputeUS) / float64(st.Migrations)
+	}
+	snap.Reachability.RegisteredEdges = st.RegisteredEdges
+	snap.Reachability.DerivedInverseEdges = st.DerivedEdges
+	snap.Reachability.InvertibleMappings = st.InvertibleMappings
+	snap.Reachability.ForwardReachablePairs = st.ForwardReachablePairs
+	snap.Reachability.ReachablePairs = st.ReachablePairs
+	if st.ForwardReachablePairs > 0 {
+		snap.Reachability.Multiplier = float64(st.ReachablePairs) / float64(st.ForwardReachablePairs)
 	}
 	mark = server.ComposeLatencySnapshot()
 	snap.HitPathNSPerOp = measureHitPath(deltaSrv, *hitIters)
@@ -302,6 +363,12 @@ func main() {
 					name, p.Count, p.P50US, p.P99US, p.P999US)
 				os.Exit(1)
 			}
+		}
+		if snap.Reachability.Multiplier < 1.5 {
+			fmt.Fprintf(os.Stderr,
+				"benchsnap: FAIL: reachability multiplier %.3f below the 1.5× floor (%d forward pairs, %d with derived inverses)\n",
+				snap.Reachability.Multiplier, snap.Reachability.ForwardReachablePairs, snap.Reachability.ReachablePairs)
+			os.Exit(1)
 		}
 	}
 }

@@ -54,6 +54,23 @@
 // hot before the first client request arrives; pairs that already
 // survived into the cache (via migration) are skipped.
 //
+// # Bidirectional graph
+//
+// The catalog resolves paths over registered mappings and over derived
+// inverse edges: every published mapping is judged by the quasi-inverse
+// analysis (core.Invert), and when all of its constraints invert, a
+// σB→σA edge joins the graph with provenance "derived-inverse" (compose
+// responses carry per-hop provenance). Derived edges are a pure
+// function of the registered mappings: they are recomputed
+// deterministically while rebuilding the catalog view on WAL replay and
+// snapshot restore, and are never logged or persisted — the on-disk
+// format is unchanged from forward-only builds. When a pair is
+// unreachable forward but would be reachable against non-invertible
+// mappings, the 4xx body names the blocking mappings
+// ("inverse_blocked_by") so operators know exactly which constraint to
+// repair. /v1/stats and /metrics report edge counts, reachable-pair
+// counts and the per-reason inversion verdict tally.
+//
 // # Cache survival
 //
 // Catalog mutations do not wipe the result cache. On every publish the

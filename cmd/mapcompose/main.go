@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	mapcompose [-v] [-format text|json] [-timeout D] file.mc
-//	mapcompose [-v] [-format text|json] [-timeout D] < file.mc
+//	mapcompose [-v] [-invert] [-format text|json] [-timeout D] file.mc
+//	mapcompose [-v] [-invert] [-format text|json] [-timeout D] < file.mc
 //
 // The file declares schemas, maps and compose statements; see
 // internal/parser for the grammar and examples/quickstart for a worked
@@ -14,10 +14,17 @@
 // is worst-case exponential, and the deadline preempts ELIMINATE between
 // strategy attempts, reporting how many symbols were eliminated before
 // time ran out (the same contract as the service's -compose-timeout).
+//
+// With -invert the command skips composition and instead reports the
+// quasi-inverse analysis of every declared map: one verdict per
+// constraint, and whether the mapping as a whole yields a derived
+// σB→σA inverse (the edges the catalog would add for bidirectional
+// resolution). The exit status is 0 only when every map inverts.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +37,7 @@ import (
 
 func main() {
 	verbose := flag.Bool("v", false, "print per-symbol elimination steps")
+	invert := flag.Bool("invert", false, "report per-mapping inversion verdicts instead of composing")
 	format := flag.String("format", "text", "output format: text or json")
 	timeout := flag.Duration("timeout", 0, "deadline for the whole run; preempted compositions fail (0 = none)")
 	flag.Parse()
@@ -54,6 +62,10 @@ func main() {
 	problem, err := mapcomp.ParseProblem(string(src))
 	if err != nil {
 		fatal(err)
+	}
+	if *invert {
+		reportInversions(problem, *format)
+		return
 	}
 	if len(problem.Compositions) == 0 {
 		fatal(fmt.Errorf("no compose declarations in input"))
@@ -105,9 +117,88 @@ func main() {
 	}
 }
 
+// invertDoc is the -format json shape of one mapping's inversion
+// report.
+type invertDoc struct {
+	Map        string       `json:"map"`
+	From       string       `json:"from"`
+	To         string       `json:"to"`
+	Invertible bool         `json:"invertible"`
+	Verdicts   []verdictDoc `json:"verdicts"`
+}
+
+type verdictDoc struct {
+	Constraint string `json:"constraint"`
+	Invertible bool   `json:"invertible"`
+	Carried    bool   `json:"carried,omitempty"`
+	Reason     string `json:"reason"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+// reportInversions prints the quasi-inverse analysis of every declared
+// map, in declaration order, and exits non-zero when any map fails to
+// invert — so the command doubles as a pre-publication gate for
+// pipelines that require bidirectional reachability.
+func reportInversions(problem *mapcomp.Problem, format string) {
+	docs := make([]invertDoc, 0, len(problem.MapOrder))
+	allOK := true
+	for _, name := range problem.MapOrder {
+		m, err := problem.Mapping(name)
+		if err != nil {
+			fatal(err)
+		}
+		decl := problem.Maps[name]
+		inv := mapcomp.Invert(m)
+		doc := invertDoc{Map: name, From: decl.From, To: decl.To, Invertible: inv.Invertible()}
+		for _, v := range inv.Verdicts {
+			doc.Verdicts = append(doc.Verdicts, verdictDoc{
+				Constraint: v.Constraint.String(),
+				Invertible: v.Invertible,
+				Carried:    v.Carried,
+				Reason:     string(v.Reason),
+				Detail:     v.Detail,
+			})
+		}
+		allOK = allOK && doc.Invertible
+		docs = append(docs, doc)
+	}
+
+	if format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(docs); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range docs {
+			status := "invertible"
+			if !d.Invertible {
+				status = "NOT invertible"
+			}
+			fmt.Printf("-- map %s : %s -> %s (%s)\n", d.Map, d.From, d.To, status)
+			for _, v := range d.Verdicts {
+				mark := "ok"
+				switch {
+				case v.Carried:
+					mark = "ok (carried)"
+				case !v.Invertible:
+					mark = v.Reason
+				}
+				fmt.Printf("--   [%s] %s;\n", mark, v.Constraint)
+				if v.Detail != "" {
+					fmt.Printf("--        %s\n", v.Detail)
+				}
+			}
+		}
+	}
+	if !allOK {
+		os.Exit(1)
+	}
+}
+
 func usage(err error) {
 	fmt.Fprintln(os.Stderr, "mapcompose:", err)
-	fmt.Fprintln(os.Stderr, "usage: mapcompose [-v] [-format text|json] [file.mc]")
+	fmt.Fprintln(os.Stderr, "usage: mapcompose [-v] [-invert] [-format text|json] [file.mc]")
 	os.Exit(2)
 }
 

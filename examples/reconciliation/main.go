@@ -5,9 +5,16 @@
 // σ1-σ2 and σ1-σ3 mappings. Even if the latter two mappings are functions,
 // one of them needs to be inverted" (§1.1).
 //
-// In the constraint representation inversion is free: a mapping is just a
-// set of constraints, so Compose(σ2, σ1, σ3) treats the first mapping
-// "backwards" and eliminates the shared original schema.
+// The inversion is where the honesty lives. Designer A's mapping below
+// only reorders columns, so mapcomp.Invert certifies it losslessly
+// reversible and hands back the σ2→σ1 mapping ready to compose. A
+// variant of A that *drops* the price column gets a per-constraint
+// NotInvertible verdict instead — the projection collapses products
+// that differ only in price, and no inverse can tell them apart. For
+// such lossy mappings the constraint formalism still offers the manual
+// fallback of reading the constraint set backwards (swapping In/Out by
+// hand), but that is a best-effort quasi-inverse, not a certified one;
+// Invert refusing is the library telling you which one you have.
 //
 // Run with: go run ./examples/reconciliation
 package main
@@ -22,13 +29,13 @@ import (
 func main() {
 	// Original schema: Product(pid, name, price).
 	original := mapcomp.NewSignature("Product", 3)
-	// Designer A renames and drops price: CatalogA(pid, name).
-	schemaA := mapcomp.NewSignature("CatalogA", 2)
+	// Designer A reorders to name-first: CatalogA(name, pid, price).
+	schemaA := mapcomp.NewSignature("CatalogA", 3)
 	// Designer B keeps everything but partitions by a price band.
 	schemaB := mapcomp.NewSignature("Cheap", 3, "Expensive", 3)
 
 	mapA, err := mapcomp.ParseConstraints(`
-		proj[1,2](Product) = CatalogA;
+		proj[2,1,3](Product) = CatalogA;
 	`)
 	if err != nil {
 		log.Fatal(err)
@@ -41,11 +48,23 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Invert designer A's σ1→σ2 mapping. The column permutation is
+	// injective, so every verdict passes and Mapping holds the honest
+	// σ2→σ1 inverse (constraints verbatim — only the input side flips).
+	fwdA := &mapcomp.Mapping{In: original, Out: schemaA, Constraints: mapA}
+	invA := mapcomp.Invert(fwdA)
+	if !invA.Invertible() {
+		log.Fatalf("expected A to invert: %+v", invA.NotInvertible())
+	}
+	fmt.Println("designer A's mapping inverts losslessly:")
+	for _, v := range invA.Verdicts {
+		fmt.Printf("  [%s] %s\n", v.Reason, v.Constraint)
+	}
+
 	// Compose A⁻¹ with B: schemaA is the input, schemaB the output, and
 	// the original schema is the intermediate signature to eliminate.
-	m1 := &mapcomp.Mapping{In: schemaA, Out: original, Constraints: mapA}
 	m2 := &mapcomp.Mapping{In: original, Out: schemaB, Constraints: mapB}
-	res, err := mapcomp.Compose(m1, m2, nil)
+	res, err := mapcomp.Compose(invA.Mapping, m2, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,5 +78,24 @@ func main() {
 	}
 	for _, c := range res.Constraints {
 		fmt.Printf("  %s\n", c)
+	}
+
+	// The lossy variant: had designer A also dropped the price column,
+	// the projection would no longer be injective and Invert refuses,
+	// naming the constraint and the reason.
+	lossyA, err := mapcomp.ParseConstraints(`
+		proj[2,1](Product) = CatalogSlim;
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lossy := mapcomp.Invert(&mapcomp.Mapping{
+		In:          original,
+		Out:         mapcomp.NewSignature("CatalogSlim", 2),
+		Constraints: lossyA,
+	})
+	fmt.Println("\na price-dropping variant of A does not invert:")
+	for _, v := range lossy.NotInvertible() {
+		fmt.Printf("  [%s] %s\n      %s\n", v.Reason, v.Constraint, v.Detail)
 	}
 }

@@ -12,14 +12,26 @@
 // primitives in the paper's Figure 2 and typically leaves a symbol behind;
 // try replacing e2's constraint to see the best-effort output.
 //
+// The second half walks the evolution backwards: an undo from v3 to v1
+// served purely through derived inverse edges. Only the forward
+// mappings are registered; the catalog's quasi-inverse analysis judges
+// e1 and e2 losslessly reversible (each determines the older version's
+// content from the newer one's), derives the reverse edges, and routes
+// v3→v1 over them — every hop reports "derived-inverse" provenance.
+// The rename step e3 is an open-world containment, so undoing from v4
+// fails, and the error names e3 as the blocker.
+//
 // Run with: go run ./examples/schemaevolution
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
 	"mapcomp"
+	"mapcomp/internal/catalog"
 )
 
 const task = `
@@ -62,5 +74,42 @@ func main() {
 	fmt.Println("direct v1 -> v4 mapping:")
 	for _, c := range r.Result.Constraints {
 		fmt.Printf("  %s\n", c)
+	}
+
+	// Undo: recover the original design from an evolved version without
+	// authoring a single backward mapping. The catalog derives inverse
+	// edges for every mapping whose constraints invert losslessly.
+	cat := catalog.New()
+	if _, err := cat.Apply(problem); err != nil {
+		log.Fatal(err)
+	}
+	route, err := cat.Snap().Route("v3", "v1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nundo route v3 -> v1 (no backward mapping was registered):")
+	for _, h := range route.Hops {
+		fmt.Printf("  %s -> %s via %s (%s)\n", h.From, h.To, h.Mapping, h.Prov)
+	}
+	undo, _, _, err := cat.Compose(context.Background(), "v3", "v1", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("derived v3 -> v1 mapping:")
+	for _, c := range undo.Constraints {
+		fmt.Printf("  %s\n", c)
+	}
+
+	// The rename step e3 is an open-world containment (Active ⊆ Staff):
+	// Staff may hold tuples with no Active preimage, so its inverse is
+	// unsound and the undo cannot start at v4. The error says which
+	// mapping blocks, and mapcompose -invert prints the same verdict.
+	if _, _, _, err := cat.Compose(context.Background(), "v4", "v1", nil); err != nil {
+		var noPath *catalog.NoPathError
+		if errors.As(err, &noPath) {
+			fmt.Printf("\nundo from v4 is refused: %v\n", noPath)
+		} else {
+			log.Fatal(err)
+		}
 	}
 }

@@ -174,6 +174,31 @@ func NewMapping(from, to *Schema, cs ConstraintSet) *Mapping {
 // Sig returns the combined signature σ1 ∪ σ2.
 func (m *Mapping) Sig() (Signature, error) { return m.In.Merge(m.Out) }
 
+// StrictIn returns the symbols that exist only in the input signature.
+// Schema-evolution mappings share untouched relations between versions;
+// the strict sets isolate the symbols that actually encode a direction,
+// which is what inversion analysis needs.
+func (m *Mapping) StrictIn() map[string]bool {
+	out := make(map[string]bool, len(m.In))
+	for n := range m.In {
+		if _, shared := m.Out[n]; !shared {
+			out[n] = true
+		}
+	}
+	return out
+}
+
+// StrictOut returns the symbols that exist only in the output signature.
+func (m *Mapping) StrictOut() map[string]bool {
+	out := make(map[string]bool, len(m.Out))
+	for n := range m.Out {
+		if _, shared := m.In[n]; !shared {
+			out[n] = true
+		}
+	}
+	return out
+}
+
 // Check validates the mapping: disjointness is not required (the schema
 // evolution scenario shares untouched symbols between versions), but every
 // constraint must be well-formed over the combined signature.

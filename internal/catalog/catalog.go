@@ -147,11 +147,33 @@ type Logger interface {
 	AppendMutation(*Mutation) error
 }
 
+// Provenance says how a graph edge came to exist.
+type Provenance string
+
+// The two edge provenances: an edge registered explicitly, and an edge
+// derived by inverting a registered mapping whose every constraint
+// passed the quasi-inverse judgement (core.Invert).
+const (
+	ProvRegistered     Provenance = "registered"
+	ProvDerivedInverse Provenance = "derived-inverse"
+)
+
+// Hop is one edge of a resolved route, in traversal order: the mapping
+// it rides, the schemas it connects in the direction traveled, and
+// whether the traversal used the registered direction or a derived
+// inverse.
+type Hop struct {
+	Mapping  string
+	From, To string
+	Prov     Provenance
+}
+
 // view is one immutable catalog snapshot. Everything a read needs —
 // entry maps, sorted listings, the dense-index BFS adjacency of the
-// mapping graph, and the materialized algebra.Mapping per edge — is
-// precomputed when the view is built (once per mutation), so readers
-// share it without copying, locking, or per-request materialization.
+// bidirectional mapping graph, and the materialized algebra.Mapping per
+// edge (inverses included) — is precomputed when the view is built
+// (once per mutation), so readers share it without copying, locking, or
+// per-request materialization.
 type view struct {
 	gen     uint64
 	schemas map[string]*SchemaEntry
@@ -164,30 +186,59 @@ type view struct {
 	// schemaIdx assigns each schema a dense index into edges, so BFS
 	// runs over slices instead of maps.
 	schemaIdx map[string]int
-	// edges is the adjacency by schema index; per source, edges are
-	// sorted by mapping name, so path discovery order — and hence
-	// tie-breaks — are deterministic.
-	edges [][]viewEdge
+	// edges is the adjacency by schema index. Per source the registered
+	// edges sort before the derived-inverse ones, each group by mapping
+	// name, so path discovery order — and hence tie-breaks — are
+	// deterministic and forward edges win equal-hop ties.
+	edges [][]edge
 
 	// mappings holds one materialized algebra.Mapping per entry, shared
 	// by every Chain/Compose over this view. NewMapping clones its
 	// inputs and the compose stack never mutates a source mapping, so
 	// sharing is safe and a compose request materializes nothing.
 	mappings map[string]*algebra.Mapping
+	// inversions holds the quasi-inverse judgement per entry, computed
+	// from the materialized mapping and pointer-reused across views
+	// exactly when the materialization is — so the inverse mapping
+	// pointer is as stable as the forward one, which is what lets
+	// ComputeDelta classify reverse routes by pointer equality.
+	inversions map[string]*core.Inversion
+
+	// graph caches the lazily computed reachability/verdict statistics
+	// for this snapshot (see GraphStats).
+	graph atomic.Pointer[GraphStats]
 }
 
-type viewEdge struct {
-	to int
-	m  *MappingEntry
+// edge is one directed edge of the mapping graph: a registered mapping
+// traversed forward, or — when the mapping's inversion verdicts all
+// pass — the same mapping traversed backwards via its derived inverse.
+// mat is the mapping to compose for this traversal direction.
+type edge struct {
+	to  int
+	m   *MappingEntry
+	inv bool
+	mat *algebra.Mapping
+}
+
+// prov returns the edge's provenance.
+func (e *edge) prov() Provenance {
+	if e.inv {
+		return ProvDerivedInverse
+	}
+	return ProvRegistered
 }
 
 // freeze builds the derived read structures from the entry maps. prev
 // is the view this one was derived from (nil for the first): entries
 // are immutable and pointer-shared across views, so any mapping whose
 // entry and endpoint schema entries are unchanged reuses prev's
-// materialized algebra.Mapping instead of re-cloning it — without this,
-// registering N mappings one at a time (which is exactly what WAL
-// replay does on boot) would cost O(N²) constraint clones.
+// materialized algebra.Mapping and inversion instead of recomputing
+// them — without this, registering N mappings one at a time (which is
+// exactly what WAL replay does on boot) would cost O(N²) constraint
+// clones. Derived-inverse edges are recomputed here, deterministically,
+// on every snapshot build — never logged or persisted — so existing
+// data directories load unchanged and replay reconstructs the same
+// bidirectional graph.
 func (v *view) freeze(prev *view) *view {
 	v.schemaList = make([]*SchemaEntry, 0, len(v.schemas))
 	for _, e := range v.schemas {
@@ -203,17 +254,32 @@ func (v *view) freeze(prev *view) *view {
 	for i, e := range v.schemaList {
 		v.schemaIdx[e.Name] = i
 	}
-	v.edges = make([][]viewEdge, len(v.schemaList))
+	v.edges = make([][]edge, len(v.schemaList))
 	v.mappings = make(map[string]*algebra.Mapping, len(v.mapList))
+	v.inversions = make(map[string]*core.Inversion, len(v.mapList))
 	for _, m := range v.mapList {
 		from, to := v.schemas[m.From], v.schemas[m.To]
-		v.edges[v.schemaIdx[m.From]] = append(v.edges[v.schemaIdx[m.From]], viewEdge{to: v.schemaIdx[m.To], m: m})
 		if prev != nil && prev.maps[m.Name] == m &&
 			prev.schemas[m.From] == from && prev.schemas[m.To] == to {
 			v.mappings[m.Name] = prev.mappings[m.Name]
-			continue
+			v.inversions[m.Name] = prev.inversions[m.Name]
+		} else {
+			v.mappings[m.Name] = algebra.NewMapping(from.Schema, to.Schema, m.Constraints)
+			v.inversions[m.Name] = core.Invert(v.mappings[m.Name])
 		}
-		v.mappings[m.Name] = algebra.NewMapping(from.Schema, to.Schema, m.Constraints)
+		fi, ti := v.schemaIdx[m.From], v.schemaIdx[m.To]
+		v.edges[fi] = append(v.edges[fi], edge{to: ti, m: m, mat: v.mappings[m.Name]})
+		if inv := v.inversions[m.Name]; inv.Invertible() {
+			v.edges[ti] = append(v.edges[ti], edge{to: fi, m: m, inv: true, mat: inv.Mapping})
+		}
+	}
+	for _, es := range v.edges {
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].inv != es[j].inv {
+				return !es[i].inv // registered before derived
+			}
+			return es[i].m.Name < es[j].m.Name
+		})
 	}
 	return v
 }
@@ -526,17 +592,82 @@ func (c *Catalog) Snapshot() ([]*SchemaEntry, []*MappingEntry, uint64) {
 	return v.schemaList, v.mapList, v.gen
 }
 
-// path resolves the schema pair from→to to a chain of registered mapping
-// names by breadth-first search over the snapshot's precomputed mapping
-// graph, so the returned chain has the fewest hops. Parallel edges and
-// equal-length paths are broken deterministically by mapping name.
-//
-// When the endpoints are registered but no chain connects them, path
-// returns ErrNoPath together with the partial route: the chain to the
-// reachable schema that BFS explored last (the deepest frontier, ties
-// broken by discovery order). Callers surface it so a failing request
-// names how far the mapping graph got instead of reporting nothing.
-func (v *view) path(from, to string) ([]string, error) {
+// NoPathError is the ErrNoPath failure enriched with what the
+// bidirectional graph knows about the miss: whether traversing
+// registered mappings against their direction would have reached the
+// target, and which mappings on such a path block it by being
+// non-invertible. Unwraps to ErrNoPath.
+type NoPathError struct {
+	From, To string
+	// ReverseReachable reports that a path exists if registered
+	// mappings could be walked backwards regardless of invertibility —
+	// the fix is registering (or making invertible) an inverse.
+	ReverseReachable bool
+	// Blocking lists the mappings traversed backwards on that
+	// hypothetical path whose inversion verdicts failed, sorted.
+	Blocking []string
+}
+
+// Error keeps the historical "catalog: no mapping path from X to Y"
+// prefix and appends the reverse-reachability hint when there is one.
+func (e *NoPathError) Error() string {
+	msg := fmt.Sprintf("catalog: %v from %s to %s", ErrNoPath, e.From, e.To)
+	if e.ReverseReachable {
+		msg += fmt.Sprintf("; reachable in reverse, blocked by non-invertible mapping(s) %v", e.Blocking)
+	}
+	return msg
+}
+
+// Unwrap makes errors.Is(err, ErrNoPath) hold.
+func (e *NoPathError) Unwrap() error { return ErrNoPath }
+
+// bfsFrom runs breadth-first search over the bidirectional graph from
+// src, returning the discovering edge per node (nil for src and
+// unreached nodes), each discovered node's predecessor, and the
+// discovery order. The search is level-synchronized with two relaxation
+// passes per level — every registered edge out of the level before any
+// derived-inverse edge — so a node reachable at the same hop count both
+// ways is always discovered through a registered edge. On a graph with
+// no derived edges the traversal degenerates to the classic FIFO BFS
+// this replaced, preserving its discovery order and tie-breaks exactly.
+func (v *view) bfsFrom(src int) (via []*edge, prev []int, order []int) {
+	n := len(v.schemaList)
+	via = make([]*edge, n)
+	prev = make([]int, n)
+	order = make([]int, 0, n)
+	visited := make([]bool, n)
+	visited[src] = true
+	level := []int{src}
+	for len(level) > 0 {
+		var next []int
+		for _, derived := range [2]bool{false, true} {
+			for _, h := range level {
+				es := v.edges[h]
+				for i := range es {
+					e := &es[i]
+					if e.inv != derived || visited[e.to] {
+						continue
+					}
+					visited[e.to] = true
+					via[e.to] = e
+					prev[e.to] = h
+					next = append(next, e.to)
+					order = append(order, e.to)
+				}
+			}
+		}
+		level = next
+	}
+	return via, prev, order
+}
+
+// resolve turns the schema pair from→to into the shortest chain of
+// edges over the bidirectional graph (registered mappings plus derived
+// inverses where the inversion verdicts allow; forward edges win
+// equal-hop ties). On ErrNoPath it returns the partial chain to the
+// schema BFS explored last, wrapped in a NoPathError that also reports
+// whether ignoring invertibility would have connected the pair.
+func (v *view) resolve(from, to string) ([]*edge, error) {
 	if _, ok := v.schemas[from]; !ok {
 		return nil, fmt.Errorf("catalog: %w %s", ErrUnknownSchema, from)
 	}
@@ -547,44 +678,107 @@ func (v *view) path(from, to string) ([]string, error) {
 		return nil, fmt.Errorf("catalog: compose endpoints are the same schema %s", from)
 	}
 	src, dst := v.schemaIdx[from], v.schemaIdx[to]
-	n := len(v.schemaList)
-	// Dense-index BFS: via[i] is the edge that discovered schema i (nil
-	// for the source and undiscovered nodes), prev[i] its predecessor.
-	via := make([]*MappingEntry, n)
-	prev := make([]int, n)
-	visited := make([]bool, n)
-	visited[src] = true
-	queue := make([]int, 0, n)
-	queue = append(queue, src)
-	chainTo := func(i int) []string {
-		var chain []string
+	via, prev, order := v.bfsFrom(src)
+	chainTo := func(i int) []*edge {
+		var chain []*edge
 		for x := i; via[x] != nil; x = prev[x] {
-			chain = append(chain, via[x].Name)
+			chain = append(chain, via[x])
 		}
 		for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
 			chain[i], chain[j] = chain[j], chain[i]
 		}
 		return chain
 	}
+	if via[dst] != nil {
+		return chainTo(dst), nil
+	}
 	frontier := src
+	if len(order) > 0 {
+		frontier = order[len(order)-1]
+	}
+	npe := &NoPathError{From: from, To: to}
+	npe.ReverseReachable, npe.Blocking = v.reverseReachable(src, dst)
+	return chainTo(frontier), npe
+}
+
+// reverseReachable reports whether dst becomes reachable from src once
+// every registered mapping may also be walked backwards, regardless of
+// its inversion verdicts — the counterfactual behind the NoPathError
+// hint — and which non-invertible mappings the found path crosses
+// backwards (sorted). Derived edges that really exist are not blockers.
+func (v *view) reverseReachable(src, dst int) (bool, []string) {
+	n := len(v.schemaList)
+	// back[i] collects the registered edges arriving at i, walkable
+	// backwards in the counterfactual graph.
+	back := make([][]*edge, n)
+	for h := range v.edges {
+		es := v.edges[h]
+		for i := range es {
+			if !es[i].inv {
+				back[es[i].to] = append(back[es[i].to], &es[i])
+			}
+		}
+	}
+	type step struct {
+		prev    int
+		blocker string // mapping crossed backwards without a real inverse
+	}
+	steps := make([]*step, n)
+	visited := make([]bool, n)
+	visited[src] = true
+	queue := []int{src}
 	for len(queue) > 0 {
 		h := queue[0]
 		queue = queue[1:]
-		frontier = h
 		if h == dst {
-			return chainTo(h), nil
-		}
-		for _, e := range v.edges[h] {
-			if visited[e.to] {
-				continue
+			seen := map[string]bool{}
+			var blocking []string
+			for x := dst; x != src; x = steps[x].prev {
+				if b := steps[x].blocker; b != "" && !seen[b] {
+					seen[b] = true
+					blocking = append(blocking, b)
+				}
 			}
-			visited[e.to] = true
-			via[e.to] = e.m
-			prev[e.to] = h
-			queue = append(queue, e.to)
+			sort.Strings(blocking)
+			return true, blocking
+		}
+		for i := range v.edges[h] {
+			e := &v.edges[h][i]
+			if !visited[e.to] {
+				visited[e.to] = true
+				steps[e.to] = &step{prev: h}
+				queue = append(queue, e.to)
+			}
+		}
+		for _, e := range back[h] {
+			// e runs some→h registered; walk it backwards to its source.
+			fi := v.schemaIdx[e.m.From]
+			if !visited[fi] {
+				visited[fi] = true
+				blocker := ""
+				if !v.inversions[e.m.Name].Invertible() {
+					blocker = e.m.Name
+				}
+				steps[fi] = &step{prev: h, blocker: blocker}
+				queue = append(queue, fi)
+			}
 		}
 	}
-	return chainTo(frontier), fmt.Errorf("catalog: %w from %s to %s", ErrNoPath, from, to)
+	return false, nil
+}
+
+// path resolves from→to to the mapping names along the shortest chain
+// (see resolve). A name appears for a hop whether the hop rides the
+// mapping forward or through its derived inverse; Route carries the
+// per-hop direction. On ErrNoPath the returned slice is the partial
+// route.
+func (v *view) path(from, to string) ([]string, error) {
+	chain, err := v.resolve(from, to)
+	var names []string
+	for _, e := range chain {
+		names = append(names, e.m.Name)
+	}
+	return names, err
 }
 
 // Path is the exported form of path, against the current snapshot. On
@@ -593,26 +787,30 @@ func (c *Catalog) Path(from, to string) ([]string, error) {
 	return c.snap.Load().path(from, to)
 }
 
-// Chain resolves from→to and assembles the chain's mappings. Each
-// mapping was materialized once via algebra.NewMapping when its
-// snapshot was built (the same constructor the text-format path uses,
-// so key knowledge merges identically) and is shared read-only across
-// requests. Chain returns the mappings, the mapping names along the
-// path, and the catalog generation — all from one immutable snapshot,
-// so the three are mutually consistent even under concurrent
-// registration, without taking any lock. On a resolution error the
-// mappings are nil and the path is the partial route (see path).
+// Chain resolves from→to over the bidirectional graph and assembles the
+// chain's mappings — the forward materialization for registered hops,
+// the derived inverse for backward hops. Each was materialized once
+// when its snapshot was built and is shared read-only across requests.
+// Chain returns the mappings, the mapping names along the path, and the
+// catalog generation — all from one immutable snapshot, so the three
+// are mutually consistent even under concurrent registration, without
+// taking any lock. On a resolution error the mappings are nil and the
+// path is the partial route (see path).
 func (c *Catalog) Chain(from, to string) ([]*algebra.Mapping, []string, uint64, error) {
 	v := c.snap.Load()
-	path, err := v.path(from, to)
+	chain, err := v.resolve(from, to)
+	var names []string
+	for _, e := range chain {
+		names = append(names, e.m.Name)
+	}
 	if err != nil {
-		return nil, path, v.gen, err
+		return nil, names, v.gen, err
 	}
-	ms := make([]*algebra.Mapping, len(path))
-	for i, name := range path {
-		ms[i] = v.mappings[name]
+	ms := make([]*algebra.Mapping, len(chain))
+	for i, e := range chain {
+		ms[i] = e.mat
 	}
-	return ms, path, v.gen, nil
+	return ms, names, v.gen, nil
 }
 
 // Restore installs a recovered state wholesale: schema and mapping

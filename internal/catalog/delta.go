@@ -42,6 +42,11 @@ func (s Snap) Generation() uint64 { return s.v.gen }
 type Route struct {
 	// Path is the mapping names along the shortest chain, in hop order.
 	Path []string
+	// Hops is the per-hop detail: which mapping each hop rides, the
+	// schemas it connects in the direction traveled, and whether the
+	// hop uses the registered direction or a derived inverse. Same
+	// length and order as Path.
+	Hops []Hop
 	// Gen is the route generation: the generation of the newest catalog
 	// mutation that affected this route — the largest Generation among
 	// the mapping entries on the path and the schema entries they
@@ -52,24 +57,38 @@ type Route struct {
 	ms []*algebra.Mapping
 }
 
-// Mappings returns the materialized mappings along the path, shared
-// read-only with the snapshot.
+// Mappings returns the materialized mappings along the path — inverse
+// materializations for derived hops — shared read-only with the
+// snapshot.
 func (r *Route) Mappings() []*algebra.Mapping { return r.ms }
 
 // Route resolves from→to in this snapshot to the same shortest chain
-// Catalog.Chain would produce, plus the route generation. On a
-// resolution error the returned route carries the partial path BFS
-// explored (see path) and no mappings.
+// Catalog.Chain would produce, plus the route generation and per-hop
+// provenance. On a resolution error the returned route carries the
+// partial path BFS explored (see path) and no mappings.
 func (s Snap) Route(from, to string) (*Route, error) {
 	v := s.v
-	path, err := v.path(from, to)
+	chain, err := v.resolve(from, to)
 	if err != nil {
-		return &Route{Path: path}, err
+		r := &Route{}
+		for _, e := range chain {
+			r.Path = append(r.Path, e.m.Name)
+		}
+		return r, err
 	}
-	r := &Route{Path: path, ms: make([]*algebra.Mapping, len(path))}
-	for i, name := range path {
-		m := v.maps[name]
-		r.ms[i] = v.mappings[name]
+	r := &Route{
+		Path: make([]string, len(chain)),
+		Hops: make([]Hop, len(chain)),
+		ms:   make([]*algebra.Mapping, len(chain)),
+	}
+	for i, e := range chain {
+		m := e.m
+		r.Path[i] = m.Name
+		r.Hops[i] = Hop{Mapping: m.Name, From: m.From, To: m.To, Prov: e.prov()}
+		if e.inv {
+			r.Hops[i].From, r.Hops[i].To = m.To, m.From
+		}
+		r.ms[i] = e.mat
 		if m.Generation > r.Gen {
 			r.Gen = m.Generation
 		}
@@ -133,37 +152,13 @@ func (d *Delta) Invalidated(from, to string) bool {
 	return ok
 }
 
-// tree runs BFS over the whole graph from src — the same traversal and
-// tie-breaking as path, without the early exit — returning the
-// discovering edge per node (nil for src and unreached nodes), each
-// discovered node's predecessor, and the discovery order. The route
-// tree agrees with per-pair path resolution: BFS discovery order is
-// deterministic, and a node's route is fixed at its discovery, which
-// happens identically whether or not the search stops there.
-func (v *view) tree(src int) (via []*MappingEntry, prev []int, order []int) {
-	n := len(v.schemaList)
-	via = make([]*MappingEntry, n)
-	prev = make([]int, n)
-	order = make([]int, 0, n)
-	visited := make([]bool, n)
-	visited[src] = true
-	queue := make([]int, 0, n)
-	queue = append(queue, src)
-	for len(queue) > 0 {
-		h := queue[0]
-		queue = queue[1:]
-		for _, e := range v.edges[h] {
-			if visited[e.to] {
-				continue
-			}
-			visited[e.to] = true
-			via[e.to] = e.m
-			prev[e.to] = h
-			queue = append(queue, e.to)
-			order = append(order, e.to)
-		}
-	}
-	return via, prev, order
+// tree is bfsFrom under its delta-facing name: the full-graph BFS from
+// src with no early exit. The route tree agrees with per-pair path
+// resolution: BFS discovery order is deterministic, and a node's route
+// is fixed at its discovery, which happens identically whether or not
+// the search stops there.
+func (v *view) tree(src int) (via []*edge, prev []int, order []int) {
+	return v.bfsFrom(src)
 }
 
 // ComputeDelta diffs two snapshots of the same catalog (old must not be
@@ -230,12 +225,19 @@ func ComputeDelta(old, new Snap) *Delta {
 // diffSource classifies every destination reachable from src in either
 // snapshot. Route comparison propagates along the new BFS tree: a
 // node's route changed iff its discovering edge resolves to a
-// different materialized mapping (or a different mapping name) than in
-// the old tree, or the route to its predecessor already changed. The
-// predecessor is implied by the discovering edge (its From endpoint),
-// so an identical edge guarantees an identical predecessor and the
-// prefix comparison is exactly the recursive route comparison. BFS
-// order guarantees the predecessor is classified first.
+// different materialized mapping (or a different mapping name or
+// traversal direction) than in the old tree, or the route to its
+// predecessor already changed. The predecessor is implied by the
+// discovering edge (its source endpoint), so an identical edge
+// guarantees an identical predecessor and the prefix comparison is
+// exactly the recursive route comparison. BFS order guarantees the
+// predecessor is classified first.
+//
+// The materialization comparison covers both directions of a mapping
+// at once: freeze reuses a derived-inverse materialization exactly when
+// it reuses the forward one, so republishing a mapping produces fresh
+// pointers for both its forward and its derived edge — every route
+// using the mapping in either direction classifies as changed.
 func (d *Delta) diffSource(ov, nv *view, src string, oi, ni int) {
 	oldVia, _, oldOrder := ov.tree(oi)
 	newVia, newPrev, newOrder := nv.tree(ni)
@@ -252,7 +254,7 @@ func (d *Delta) diffSource(ov, nv *view, src string, oi, ni int) {
 			continue
 		}
 		nm, om := newVia[x], oldVia[ox]
-		if changed[newPrev[x]] || nm.Name != om.Name || nv.mappings[nm.Name] != ov.mappings[om.Name] {
+		if changed[newPrev[x]] || nm.m.Name != om.m.Name || nm.inv != om.inv || nm.mat != om.mat {
 			changed[x] = true
 			d.Changed = append(d.Changed, [2]string{src, name})
 		}

@@ -1,0 +1,241 @@
+// Quasi-inverse of a schema mapping, after Arenas et al., Composition
+// and Inversion of Schema Mappings. A mapping (σ1, σ2, Σ) in the
+// paper's formalism is a constraint set over the union of its endpoint
+// signatures, and its candidate inverse is the same constraint set read
+// with the signatures swapped. That candidate is only honest when every
+// constraint determines source content from target content: an
+// existential (containment) constraint or a Skolemized right side says
+// the target holds *at least* some image of the source — reading it
+// backwards recovers nothing — and a non-injective projection collapses
+// source tuples that no inverse can tell apart. Invert therefore judges
+// every constraint individually and returns either the inverted mapping
+// or a per-constraint NotInvertible verdict with a reason; it never
+// returns a silently-wrong inverse.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mapcomp/internal/algebra"
+	"mapcomp/internal/obs"
+)
+
+var invertSeconds = obs.Hist("mapcomp_invert_seconds", "")
+
+// InvertReason classifies why a constraint blocks inversion.
+type InvertReason string
+
+// The verdict classes. ReasonOK marks an invertible constraint; every
+// other reason names the first rule that disqualified it.
+const (
+	// ReasonOK: the constraint is invertible (or carried verbatim).
+	ReasonOK InvertReason = "ok"
+	// ReasonSkolem: a side contains a Skolem term — the mapping invents
+	// values existentially, so no inverse can recover the source.
+	ReasonSkolem InvertReason = "skolem"
+	// ReasonContainment: a containment relating strict-input to
+	// strict-output symbols is open-world — the target may hold tuples
+	// with no source preimage, so reading it backwards is unsound.
+	ReasonContainment InvertReason = "containment"
+	// ReasonNonInjective: the input side projects away or duplicates
+	// columns, collapsing distinct source tuples; the lost columns are
+	// unrecoverable.
+	ReasonNonInjective InvertReason = "non-injective-projection"
+	// ReasonEntangled: a single side mixes strict-input and
+	// strict-output symbols, so neither direction of the constraint
+	// isolates source content.
+	ReasonEntangled InvertReason = "entangled"
+	// ReasonUnsupported: the input side uses an operator shape (select,
+	// union, product, …) whose injectivity this analysis does not
+	// establish; conservatively not invertible.
+	ReasonUnsupported InvertReason = "unsupported-shape"
+)
+
+// ConstraintVerdict is the per-constraint inversion judgement.
+type ConstraintVerdict struct {
+	// Constraint is the judged constraint, verbatim from the mapping.
+	Constraint algebra.Constraint
+	// Invertible reports whether the constraint survives into the
+	// inverse mapping.
+	Invertible bool
+	// Carried marks an invertible constraint that mentions no
+	// strict-input or no strict-output symbol (e.g. Retired = Retired
+	// across a shared symbol): it carries into the inverse verbatim
+	// without encoding any cross-schema flow.
+	Carried bool
+	// Reason is ReasonOK when Invertible, else the verdict class.
+	Reason InvertReason
+	// Detail is a human-readable elaboration of Reason.
+	Detail string
+}
+
+// Inversion is the full result of Invert: one verdict per constraint,
+// in constraint order, plus the inverse mapping when every verdict is
+// invertible.
+type Inversion struct {
+	Verdicts []ConstraintVerdict
+	// Mapping is the quasi-inverse — input and output signatures
+	// swapped, constraints verbatim — or nil when any constraint is not
+	// invertible.
+	Mapping *algebra.Mapping
+}
+
+// Invertible reports whether every constraint passed judgement.
+func (inv *Inversion) Invertible() bool { return inv.Mapping != nil }
+
+// NotInvertible returns the verdicts that blocked inversion, in
+// constraint order; empty when the mapping is invertible.
+func (inv *Inversion) NotInvertible() []ConstraintVerdict {
+	var out []ConstraintVerdict
+	for _, v := range inv.Verdicts {
+		if !v.Invertible {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Invert judges every constraint of m and, when all of them pass,
+// builds the quasi-inverse mapping: In and Out swapped, keys and
+// constraints verbatim. Constraints in this formalism are symmetric
+// statements over the union signature, so the inverse keeps their text
+// exactly — what changes is which side is the input. The per-constraint
+// verdicts are always populated, pass or fail, so callers can report
+// precisely which constraint blocks inversion and why.
+func Invert(m *algebra.Mapping) *Inversion {
+	defer func(start time.Time) { invertSeconds.Observe(time.Since(start)) }(time.Now())
+
+	// Strict-input symbols exist only in σ1, strict-output only in σ2;
+	// shared symbols (schema evolution keeps untouched relations in
+	// both versions) constrain neither direction exclusively.
+	strictIn, strictOut := m.StrictIn(), m.StrictOut()
+	sig, err := m.Sig()
+	if err != nil {
+		// An ill-formed mapping cannot be judged; report every
+		// constraint unsupported rather than guessing.
+		inv := &Inversion{}
+		for _, c := range m.Constraints {
+			inv.Verdicts = append(inv.Verdicts, ConstraintVerdict{
+				Constraint: c, Reason: ReasonUnsupported,
+				Detail: fmt.Sprintf("mapping signature invalid: %v", err),
+			})
+		}
+		return inv
+	}
+
+	inv := &Inversion{Verdicts: make([]ConstraintVerdict, 0, len(m.Constraints))}
+	ok := true
+	for _, c := range m.Constraints {
+		v := judgeConstraint(c, sig, strictIn, strictOut)
+		ok = ok && v.Invertible
+		inv.Verdicts = append(inv.Verdicts, v)
+	}
+	if ok {
+		inv.Mapping = &algebra.Mapping{
+			In:          m.Out.Clone(),
+			Out:         m.In.Clone(),
+			Keys:        m.Keys.Clone(),
+			Constraints: m.Constraints.Clone(),
+		}
+	}
+	return inv
+}
+
+// judgeConstraint applies the verdict rules in precedence order:
+// Skolem terms first (they poison either side), then carried
+// constraints (no cross-schema flow — invertible verbatim), then
+// entanglement, then the containment/equality split, and finally the
+// injectivity analysis of the equality's input side.
+func judgeConstraint(c algebra.Constraint, sig algebra.Signature, strictIn, strictOut map[string]bool) ConstraintVerdict {
+	v := ConstraintVerdict{Constraint: c, Reason: ReasonOK}
+	if c.ContainsSkolem() {
+		v.Reason = ReasonSkolem
+		v.Detail = "constraint contains a Skolem term; the mapping invents values existentially"
+		return v
+	}
+	touches := func(e algebra.Expr, set map[string]bool) bool {
+		for n := range algebra.Rels(e) {
+			if set[n] {
+				return true
+			}
+		}
+		return false
+	}
+	lIn, lOut := touches(c.L, strictIn), touches(c.L, strictOut)
+	rIn, rOut := touches(c.R, strictIn), touches(c.R, strictOut)
+	if (!lIn && !rIn) || (!lOut && !rOut) {
+		// One-sided: the constraint lives entirely inside one schema (or
+		// the shared region) and swaps into the inverse verbatim.
+		v.Invertible = true
+		v.Carried = true
+		return v
+	}
+	if (lIn && lOut) || (rIn && rOut) {
+		v.Reason = ReasonEntangled
+		v.Detail = "one side mixes strict-input and strict-output symbols"
+		return v
+	}
+	// From here on the constraint genuinely relates the two schemas:
+	// one side touches strict-input, the other strict-output.
+	if c.Kind == algebra.Containment {
+		v.Reason = ReasonContainment
+		v.Detail = "containment is open-world: the target may hold tuples with no source preimage"
+		return v
+	}
+	// Equality. The side touching strict-input must be recoverable: a
+	// bare relation or a permutation-projection chain peeling down to
+	// one — anything else loses or conflates source tuples.
+	input := c.L
+	if rIn {
+		input = c.R
+	}
+	if reason, detail := recoverable(input, sig); reason != ReasonOK {
+		v.Reason = reason
+		v.Detail = detail
+		return v
+	}
+	v.Invertible = true
+	return v
+}
+
+// recoverable reports whether evaluating e backwards from its value
+// recovers the underlying relation exactly: e is a bare Rel, or a
+// Project whose column list is a permutation of its operand's columns,
+// recursively down to a bare Rel. Everything else either discards
+// information (non-permutation projections) or has injectivity this
+// analysis does not establish.
+func recoverable(e algebra.Expr, sig algebra.Signature) (InvertReason, string) {
+	switch x := e.(type) {
+	case algebra.Rel:
+		return ReasonOK, ""
+	case algebra.Project:
+		inner, err := algebra.Arity(x.E, sig)
+		if err != nil {
+			return ReasonUnsupported, fmt.Sprintf("input side does not type-check: %v", err)
+		}
+		if !isPermutation(x.Cols, inner) {
+			return ReasonNonInjective,
+				fmt.Sprintf("proj%v over arity %d drops or duplicates columns; distinct source tuples collapse", x.Cols, inner)
+		}
+		return recoverable(x.E, sig)
+	default:
+		return ReasonUnsupported,
+			fmt.Sprintf("input side %s is not a relation or permutation projection", e)
+	}
+}
+
+// isPermutation reports whether cols is exactly a reordering of 1..n.
+func isPermutation(cols []int, n int) bool {
+	if len(cols) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, c := range cols {
+		if c < 1 || c > n || seen[c-1] {
+			return false
+		}
+		seen[c-1] = true
+	}
+	return true
+}

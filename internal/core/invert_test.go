@@ -1,0 +1,280 @@
+package core
+
+// Tests for the quasi-inverse operator: one committed fixture per
+// verdict class (the acceptance contract — every NotInvertible
+// constraint is reported with its reason, never dropped or served
+// wrong), the round-trip identity-recovery property against the eval
+// oracle, and the compose-with-inverse tautology check.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mapcomp/internal/algebra"
+	"mapcomp/internal/eval"
+	"mapcomp/internal/parser"
+)
+
+func mapping(t *testing.T, in, out algebra.Signature, src string) *algebra.Mapping {
+	t.Helper()
+	cs, err := parser.ParseConstraints(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	m := &algebra.Mapping{In: in, Out: out, Keys: algebra.Keys{}, Constraints: cs}
+	if err := m.Check(); err != nil {
+		t.Fatalf("mapping %q: %v", src, err)
+	}
+	return m
+}
+
+// TestInvertVerdictFixtures pins one fixture per verdict class. Each
+// case is a complete mapping; the table names the expected per-class
+// reason on the first constraint and whether the mapping as a whole
+// inverts.
+func TestInvertVerdictFixtures(t *testing.T) {
+	cases := []struct {
+		name       string
+		in, out    algebra.Signature
+		src        string
+		invertible bool
+		reason     InvertReason
+		carried    bool
+	}{
+		{
+			name: "invertible-bare-rel",
+			in:   algebra.Signature{"A": 2}, out: algebra.Signature{"B": 2},
+			src: "A = B", invertible: true, reason: ReasonOK,
+		},
+		{
+			name: "invertible-permutation-projection",
+			in:   algebra.Signature{"A": 3}, out: algebra.Signature{"B": 3},
+			src: "proj[3,1,2](A) = B", invertible: true, reason: ReasonOK,
+		},
+		{
+			name: "invertible-nested-permutation",
+			in:   algebra.Signature{"A": 2}, out: algebra.Signature{"B": 2},
+			src: "proj[2,1](proj[2,1](A)) = B", invertible: true, reason: ReasonOK,
+		},
+		{
+			name: "carried-shared-symbol",
+			in:   algebra.Signature{"A": 1, "Retired": 2}, out: algebra.Signature{"B": 1, "Retired": 2},
+			src: "A = B; Retired = Retired", invertible: true, reason: ReasonOK,
+		},
+		{
+			name: "skolem",
+			in:   algebra.Signature{"A": 1}, out: algebra.Signature{"B": 2},
+			src: "sk[f:1](A) = B", invertible: false, reason: ReasonSkolem,
+		},
+		{
+			name: "containment",
+			in:   algebra.Signature{"A": 2}, out: algebra.Signature{"B": 2},
+			src: "A <= B", invertible: false, reason: ReasonContainment,
+		},
+		{
+			name: "non-injective-projection",
+			in:   algebra.Signature{"A": 3}, out: algebra.Signature{"B": 2},
+			src: "proj[1,2](A) = B", invertible: false, reason: ReasonNonInjective,
+		},
+		{
+			name: "non-injective-duplicated-column",
+			in:   algebra.Signature{"A": 2}, out: algebra.Signature{"B": 2},
+			src: "proj[1,1](A) = B", invertible: false, reason: ReasonNonInjective,
+		},
+		{
+			name: "entangled",
+			in:   algebra.Signature{"A": 1}, out: algebra.Signature{"B": 1, "C": 2},
+			src: "A * B = C", invertible: false, reason: ReasonEntangled,
+		},
+		{
+			name: "unsupported-shape",
+			in:   algebra.Signature{"A": 2}, out: algebra.Signature{"B": 2},
+			src: "sel[#1='x'](A) = B", invertible: false, reason: ReasonUnsupported,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := mapping(t, tc.in, tc.out, tc.src)
+			inv := Invert(m)
+			if len(inv.Verdicts) != len(m.Constraints) {
+				t.Fatalf("got %d verdicts for %d constraints", len(inv.Verdicts), len(m.Constraints))
+			}
+			v := inv.Verdicts[0]
+			if v.Reason != tc.reason {
+				t.Fatalf("reason = %q (detail %q), want %q", v.Reason, v.Detail, tc.reason)
+			}
+			if v.Invertible != (tc.reason == ReasonOK) {
+				t.Fatalf("invertible = %v with reason %q", v.Invertible, v.Reason)
+			}
+			if !v.Invertible && v.Detail == "" {
+				t.Fatalf("not-invertible verdict carries no detail")
+			}
+			if inv.Invertible() != tc.invertible {
+				t.Fatalf("mapping invertible = %v, want %v", inv.Invertible(), tc.invertible)
+			}
+			if tc.invertible {
+				im := inv.Mapping
+				if im == nil {
+					t.Fatal("invertible mapping has nil inverse")
+				}
+				if fmt.Sprint(im.In) != fmt.Sprint(m.Out) || fmt.Sprint(im.Out) != fmt.Sprint(m.In) {
+					t.Fatalf("inverse signatures not swapped: in=%v out=%v", im.In, im.Out)
+				}
+				if im.Constraints.String() != m.Constraints.String() {
+					t.Fatalf("inverse constraints differ:\n%s\nvs\n%s", im.Constraints, m.Constraints)
+				}
+				if err := im.Check(); err != nil {
+					t.Fatalf("inverse does not type-check: %v", err)
+				}
+			} else {
+				if inv.Mapping != nil {
+					t.Fatal("not-invertible mapping still produced an inverse")
+				}
+				if len(inv.NotInvertible()) == 0 {
+					t.Fatal("NotInvertible() empty for a blocked mapping")
+				}
+			}
+		})
+	}
+}
+
+// TestInvertCarriedVerdictMarked pins that the shared-symbol constraint
+// is reported as carried, not silently treated like a cross-schema flow.
+func TestInvertCarriedVerdictMarked(t *testing.T) {
+	m := mapping(t,
+		algebra.Signature{"A": 1, "Retired": 2},
+		algebra.Signature{"B": 1, "Retired": 2},
+		"A = B; Retired = Retired")
+	inv := Invert(m)
+	if !inv.Invertible() {
+		t.Fatalf("expected invertible, got verdicts %+v", inv.Verdicts)
+	}
+	if inv.Verdicts[0].Carried {
+		t.Fatal("cross-schema equality marked carried")
+	}
+	if !inv.Verdicts[1].Carried {
+		t.Fatal("shared-symbol constraint not marked carried")
+	}
+}
+
+// randPerm returns a random permutation of 1..n as projection columns.
+func randPerm(rng *rand.Rand, n int) []int {
+	cols := make([]int, n)
+	for i := range cols {
+		cols[i] = i + 1
+	}
+	rng.Shuffle(n, func(i, j int) { cols[i], cols[j] = cols[j], cols[i] })
+	return cols
+}
+
+// invPerm returns the inverse permutation: if cols maps source column
+// cols[i] to target position i+1, invPerm maps it back.
+func invPerm(cols []int) []int {
+	out := make([]int, len(cols))
+	for i, c := range cols {
+		out[c-1] = i + 1
+	}
+	return out
+}
+
+// TestInvertRoundTripProperty is the identity-recovery oracle per the
+// quasi-inverse definition: for generated permutation mappings m and
+// random source instances I, pushing I forward through m's constraint
+// and pulling the image back through the inverse permutation recovers I
+// exactly; and the joint instance (I, image) satisfies both m's
+// constraints and Invert(m).Mapping's constraints (they are verbatim
+// the same text, evaluated over the same joint signature).
+func TestInvertRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		arity := 1 + rng.Intn(4)
+		cols := randPerm(rng, arity)
+		in := algebra.Signature{"A": arity}
+		out := algebra.Signature{"B": arity}
+		m := mapping(t, in, out, fmt.Sprintf("proj%v(A) = B", cols))
+		inv := Invert(m)
+		if !inv.Invertible() {
+			t.Fatalf("trial %d: permutation mapping %s judged not invertible: %+v",
+				trial, m.Constraints, inv.NotInvertible())
+		}
+
+		// Random source instance, forward image under the permutation.
+		domain := []algebra.Value{"a", "b", "c"}
+		src := eval.RandInstance(in, domain, 6, rng)
+		joint := eval.NewInstance(algebra.Signature{"A": arity, "B": arity})
+		joint.Rels["A"] = src.Rels["A"].Clone()
+		img, err := eval.Eval(algebra.Proj(algebra.R("A"), cols...), joint, nil)
+		if err != nil {
+			t.Fatalf("trial %d: forward eval: %v", trial, err)
+		}
+		joint.Rels["B"] = img
+
+		// The joint instance satisfies the mapping and its inverse.
+		for which, cs := range map[string]algebra.ConstraintSet{
+			"forward": m.Constraints, "inverse": inv.Mapping.Constraints,
+		} {
+			okc, err := eval.Satisfies(cs, joint, nil)
+			if err != nil {
+				t.Fatalf("trial %d: %s satisfies: %v", trial, which, err)
+			}
+			if !okc {
+				t.Fatalf("trial %d: joint instance violates %s constraints %s on %s",
+					trial, which, cs, joint)
+			}
+		}
+
+		// Identity recovery: pulling the image back through the inverse
+		// permutation yields the source relation exactly.
+		back, err := eval.Eval(algebra.Proj(algebra.R("B"), invPerm(cols)...), joint, nil)
+		if err != nil {
+			t.Fatalf("trial %d: backward eval: %v", trial, err)
+		}
+		if !back.EqualTo(src.Rels["A"]) {
+			t.Fatalf("trial %d: round trip lost tuples: proj%v then proj%v gave %s, want %s",
+				trial, cols, invPerm(cols), back, src.Rels["A"])
+		}
+	}
+}
+
+// TestComposeWithInverseIsIdentity composes m with Invert(m): the
+// intermediate symbol must be eliminated and the surviving constraints
+// must be tautological — satisfied by every instance of the shared
+// source signature — which is exactly the identity mapping in this
+// formalism (source and final signatures share the symbol).
+func TestComposeWithInverseIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		arity := 1 + rng.Intn(3)
+		cols := randPerm(rng, arity)
+		m := mapping(t,
+			algebra.Signature{"A": arity}, algebra.Signature{"B": arity},
+			fmt.Sprintf("proj%v(A) = B", cols))
+		inv := Invert(m)
+		if !inv.Invertible() {
+			t.Fatalf("trial %d: not invertible: %+v", trial, inv.NotInvertible())
+		}
+		res, err := ComposeChain(context.Background(), []*algebra.Mapping{m, inv.Mapping}, DefaultConfig())
+		if err != nil {
+			t.Fatalf("trial %d: compose with inverse: %v", trial, err)
+		}
+		if len(res.Remaining) != 0 {
+			t.Fatalf("trial %d: inverse round trip left symbols %v in %s", trial, res.Remaining, res.Constraints)
+		}
+		// Whatever survived must hold on every source instance.
+		sig := algebra.Signature{"A": arity}
+		for i := 0; i < 20; i++ {
+			in := eval.RandInstance(sig, []algebra.Value{"a", "b"}, 4, rng)
+			full := eval.NewInstance(res.Sig)
+			full.Rels["A"] = in.Rels["A"].Clone()
+			okc, err := eval.Satisfies(res.Constraints, full, nil)
+			if err != nil {
+				t.Fatalf("trial %d: eval composed: %v", trial, err)
+			}
+			if !okc {
+				t.Fatalf("trial %d: m∘m⁻¹ is not the identity: %s rejects %s", trial, res.Constraints, in)
+			}
+		}
+	}
+}

@@ -30,6 +30,14 @@
 //   - snapshots are written to a temp file and renamed, so the previous
 //     snapshot survives a crash mid-snapshot; the WAL is only truncated
 //     once the covering snapshot is durable.
+//
+// Derived inverse edges (the catalog's bidirectional graph) are never
+// logged or snapshotted: they are a deterministic function of the
+// registered mappings, recomputed by the catalog's view builder as
+// replay and restore re-register each mapping. The on-disk format is
+// therefore identical to a forward-only build, in both directions —
+// old logs replay into a bidirectional catalog, and logs written by
+// this version load in older builds.
 package persist
 
 import (

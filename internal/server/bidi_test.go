@@ -1,0 +1,186 @@
+package server
+
+// HTTP-level tests for the bidirectional mapping graph: hop provenance
+// on the wire (cold and cached), the reverse-reachability hint in
+// no-path error bodies, reverse-direction cache survival, and the
+// graph statistics on /v1/stats and /metrics.
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// bidiTask registers only forward mappings; the reverse pairs are
+// reachable solely through derived inverses.
+const bidiTask = `
+schema v1 { Emp/2; }
+schema v2 { EmpD/2; }
+schema v3 { Staff/2; }
+map e1 : v1 -> v2 { proj[2,1](Emp) = EmpD; }
+map e2 : v2 -> v3 { EmpD = Staff; }
+`
+
+func newBidiServer(t *testing.T) *Server {
+	t.Helper()
+	s := New(Config{})
+	if rec := do(t, s, "POST", "/v1/register", bidiTask); rec.Code != http.StatusOK {
+		t.Fatalf("register: %d %s", rec.Code, rec.Body)
+	}
+	return s
+}
+
+// TestComposeReverseCarriesProvenance composes a reverse-direction pair
+// and checks the hops on the wire: every hop is derived-inverse with
+// the traversal-direction endpoints, on the cold response and
+// byte-identically on the cached one.
+func TestComposeReverseCarriesProvenance(t *testing.T) {
+	s := newBidiServer(t)
+	body := `{"from":"v3","to":"v1"}`
+	rec := do(t, s, "POST", "/v1/compose", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reverse compose: %d %s", rec.Code, rec.Body)
+	}
+	resp := decode[ComposeResponse](t, rec)
+	want := []HopJSON{
+		{Mapping: "e2", From: "v3", To: "v2", Provenance: "derived-inverse"},
+		{Mapping: "e1", From: "v2", To: "v1", Provenance: "derived-inverse"},
+	}
+	if fmt.Sprint(resp.Hops) != fmt.Sprint(want) {
+		t.Fatalf("reverse hops = %+v, want %+v", resp.Hops, want)
+	}
+	if resp.Result == nil || len(resp.Result.Constraints) == 0 {
+		t.Fatalf("reverse compose returned no result: %s", rec.Body)
+	}
+
+	// Cached replay carries the identical hops.
+	rec = do(t, s, "POST", "/v1/compose", body)
+	cached := decode[ComposeResponse](t, rec)
+	if !cached.Cached {
+		t.Fatal("second reverse compose not cached")
+	}
+	if fmt.Sprint(cached.Hops) != fmt.Sprint(resp.Hops) {
+		t.Fatalf("cached hops diverged: %+v vs %+v", cached.Hops, resp.Hops)
+	}
+
+	// Forward pairs report registered provenance.
+	rec = do(t, s, "POST", "/v1/compose", `{"from":"v1","to":"v3"}`)
+	fwd := decode[ComposeResponse](t, rec)
+	for _, h := range fwd.Hops {
+		if h.Provenance != "registered" {
+			t.Fatalf("forward hop %+v not registered", h)
+		}
+	}
+}
+
+// TestNoPathBodyCarriesReverseHint: a 404 for a pair reachable only
+// against a non-invertible mapping names the blockers, so the client
+// learns the fix; a genuinely disconnected pair carries no hint.
+func TestNoPathBodyCarriesReverseHint(t *testing.T) {
+	s := New(Config{})
+	if rec := do(t, s, "POST", "/v1/register", `
+schema a { P/2; }
+schema b { Q/2; }
+schema island { I/1; }
+map m : a -> b { P <= Q; }
+`); rec.Code != http.StatusOK {
+		t.Fatalf("register: %d %s", rec.Code, rec.Body)
+	}
+
+	rec := do(t, s, "POST", "/v1/compose", `{"from":"b","to":"a"}`)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("reverse of containment: %d %s", rec.Code, rec.Body)
+	}
+	errBody := decode[ErrorJSON](t, rec)
+	if !errBody.ReverseReachable {
+		t.Fatalf("no reverse_reachable hint in %s", rec.Body)
+	}
+	if fmt.Sprint(errBody.InverseBlockedBy) != "[m]" {
+		t.Fatalf("inverse_blocked_by = %v, want [m]", errBody.InverseBlockedBy)
+	}
+	if !strings.Contains(errBody.Error, "blocked by non-invertible mapping") {
+		t.Fatalf("error text carries no hint: %q", errBody.Error)
+	}
+
+	rec = do(t, s, "POST", "/v1/compose", `{"from":"a","to":"island"}`)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("disconnected pair: %d %s", rec.Code, rec.Body)
+	}
+	errBody = decode[ErrorJSON](t, rec)
+	if errBody.ReverseReachable || len(errBody.InverseBlockedBy) != 0 {
+		t.Fatalf("disconnected pair carries a reverse hint: %s", rec.Body)
+	}
+}
+
+// TestReverseEntrySurvivesUnrelatedMutation: a cached reverse-direction
+// entry must migrate across an unrelated registration (same key, still
+// a hit) and drop when its mapping republishes — the both-directions
+// invalidation contract, observed through the public API.
+func TestReverseEntrySurvivesUnrelatedMutation(t *testing.T) {
+	s := newBidiServer(t)
+	body := `{"from":"v3","to":"v1"}`
+	first := decode[ComposeResponse](t, do(t, s, "POST", "/v1/compose", body))
+
+	if rec := do(t, s, "POST", "/v1/register", "schema unrelated { U/1; }"); rec.Code != http.StatusOK {
+		t.Fatalf("register noise: %d %s", rec.Code, rec.Body)
+	}
+	survived := decode[ComposeResponse](t, do(t, s, "POST", "/v1/compose", body))
+	if !survived.Cached {
+		t.Fatal("reverse entry did not survive an unrelated mutation")
+	}
+	if survived.Key != first.Key || survived.Generation != first.Generation {
+		t.Fatalf("survived entry changed identity: %s/%d vs %s/%d",
+			survived.Key, survived.Generation, first.Key, first.Generation)
+	}
+
+	// Republish the chain: the reverse entry must recompute.
+	if rec := do(t, s, "POST", "/v1/register", bidiTask); rec.Code != http.StatusOK {
+		t.Fatalf("republish: %d %s", rec.Code, rec.Body)
+	}
+	recomputed := decode[ComposeResponse](t, do(t, s, "POST", "/v1/compose", body))
+	if recomputed.Cached {
+		t.Fatal("reverse entry served stale after its mapping republished")
+	}
+	if recomputed.Generation <= first.Generation {
+		t.Fatalf("recomputed generation %d not newer than %d", recomputed.Generation, first.Generation)
+	}
+	if fmt.Sprint(recomputed.Result.Constraints) != fmt.Sprint(first.Result.Constraints) ||
+		recomputed.Result.Fingerprint != first.Result.Fingerprint {
+		t.Fatalf("recompute of unchanged constraints diverged: %+v vs %+v", recomputed.Result, first.Result)
+	}
+}
+
+// TestStatsAndMetricsReportGraph: /v1/stats carries the edge counts,
+// reachable-pair counts and the verdict tally; /metrics renders them as
+// gauges including the labeled verdict lines and the invert-duration
+// histogram.
+func TestStatsAndMetricsReportGraph(t *testing.T) {
+	s := newBidiServer(t)
+	st := decode[StatsResponse](t, do(t, s, "GET", "/v1/stats", ""))
+	if st.RegisteredEdges != 2 || st.DerivedEdges != 2 || st.InvertibleMappings != 2 {
+		t.Fatalf("edges = %d/%d invertible %d, want 2/2/2",
+			st.RegisteredEdges, st.DerivedEdges, st.InvertibleMappings)
+	}
+	// Forward v1→{v2,v3}, v2→{v3}: 3 pairs; full graph: all 6.
+	if st.ForwardReachablePairs != 3 || st.ReachablePairs != 6 {
+		t.Fatalf("pairs = %d forward / %d full, want 3/6", st.ForwardReachablePairs, st.ReachablePairs)
+	}
+	if st.InversionVerdicts["ok"] != 2 {
+		t.Fatalf("verdicts = %v", st.InversionVerdicts)
+	}
+
+	rec := do(t, s, "GET", "/metrics", "")
+	for _, want := range []string{
+		"mapcomp_registered_edges 2",
+		"mapcomp_derived_inverse_edges 2",
+		"mapcomp_reachable_pairs 6",
+		"mapcomp_forward_reachable_pairs 3",
+		`mapcomp_inversion_verdicts{reason="ok"} 2`,
+		"mapcomp_invert_seconds",
+	} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}

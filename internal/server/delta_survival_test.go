@@ -21,21 +21,44 @@ import (
 // clusterTask renders a self-contained registration body for cluster i:
 // a three-schema chain c<i>a → c<i>b → c<i>c. Re-registering the body
 // bumps the cluster's schema and mapping revisions, invalidating
-// exactly the cluster's routes and nothing else.
+// exactly the cluster's routes and nothing else. Odd clusters use
+// invertible permutation equalities, so their reverse pairs resolve
+// through derived-inverse edges; even clusters keep the historical
+// containments (forward-only), so both graph shapes are always in play.
 func clusterTask(i int) string {
-	return fmt.Sprintf(`
+	op := "<="
+	lhs := "A%d"
+	if i%2 == 1 {
+		op = "="
+		lhs = "proj[2,1](A%d)"
+	}
+	body := `
 schema c%da { A%d/2; }
 schema c%db { B%d/2; }
 schema c%dc { C%d/2; }
-map m%dab : c%da -> c%db { A%d <= B%d; }
-map m%dbc : c%db -> c%dc { B%d <= C%d; }
-`, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i)
+map m%dab : c%da -> c%db { ` + lhs + ` ` + op + ` B%d; }
+map m%dbc : c%db -> c%dc { B%d ` + op + ` C%d; }
+`
+	return fmt.Sprintf(body, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i, i)
 }
 
-// clusterPairs are the connected ordered pairs inside one cluster.
+// clusterPairs are the forward-connected ordered pairs inside one
+// cluster — resolvable in every cluster regardless of invertibility.
 func clusterPairs(i int) [][2]string {
 	a, b, c := fmt.Sprintf("c%da", i), fmt.Sprintf("c%db", i), fmt.Sprintf("c%dc", i)
 	return [][2]string{{a, b}, {b, c}, {a, c}}
+}
+
+// clusterAllPairs adds the reverse pairs for odd (invertible) clusters,
+// where they resolve through derived-inverse edges.
+func clusterAllPairs(i int) [][2]string {
+	ps := clusterPairs(i)
+	if i%2 == 1 {
+		for _, p := range clusterPairs(i) {
+			ps = append(ps, [2]string{p[1], p[0]})
+		}
+	}
+	return ps
 }
 
 // normalizeResponse strips the two legitimately volatile response
@@ -87,10 +110,16 @@ func TestDeltaEquivalenceProperty(t *testing.T) {
 		apply(clusterTask(i))
 	}
 
+	// The sweep covers the reverse pairs of the invertible clusters too:
+	// reverse-direction entries ride derived-inverse edges and must obey
+	// the same survival contract — byte-identical across delta
+	// invalidation, wipe-on-write, and full recompute, surviving
+	// unrelated mutations and dropping when their mapping republishes
+	// (freeze re-derives the inverse, so both directions invalidate).
 	sweep := func(step string) {
 		t.Helper()
 		for i := 0; i < clusters; i++ {
-			for _, p := range clusterPairs(i) {
+			for _, p := range clusterAllPairs(i) {
 				body := fmt.Sprintf(`{"from":%q,"to":%q}`, p[0], p[1])
 				var got [][]byte
 				for _, s := range servers {

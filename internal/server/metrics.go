@@ -13,6 +13,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync/atomic"
 
@@ -181,6 +182,25 @@ func (s *Server) writeServerMetrics(buf *bytes.Buffer) {
 	gauge("mapcomp_cache_entries", int64(st.CacheEntries))
 	gauge("mapcomp_cache_bytes", st.CacheBytes)
 	gauge("mapcomp_rewarm_queue_depth", int64(st.RewarmQueueDepth))
+	// Bidirectional mapping-graph gauges, from the same snapshot. The
+	// verdict gauge is labeled by reason so dashboards can plot exactly
+	// which constraint shapes block inversion.
+	gauge("mapcomp_registered_edges", int64(st.RegisteredEdges))
+	gauge("mapcomp_derived_inverse_edges", int64(st.DerivedEdges))
+	gauge("mapcomp_invertible_mappings", int64(st.InvertibleMappings))
+	gauge("mapcomp_reachable_pairs", int64(st.ReachablePairs))
+	gauge("mapcomp_forward_reachable_pairs", int64(st.ForwardReachablePairs))
+	if len(st.InversionVerdicts) > 0 {
+		fmt.Fprintf(buf, "# TYPE mapcomp_inversion_verdicts gauge\n")
+		reasons := make([]string, 0, len(st.InversionVerdicts))
+		for r := range st.InversionVerdicts {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			fmt.Fprintf(buf, "mapcomp_inversion_verdicts{reason=%q} %d\n", r, st.InversionVerdicts[r])
+		}
+	}
 }
 
 // ComposeLatencySnapshot merges the compose route's per-outcome request

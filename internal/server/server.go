@@ -269,6 +269,15 @@ func (s *Server) Stats() StatsResponse {
 	if s.rewarmQ != nil {
 		out.RewarmQueueDepth = s.rewarmQ.depth()
 	}
+	gs := s.cat.GraphStats()
+	out.RegisteredEdges = gs.RegisteredEdges
+	out.DerivedEdges = gs.DerivedEdges
+	out.InvertibleMappings = gs.InvertibleMappings
+	out.ReachablePairs = gs.ReachablePairs
+	out.ForwardReachablePairs = gs.ForwardReachablePairs
+	if len(gs.Verdicts) > 0 {
+		out.InversionVerdicts = gs.Verdicts
+	}
 	if s.persist != nil {
 		st := s.persist.Stats()
 		out.Persist = &st
@@ -384,7 +393,11 @@ func (e *pathError) Unwrap() error { return e.err }
 // route the failed run resolved (see pathError) and, for a preempted
 // run, the statistics accumulated before the deadline hit. A run that
 // died before resolving anything (deadline already expired at the cache
-// probe) reports the current snapshot's route as a best effort.
+// probe) reports the current snapshot's route as a best effort. A
+// no-path failure additionally reports whether the reverse direction
+// would reach the target and which non-invertible mappings block the
+// derived path, so the client learns the fix is registering or
+// unlocking an inverse.
 func (s *Server) composeError(from, to string, err error) ErrorJSON {
 	out := ErrorJSON{Error: err.Error()}
 	var withPath *pathError
@@ -392,6 +405,11 @@ func (s *Server) composeError(from, to string, err error) ErrorJSON {
 		out.Path = withPath.path
 	} else if path, _ := s.cat.Path(from, to); len(path) > 0 {
 		out.Path = path
+	}
+	var noPath *catalog.NoPathError
+	if errors.As(err, &noPath) {
+		out.ReverseReachable = noPath.ReverseReachable
+		out.InverseBlockedBy = noPath.Blocking
 	}
 	var canceled *core.Canceled
 	if errors.As(err, &canceled) {
@@ -544,8 +562,12 @@ func (s *Server) compose(ctx context.Context, from, to string) (*cacheEntry, hit
 			verdict = "skolemized"
 		}
 		verdictSeconds[verdict].Observe(res.Stats.Duration)
+		hops := make([]HopJSON, len(route.Hops))
+		for i, h := range route.Hops {
+			hops[i] = HopJSON{Mapping: h.Mapping, From: h.From, To: h.To, Provenance: string(h.Prov)}
+		}
 		return &ComposeResponse{
-			From: from, To: to, Path: route.Path,
+			From: from, To: to, Path: route.Path, Hops: hops,
 			Generation: route.Gen, Key: keyString(route.Gen, pair),
 			Result: NewResultJSON(res),
 		}, snap.Generation(), nil

@@ -60,6 +60,14 @@ type ErrorJSON struct {
 	Error string     `json:"error"`
 	Path  []string   `json:"path,omitempty"`
 	Stats *StatsJSON `json:"stats,omitempty"`
+	// ReverseReachable marks a no-path failure where walking registered
+	// mappings against their direction would have reached the target:
+	// the fix is registering an inverse, or making the mappings listed
+	// in InverseBlockedBy invertible.
+	ReverseReachable bool `json:"reverse_reachable,omitempty"`
+	// InverseBlockedBy lists the mappings whose failed inversion
+	// verdicts block the reverse path, sorted.
+	InverseBlockedBy []string `json:"inverse_blocked_by,omitempty"`
 	// RequestID echoes the X-Request-Id the server assigned at ingress,
 	// so a failed request can be found in the logs from its body alone.
 	RequestID string `json:"request_id,omitempty"`
@@ -166,9 +174,13 @@ type ComposeRequest struct {
 // whether this response was served from the result cache rather than by
 // running ELIMINATE.
 type ComposeResponse struct {
-	From       string      `json:"from"`
-	To         string      `json:"to"`
-	Path       []string    `json:"path"`
+	From string   `json:"from"`
+	To   string   `json:"to"`
+	Path []string `json:"path"`
+	// Hops details each hop of Path: the schemas it connects in the
+	// direction traveled and whether it rides the registered mapping
+	// forward or its derived inverse.
+	Hops       []HopJSON   `json:"hops,omitempty"`
 	Generation uint64      `json:"generation"`
 	Key        string      `json:"key"`
 	Cached     bool        `json:"cached"`
@@ -176,6 +188,16 @@ type ComposeResponse struct {
 	// Trace carries the stage-timing breakdown of a "trace":true
 	// request; absent otherwise (cached entries pre-encode without it).
 	Trace *TraceJSON `json:"trace,omitempty"`
+}
+
+// HopJSON is the wire form of one route hop. Provenance is
+// "registered" for a mapping traversed in its registered direction and
+// "derived-inverse" for a hop riding the mapping's quasi-inverse.
+type HopJSON struct {
+	Mapping    string `json:"mapping"`
+	From       string `json:"from"`
+	To         string `json:"to"`
+	Provenance string `json:"provenance"`
 }
 
 // TraceJSON is the inline stage-timing breakdown of a traced request.
@@ -279,22 +301,32 @@ type StatsResponse struct {
 	Generation uint64 `json:"generation"`
 	// Requests is derived as CacheHits + Composes + Coalesced from one
 	// load of each counter, so the identity holds in every snapshot.
-	Requests          int64          `json:"requests"`
-	Composes          int64          `json:"composes"`
-	CacheHits         int64          `json:"cache_hits"`
-	Coalesced         int64          `json:"coalesced"`
-	ResultFetches     int64          `json:"result_fetches"`
-	EliminateAttempts int64          `json:"eliminate_attempts"`
-	CacheEntries      int            `json:"cache_entries"`
-	CacheBytes        int64          `json:"cache_bytes,omitempty"`
-	CacheShards       int            `json:"cache_shards,omitempty"`
-	CacheShardEntries []int          `json:"cache_shard_entries,omitempty"`
-	Migrations        int64          `json:"migrations,omitempty"`
-	EntriesMigrated   int64          `json:"entries_migrated,omitempty"`
-	EntriesDropped    int64          `json:"entries_dropped,omitempty"`
-	DeltaComputeUS    int64          `json:"delta_compute_us,omitempty"`
-	RewarmQueueDepth  int            `json:"rewarm_queue_depth,omitempty"`
-	Rewarmed          int64          `json:"rewarmed,omitempty"`
-	Warmed            int64          `json:"warmed,omitempty"`
-	Persist           *persist.Stats `json:"persist,omitempty"`
+	Requests          int64 `json:"requests"`
+	Composes          int64 `json:"composes"`
+	CacheHits         int64 `json:"cache_hits"`
+	Coalesced         int64 `json:"coalesced"`
+	ResultFetches     int64 `json:"result_fetches"`
+	EliminateAttempts int64 `json:"eliminate_attempts"`
+	CacheEntries      int   `json:"cache_entries"`
+	CacheBytes        int64 `json:"cache_bytes,omitempty"`
+	CacheShards       int   `json:"cache_shards,omitempty"`
+	CacheShardEntries []int `json:"cache_shard_entries,omitempty"`
+	Migrations        int64 `json:"migrations,omitempty"`
+	EntriesMigrated   int64 `json:"entries_migrated,omitempty"`
+	EntriesDropped    int64 `json:"entries_dropped,omitempty"`
+	DeltaComputeUS    int64 `json:"delta_compute_us,omitempty"`
+	RewarmQueueDepth  int   `json:"rewarm_queue_depth,omitempty"`
+	Rewarmed          int64 `json:"rewarmed,omitempty"`
+	Warmed            int64 `json:"warmed,omitempty"`
+	// Bidirectional-graph statistics, from the current snapshot: edge
+	// counts by provenance, reachable ordered pairs over the full graph
+	// vs registered edges only, and the constraint-level inversion
+	// verdict tally keyed by reason ("ok" for invertible).
+	RegisteredEdges       int            `json:"registered_edges,omitempty"`
+	DerivedEdges          int            `json:"derived_edges,omitempty"`
+	InvertibleMappings    int            `json:"invertible_mappings,omitempty"`
+	ReachablePairs        int            `json:"reachable_pairs,omitempty"`
+	ForwardReachablePairs int            `json:"forward_reachable_pairs,omitempty"`
+	InversionVerdicts     map[string]int `json:"inversion_verdicts,omitempty"`
+	Persist               *persist.Stats `json:"persist,omitempty"`
 }

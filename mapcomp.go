@@ -154,6 +154,14 @@ type (
 	Step = core.Step
 	// Problem is a parsed composition task file.
 	Problem = parser.Problem
+	// Inversion is the per-constraint quasi-inverse analysis of one
+	// mapping: a verdict per constraint plus the derived inverse mapping
+	// when every verdict allows it.
+	Inversion = core.Inversion
+	// ConstraintVerdict is one constraint's inversion verdict.
+	ConstraintVerdict = core.ConstraintVerdict
+	// InvertReason classifies why a constraint does or does not invert.
+	InvertReason = core.InvertReason
 	// OpInfo describes a user-defined operator registration.
 	OpInfo = algebra.OpInfo
 	// Mono is the four-valued monotonicity status of the MONOTONE
@@ -167,6 +175,16 @@ const (
 	MonoA = algebra.MonoA // anti-monotone
 	MonoI = algebra.MonoI // independent
 	MonoU = algebra.MonoU // unknown
+)
+
+// Inversion verdict reasons reported by Invert.
+const (
+	ReasonOK           = core.ReasonOK           // constraint inverts losslessly
+	ReasonSkolem       = core.ReasonSkolem       // Skolem functions are one-way
+	ReasonContainment  = core.ReasonContainment  // ⊆ states no lower bound to invert
+	ReasonNonInjective = core.ReasonNonInjective // projection drops or duplicates columns
+	ReasonEntangled    = core.ReasonEntangled    // one side mixes input and output symbols
+	ReasonUnsupported  = core.ReasonUnsupported  // shape outside the analyzed fragment
 )
 
 // NewSignature builds a signature from name/arity pairs:
@@ -323,3 +341,13 @@ func ComposeChain(ms []*Mapping, cfg *Config) (*Result, error) {
 func ComposeChainContext(ctx context.Context, ms []*Mapping, cfg *Config) (*Result, error) {
 	return core.ComposeChain(ctx, ms, cfg)
 }
+
+// Invert computes the quasi-inverse of a mapping: the input/output
+// signatures swap and every constraint is judged for lossless
+// reversibility. When all verdicts pass, Inversion.Mapping holds the
+// derived σB→σA mapping (constraints carried verbatim — the ⊆/= algebra
+// is symmetric, so a recoverable constraint reads identically in either
+// direction); otherwise Mapping is nil and the verdicts name each
+// blocking constraint and why. The catalog uses this to derive
+// reverse-direction edges for bidirectional path resolution.
+func Invert(m *Mapping) *Inversion { return core.Invert(m) }
