@@ -7,6 +7,7 @@ package mapcomp_test
 // per point) and EXPERIMENTS.md records the paper-vs-measured comparison.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -33,7 +34,7 @@ func BenchmarkFigure2(b *testing.B) {
 		b.Run(cfg, func(b *testing.B) {
 			var frac float64
 			for i := 0; i < b.N; i++ {
-				agg := experiment.EditingStudy(cfg, benchRuns, benchEdits, benchSize, nil, int64(i+1))
+				agg := experiment.EditingStudy(context.Background(), cfg, benchRuns, benchEdits, benchSize, nil, int64(i+1))
 				frac = agg.Fraction()
 			}
 			b.ReportMetric(frac, "frac-eliminated")
@@ -51,7 +52,7 @@ func BenchmarkFigure3(b *testing.B) {
 	defer par.SetWorkers(par.SetWorkers(1))
 	var ms float64
 	for i := 0; i < b.N; i++ {
-		agg := experiment.EditingStudy(experiment.CfgNoKeys, benchRuns, benchEdits, benchSize, nil, int64(i+1))
+		agg := experiment.EditingStudy(context.Background(), experiment.CfgNoKeys, benchRuns, benchEdits, benchSize, nil, int64(i+1))
 		edits := 0
 		for _, ps := range agg.PerPrimitive {
 			edits += ps.Edits
@@ -75,7 +76,7 @@ func BenchmarkFigure4(b *testing.B) {
 			SchemaSize: benchSize, Edits: benchEdits,
 			Core: core.DefaultConfig(), Seed: int64(i + 1),
 		}
-		evolution.RunEditing(cfg)
+		evolution.RunEditing(context.Background(), cfg)
 	}
 }
 
@@ -85,7 +86,7 @@ func BenchmarkFigure5(b *testing.B) {
 		b.Run(fmt.Sprintf("inclusion=%.0f%%", prop*100), func(b *testing.B) {
 			var frac float64
 			for i := 0; i < b.N; i++ {
-				points := experiment.Figure5([]float64{prop}, benchRuns, benchEdits, benchSize, int64(i+1))
+				points := experiment.Figure5(context.Background(), []float64{prop}, benchRuns, benchEdits, benchSize, int64(i+1))
 				frac = points[0].Total
 			}
 			b.ReportMetric(frac, "frac-eliminated")
@@ -98,13 +99,13 @@ func BenchmarkFigure5(b *testing.B) {
 func BenchmarkFigure6(b *testing.B) {
 	for _, size := range []int{10, 50} {
 		b.Run(fmt.Sprintf("schema=%d", size), func(b *testing.B) {
-			task, ok := evolution.GenerateReconciliation(size, 50, false, core.DefaultConfig(), 7, 25)
+			task, ok := evolution.GenerateReconciliation(context.Background(), size, 50, false, core.DefaultConfig(), 7, 25)
 			if !ok {
 				b.Skip("no first-order reconciliation task generated")
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := evolution.ComposeReconciliation(task, core.DefaultConfig()); err != nil {
+				if _, err := evolution.ComposeReconciliation(context.Background(), task, core.DefaultConfig()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -117,13 +118,13 @@ func BenchmarkFigure6(b *testing.B) {
 func BenchmarkFigure7(b *testing.B) {
 	for _, edits := range []int{10, 50, 90} {
 		b.Run(fmt.Sprintf("edits=%d", edits), func(b *testing.B) {
-			task, ok := evolution.GenerateReconciliation(benchSize, edits, false, core.DefaultConfig(), 11, 25)
+			task, ok := evolution.GenerateReconciliation(context.Background(), benchSize, edits, false, core.DefaultConfig(), 11, 25)
 			if !ok {
 				b.Skip("no first-order reconciliation task generated")
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := evolution.ComposeReconciliation(task, core.DefaultConfig()); err != nil {
+				if _, err := evolution.ComposeReconciliation(context.Background(), task, core.DefaultConfig()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -137,7 +138,7 @@ func BenchmarkFigure7(b *testing.B) {
 func BenchmarkAblationNoLeftCompose(b *testing.B) {
 	var frac float64
 	for i := 0; i < b.N; i++ {
-		agg := experiment.EditingStudy(experiment.CfgNoLeftCompose, benchRuns, benchEdits, benchSize, nil, int64(i+1))
+		agg := experiment.EditingStudy(context.Background(), experiment.CfgNoLeftCompose, benchRuns, benchEdits, benchSize, nil, int64(i+1))
 		frac = agg.Fraction()
 	}
 	b.ReportMetric(frac, "frac-eliminated")
@@ -151,7 +152,7 @@ func BenchmarkAblationNoSimplify(b *testing.B) {
 	cfg.Simplify = false
 	var size int
 	for i := 0; i < b.N; i++ {
-		run := evolution.RunEditing(&evolution.EditingConfig{
+		run := evolution.RunEditing(context.Background(), &evolution.EditingConfig{
 			SchemaSize: benchSize, Edits: benchEdits, Core: cfg, Seed: int64(i + 1),
 		})
 		size = run.Constraints.Size()
@@ -164,7 +165,7 @@ func BenchmarkAblationNoSimplify(b *testing.B) {
 func BenchmarkLiteratureSuite(b *testing.B) {
 	problems := suite.Problems()
 	for i := 0; i < b.N; i++ {
-		for _, out := range suite.RunAll(problems, nil) {
+		for _, out := range suite.RunAll(context.Background(), problems, nil) {
 			if out.Err != nil {
 				b.Fatal(out.Err)
 			}

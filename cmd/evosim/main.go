@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"time"
 
@@ -48,10 +50,15 @@ func main() {
 	var total agg
 	var pending int
 
+	// Interrupt cancels the simulation between edits; completed runs are
+	// still aggregated.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// Runs are seed-isolated, so they execute on the worker pool and are
 	// aggregated in run order for deterministic output.
 	results := make([]*evolution.EditingRun, *runs)
-	par.Do(*runs, func(r int) {
+	_ = par.DoContext(ctx, *runs, func(r int) {
 		cfg := &evolution.EditingConfig{
 			SchemaSize: *size,
 			Edits:      *edits,
@@ -60,9 +67,12 @@ func main() {
 			Core:       core.DefaultConfig(),
 			Seed:       *seed + int64(r),
 		}
-		results[r] = evolution.RunEditing(cfg)
+		results[r] = evolution.RunEditing(ctx, cfg)
 	})
 	for _, run := range results {
+		if run == nil {
+			continue // cancelled before this run started
+		}
 		for _, s := range run.Stats {
 			a := perPrim[s.Primitive]
 			if a == nil {

@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"mapcomp/internal/experiment"
 	"mapcomp/internal/par"
@@ -35,8 +37,13 @@ func main() {
 	flag.Parse()
 	par.SetWorkers(*workers)
 
+	// Interrupt cancels the sweep between runs: partial aggregates are
+	// still rendered, covering the runs that completed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	run2and3 := func() map[string]*experiment.EditingAggregate {
-		return experiment.Figure2(*runs, *edits, *size, *seed)
+		return experiment.Figure2(ctx, *runs, *edits, *size, *seed)
 	}
 
 	switch *figure {
@@ -45,22 +52,22 @@ func main() {
 	case "3":
 		fmt.Print(experiment.RenderFigure3(run2and3()))
 	case "4":
-		fmt.Print(experiment.RenderFigure4(experiment.Figure4(*runs, *edits, *size, *seed)))
+		fmt.Print(experiment.RenderFigure4(experiment.Figure4(ctx, *runs, *edits, *size, *seed)))
 	case "5":
 		props := []float64{0, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16, 0.18, 0.20}
-		fmt.Print(experiment.RenderFigure5(experiment.Figure5(props, *runs, *edits, *size, *seed)))
+		fmt.Print(experiment.RenderFigure5(experiment.Figure5(ctx, props, *runs, *edits, *size, *seed)))
 	case "6":
 		sizes := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
-		fmt.Print(experiment.RenderFigure6(experiment.Figure6(sizes, *tasks, 100, *seed)))
+		fmt.Print(experiment.RenderFigure6(experiment.Figure6(ctx, sizes, *tasks, 100, *seed)))
 	case "7":
 		counts := []int{10, 30, 50, 70, 90, 110, 130, 150, 170, 190, 210}
-		fmt.Print(experiment.RenderFigure7(experiment.Figure7(counts, *tasks, *size, *seed)))
+		fmt.Print(experiment.RenderFigure7(experiment.Figure7(ctx, counts, *tasks, *size, *seed)))
 	case "blowup":
-		blowup, attempted := experiment.BlowupStudy(*runs, *edits, *size, *seed)
+		blowup, attempted := experiment.BlowupStudy(ctx, *runs, *edits, *size, *seed)
 		fmt.Printf("blow-up study: %d of %d eliminations (%.2f%%) aborted by the size bound\n",
 			blowup, attempted, 100*float64(blowup)/float64(maxInt(attempted, 1)))
 	case "order":
-		variant, total := experiment.OrderInvariance(*tasks, *size, 50, 5, *seed)
+		variant, total := experiment.OrderInvariance(ctx, *tasks, *size, 50, 5, *seed)
 		fmt.Printf("order invariance: %d of %d tasks eliminated a different number of symbols under shuffled orders\n",
 			variant, total)
 	case "all":
@@ -69,21 +76,21 @@ func main() {
 		fmt.Println()
 		fmt.Print(experiment.RenderFigure3(data))
 		fmt.Println()
-		fmt.Print(experiment.RenderFigure4(experiment.Figure4(*runs, *edits, *size, *seed)))
+		fmt.Print(experiment.RenderFigure4(experiment.Figure4(ctx, *runs, *edits, *size, *seed)))
 		fmt.Println()
 		props := []float64{0, 0.04, 0.08, 0.12, 0.16, 0.20}
-		fmt.Print(experiment.RenderFigure5(experiment.Figure5(props, *runs, *edits, *size, *seed)))
+		fmt.Print(experiment.RenderFigure5(experiment.Figure5(ctx, props, *runs, *edits, *size, *seed)))
 		fmt.Println()
 		sizes := []int{10, 30, 50, 70, 90}
-		fmt.Print(experiment.RenderFigure6(experiment.Figure6(sizes, *tasks, 100, *seed)))
+		fmt.Print(experiment.RenderFigure6(experiment.Figure6(ctx, sizes, *tasks, 100, *seed)))
 		fmt.Println()
 		counts := []int{10, 50, 90, 130, 170, 210}
-		fmt.Print(experiment.RenderFigure7(experiment.Figure7(counts, *tasks, *size, *seed)))
+		fmt.Print(experiment.RenderFigure7(experiment.Figure7(ctx, counts, *tasks, *size, *seed)))
 		fmt.Println()
-		blowup, attempted := experiment.BlowupStudy(*runs, *edits, *size, *seed)
+		blowup, attempted := experiment.BlowupStudy(ctx, *runs, *edits, *size, *seed)
 		fmt.Printf("blow-up study: %d of %d eliminations (%.2f%%) aborted by the size bound\n",
 			blowup, attempted, 100*float64(blowup)/float64(maxInt(attempted, 1)))
-		variant, total := experiment.OrderInvariance(*tasks, *size, 50, 5, *seed)
+		variant, total := experiment.OrderInvariance(ctx, *tasks, *size, 50, 5, *seed)
 		fmt.Printf("order invariance: %d of %d tasks varied under shuffled elimination orders\n",
 			variant, total)
 	default:

@@ -375,7 +375,7 @@ func TestFigure2WorkloadUnchangedByFixpoint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("editing study is slow; run without -short")
 	}
-	agg := experiment.EditingStudy(experiment.CfgNoKeys, 2, 30, 20, nil, 1)
+	agg := experiment.EditingStudy(context.Background(), experiment.CfgNoKeys, 2, 30, 20, nil, 1)
 	if agg.Attempted != figure2Attempted || agg.Eliminated != figure2Eliminated {
 		t.Fatalf("Figure-2 workload drifted: attempted=%d eliminated=%d, want %d/%d",
 			agg.Attempted, agg.Eliminated, figure2Attempted, figure2Eliminated)

@@ -80,8 +80,10 @@ func DefaultEditingConfig(seed int64) *EditingConfig {
 // edit, the driver attempts to eliminate the symbols consumed by the edit
 // and re-attempts symbols left over from earlier failures (§4.2: keeping
 // non-eliminated symbols "as long as possible" lets later compositions
-// remove up to a third of them).
-func RunEditing(cfg *EditingConfig) *EditingRun {
+// remove up to a third of them). ctx threads into every elimination and
+// is checked between edits, so a sweep cancels mid-run like a serving
+// request; a cancelled run returns the trace accumulated so far.
+func RunEditing(ctx context.Context, cfg *EditingConfig) *EditingRun {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	par := DefaultParams(cfg.Keys)
 	vector := cfg.Vector
@@ -105,6 +107,9 @@ func RunEditing(cfg *EditingConfig) *EditingRun {
 	start := time.Now()
 
 	for i := 0; i < cfg.Edits; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		prim := vector.Sample(rng)
 		edit, ok := Apply(prim, current, par, rng)
 		if !ok {
@@ -128,7 +133,7 @@ func RunEditing(cfg *EditingConfig) *EditingRun {
 		if edit.Input != "" {
 			if _, inOrig := original.Sig[edit.Input]; !inOrig {
 				stat.Attempted++
-				out, _, ok := core.Eliminate(context.Background(), sigAll, constraints, edit.Input, cc)
+				out, _, ok := core.Eliminate(ctx, sigAll, constraints, edit.Input, cc)
 				if ok {
 					constraints = out
 					delete(sigAll, edit.Input)
@@ -137,7 +142,7 @@ func RunEditing(cfg *EditingConfig) *EditingRun {
 					pending[edit.Input] = true
 					// Classify blow-up aborts with the shared bounded
 					// probe (16 × MaxBlowup, never unbounded).
-					if coreCfg.MaxBlowup > 0 && core.WouldBlowUp(context.Background(), sigAll, constraints, edit.Input, cc) {
+					if coreCfg.MaxBlowup > 0 && core.WouldBlowUp(ctx, sigAll, constraints, edit.Input, cc) {
 						stat.Blowup++
 					}
 				}
@@ -147,7 +152,7 @@ func RunEditing(cfg *EditingConfig) *EditingRun {
 		// Retry leftovers from earlier edits.
 		for _, s := range sortedNames(pending) {
 			stat.LeftoverAttempted++
-			out, _, ok := core.Eliminate(context.Background(), sigAll, constraints, s, cc)
+			out, _, ok := core.Eliminate(ctx, sigAll, constraints, s, cc)
 			if ok {
 				constraints = out
 				delete(sigAll, s)
@@ -182,8 +187,9 @@ type ReconciliationTask struct {
 // applied to one original schema, keeping only sequences whose cumulative
 // mappings are first-order (all intermediate symbols eliminated), as §4.2
 // prescribes. ok is false when either sequence failed to stay first-order
-// after the given number of retries.
-func GenerateReconciliation(schemaSize, edits int, keys bool, coreCfg *core.Config, seed int64, retries int) (*ReconciliationTask, bool) {
+// after the given number of retries, or when ctx was cancelled before a
+// task could be completed.
+func GenerateReconciliation(ctx context.Context, schemaSize, edits int, keys bool, coreCfg *core.Config, seed int64, retries int) (*ReconciliationTask, bool) {
 	rng := rand.New(rand.NewSource(seed))
 	par := DefaultParams(keys)
 	original := RandomSchema(schemaSize, par, rng)
@@ -196,11 +202,14 @@ func GenerateReconciliation(schemaSize, edits int, keys bool, coreCfg *core.Conf
 	// so the surviving sequence is first-order by construction.
 	runSide := func() (*algebra.Schema, algebra.ConstraintSet, bool) {
 		for attempt := 0; attempt <= retries; attempt++ {
+			if ctx.Err() != nil {
+				return nil, nil, false
+			}
 			cfg := &EditingConfig{
 				SchemaSize: schemaSize, Edits: edits, Keys: keys,
 				Core: coreCfg, Seed: rng.Int63(),
 			}
-			side := runEditingStrict(cfg, original.Clone(), par, rng)
+			side := runEditingStrict(ctx, cfg, original.Clone(), par, rng)
 			if len(side.Pending) == 0 {
 				return side.Final, side.Constraints, true
 			}
@@ -229,7 +238,7 @@ func GenerateReconciliation(schemaSize, edits int, keys bool, coreCfg *core.Conf
 // elimination target) are always kept. It shares the caller's name
 // generator so the two sides of a reconciliation task get disjoint
 // intermediate names.
-func runEditingStrict(cfg *EditingConfig, original *algebra.Schema, par *Params, rng *rand.Rand) *EditingRun {
+func runEditingStrict(ctx context.Context, cfg *EditingConfig, original *algebra.Schema, par *Params, rng *rand.Rand) *EditingRun {
 	vector := cfg.Vector
 	if vector == nil {
 		vector = DefaultVector(cfg.Keys)
@@ -244,6 +253,9 @@ func runEditingStrict(cfg *EditingConfig, original *algebra.Schema, par *Params,
 	run := &EditingRun{Original: original}
 
 	for i := 0; i < cfg.Edits; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		prim := vector.Sample(rng)
 		snapshot := current.Clone()
 		edit, ok := Apply(prim, current, par, rng)
@@ -264,7 +276,7 @@ func runEditingStrict(cfg *EditingConfig, original *algebra.Schema, par *Params,
 		if target != "" {
 			cc := coreCfg.Clone()
 			cc.Keys = mergedKeys(original, current)
-			out, _, ok := core.Eliminate(context.Background(), sigAll, candidate, target, cc)
+			out, _, ok := core.Eliminate(ctx, sigAll, candidate, target, cc)
 			if !ok {
 				// Roll back: restore the schema, drop the edit.
 				current = snapshot
@@ -289,13 +301,13 @@ func runEditingStrict(cfg *EditingConfig, original *algebra.Schema, par *Params,
 // ComposeReconciliation composes mapA⁻¹ with mapB, eliminating the
 // original schema's symbols that neither evolved schema retained, and
 // returns the composition result.
-func ComposeReconciliation(task *ReconciliationTask, cfg *core.Config) (*core.Result, error) {
+func ComposeReconciliation(ctx context.Context, task *ReconciliationTask, cfg *core.Config) (*core.Result, error) {
 	cc := cfg.Clone()
 	cc.Keys = mergedKeys(task.Original, task.SchemaA)
 	for r, k := range mergedKeys(task.Original, task.SchemaB) {
 		cc.Keys[r] = k
 	}
-	return core.Compose(context.Background(), task.SchemaA.Sig, task.Original.Sig, task.SchemaB.Sig,
+	return core.Compose(ctx, task.SchemaA.Sig, task.Original.Sig, task.SchemaB.Sig,
 		task.MapA, task.MapB, nil, cc)
 }
 

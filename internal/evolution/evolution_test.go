@@ -1,6 +1,7 @@
 package evolution
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -237,19 +238,19 @@ func TestNamedVectors(t *testing.T) {
 }
 
 func TestRunEditingDeterministic(t *testing.T) {
-	a := RunEditing(DefaultEditingConfig(7))
-	b := RunEditing(DefaultEditingConfig(7))
+	a := RunEditing(context.Background(), DefaultEditingConfig(7))
+	b := RunEditing(context.Background(), DefaultEditingConfig(7))
 	if len(a.Stats) != len(b.Stats) || a.Constraints.String() != b.Constraints.String() {
 		t.Error("same seed must reproduce the same run")
 	}
-	c := RunEditing(DefaultEditingConfig(8))
+	c := RunEditing(context.Background(), DefaultEditingConfig(8))
 	if a.Constraints.String() == c.Constraints.String() {
 		t.Error("different seeds should differ")
 	}
 }
 
 func TestRunEditingEliminatesMostSymbols(t *testing.T) {
-	run := RunEditing(DefaultEditingConfig(3))
+	run := RunEditing(context.Background(), DefaultEditingConfig(3))
 	att, elim := 0, 0
 	for _, s := range run.Stats {
 		att += s.Attempted
@@ -276,7 +277,7 @@ func TestRunEditingEliminatesMostSymbols(t *testing.T) {
 }
 
 func TestGenerateReconciliationFirstOrder(t *testing.T) {
-	task, ok := GenerateReconciliation(12, 30, false, core.DefaultConfig(), 5, 10)
+	task, ok := GenerateReconciliation(context.Background(), 12, 30, false, core.DefaultConfig(), 5, 10)
 	if !ok {
 		t.Fatal("no task generated")
 	}
@@ -288,11 +289,26 @@ func TestGenerateReconciliationFirstOrder(t *testing.T) {
 			t.Errorf("side A mentions intermediate symbol %s", s)
 		}
 	}
-	res, err := ComposeReconciliation(task, core.DefaultConfig())
+	res, err := ComposeReconciliation(context.Background(), task, core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Stats.Attempted == 0 {
 		t.Skip("no shared edited relations in this draw")
+	}
+}
+
+// TestRunEditingCancelled: a cancelled context stops the edit loop
+// before it starts, so the run returns an empty trace instead of
+// computing for the full edit budget.
+func TestRunEditingCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	run := RunEditing(ctx, DefaultEditingConfig(7))
+	if len(run.Stats) != 0 {
+		t.Errorf("cancelled run recorded %d edit stats, want 0", len(run.Stats))
+	}
+	if _, ok := GenerateReconciliation(ctx, 12, 30, false, core.DefaultConfig(), 5, 10); ok {
+		t.Error("cancelled GenerateReconciliation reported ok")
 	}
 }

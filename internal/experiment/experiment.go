@@ -124,14 +124,17 @@ func (a *EditingAggregate) MedianRunTime() time.Duration {
 // aggregated strictly in run order afterwards, which makes every count in
 // the aggregate identical to a sequential execution for a fixed seed.
 // Only the measured wall-clock durations can differ.
-func EditingStudy(config string, runs, edits, schemaSize int, vector evolution.EventVector, seed int64) *EditingAggregate {
+//
+// ctx cancellation stops the sweep between runs; the aggregate then
+// covers only the runs that completed.
+func EditingStudy(ctx context.Context, config string, runs, edits, schemaSize int, vector evolution.EventVector, seed int64) *EditingAggregate {
 	keys, coreCfg := Named(config)
 	agg := &EditingAggregate{
 		Config:       config,
 		PerPrimitive: make(map[evolution.Primitive]*PrimStat),
 	}
 	runsOut := make([]*evolution.EditingRun, runs)
-	par.Do(runs, func(r int) {
+	_ = par.DoContext(ctx, runs, func(r int) {
 		cfg := &evolution.EditingConfig{
 			SchemaSize: schemaSize,
 			Edits:      edits,
@@ -140,9 +143,12 @@ func EditingStudy(config string, runs, edits, schemaSize int, vector evolution.E
 			Core:       coreCfg,
 			Seed:       seed + int64(r),
 		}
-		runsOut[r] = evolution.RunEditing(cfg)
+		runsOut[r] = evolution.RunEditing(ctx, cfg)
 	})
 	for _, run := range runsOut {
+		if run == nil {
+			continue // run never started: ctx cancelled the sweep
+		}
 		var total time.Duration
 		for _, s := range run.Stats {
 			ps := agg.PerPrimitive[s.Primitive]
@@ -167,10 +173,10 @@ func EditingStudy(config string, runs, edits, schemaSize int, vector evolution.E
 
 // Figure2 runs the editing study under all four configurations and
 // reports, per primitive, the fraction of symbols eliminated.
-func Figure2(runs, edits, schemaSize int, seed int64) map[string]*EditingAggregate {
+func Figure2(ctx context.Context, runs, edits, schemaSize int, seed int64) map[string]*EditingAggregate {
 	out := make(map[string]*EditingAggregate, len(EditingConfigs))
 	for _, cfg := range EditingConfigs {
-		out[cfg] = EditingStudy(cfg, runs, edits, schemaSize, nil, seed)
+		out[cfg] = EditingStudy(ctx, cfg, runs, edits, schemaSize, nil, seed)
 	}
 	return out
 }
@@ -245,8 +251,8 @@ func RenderFigure3(data map[string]*EditingAggregate) string {
 
 // Figure4 returns the sorted per-run composition times for the 'no keys'
 // configuration (the paper's motivation for reporting medians).
-func Figure4(runs, edits, schemaSize int, seed int64) []time.Duration {
-	agg := EditingStudy(CfgNoKeys, runs, edits, schemaSize, nil, seed)
+func Figure4(ctx context.Context, runs, edits, schemaSize int, seed int64) []time.Duration {
+	agg := EditingStudy(ctx, CfgNoKeys, runs, edits, schemaSize, nil, seed)
 	ts := append([]time.Duration(nil), agg.RunTimes...)
 	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
 	return ts
@@ -278,11 +284,11 @@ type Figure5Point struct {
 }
 
 // Figure5 sweeps the proportion of inclusion primitives (§4.2, Figure 5).
-func Figure5(proportions []float64, runs, edits, schemaSize int, seed int64) []Figure5Point {
+func Figure5(ctx context.Context, proportions []float64, runs, edits, schemaSize int, seed int64) []Figure5Point {
 	var out []Figure5Point
 	for i, x := range proportions {
 		vector := evolution.DefaultVector(false).WithInclusionProportion(x)
-		agg := EditingStudy(CfgNoKeys, runs, edits, schemaSize, vector, seed+int64(i*1000))
+		agg := EditingStudy(ctx, CfgNoKeys, runs, edits, schemaSize, vector, seed+int64(i*1000))
 		point := Figure5Point{Proportion: x, Total: agg.Fraction()}
 		get := func(p evolution.Primitive) float64 {
 			if ps := agg.PerPrimitive[p]; ps != nil && ps.Attempted > 0 {
@@ -328,26 +334,26 @@ type ReconPoint struct {
 
 // Figure6 varies the intermediate schema size in the reconciliation
 // scenario under the three §4.2 configurations.
-func Figure6(sizes []int, tasks, edits int, seed int64) []ReconPoint {
+func Figure6(ctx context.Context, sizes []int, tasks, edits int, seed int64) []ReconPoint {
 	var out []ReconPoint
 	for i, size := range sizes {
-		out = append(out, reconPoint(size, edits, tasks, seed+int64(i*7919), ReconConfigs))
+		out = append(out, reconPoint(ctx, size, edits, tasks, seed+int64(i*7919), ReconConfigs))
 	}
 	return out
 }
 
 // Figure7 varies the number of edits at fixed schema size.
-func Figure7(editCounts []int, tasks, schemaSize int, seed int64) []ReconPoint {
+func Figure7(ctx context.Context, editCounts []int, tasks, schemaSize int, seed int64) []ReconPoint {
 	var out []ReconPoint
 	for i, edits := range editCounts {
-		p := reconPoint(schemaSize, edits, tasks, seed+int64(i*104729), []string{CfgComplete})
+		p := reconPoint(ctx, schemaSize, edits, tasks, seed+int64(i*104729), []string{CfgComplete})
 		p.X = edits
 		out = append(out, p)
 	}
 	return out
 }
 
-func reconPoint(schemaSize, edits, tasks int, seed int64, configs []string) ReconPoint {
+func reconPoint(ctx context.Context, schemaSize, edits, tasks int, seed int64, configs []string) ReconPoint {
 	point := ReconPoint{X: schemaSize, Fraction: make(map[string]float64), Tasks: tasks}
 	attempted := make(map[string]int)
 	eliminated := make(map[string]int)
@@ -366,8 +372,8 @@ func reconPoint(schemaSize, edits, tasks int, seed int64, configs []string) Reco
 		byCfg     []cfgOutcome
 	}
 	outcomes := make([]taskOutcome, tasks)
-	par.Do(tasks, func(t int) {
-		task, ok := evolution.GenerateReconciliation(schemaSize, edits, false, genCfg, seed+int64(t), 25)
+	_ = par.DoContext(ctx, tasks, func(t int) {
+		task, ok := evolution.GenerateReconciliation(ctx, schemaSize, edits, false, genCfg, seed+int64(t), 25)
 		if !ok {
 			outcomes[t].discarded = true
 			return
@@ -376,7 +382,7 @@ func reconPoint(schemaSize, edits, tasks int, seed int64, configs []string) Reco
 		for i, cfg := range configs {
 			_, coreCfg := Named(cfg)
 			start := time.Now()
-			res, err := evolution.ComposeReconciliation(task, coreCfg)
+			res, err := evolution.ComposeReconciliation(ctx, task, coreCfg)
 			if err != nil {
 				continue
 			}
@@ -387,7 +393,9 @@ func reconPoint(schemaSize, edits, tasks int, seed int64, configs []string) Reco
 		}
 	})
 	for _, out := range outcomes {
-		if out.discarded {
+		// A task is discarded when generation failed — or never ran at
+		// all because ctx cancelled the sweep (byCfg still nil).
+		if out.discarded || out.byCfg == nil {
 			point.Discarded++
 			continue
 		}
@@ -445,8 +453,8 @@ func RenderFigure7(points []ReconPoint) string {
 
 // BlowupStudy measures the fraction of symbol eliminations aborted by the
 // output-size bound (§4.2 reports ≈1% with factor 100).
-func BlowupStudy(runs, edits, schemaSize int, seed int64) (blowup, attempted int) {
-	agg := EditingStudy(CfgNoKeys, runs, edits, schemaSize, nil, seed)
+func BlowupStudy(ctx context.Context, runs, edits, schemaSize int, seed int64) (blowup, attempted int) {
+	agg := EditingStudy(ctx, CfgNoKeys, runs, edits, schemaSize, nil, seed)
 	return agg.Blowup, agg.Attempted
 }
 
@@ -454,20 +462,20 @@ func BlowupStudy(runs, edits, schemaSize int, seed int64) (blowup, attempted int
 // random symbol orders, and reports how many tasks eliminated a different
 // number of symbols under different orders (§4: "Our algorithm appears to
 // be order-invariant on the studied data sets").
-func OrderInvariance(tasks, schemaSize, edits, shuffles int, seed int64) (variant, total int) {
+func OrderInvariance(ctx context.Context, tasks, schemaSize, edits, shuffles int, seed int64) (variant, total int) {
 	coreCfg := core.DefaultConfig()
 	type outcome struct{ generated, variant bool }
 	outcomes := make([]outcome, tasks)
 	// Each task gets its own shuffle rng derived from (seed, t), so the
 	// result is a pure function of the seed no matter how the pool
 	// schedules tasks.
-	par.Do(tasks, func(t int) {
-		task, ok := evolution.GenerateReconciliation(schemaSize, edits, false, coreCfg, seed+int64(t), 25)
+	_ = par.DoContext(ctx, tasks, func(t int) {
+		task, ok := evolution.GenerateReconciliation(ctx, schemaSize, edits, false, coreCfg, seed+int64(t), 25)
 		if !ok {
 			return
 		}
 		outcomes[t].generated = true
-		base, err := evolution.ComposeReconciliation(task, coreCfg)
+		base, err := evolution.ComposeReconciliation(ctx, task, coreCfg)
 		if err != nil {
 			return
 		}
@@ -476,7 +484,7 @@ func OrderInvariance(tasks, schemaSize, edits, shuffles int, seed int64) (varian
 		for s := 0; s < shuffles; s++ {
 			order := append([]string(nil), names...)
 			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-			res, err := core.Compose(context.Background(), task.SchemaA.Sig, task.Original.Sig, task.SchemaB.Sig,
+			res, err := core.Compose(ctx, task.SchemaA.Sig, task.Original.Sig, task.SchemaB.Sig,
 				task.MapA, task.MapB, order, coreCfg)
 			if err != nil {
 				continue

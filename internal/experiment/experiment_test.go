@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -21,8 +22,8 @@ const (
 )
 
 func TestEditingStudyShapes(t *testing.T) {
-	complete := EditingStudy(CfgNoKeys, tRuns, tEdits, tSize, nil, 1)
-	noUnfold := EditingStudy(CfgNoUnfolding, tRuns, tEdits, tSize, nil, 1)
+	complete := EditingStudy(context.Background(), CfgNoKeys, tRuns, tEdits, tSize, nil, 1)
+	noUnfold := EditingStudy(context.Background(), CfgNoUnfolding, tRuns, tEdits, tSize, nil, 1)
 
 	if complete.Attempted == 0 {
 		t.Fatal("no composition work generated")
@@ -42,7 +43,7 @@ func TestEditingStudyShapes(t *testing.T) {
 func TestRenderersProduceTables(t *testing.T) {
 	data := map[string]*EditingAggregate{}
 	for _, cfg := range EditingConfigs {
-		data[cfg] = EditingStudy(cfg, 1, 20, 10, nil, 2)
+		data[cfg] = EditingStudy(context.Background(), cfg, 1, 20, 10, nil, 2)
 	}
 	f2 := RenderFigure2(data)
 	if !strings.Contains(f2, "Figure 2") || !strings.Contains(f2, "total") {
@@ -52,18 +53,18 @@ func TestRenderersProduceTables(t *testing.T) {
 	if !strings.Contains(f3, "ms") && !strings.Contains(f3, "Figure 3") {
 		t.Errorf("Figure 3 render:\n%s", f3)
 	}
-	f4 := RenderFigure4(Figure4(3, 20, 10, 2))
+	f4 := RenderFigure4(Figure4(context.Background(), 3, 20, 10, 2))
 	if !strings.Contains(f4, "median") {
 		t.Errorf("Figure 4 render:\n%s", f4)
 	}
-	f5 := RenderFigure5(Figure5([]float64{0, 0.2}, 1, 20, 10, 2))
+	f5 := RenderFigure5(Figure5(context.Background(), []float64{0, 0.2}, 1, 20, 10, 2))
 	if !strings.Contains(f5, "0.20") {
 		t.Errorf("Figure 5 render:\n%s", f5)
 	}
 }
 
 func TestFigure5InclusionsReduceUnfolding(t *testing.T) {
-	points := Figure5([]float64{0, 0.2}, tRuns, tEdits, tSize, 3)
+	points := Figure5(context.Background(), []float64{0, 0.2}, tRuns, tEdits, tSize, 3)
 	if len(points) != 2 {
 		t.Fatal("wrong point count")
 	}
@@ -78,7 +79,7 @@ func TestFigure5InclusionsReduceUnfolding(t *testing.T) {
 }
 
 func TestFigure6SchemaSizeHelps(t *testing.T) {
-	points := Figure6([]int{8, 40}, 4, 30, 5)
+	points := Figure6(context.Background(), []int{8, 40}, 4, 30, 5)
 	if len(points) != 2 {
 		t.Fatal("wrong point count")
 	}
@@ -93,7 +94,7 @@ func TestFigure6SchemaSizeHelps(t *testing.T) {
 }
 
 func TestOrderInvarianceSmoke(t *testing.T) {
-	variant, total := OrderInvariance(3, 15, 25, 3, 9)
+	variant, total := OrderInvariance(context.Background(), 3, 15, 25, 3, 9)
 	if total == 0 {
 		t.Skip("no tasks generated")
 	}
@@ -123,11 +124,11 @@ func counts(a *EditingAggregate) map[string][4]int {
 func TestEditingStudyParallelDeterminism(t *testing.T) {
 	prev := par.SetWorkers(1)
 	defer par.SetWorkers(prev)
-	sequential := EditingStudy(CfgNoKeys, 4, 25, 15, nil, 42)
+	sequential := EditingStudy(context.Background(), CfgNoKeys, 4, 25, 15, nil, 42)
 
 	for _, workers := range []int{2, 4, 8} {
 		par.SetWorkers(workers)
-		parallel := EditingStudy(CfgNoKeys, 4, 25, 15, nil, 42)
+		parallel := EditingStudy(context.Background(), CfgNoKeys, 4, 25, 15, nil, 42)
 		if !reflect.DeepEqual(counts(sequential), counts(parallel)) {
 			t.Errorf("workers=%d: aggregate counts differ from sequential run:\n%v\nvs\n%v",
 				workers, counts(sequential), counts(parallel))
@@ -143,9 +144,9 @@ func TestEditingStudyParallelDeterminism(t *testing.T) {
 func TestOrderInvarianceParallelDeterminism(t *testing.T) {
 	prev := par.SetWorkers(1)
 	defer par.SetWorkers(prev)
-	v1, t1 := OrderInvariance(3, 10, 15, 2, 7)
+	v1, t1 := OrderInvariance(context.Background(), 3, 10, 15, 2, 7)
 	par.SetWorkers(4)
-	v2, t2 := OrderInvariance(3, 10, 15, 2, 7)
+	v2, t2 := OrderInvariance(context.Background(), 3, 10, 15, 2, 7)
 	if v1 != v2 || t1 != t2 {
 		t.Errorf("parallel OrderInvariance diverged: (%d,%d) vs (%d,%d)", v1, t1, v2, t2)
 	}
@@ -174,7 +175,7 @@ func TestNamedConfigurations(t *testing.T) {
 }
 
 func TestBlowupStudyCounts(t *testing.T) {
-	blowup, attempted := BlowupStudy(tRuns, tEdits, tSize, 4)
+	blowup, attempted := BlowupStudy(context.Background(), tRuns, tEdits, tSize, 4)
 	if attempted == 0 {
 		t.Fatal("no eliminations attempted")
 	}
@@ -185,7 +186,7 @@ func TestBlowupStudyCounts(t *testing.T) {
 }
 
 func TestPerPrimitiveHardness(t *testing.T) {
-	agg := EditingStudy(CfgNoKeys, 6, 80, 25, nil, 11)
+	agg := EditingStudy(context.Background(), CfgNoKeys, 6, 80, 25, nil, 11)
 	// Figure 2: Hf is among the hardest primitives; DR is trivial (a
 	// dropped relation has no defining constraints of its own but its
 	// occurrences elsewhere still need elimination). Check Hf does not

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxThread proves the PR 4 context-threading contract: library code
+// never mints its own root context. context.Background()/TODO() in a
+// library function severs the caller's cancellation chain — a serving
+// request that times out keeps computing, an experiment sweep cannot be
+// interrupted. Roots belong in package main and in tests; everything
+// else accepts a ctx parameter and threads it. The rare legitimate
+// detach (par.Do's documented non-cancellable contract, the root-level
+// convenience wrappers in mapcomp.go) carries a //lint:allow with its
+// reason.
+var CtxThread = &Analyzer{
+	Name: "ctxthread",
+	Doc: "forbid context.Background/context.TODO in non-main, non-test " +
+		"library code; contexts thread from the caller (PR 4)",
+	Run: runCtxThread,
+}
+
+func runCtxThread(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, file := range pass.Files {
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			var which string
+			switch {
+			case isFunc(callee, "context", "", "Background"):
+				which = "Background"
+			case isFunc(callee, "context", "", "TODO"):
+				which = "TODO"
+			default:
+				return true
+			}
+			if enclosingHasCtx(pass, stack) {
+				pass.Reportf(call.Pos(),
+					"context.%s() discards the ctx already in scope: thread the "+
+						"enclosing function's context instead of severing cancellation", which)
+			} else {
+				pass.Reportf(call.Pos(),
+					"context.%s() in library code: accept a context.Context parameter "+
+						"and thread it from the caller (roots belong in package main and tests)", which)
+			}
+			return true
+		})
+	}
+}
+
+// enclosingHasCtx reports whether any function declaration or literal
+// on the stack has a context.Context parameter.
+func enclosingHasCtx(pass *Pass, stack []ast.Node) bool {
+	for _, n := range stack {
+		var ft *ast.FuncType
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			ft = n.Type
+		case *ast.FuncLit:
+			ft = n.Type
+		default:
+			continue
+		}
+		if ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			if t := pass.Info.Types[field.Type].Type; t != nil && isContextType(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return namedFrom(t, "context", "Context")
+}

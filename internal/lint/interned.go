@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// algebraPkg owns expression identity: hash-consing lives here.
+const algebraPkg = "mapcomp/internal/algebra"
+
+// rewritingLayers are the packages registered to build raw Expr nodes:
+// the algebra itself, the composition/elimination engines, the
+// normalizing rewriters, the parser (the sanctioned front door for
+// everyone else) and the evolution primitives. Everything outside this
+// set must obtain expressions from these layers, so identity-sensitive
+// operations (memoization, fingerprints, generation diffing) can rely
+// on Intern/InternNode having seen every node.
+var rewritingLayers = map[string]bool{
+	algebraPkg:                   true,
+	"mapcomp/internal/core":      true,
+	"mapcomp/internal/ops":       true,
+	"mapcomp/internal/parser":    true,
+	"mapcomp/internal/eval":      true,
+	"mapcomp/internal/evolution": true,
+}
+
+// exprNodes are the algebra's expression node struct types.
+var exprNodes = map[string]bool{
+	"Rel": true, "Domain": true, "Empty": true, "Lit": true,
+	"Union": true, "Inter": true, "Cross": true, "Diff": true,
+	"Select": true, "Project": true, "Skolem": true, "App": true,
+}
+
+// exprBuilders are algebra's convenience constructors that return raw
+// (un-interned) Expr values.
+var exprBuilders = map[string]bool{
+	"R": true, "Proj": true, "Sel": true, "UnionAll": true, "InterAll": true,
+}
+
+// Interned proves the PR 1 hash-consing contract at compile time: the
+// only legal source of an *algebra.Interned is Intern/InternNode, and
+// interned nodes are immutable once published. Constructing or mutating
+// one by hand would mint an expression whose pointer identity disagrees
+// with its structural identity, silently corrupting the memo tables the
+// composition engine's performance rests on. Raw Expr node literals are
+// additionally confined to the registered rewriting layers.
+var Interned = &Analyzer{
+	Name: "interned",
+	Doc: "confine algebra expression construction to the registered rewriting " +
+		"layers and forbid hand-built or mutated Interned nodes (PR 1 hash-consing)",
+	Run: runInterned,
+}
+
+func runInterned(pass *Pass) {
+	path := pass.Pkg.Path()
+	if path == algebraPkg {
+		return
+	}
+	blessed := rewritingLayers[path]
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				t := pass.Info.Types[ast.Expr(n)].Type
+				if t == nil {
+					return true
+				}
+				if namedFrom(t, algebraPkg, "Interned") {
+					pass.Reportf(n.Pos(),
+						"algebra.Interned composite literal: interned nodes may only be minted by "+
+							"Intern/InternNode, which guarantee pointer identity equals structural identity")
+					return true
+				}
+				if !blessed && isExprNode(t) {
+					pass.Reportf(n.Pos(),
+						"algebra.%s literal outside the registered rewriting layers: "+
+							"build expressions through the parser or algebra constructors and intern them",
+						exprNodeName(t))
+				}
+			case *ast.CallExpr:
+				if blessed {
+					return true
+				}
+				callee := calleeFunc(pass.Info, n)
+				if callee != nil && callee.Pkg() != nil &&
+					callee.Pkg().Path() == algebraPkg &&
+					recvName(callee) == "" && exprBuilders[callee.Name()] {
+					pass.Reportf(n.Pos(),
+						"algebra.%s outside the registered rewriting layers: "+
+							"raw expression constructors are reserved for the rewriting engines; "+
+							"use the parser front door instead", callee.Name())
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					reportInternedWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				reportInternedWrite(pass, n.X)
+			}
+			return true
+		})
+	}
+}
+
+// reportInternedWrite flags writes through a field of an
+// (*)algebra.Interned value.
+func reportInternedWrite(pass *Pass, lhs ast.Expr) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if t := pass.Info.Types[sel.X].Type; t != nil && namedFrom(t, algebraPkg, "Interned") {
+		pass.Reportf(lhs.Pos(),
+			"write to a field of algebra.Interned: interned nodes are immutable once "+
+				"published — their hash and canonical pointer would go stale")
+	}
+}
+
+// isExprNode reports whether t is one of algebra's expression node
+// struct types.
+func isExprNode(t types.Type) bool {
+	return exprNodeName(t) != ""
+}
+
+// exprNodeName returns the algebra expression node name of t, or "".
+func exprNodeName(t types.Type) string {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() != nil && obj.Pkg().Path() == algebraPkg && exprNodes[obj.Name()] {
+		return obj.Name()
+	}
+	return ""
+}

@@ -1,0 +1,382 @@
+// Package lint is mapcomp's compile-time invariant suite: a set of
+// static analyzers, in the shape of golang.org/x/tools/go/analysis but
+// built on the standard library alone, that prove the serving spine's
+// contracts before the code ever runs. Each analyzer guards an
+// invariant a past PR established and a runtime counter or benchmark
+// once had to catch being broken:
+//
+//	nomarshal        zero-marshal cache hit path (PR 5)
+//	lockfreeread     lock-free copy-on-write catalog reads (PR 4)
+//	interned         hash-consed algebra expression interning (PR 1)
+//	ctxthread        context threading through the compose stack (PR 4)
+//	nopersistderived derived-inverse edges are never persisted (PR 8)
+//	obsinit          metric get-or-create off the request path (PR 7)
+//
+// cmd/mapcomplint compiles them into a multichecker that CI runs
+// alongside vet and staticcheck. A finding can be suppressed with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason string
+// is mandatory: a directive without one is itself a lint error, as is a
+// directive naming an unknown analyzer. The directive only suppresses
+// the named analyzer, so every exemption is scoped, attributed and
+// explained in place.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the suite can migrate to
+// the real framework wholesale if the dependency ever becomes
+// available; Run reports findings through the Pass rather than
+// returning a result value because no analyzer here feeds another.
+type Analyzer struct {
+	// Name is the identifier used in output and //lint:allow directives.
+	Name string
+	// Doc states the invariant the analyzer proves and the PR that
+	// introduced it.
+	Doc string
+	// Run analyzes one package, reporting findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one (package, analyzer) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the full invariant suite in output order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoMarshal,
+		LockFreeRead,
+		Interned,
+		CtxThread,
+		NoPersistDerived,
+		ObsInit,
+	}
+}
+
+// allowPrefix introduces a suppression directive comment.
+const allowPrefix = "//lint:allow"
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	name   string
+	reason string
+	pos    token.Pos
+	file   string
+	line   int
+}
+
+// parseDirectives extracts every //lint:allow directive of a package.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				d := directive{pos: c.Pos()}
+				pos := fset.Position(c.Pos())
+				d.file, d.line = pos.Filename, pos.Line
+				if len(fields) > 0 {
+					d.name = fields[0]
+					d.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies analyzers to pkgs, resolves //lint:allow
+// directives, and returns the surviving findings sorted by position.
+// A well-formed directive (known analyzer, non-empty reason) on the
+// same line as a finding, or the line directly above it, suppresses
+// that analyzer's finding; malformed directives are findings
+// themselves, attributed to the pseudo-analyzer "allow".
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers)+len(All()))
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := parseDirectives(pkg.Fset, pkg.Files)
+		// allowed[(name,file,line)] — the lines a directive covers.
+		type key struct {
+			name string
+			file string
+			line int
+		}
+		allowed := make(map[key]bool)
+		for _, d := range dirs {
+			switch {
+			case d.name == "" || !known[d.name]:
+				out = append(out, Diagnostic{
+					Analyzer: "allow",
+					Pos:      pkg.Fset.Position(d.pos),
+					Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", d.name),
+				})
+			case d.reason == "":
+				out = append(out, Diagnostic{
+					Analyzer: "allow",
+					Pos:      pkg.Fset.Position(d.pos),
+					Message:  fmt.Sprintf("//lint:allow %s is missing its mandatory reason string", d.name),
+				})
+			default:
+				// A directive covers its own line and the next, so it
+				// works both as a trailing comment and on a line of
+				// its own above the flagged statement.
+				allowed[key{d.name, d.file, d.line}] = true
+				allowed[key{d.name, d.file, d.line + 1}] = true
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if allowed[key{d.Analyzer, d.Pos.Filename, d.Pos.Line}] {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// --- shared AST/type helpers used by the analyzers ---
+
+// inspectWithStack walks root in depth-first order, calling f for every
+// node with the stack of its ancestors (outermost first, excluding n).
+func inspectWithStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !f(n, stack) {
+			// ast.Inspect skips both the children and the closing nil
+			// visit when we return false, so n must not be pushed.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// calleeFunc resolves the static callee of call: a package function, a
+// method, or nil for indirect calls, conversions and built-ins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fn.Sel] // package-qualified call
+		}
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// isFunc reports whether f is the function or method pkgPath.name (for
+// methods, name is just the method name and recv the receiver's named
+// type name; pass recv == "" for package functions).
+func isFunc(f *types.Func, pkgPath, recv, name string) bool {
+	if f == nil || f.Name() != name || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	return recvName(f) == recv
+}
+
+// recvName returns the name of a method's receiver named type, or ""
+// for package functions.
+func recvName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// namedFrom reports whether t (after stripping pointers and aliases) is
+// the named type pkgPath.name.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// typeMentions reports whether t's structure mentions the named type
+// pkgPath.name — directly, or as a pointer, slice, array, map or
+// channel element. Named types are matched by identity, not expanded,
+// so the walk terminates on recursive types.
+func typeMentions(t types.Type, pkgPath, name string) bool {
+	seen := make(map[types.Type]bool)
+	var walk func(types.Type) bool
+	walk = func(t types.Type) bool {
+		t = types.Unalias(t)
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		if namedFrom(t, pkgPath, name) {
+			return true
+		}
+		switch u := t.(type) {
+		case *types.Pointer:
+			return walk(u.Elem())
+		case *types.Slice:
+			return walk(u.Elem())
+		case *types.Array:
+			return walk(u.Elem())
+		case *types.Map:
+			return walk(u.Key()) || walk(u.Elem())
+		case *types.Chan:
+			return walk(u.Elem())
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(t)
+}
+
+// callGraph is the static intra-package call graph: edges from each
+// declared function or method to the same-package functions it calls.
+// Calls inside function literals are attributed to the enclosing
+// declaration, so reachability follows closures.
+type callGraph struct {
+	decls map[*types.Func]*ast.FuncDecl
+	calls map[*types.Func][]*types.Func
+}
+
+// buildCallGraph computes the package's call graph.
+func buildCallGraph(pass *Pass) *callGraph {
+	g := &callGraph{
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		calls: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.decls[obj] = fd
+			ast.Inspect(fd, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass.Info, call)
+				if callee != nil && callee.Pkg() == pass.Pkg {
+					g.calls[obj] = append(g.calls[obj], callee)
+				}
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// reachable returns the set of package functions reachable from the
+// given entry points, entry points included.
+func (g *callGraph) reachable(entries []*types.Func) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var visit func(*types.Func)
+	visit = func(f *types.Func) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		for _, callee := range g.calls[f] {
+			visit(callee)
+		}
+	}
+	for _, e := range entries {
+		visit(e)
+	}
+	return seen
+}

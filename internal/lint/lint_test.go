@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTreeIsClean is the suite applied to the repository itself: the
+// whole module must lint clean, so `go test ./internal/lint/...` fails
+// the moment a contract regresses — the same signal CI's mapcomplint
+// step gives, without waiting for it. Reverting any one of the context
+// fixes that landed with this suite (internal/experiment,
+// internal/evolution, internal/suite) trips ctxthread here.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load in -short mode")
+	}
+	pkgs, err := Load(moduleRoot)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	diags := RunAnalyzers(pkgs, All())
+	if len(diags) > 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString("  ")
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		t.Fatalf("invariant suite found %d violation(s) in the tree:\n%s", len(diags), b.String())
+	}
+}
+
+// TestAnalyzerMetadata pins the suite's registry: names are unique,
+// non-empty, and documented — mapcomplint output and //lint:allow
+// directives key on them.
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("want 6 analyzers, got %d", len(seen))
+	}
+}

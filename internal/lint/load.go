@@ -1,0 +1,208 @@
+package lint
+
+// Package loading without golang.org/x/tools/go/packages: the analyzers
+// need parsed syntax plus full type information, and dependencies are
+// satisfied from compiler export data produced by `go list -export`.
+// This keeps the suite standard-library-only — the go toolchain itself
+// is the only build-time dependency, and the build cache makes repeat
+// runs (CI with a cached ~/.cache/go-build, local pre-commit) cheap.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked, in-module package.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given extra arguments and
+// decodes the JSON stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportIndex maps import paths to compiler export data files, for
+// satisfying imports during type checking. Build one with NewExportIndex
+// and share it across Check calls — the underlying importer caches
+// loaded packages per index.
+type ExportIndex struct {
+	exports map[string]string
+	fset    *token.FileSet
+	imp     types.Importer
+}
+
+// NewExportIndex compiles the module rooted at dir (and its
+// dependencies) and indexes the resulting export data. patterns follows
+// `go list` syntax; "./..." covers everything a fixture or target
+// package could import from the module.
+func NewExportIndex(dir string, fset *token.FileSet, patterns ...string) (*ExportIndex, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,Standard,GoFiles,Module,Error",
+	}, patterns...)
+	pkgs, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	idx := &ExportIndex{exports: make(map[string]string, len(pkgs)), fset: fset}
+	for _, p := range pkgs {
+		if p.Error != nil && p.Export == "" && !p.Standard {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			idx.exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := idx.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	idx.imp = importer.ForCompiler(fset, "gc", lookup)
+	return idx, nil
+}
+
+// Check parses and type-checks the given files as the package
+// importPath, resolving imports through the index. Fixture runners use
+// it directly (claiming production import paths so package-scoped
+// analyzers engage); Load uses it for every in-module package.
+func (idx *ExportIndex) Check(importPath string, filenames []string, src map[string][]byte) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		var content any
+		if src != nil {
+			content = src[name]
+		}
+		f, err := parser.ParseFile(idx.fset, name, content, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: idx.imp}
+	pkg, err := conf.Check(importPath, idx.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", importPath, err)
+	}
+	var dir string
+	if len(filenames) > 0 {
+		dir = filepath.Dir(filenames[0])
+	}
+	return &Package{
+		Path: importPath, Name: pkg.Name(), Dir: dir,
+		Fset: idx.fset, Files: files, Pkg: pkg, Info: info,
+	}, nil
+}
+
+// Load type-checks every in-module package matched by patterns in the
+// module rooted at dir. Test files are excluded: the invariants guard
+// library and serving code, and tests legitimately use
+// context.Background, construct literals and so on.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, append([]string{"list", "-json=ImportPath"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	wanted := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		wanted[t.ImportPath] = true
+	}
+	fset := token.NewFileSet()
+	idx, err := NewExportIndex(dir, fset, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	listed, err := goList(dir, append([]string{
+		"list", "-e",
+		"-json=ImportPath,Name,Dir,Export,Standard,GoFiles,Module,Error",
+	}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range listed {
+		if !wanted[p.ImportPath] || p.Standard || p.Module == nil {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		var filenames []string
+		for _, g := range p.GoFiles {
+			filenames = append(filenames, filepath.Join(p.Dir, g))
+		}
+		if len(filenames) == 0 {
+			continue
+		}
+		pkg, err := idx.Check(p.ImportPath, filenames, nil)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = p.Dir
+		out = append(out, pkg)
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// persistPkg is the durability layer the never-persist-derived contract
+// covers; provenanceTypes are the catalog types that carry it.
+const persistPkg = "mapcomp/internal/persist"
+
+var provenanceTypes = []string{"Provenance", "Hop", "Route"}
+
+// NoPersistDerived proves the PR 8 contract structurally: derived
+// inverses are a property of one catalog snapshot's quasi-inverse
+// verdicts, recomputed per generation, so persisting one would freeze a
+// judgement that the next mutation may revoke. Rather than chase
+// individual record constructions, the analyzer forbids internal/persist
+// from touching provenance-bearing catalog types at all — no identifier
+// of type Provenance/Hop/Route (or any type mentioning them) and no use
+// of the Prov* constants may appear in the package, so no WAL record or
+// snapshot document can be built from a value that carries them.
+var NoPersistDerived = &Analyzer{
+	Name: "nopersistderived",
+	Doc: "forbid internal/persist from handling provenance-bearing catalog " +
+		"values; derived-inverse edges are never logged or snapshotted (PR 8)",
+	Run: runNoPersistDerived,
+}
+
+func runNoPersistDerived(pass *Pass) {
+	if pass.Pkg.Path() != persistPkg {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				obj = pass.Info.Defs[id]
+			}
+			if obj == nil {
+				return true
+			}
+			// Direct use of the provenance vocabulary: the type names
+			// themselves or the Prov* constants.
+			if objFromPkg(obj, catalogPkg) {
+				name := obj.Name()
+				if name == "ProvRegistered" || name == "ProvDerivedInverse" {
+					pass.Reportf(id.Pos(),
+						"catalog.%s in internal/persist: derived-inverse provenance is "+
+							"per-snapshot state and must never reach the WAL or a snapshot document", name)
+					return true
+				}
+				if _, isType := obj.(*types.TypeName); isType {
+					for _, t := range provenanceTypes {
+						if name == t {
+							pass.Reportf(id.Pos(),
+								"catalog.%s in internal/persist: provenance-bearing types must not "+
+									"cross into the durability layer (derived edges are recomputed, not replayed)", name)
+							return true
+						}
+					}
+				}
+			}
+			// Any value whose type structurally carries provenance.
+			if v, isVal := obj.(*types.Var); isVal {
+				for _, t := range provenanceTypes {
+					if typeMentions(v.Type(), catalogPkg, t) {
+						pass.Reportf(id.Pos(),
+							"%s carries catalog.%s into internal/persist: record construction from "+
+								"provenance-bearing values is forbidden (PR 8: derived edges are never persisted)",
+							id.Name, t)
+						return true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// objFromPkg reports whether obj is declared in pkgPath.
+func objFromPkg(obj types.Object, pkgPath string) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

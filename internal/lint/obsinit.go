@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// obsPkg is the telemetry package whose get-or-create calls are
+// restricted to initialization.
+const obsPkg = "mapcomp/internal/obs"
+
+// ObsInit proves the PR 7 zero-cost-telemetry contract: Registry.Hist
+// and Registry.Counter (and the obs.Hist/obs.Count wrappers over the
+// default registry) take the registry mutex to get-or-create an
+// instrument. On a request path that lock is exactly the contention the
+// telemetry layer was built to avoid — instruments must be resolved
+// once, into package-level vars (or in init), and the hot path touches
+// only their atomics.
+var ObsInit = &Analyzer{
+	Name: "obsinit",
+	Doc: "obs get-or-create calls (Registry.Hist/Counter, obs.Hist/Count) " +
+		"only in package-level var or init; request paths touch atomics only (PR 7)",
+	Run: runObsInit,
+}
+
+func runObsInit(pass *Pass) {
+	if pass.Pkg.Path() == obsPkg {
+		return
+	}
+	for _, file := range pass.Files {
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			var what string
+			switch {
+			case isFunc(callee, obsPkg, "Registry", "Hist"),
+				isFunc(callee, obsPkg, "Registry", "Counter"):
+				what = "(*obs.Registry)." + callee.Name()
+			case isFunc(callee, obsPkg, "", "Hist"),
+				isFunc(callee, obsPkg, "", "Count"):
+				what = "obs." + callee.Name()
+			default:
+				return true
+			}
+			if inInitContext(stack) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s outside package-level var/init: get-or-create takes the registry "+
+					"mutex — resolve instruments once at package init and use their atomics on hot paths",
+				what)
+			return true
+		})
+	}
+}
+
+// inInitContext reports whether the call site runs at package
+// initialization: directly in an init function, or in a package-level
+// var initializer. The body of a function literal runs only when
+// called, so a call inside a FuncLit is never init context — even when
+// the literal itself is assigned to a package-level var.
+func inInitContext(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.FuncDecl:
+			return n.Name.Name == "init" && n.Recv == nil
+		}
+	}
+	// No enclosing function: a package-level var initializer.
+	return true
+}

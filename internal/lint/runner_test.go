@@ -1,0 +1,227 @@
+package lint
+
+// The fixture runner: each analyzer has a testdata/src/<name>/ package
+// holding a committed known-bad example. Fixtures are type-checked with
+// a *claimed* production import path (e.g. "mapcomp/internal/server")
+// so the package-scoped analyzers engage, with imports satisfied from
+// the module's compiler export data — the same loader the real
+// mapcomplint run uses. Expected findings are `// want` comments
+// carrying backquoted regexps, analysistest-style: every finding on a
+// line must match one of the line's regexps and every regexp must match
+// at least one finding.
+
+import (
+	"bufio"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// moduleRoot is the repository root relative to this package.
+const moduleRoot = "../.."
+
+var (
+	fixtureOnce sync.Once
+	fixtureIdx  *ExportIndex
+	fixtureErr  error
+)
+
+// fixtureIndex builds one shared export index over the whole module:
+// every fixture import (algebra, catalog, obs, stdlib) resolves
+// through it.
+func fixtureIndex(t *testing.T) *ExportIndex {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureIdx, fixtureErr = NewExportIndex(moduleRoot, token.NewFileSet(), "./...")
+	})
+	if fixtureErr != nil {
+		t.Fatalf("building export index: %v", fixtureErr)
+	}
+	return fixtureIdx
+}
+
+// runFixture type-checks testdata/src/<name> under the claimed import
+// path and runs the full suite (directives included) over it.
+func runFixture(t *testing.T, name, importPath string) []Diagnostic {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	pkg, err := fixtureIndex(t).Check(importPath, files, nil)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", name, err)
+	}
+	return RunAnalyzers([]*Package{pkg}, All())
+}
+
+// wantKey identifies one fixture source line.
+type wantKey struct {
+	file string
+	line int
+}
+
+var (
+	wantRe  = regexp.MustCompile(`// want (.+)$`)
+	quoteRe = regexp.MustCompile("`([^`]+)`")
+)
+
+// parseWants extracts the `// want` expectations of the fixture files.
+func parseWants(t *testing.T, files []string) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	out := make(map[wantKey][]*regexp.Regexp)
+	for _, file := range files {
+		f, err := os.Open(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			qs := quoteRe.FindAllStringSubmatch(m[1], -1)
+			if qs == nil {
+				t.Fatalf("%s:%d: want comment without backquoted regexps", file, line)
+			}
+			key := wantKey{file, line}
+			for _, q := range qs {
+				out[key] = append(out[key], regexp.MustCompile(q[1]))
+			}
+		}
+		f.Close()
+	}
+	return out
+}
+
+// fixtures maps each analyzer fixture to the import path it claims.
+// Package-scoped analyzers (nomarshal, lockfreeread, nopersistderived)
+// claim the production package they guard; the rest claim a neutral
+// in-module library path.
+var fixtures = map[string]string{
+	"nomarshal":        "mapcomp/internal/server",
+	"lockfreeread":     "mapcomp/internal/catalog",
+	"interned":         "mapcomp/internal/render",
+	"ctxthread":        "mapcomp/internal/sweep",
+	"nopersistderived": "mapcomp/internal/persist",
+	"obsinit":          "mapcomp/internal/serving",
+}
+
+func TestFixtures(t *testing.T) {
+	names := make([]string, 0, len(fixtures))
+	for name := range fixtures {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			diags := runFixture(t, name, fixtures[name])
+
+			dir := filepath.Join("testdata", "src", name)
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var files []string
+			for _, e := range entries {
+				if strings.HasSuffix(e.Name(), ".go") {
+					files = append(files, filepath.Join(dir, e.Name()))
+				}
+			}
+			wants := parseWants(t, files)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no want expectations", name)
+			}
+
+			matched := make(map[*regexp.Regexp]bool)
+			for _, d := range diags {
+				key := wantKey{d.Pos.Filename, d.Pos.Line}
+				res := wants[key]
+				ok := false
+				for _, re := range res {
+					if re.MatchString(d.Message) {
+						matched[re] = true
+						ok = true
+					}
+				}
+				if !ok {
+					t.Errorf("unexpected finding: %s", d)
+				}
+			}
+			for key, res := range wants {
+				for _, re := range res {
+					if !matched[re] {
+						t.Errorf("%s:%d: expected finding matching %q, got none",
+							key.file, key.line, re)
+					}
+				}
+			}
+			if t.Failed() {
+				var b strings.Builder
+				for _, d := range diags {
+					fmt.Fprintf(&b, "  %s\n", d)
+				}
+				t.Logf("all findings:\n%s", b.String())
+			}
+		})
+	}
+}
+
+// TestAllowDirectives pins the //lint:allow contract: a well-formed
+// directive (known analyzer + reason) suppresses exactly its named
+// analyzer on its own or the following line; a directive without a
+// reason, or naming an unknown analyzer, is itself a lint error and
+// suppresses nothing. Expectations are programmatic because a trailing
+// want comment would be parsed as the malformed directive's reason.
+func TestAllowDirectives(t *testing.T) {
+	diags := runFixture(t, "allow", "mapcomp/internal/allowfix")
+
+	byAnalyzer := make(map[string][]Diagnostic)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], d)
+	}
+
+	allow := byAnalyzer["allow"]
+	if len(allow) != 2 {
+		t.Fatalf("want 2 allow-directive findings, got %d: %v", len(allow), diags)
+	}
+	var sawMissingReason, sawUnknown bool
+	for _, d := range allow {
+		switch {
+		case strings.Contains(d.Message, "missing its mandatory reason string"):
+			sawMissingReason = true
+		case strings.Contains(d.Message, "unknown analyzer"):
+			sawUnknown = true
+		}
+	}
+	if !sawMissingReason {
+		t.Error("no finding for the reason-less //lint:allow directive")
+	}
+	if !sawUnknown {
+		t.Error("no finding for the unknown-analyzer //lint:allow directive")
+	}
+
+	// The reason-less directive and the wrong-analyzer directive both
+	// fail to suppress the ctxthread finding on their lines; the two
+	// well-formed ctxthread directives do suppress theirs.
+	if got := len(byAnalyzer["ctxthread"]); got != 2 {
+		t.Errorf("want 2 surviving ctxthread findings, got %d: %v", got, diags)
+	}
+	if extra := len(diags) - len(allow) - len(byAnalyzer["ctxthread"]); extra != 0 {
+		t.Errorf("unexpected extra findings: %v", diags)
+	}
+}

@@ -1,0 +1,38 @@
+// Fixture for //lint:allow directive handling: a well-formed directive
+// suppresses exactly its named analyzer; a directive missing its
+// mandatory reason, or naming an unknown analyzer, is itself a lint
+// error. Expectations are asserted programmatically in
+// TestAllowDirectives (the malformed-directive cases cannot carry
+// trailing want comments — the comment would become the reason).
+package allowfix
+
+import "context"
+
+// wellFormed documents its detach: suppressed, no finding.
+func wellFormed() context.Context {
+	return context.Background() //lint:allow ctxthread fixture: deliberate detach with a documented reason
+}
+
+// aboveLine uses the directive-on-the-line-above form: suppressed.
+func aboveLine() context.Context {
+	//lint:allow ctxthread fixture: detach documented on the line above
+	return context.Background()
+}
+
+// missingReason omits the reason: the directive is a finding itself and
+// fails to suppress the ctxthread finding on its line.
+func missingReason() context.Context {
+	return context.Background() //lint:allow ctxthread
+}
+
+// unknownName names an analyzer that does not exist.
+func unknownName() int {
+	x := 1 //lint:allow nosuchcheck because it seemed fine
+	return x
+}
+
+// wrongAnalyzer is well-formed but names a different analyzer, so the
+// ctxthread finding on its line survives.
+func wrongAnalyzer() context.Context {
+	return context.Background() //lint:allow nomarshal fixture: suppresses nothing relevant
+}

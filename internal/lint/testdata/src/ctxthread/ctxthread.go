@@ -1,0 +1,34 @@
+// Known-bad examples for the ctxthread analyzer: context roots minted
+// in library code. The runner type-checks this file as a non-main,
+// non-test library package.
+package sweep
+
+import "context"
+
+// run mints a root with no ctx in scope: the caller should be passing
+// one in.
+func run() error {
+	ctx := context.Background() // want `context\.Background\(\) in library code`
+	_ = ctx
+	return nil
+}
+
+// todoRoot is the TODO variant of the same violation.
+func todoRoot() context.Context {
+	return context.TODO() // want `context\.TODO\(\) in library code`
+}
+
+// discard has a ctx parameter and mints a fresh root anyway — severing
+// the caller's cancellation chain. The closure inherits the enclosing
+// function's ctx for the purposes of the check.
+func discard(ctx context.Context) {
+	_ = context.Background() // want `context\.Background\(\) discards the ctx already in scope`
+	go func() {
+		_ = context.TODO() // want `context\.TODO\(\) discards the ctx already in scope`
+	}()
+}
+
+// threaded uses the parameter: no finding.
+func threaded(ctx context.Context) error {
+	return ctx.Err()
+}

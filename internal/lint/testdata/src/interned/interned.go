@@ -1,0 +1,30 @@
+// Known-bad examples for the interned analyzer. The runner type-checks
+// this file as package path "mapcomp/internal/render" — outside both
+// internal/algebra and the registered rewriting layers.
+package render
+
+import "mapcomp/internal/algebra"
+
+func buildLiteral() algebra.Expr {
+	return algebra.Rel{Name: "R"} // want `algebra\.Rel literal outside the registered rewriting layers`
+}
+
+func buildNested() algebra.Expr {
+	return algebra.Union{ // want `algebra\.Union literal outside the registered rewriting layers`
+		L: algebra.R("S"), // want `algebra\.R outside the registered rewriting layers`
+		R: algebra.R("T"), // want `algebra\.R outside the registered rewriting layers`
+	}
+}
+
+func mintInterned() *algebra.Interned {
+	return &algebra.Interned{} // want `algebra\.Interned composite literal`
+}
+
+func mutateInterned(n *algebra.Interned) {
+	n.Hash = 0 // want `write to a field of algebra\.Interned`
+}
+
+// viaCanonical obtains expressions the sanctioned way: no finding.
+func viaCanonical(e algebra.Expr) *algebra.Interned {
+	return algebra.Intern(e)
+}

@@ -1,0 +1,48 @@
+// Known-bad examples for the nomarshal analyzer. The runner type-checks
+// this file as package path "mapcomp/internal/server", where the
+// zero-marshal hit-path contract applies.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+type response struct{ OK bool }
+
+// marshalWire is the canonical encoder: the one place json encoding is
+// allowed on the serving path.
+func marshalWire(v any) []byte {
+	b, _ := json.Marshal(v)
+	return b
+}
+
+func handleCompose(v any) []byte {
+	b, _ := json.Marshal(v) // want `json\.Marshal on the serving path`
+	return b
+}
+
+// handleBatch reaches renderResult through the call graph.
+func handleBatch(v any) []byte { return renderResult(v) }
+
+func renderResult(v any) []byte {
+	b, _ := json.MarshalIndent(v, "", " ") // want `json\.MarshalIndent on the serving path`
+	return b
+}
+
+func serveFetch(v any) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf) // want `json\.NewEncoder on the serving path`
+	_ = enc.Encode(v)            // want `\(\*json\.Encoder\)\.Encode on the serving path`
+	return buf.Bytes()
+}
+
+// goodHandler goes through the canonical encoder: no finding.
+func handleStats(v any) []byte { return marshalWire(response{OK: true}) }
+
+// notReachable is never called from a handler entry point: its marshal
+// is outside the contract.
+func notReachable(v any) []byte {
+	b, _ := json.Marshal(v)
+	return b
+}

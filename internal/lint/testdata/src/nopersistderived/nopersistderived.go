@@ -1,0 +1,19 @@
+// Known-bad examples for the nopersistderived analyzer. The runner
+// type-checks this file as package path "mapcomp/internal/persist",
+// where provenance-bearing catalog types are forbidden entirely.
+package persist
+
+import "mapcomp/internal/catalog"
+
+// routeRecord smuggles provenance into a would-be persisted document.
+type routeRecord struct {
+	Prov catalog.Provenance // want `catalog\.Provenance`
+}
+
+func isDerived(p catalog.Provenance) bool { // want `catalog\.Provenance`
+	return p == catalog.ProvDerivedInverse // want `ProvDerivedInverse` `catalog\.Provenance`
+}
+
+func encodeHops(hops []catalog.Hop) int { // want `catalog\.Hop`
+	return len(hops) // want `catalog\.Hop`
+}

@@ -1,0 +1,36 @@
+// Known-bad examples for the obsinit analyzer: instrument get-or-create
+// outside package initialization. The runner type-checks this file as a
+// non-obs library package.
+package serving
+
+import "mapcomp/internal/obs"
+
+// Package-level var and init are the sanctioned homes: no findings.
+var hits = obs.Count("fixture_hits", "")
+
+func init() {
+	_ = obs.Hist("fixture_init_seconds", "")
+}
+
+// handle resolves an instrument per request: the registry mutex on the
+// hot path the contract forbids.
+func handle() {
+	c := obs.Count("fixture_requests", "") // want `obs\.Count outside package-level var/init`
+	c.Inc()
+	_ = obs.Hist("fixture_latency", "") // want `obs\.Hist outside package-level var/init`
+}
+
+// lazy is assigned at package level, but its body runs per call — still
+// a violation.
+var lazy = func() {
+	_ = obs.Hist("fixture_lazy", "") // want `obs\.Hist outside package-level var/init`
+}
+
+// viaRegistry goes through an explicit registry: same contract.
+func viaRegistry(r *obs.Registry) {
+	_ = r.Hist("fixture_reg", "")    // want `\(\*obs\.Registry\)\.Hist outside package-level var/init`
+	_ = r.Counter("fixture_reg", "") // want `\(\*obs\.Registry\)\.Counter outside package-level var/init`
+}
+
+// hot uses the resolved instrument: atomics only, no finding.
+func hot() { hits.Inc() }

@@ -62,8 +62,13 @@ func (e *PanicError) Error() string {
 // call finishes, and Do re-panics on the caller's goroutine with a
 // *PanicError carrying the first panicking item's index, value and
 // worker stack.
+//
+// Do is deliberately non-cancellable: it is DoContext over a fresh root
+// context, for callers whose work must run to completion (TestPar
+// asserts the two are equivalent). Anything that should stop with its
+// caller uses DoContext and threads the caller's ctx.
 func Do(n int, f func(i int)) {
-	_ = DoContext(context.Background(), n, f)
+	_ = DoContext(context.Background(), n, f) //lint:allow ctxthread Do's contract is to run all n items to completion; cancellable callers use DoContext
 }
 
 // DoContext is Do with preemption: once ctx is cancelled, workers stop

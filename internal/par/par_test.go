@@ -176,3 +176,23 @@ func TestDoContextSequentialCancel(t *testing.T) {
 		t.Fatalf("sequential cancel: ran=%d err=%v, want 3 items then context.Canceled", ran, err)
 	}
 }
+
+// TestDoEqualsDoContextBackground pins Do's documented contract: Do is
+// exactly DoContext over a fresh background context — every item runs,
+// nothing is preempted, and the two produce identical results.
+func TestDoEqualsDoContextBackground(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	const n = 64
+	var viaDo, viaCtx [n]atomic.Int64
+	Do(n, func(i int) { viaDo[i].Add(int64(i + 1)) })
+	if err := DoContext(context.Background(), n, func(i int) { viaCtx[i].Add(int64(i + 1)) }); err != nil {
+		t.Fatalf("DoContext(Background) = %v, want nil (no item can be left unrun)", err)
+	}
+	for i := 0; i < n; i++ {
+		if viaDo[i].Load() != viaCtx[i].Load() {
+			t.Fatalf("item %d: Do ran %d, DoContext(Background) ran %d",
+				i, viaDo[i].Load(), viaCtx[i].Load())
+		}
+	}
+}

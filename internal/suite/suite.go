@@ -54,7 +54,9 @@ type Outcome struct {
 }
 
 // Run executes the problem under the given configuration (nil = default).
-func (p *Problem) Run(cfg *core.Config) *Outcome {
+// ctx threads into every elimination; a cancelled run reports the
+// un-attempted targets as remaining.
+func (p *Problem) Run(ctx context.Context, cfg *core.Config) *Outcome {
 	if cfg == nil {
 		cfg = core.DefaultConfig()
 	}
@@ -74,7 +76,7 @@ func (p *Problem) Run(cfg *core.Config) *Outcome {
 	}
 	sig := p.Sig.Clone()
 	for _, s := range p.Targets {
-		next, _, ok := core.Eliminate(context.Background(), sig, cs, s, cfg)
+		next, _, ok := core.Eliminate(ctx, sig, cs, s, cfg)
 		if ok {
 			cs = next
 			delete(sig, s)
@@ -90,11 +92,12 @@ func (p *Problem) Run(cfg *core.Config) *Outcome {
 // RunAll executes every problem under the given configuration (nil =
 // default) on the bounded worker pool of internal/par, returning outcomes
 // in problem order. Problems are independent, so the outcome slice is
-// identical to running each problem sequentially.
-func RunAll(problems []*Problem, cfg *core.Config) []*Outcome {
+// identical to running each problem sequentially. A cancelled ctx leaves
+// the outcomes of unrun problems nil.
+func RunAll(ctx context.Context, problems []*Problem, cfg *core.Config) []*Outcome {
 	out := make([]*Outcome, len(problems))
-	par.Do(len(problems), func(i int) {
-		out[i] = problems[i].Run(cfg)
+	_ = par.DoContext(ctx, len(problems), func(i int) {
+		out[i] = problems[i].Run(ctx, cfg)
 	})
 	return out
 }

@@ -1,6 +1,7 @@
 package suite
 
 import (
+	"context"
 	"testing"
 
 	"mapcomp/internal/par"
@@ -21,7 +22,7 @@ func TestSuiteOutcomes(t *testing.T) {
 	for _, p := range Problems() {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
-			out := p.Run(nil)
+			out := p.Run(context.Background(), nil)
 			if err := out.Check(); err != nil {
 				t.Fatalf("%v\noutput:\n%s", err, out.Output)
 			}
@@ -43,7 +44,7 @@ func TestSuiteSemanticEquivalence(t *testing.T) {
 		}
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
-			out := p.Run(nil)
+			out := p.Run(context.Background(), nil)
 			if err := out.Check(); err != nil {
 				t.Fatal(err)
 			}
@@ -90,12 +91,12 @@ func TestRunAllMatchesSequential(t *testing.T) {
 	prev := par.SetWorkers(4)
 	defer par.SetWorkers(prev)
 	problems := Problems()
-	outcomes := RunAll(problems, nil)
+	outcomes := RunAll(context.Background(), problems, nil)
 	if len(outcomes) != len(problems) {
 		t.Fatalf("got %d outcomes for %d problems", len(outcomes), len(problems))
 	}
 	for i, p := range problems {
-		seq := p.Run(nil)
+		seq := p.Run(context.Background(), nil)
 		got := outcomes[i]
 		if got.Problem != p {
 			t.Fatalf("outcome %d belongs to %s, want %s", i, got.Problem.Name, p.Name)
@@ -127,6 +128,23 @@ func TestSuiteUniqueNames(t *testing.T) {
 		seen[p.Name] = true
 		if p.Source == "" {
 			t.Errorf("problem %s has no source citation", p.Name)
+		}
+	}
+}
+
+// TestRunCancelled: a cancelled context reports every target as
+// remaining instead of attempting eliminations.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, p := range Problems() {
+		out := p.Run(ctx, nil)
+		if out.Err != nil {
+			t.Fatalf("%s: %v", p.Name, out.Err)
+		}
+		if len(out.Eliminated) != 0 || len(out.Remaining) != len(p.Targets) {
+			t.Errorf("%s: cancelled run eliminated %v, remaining %v (want all %d targets remaining)",
+				p.Name, out.Eliminated, out.Remaining, len(p.Targets))
 		}
 	}
 }

@@ -114,6 +114,51 @@
 // The "Serving" section of EXPERIMENTS.md records cold versus cache-hit
 // throughput of BenchmarkServerCompose, and the PR 4 section the
 // parallel read-path benchmarks of the copy-on-write catalog.
+//
+// # Invariants
+//
+// The architectural contracts above are checked at compile time by
+// internal/lint, a suite of static analyzers compiled into
+// cmd/mapcomplint and run in CI alongside vet and staticcheck. Each
+// analyzer proves one invariant that a runtime counter or benchmark
+// once had to catch being broken:
+//
+//   - nomarshal: no json.Marshal or Encoder.Encode is reachable from an
+//     internal/server handler entry point except through
+//     marshalWire/EncodeWire — the zero-marshal cache hit path
+//     (introduced in PR 5, runtime mirror: the wireEncodes counter).
+//
+//   - lockfreeread: nothing reachable from the catalog's read API
+//     (Generation, Schema, Snapshot, Path, Chain, Compose, …) acquires
+//     a mutex or mutates shared state; reads load one immutable
+//     snapshot via atomic.Pointer — the copy-on-write catalog (PR 4).
+//
+//   - interned: algebra expression node literals and raw constructors
+//     are confined to the registered rewriting layers, and
+//     algebra.Interned values are never hand-built or mutated, so
+//     pointer identity always equals structural identity — the
+//     hash-consing contract (PR 1).
+//
+//   - ctxthread: library code never calls context.Background or
+//     context.TODO; contexts thread from the caller so experiment
+//     sweeps and compositions cancel like serving requests — the
+//     preemption contract (PR 4; extended to the experiment drivers in
+//     this suite's PR).
+//
+//   - nopersistderived: internal/persist never handles
+//     provenance-bearing catalog types, so derived-inverse edges —
+//     per-snapshot judgements, recomputed each generation — are never
+//     written to the WAL or a snapshot document (PR 8).
+//
+//   - obsinit: obs instrument get-or-create calls occur only in
+//     package-level var declarations or init, never on request paths —
+//     the zero-cost telemetry contract (PR 7).
+//
+// A finding can be suppressed in place with "//lint:allow <analyzer>
+// <reason>"; the reason is mandatory and a malformed directive is
+// itself a lint error. See the internal/lint package documentation for
+// the analyzer framework and the fixture-based tests pinning each
+// invariant's known-bad example.
 package mapcomp
 
 import (
@@ -231,7 +276,7 @@ func SubstituteRel(e Expr, name string, repl Expr) Expr {
 // of elimination follows sorted symbol names; use ComposeOrdered for an
 // explicit order. Use ComposeContext to bound the run with a deadline.
 func Compose(m12, m23 *Mapping, cfg *Config) (*Result, error) {
-	return core.ComposeMappings(context.Background(), m12, m23, nil, cfg)
+	return core.ComposeMappings(context.Background(), m12, m23, nil, cfg) //lint:allow ctxthread root-level convenience wrapper; ComposeContext is the threaded form
 }
 
 // ComposeContext is Compose under a context: cancellation or deadline
@@ -245,7 +290,7 @@ func ComposeContext(ctx context.Context, m12, m23 *Mapping, cfg *Config) (*Resul
 // ComposeOrdered is Compose with a user-specified symbol elimination order
 // (the order can matter for which symbols get eliminated; see §3.1).
 func ComposeOrdered(m12, m23 *Mapping, order []string, cfg *Config) (*Result, error) {
-	return core.ComposeMappings(context.Background(), m12, m23, order, cfg)
+	return core.ComposeMappings(context.Background(), m12, m23, order, cfg) //lint:allow ctxthread root-level convenience wrapper; ComposeContext is the threaded form
 }
 
 // Eliminate attempts to remove a single relation symbol from a constraint
@@ -255,7 +300,7 @@ func Eliminate(sig Signature, cs ConstraintSet, symbol string, cfg *Config) (Con
 	if cfg == nil {
 		cfg = core.DefaultConfig()
 	}
-	return core.Eliminate(context.Background(), sig, cs, symbol, cfg)
+	return core.Eliminate(context.Background(), sig, cs, symbol, cfg) //lint:allow ctxthread root-level convenience wrapper over the context-bearing core entry point
 }
 
 // Simplify applies the domain/empty-relation elimination rules and other
@@ -295,12 +340,12 @@ type NamedResult struct {
 // Run executes every compose declaration in a parsed problem, chaining
 // multi-map compositions left to right.
 func Run(p *Problem) ([]NamedResult, error) {
-	return RunContext(context.Background(), p, nil)
+	return RunContext(context.Background(), p, nil) //lint:allow ctxthread root-level convenience wrapper; RunContext is the threaded form
 }
 
 // RunWithConfig is Run with an explicit configuration.
 func RunWithConfig(p *Problem, cfg *Config) ([]NamedResult, error) {
-	return RunContext(context.Background(), p, cfg)
+	return RunContext(context.Background(), p, cfg) //lint:allow ctxthread root-level convenience wrapper; RunContext is the threaded form
 }
 
 // RunContext is Run under a context and an explicit configuration (nil
@@ -333,7 +378,7 @@ func RunContext(ctx context.Context, p *Problem, cfg *Config) ([]NamedResult, er
 // compose declarations (Run) and the mapping catalog's multi-hop σA→σB
 // resolution.
 func ComposeChain(ms []*Mapping, cfg *Config) (*Result, error) {
-	return core.ComposeChain(context.Background(), ms, cfg)
+	return core.ComposeChain(context.Background(), ms, cfg) //lint:allow ctxthread root-level convenience wrapper; ComposeChainContext is the threaded form
 }
 
 // ComposeChainContext is ComposeChain under a context; see ComposeContext
