@@ -4,7 +4,8 @@
 // server (no TCP in the way):
 //
 //   - the cache hit path, ns per request (direct handler dispatch of a
-//     cached compose),
+//     cached compose), for both the JSON wire and the length-prefixed
+//     binary wire (PR 10's opt-in application/x-mapcomp-wire encoding),
 //   - the mixed read/write workload: a catalog of many disjoint schema
 //     clusters, 1 cluster re-registration per 100 composes (each
 //     mutation touches <1% of the endpoint pairs), run twice — once
@@ -31,9 +32,10 @@
 // With -check the exit status enforces the acceptance floors: the
 // delta hit rate must be at least 5× the wipe baseline (PR 6), every
 // phase's percentiles must be present and ordered
-// (0 < p50 ≤ p99 ≤ p999, PR 7), and the reachability multiplier must
-// be at least 1.5× (PR 8). CI runs it on every push, so a regression
-// in cache survival, in the telemetry, or in inverse-edge derivation
+// (0 < p50 ≤ p99 ≤ p999, PR 7) — including the binary hit-path phase
+// (PR 10) — and the reachability multiplier must be at least 1.5×
+// (PR 8). CI runs it on every push, so a regression in cache survival,
+// in the telemetry, in inverse-edge derivation, or in the binary wire
 // fails the build rather than silently eroding.
 package main
 
@@ -60,7 +62,8 @@ type snapshot struct {
 	Go    string `json:"go"`
 	Procs int    `json:"gomaxprocs"`
 
-	HitPathNSPerOp int64 `json:"hit_path_ns_per_op"`
+	HitPathNSPerOp     int64 `json:"hit_path_ns_per_op"`
+	HitPathWireNSPerOp int64 `json:"hit_path_wire_ns_per_op"`
 
 	Mixed struct {
 		Clusters            int      `json:"clusters"`
@@ -91,10 +94,11 @@ type snapshot struct {
 	// histograms are process-global, so isolation is temporal, not
 	// per-server).
 	Phases struct {
-		Warm       phasePct `json:"warm"`
-		MixedDelta phasePct `json:"mixed_delta"`
-		MixedWipe  phasePct `json:"mixed_wipe"`
-		HitPath    phasePct `json:"hit_path"`
+		Warm        phasePct `json:"warm"`
+		MixedDelta  phasePct `json:"mixed_delta"`
+		MixedWipe   phasePct `json:"mixed_wipe"`
+		HitPath     phasePct `json:"hit_path"`
+		HitPathWire phasePct `json:"hit_path_wire"`
 	} `json:"phases"`
 }
 
@@ -211,7 +215,7 @@ func must(code int, what string) {
 // buildServer registers the cluster catalog on a fresh server and warms
 // every pair once.
 func buildServer(clusters int, disableDelta bool) *server.Server {
-	s := server.New(server.Config{CacheBytes: 64 << 20, DisableDelta: disableDelta})
+	s := server.New(server.Config{CacheBytes: 64 << 20, DisableDelta: disableDelta, BinaryWire: true})
 	for i := 0; i < clusters; i++ {
 		must(post(s, "/v1/register", []byte(clusterTask(i))), "register")
 	}
@@ -253,12 +257,29 @@ func runMixed(s *server.Server, clusters, rounds, composesPerReg int, seed int64
 }
 
 // measureHitPath times the end-to-end handler cost of one cached
-// compose request.
-func measureHitPath(s *server.Server, iters int) int64 {
+// compose request. With wire=true both the request body and the
+// response ride the binary encoding (PR 10): the handler decodes the
+// length-prefixed frame and serves the entry's pre-encoded binary
+// bytes, so the delta against the JSON number is the cost of JSON
+// scanning plus response framing.
+func measureHitPath(s *server.Server, iters int, wire bool) int64 {
 	body := composeBody(clusterPairs(0)[0])
 	must(post(s, "/v1/compose", body), "hit-path warm")
+	if wire {
+		p := clusterPairs(0)[0]
+		var err error
+		body, err = server.MarshalBinary(&server.ComposeRequest{From: p[0], To: p[1]})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+	}
 	rd := bytes.NewReader(body)
 	req := httptest.NewRequest("POST", "/v1/compose", rd)
+	if wire {
+		req.Header.Set("Content-Type", server.WireContentType)
+		req.Header.Set("Accept", server.WireContentType)
+	}
 	w := &sink{h: make(http.Header)}
 	start := time.Now()
 	for i := 0; i < iters; i++ {
@@ -275,7 +296,7 @@ func measureHitPath(s *server.Server, iters int) int64 {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR8.json", "output path for the benchmark snapshot")
+	out := flag.String("out", "BENCH_PR10.json", "output path for the benchmark snapshot")
 	clusters := flag.Int("clusters", 150, "disjoint 3-schema clusters in the benchmark catalog")
 	rounds := flag.Int("rounds", 30, "mixed-workload rounds (1 registration per round)")
 	composesPerReg := flag.Int("composes-per-register", 100, "compose requests per registration")
@@ -285,7 +306,7 @@ func main() {
 	flag.Parse()
 
 	var snap snapshot
-	snap.PR = 8
+	snap.PR = 10
 	snap.Go = runtime.Version()
 	snap.Procs = runtime.GOMAXPROCS(0)
 
@@ -332,8 +353,12 @@ func main() {
 		snap.Reachability.Multiplier = float64(st.ReachablePairs) / float64(st.ForwardReachablePairs)
 	}
 	mark = server.ComposeLatencySnapshot()
-	snap.HitPathNSPerOp = measureHitPath(deltaSrv, *hitIters)
-	snap.Phases.HitPath = phaseDiff(mark, server.ComposeLatencySnapshot())
+	snap.HitPathNSPerOp = measureHitPath(deltaSrv, *hitIters, false)
+	next = server.ComposeLatencySnapshot()
+	snap.Phases.HitPath = phaseDiff(mark, next)
+	mark = next
+	snap.HitPathWireNSPerOp = measureHitPath(deltaSrv, *hitIters, true)
+	snap.Phases.HitPathWire = phaseDiff(mark, server.ComposeLatencySnapshot())
 
 	b, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {
@@ -356,6 +381,7 @@ func main() {
 		for name, p := range map[string]phasePct{
 			"warm": snap.Phases.Warm, "mixed_delta": snap.Phases.MixedDelta,
 			"mixed_wipe": snap.Phases.MixedWipe, "hit_path": snap.Phases.HitPath,
+			"hit_path_wire": snap.Phases.HitPathWire,
 		} {
 			if !p.ordered() {
 				fmt.Fprintf(os.Stderr,

@@ -8,7 +8,7 @@
 //
 //	mapcompd [-addr :8391] [-workers N] [-cache-bytes N] [-cache-shards N]
 //	         [-compose-timeout D] [-data-dir DIR] [-snapshot-every N]
-//	         [-warm] [-rewarm] [-delta=false]
+//	         [-warm] [-rewarm] [-delta=false] [-wire]
 //	         [-log-format text|json] [-slow-ms N] [-debug-addr HOST:PORT]
 //	         [file.mc ...]
 //
@@ -88,6 +88,20 @@
 // by entry count, deprecated and 0 (unbounded) by default; a negative
 // -cache-size disables caching entirely.
 //
+// # Binary wire format
+//
+// -wire enables the opt-in length-prefixed binary encoding of the
+// compose endpoints (Content-Type/Accept application/x-mapcomp-wire):
+// requests may POST binary bodies, responses are negotiated per request
+// via the Accept header, and cache entries pre-encode their binary hit
+// body alongside the JSON one, so binary hits serve stored bytes
+// verbatim exactly like JSON hits. The binary and JSON documents are
+// interchangeable — decoding a binary response yields the same struct
+// as the JSON body of the identical request — and mapcompose
+// -decode-wire converts a binary document back to canonical JSON.
+// Without -wire a binary request body is answered with 415 and Accept
+// is ignored, keeping the JSON-only surface unchanged.
+//
 // # Preemption
 //
 // Composition cost is worst-case exponential, so every compose request
@@ -144,6 +158,8 @@ func main() {
 	slowMS := flag.Int64("slow-ms", 0, "log requests slower than N milliseconds with their request id (0 disables)")
 	debugAddr := flag.String("debug-addr", "",
 		"private listener serving net/http/pprof and /metrics (empty disables; keep it off the public address)")
+	wire := flag.Bool("wire", false,
+		"enable the length-prefixed binary wire format: compose/batch accept Content-Type/Accept "+server.WireContentType+" and cache entries pre-encode binary hit bodies")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -199,6 +215,7 @@ func main() {
 		Persist: store, ComposeTimeout: *composeTimeout,
 		DisableDelta: !*delta, Rewarm: *rewarm,
 		SlowRequest: time.Duration(*slowMS) * time.Millisecond,
+		BinaryWire:  *wire,
 		Logger:      logger,
 	})
 	// ReadHeaderTimeout defeats slowloris header dribbling and

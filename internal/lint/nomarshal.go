@@ -9,12 +9,19 @@ import (
 // serverPkg is the serving layer the zero-marshal contract covers.
 const serverPkg = "mapcomp/internal/server"
 
-// marshalFuncs are the only internal/server functions allowed to touch
-// encoding/json's encode side: EncodeWire is the single canonical
-// encoder and marshalWire the counted wrapper every response body goes
-// through (the runtime mirror is the wireEncodes counter asserted by
-// BenchmarkServerComposeHit).
-var marshalFuncs = map[string]bool{"EncodeWire": true, "marshalWire": true}
+// marshalFuncs are the only internal/server functions allowed to encode
+// response bodies: EncodeWire is the single canonical JSON encoder,
+// marshalWire its counted wrapper, and marshalBinary/MarshalBinary the
+// second sanctioned encode path — the counted binary wire encoder
+// (runtime mirror: the binEncodes counter) every binary response body
+// goes through. The runtime mirror for JSON is the wireEncodes counter
+// asserted by BenchmarkServerComposeHit.
+var marshalFuncs = map[string]bool{
+	"EncodeWire":    true,
+	"marshalWire":   true,
+	"MarshalBinary": true,
+	"marshalBinary": true,
+}
 
 // NoMarshal proves the PR 5 zero-marshal contract at compile time: no
 // JSON encoding reachable from the server's handler entry points except
@@ -25,7 +32,8 @@ var marshalFuncs = map[string]bool{"EncodeWire": true, "marshalWire": true}
 var NoMarshal = &Analyzer{
 	Name: "nomarshal",
 	Doc: "forbid json.Marshal/Encoder.Encode reachable from internal/server " +
-		"handlers except via marshalWire/EncodeWire (PR 5 zero-marshal hit path)",
+		"handlers except via marshalWire/EncodeWire or the counted binary " +
+		"encoder marshalBinary (PR 5 zero-marshal hit path)",
 	Run: runNoMarshal,
 }
 

@@ -1,0 +1,702 @@
+package server
+
+// Opt-in length-prefixed binary wire format for the compose endpoints.
+// A document is one version byte (wireVersion), one kind byte, then the
+// payload: strings and nested documents are uvarint-length-prefixed,
+// integers are varints, durations are float64 bits — no framing text,
+// no escaping, no reflection. The format exists for replica-to-replica
+// and batch traffic where the JSON framing dominates small bodies; it
+// is negotiated per request (Content-Type: application/x-mapcomp-wire
+// for request bodies, Accept: the same for response bodies) and only
+// when the server opted in (mapcompd -wire), so the JSON API remains
+// the default surface.
+//
+// The codec is held to the same oracle as the JSON path: the golden
+// tests decode every binary response and require the struct to be
+// reflect.DeepEqual to the decoded JSON body of the same request. That
+// forces the encoding to preserve the nil-vs-empty distinctions the
+// JSON tags create. Fields without omitempty (ComposeResponse.Path,
+// ResultJSON.Signature/Constraints, TraceJSON.Stages, batch Results)
+// render null vs [] distinctly, so their counts are shifted by one:
+// 0 encodes nil, k+1 encodes a k-element collection. Fields with
+// omitempty (Hops, Eliminated, Remaining, ByStep, error Path,
+// InverseBlockedBy) decode to nil whenever they are absent from JSON,
+// so they use a plain count with 0 decoding to nil. Map keys encode
+// sorted, making the bytes deterministic for a given value.
+//
+// binEncodes mirrors wireEncodes for the binary path: cache entries
+// pre-encode their binary hit body once (cacheEntry.encBin, built only
+// when the server runs with BinaryWire) and every binary hit writes
+// those bytes verbatim — the golden tests assert a binary hit performs
+// zero binary encodes, exactly like the JSON zero-marshal guarantee.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// WireContentType is the media type of the binary wire format, used as
+// Content-Type on binary request bodies and as Accept to ask for a
+// binary response body.
+const WireContentType = "application/x-mapcomp-wire"
+
+// wireVersion is the format version every document starts with.
+const wireVersion = 0x01
+
+// Document kind bytes.
+const (
+	binKindComposeReq  = 0x01
+	binKindBatchReq    = 0x02
+	binKindComposeResp = 0x03
+	binKindError       = 0x04
+	binKindBatchResp   = 0x05
+)
+
+// binEncodes counts binary response-document encodes, the binary twin
+// of wireEncodes. Binary hits serve pre-encoded bytes and must never
+// bump it.
+var binEncodes atomic.Int64
+
+var errBinTruncated = errors.New("server: truncated binary document")
+
+// MarshalBinary encodes one of the wire types (*ComposeRequest,
+// *BatchRequest, *ComposeResponse, *ErrorJSON, *BatchResponse) as a
+// standalone binary document. Clients use it to build request bodies;
+// the server uses it (via the counting wrapper marshalBinary) for
+// response bodies.
+func MarshalBinary(v any) ([]byte, error) {
+	b := []byte{wireVersion}
+	switch t := v.(type) {
+	case *ComposeRequest:
+		b = append(b, binKindComposeReq)
+		b = appendComposeRequest(b, t)
+	case *BatchRequest:
+		b = append(b, binKindBatchReq)
+		b = binary.AppendUvarint(b, uint64(len(t.Requests)))
+		for i := range t.Requests {
+			b = appendComposeRequest(b, &t.Requests[i])
+		}
+	case *ComposeResponse:
+		b = append(b, binKindComposeResp)
+		b = appendComposeResponse(b, t)
+	case *ErrorJSON:
+		b = append(b, binKindError)
+		b = appendErrorJSON(b, t)
+	case *BatchResponse:
+		b = append(b, binKindBatchResp)
+		b = appendBool(b, t.Canceled)
+		b = appendSeqCount(b, t.Results == nil, len(t.Results))
+		for i := range t.Results {
+			var err error
+			if b, err = appendBatchItem(b, &t.Results[i]); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("server: no binary encoding for %T", v)
+	}
+	return b, nil
+}
+
+// marshalBinary is the server-side encode entry point: identical to
+// MarshalBinary but counted, so tests can assert the binary hit path
+// encodes nothing. It is one of the sanctioned response encoders the
+// nomarshal analyzer admits.
+func marshalBinary(v any) ([]byte, error) {
+	binEncodes.Add(1)
+	return MarshalBinary(v)
+}
+
+// DecodeBinary decodes a standalone binary document, returning one of
+// *ComposeRequest, *BatchRequest, *ComposeResponse, *ErrorJSON or
+// *BatchResponse according to the document's kind byte.
+func DecodeBinary(b []byte) (any, error) {
+	if len(b) < 2 {
+		return nil, errBinTruncated
+	}
+	if b[0] != wireVersion {
+		return nil, fmt.Errorf("server: unknown binary wire version 0x%02x", b[0])
+	}
+	r := binReader{b: b, pos: 2}
+	var v any
+	switch b[1] {
+	case binKindComposeReq:
+		req := r.composeRequest()
+		v = &req
+	case binKindBatchReq:
+		n := int(r.uvarint())
+		if r.err == nil && n > r.remaining() {
+			r.fail()
+		}
+		req := BatchRequest{}
+		if n > 0 {
+			req.Requests = make([]ComposeRequest, n)
+			for i := range req.Requests {
+				req.Requests[i] = r.composeRequest()
+			}
+		}
+		v = &req
+	case binKindComposeResp:
+		resp := r.composeResponse()
+		v = &resp
+	case binKindError:
+		e := r.errorJSON()
+		v = &e
+	case binKindBatchResp:
+		resp := r.batchResponse()
+		v = &resp
+	default:
+		return nil, fmt.Errorf("server: unknown binary document kind 0x%02x", b[1])
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(b) {
+		return nil, fmt.Errorf("server: %d trailing bytes after binary document", len(b)-r.pos)
+	}
+	return v, nil
+}
+
+// ---- encode helpers -------------------------------------------------
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// appendSeqCount writes the count of a non-omitempty collection using
+// the shifted scheme: 0 for nil, n+1 for n elements (so a decoded nil
+// vs empty matches the JSON null vs [] distinction).
+func appendSeqCount(b []byte, isNil bool, n int) []byte {
+	if isNil {
+		return binary.AppendUvarint(b, 0)
+	}
+	return binary.AppendUvarint(b, uint64(n)+1)
+}
+
+// appendStrs writes an omitempty []string: plain count, 0 decodes nil.
+func appendStrs(b []byte, ss []string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendComposeRequest(b []byte, q *ComposeRequest) []byte {
+	b = appendString(b, q.From)
+	b = appendString(b, q.To)
+	b = binary.AppendVarint(b, q.TimeoutMS)
+	return appendBool(b, q.Trace)
+}
+
+func appendComposeResponse(b []byte, resp *ComposeResponse) []byte {
+	b = appendString(b, resp.From)
+	b = appendString(b, resp.To)
+	b = appendSeqCount(b, resp.Path == nil, len(resp.Path))
+	for _, s := range resp.Path {
+		b = appendString(b, s)
+	}
+	b = binary.AppendUvarint(b, uint64(len(resp.Hops)))
+	for _, h := range resp.Hops {
+		b = appendString(b, h.Mapping)
+		b = appendString(b, h.From)
+		b = appendString(b, h.To)
+		b = appendString(b, h.Provenance)
+	}
+	b = binary.AppendUvarint(b, resp.Generation)
+	b = appendString(b, resp.Key)
+	b = appendBool(b, resp.Cached)
+	if resp.Result == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = appendResultJSON(b, resp.Result)
+	}
+	if resp.Trace == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = appendString(b, resp.Trace.RequestID)
+		b = appendSeqCount(b, resp.Trace.Stages == nil, len(resp.Trace.Stages))
+		for _, st := range resp.Trace.Stages {
+			b = appendString(b, st.Name)
+			b = appendF64(b, st.DurUS)
+		}
+	}
+	return b
+}
+
+func appendResultJSON(b []byte, r *ResultJSON) []byte {
+	b = appendSeqCount(b, r.Signature == nil, len(r.Signature))
+	for _, k := range sortedKeys(r.Signature) {
+		b = appendString(b, k)
+		b = binary.AppendVarint(b, int64(r.Signature[k]))
+	}
+	b = appendSeqCount(b, r.Constraints == nil, len(r.Constraints))
+	for _, s := range r.Constraints {
+		b = appendString(b, s)
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Eliminated)))
+	for _, k := range sortedKeys(r.Eliminated) {
+		b = appendString(b, k)
+		b = appendString(b, r.Eliminated[k])
+	}
+	b = appendStrs(b, r.Remaining)
+	b = appendString(b, r.Fingerprint)
+	return appendStatsJSON(b, &r.Stats)
+}
+
+func appendStatsJSON(b []byte, st *StatsJSON) []byte {
+	b = binary.AppendVarint(b, int64(st.Attempted))
+	b = binary.AppendVarint(b, int64(st.Eliminated))
+	b = binary.AppendUvarint(b, uint64(len(st.ByStep)))
+	for _, k := range sortedKeys(st.ByStep) {
+		b = appendString(b, k)
+		b = binary.AppendVarint(b, int64(st.ByStep[k]))
+	}
+	b = binary.AppendVarint(b, int64(st.BlowupFails))
+	return appendF64(b, st.DurationMS)
+}
+
+func appendErrorJSON(b []byte, e *ErrorJSON) []byte {
+	b = appendString(b, e.Error)
+	b = appendStrs(b, e.Path)
+	if e.Stats == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = appendStatsJSON(b, e.Stats)
+	}
+	b = appendBool(b, e.ReverseReachable)
+	b = appendStrs(b, e.InverseBlockedBy)
+	return appendString(b, e.RequestID)
+}
+
+// appendBatchItem writes one batch outcome: the item's status varint,
+// then a flagged response document and a flagged error document, each
+// length-prefixed so the server can splice a cached entry's
+// pre-encoded binary body verbatim (see appendBatchItemRaw).
+func appendBatchItem(b []byte, it *BatchItem) ([]byte, error) {
+	b = binary.AppendVarint(b, int64(it.Status))
+	if it.Response == nil {
+		b = append(b, 0)
+	} else {
+		doc, err := MarshalBinary(it.Response)
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, 1)
+		b = binary.AppendUvarint(b, uint64(len(doc)))
+		b = append(b, doc...)
+	}
+	if it.Error == nil {
+		b = append(b, 0)
+	} else {
+		doc, err := MarshalBinary(it.Error)
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, 1)
+		b = binary.AppendUvarint(b, uint64(len(doc)))
+		b = append(b, doc...)
+	}
+	return b, nil
+}
+
+// appendBatchItemRaw is the splice form of appendBatchItem: respDoc and
+// errDoc are complete pre-encoded binary documents (or nil), copied
+// verbatim — no per-item encode for cached responses.
+func appendBatchItemRaw(b []byte, status int, respDoc, errDoc []byte) []byte {
+	b = binary.AppendVarint(b, int64(status))
+	if respDoc == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = binary.AppendUvarint(b, uint64(len(respDoc)))
+		b = append(b, respDoc...)
+	}
+	if errDoc == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = binary.AppendUvarint(b, uint64(len(errDoc)))
+		b = append(b, errDoc...)
+	}
+	return b
+}
+
+// ---- decode helpers -------------------------------------------------
+
+// binReader is a failing-cursor over one document: the first malformed
+// read poisons it and every later read returns zero values, so decoders
+// check err once at the end.
+type binReader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *binReader) fail() {
+	if r.err == nil {
+		r.err = errBinTruncated
+	}
+}
+
+func (r *binReader) remaining() int { return len(r.b) - r.pos }
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *binReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *binReader) str() string {
+	n := int(r.uvarint())
+	if r.err != nil || n < 0 || n > r.remaining() {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+func (r *binReader) byteVal() byte {
+	if r.err != nil || r.remaining() < 1 {
+		r.fail()
+		return 0
+	}
+	c := r.b[r.pos]
+	r.pos++
+	return c
+}
+
+func (r *binReader) boolVal() bool { return r.byteVal() != 0 }
+
+func (r *binReader) f64() float64 {
+	if r.err != nil || r.remaining() < 8 {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.b[r.pos:]))
+	r.pos += 8
+	return v
+}
+
+// count reads a plain collection count, bounds-checked against the
+// bytes left (every element costs ≥ 1 byte, so a count beyond the
+// remainder is malformed, not a huge allocation).
+func (r *binReader) count() int {
+	n := int(r.uvarint())
+	if r.err != nil || n < 0 || n > r.remaining() {
+		r.fail()
+		return 0
+	}
+	return n
+}
+
+// seqCount reads a shifted non-omitempty count: nil=false with n
+// elements, or nil=true.
+func (r *binReader) seqCount() (n int, isNil bool) {
+	v := r.count()
+	if r.err != nil || v == 0 {
+		return 0, true
+	}
+	return v - 1, false
+}
+
+// strs reads an omitempty []string (0 → nil).
+func (r *binReader) strs() []string {
+	n := r.count()
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.str()
+	}
+	return out
+}
+
+func (r *binReader) composeRequest() ComposeRequest {
+	var q ComposeRequest
+	q.From = r.str()
+	q.To = r.str()
+	q.TimeoutMS = r.varint()
+	q.Trace = r.boolVal()
+	return q
+}
+
+func (r *binReader) composeResponse() ComposeResponse {
+	var resp ComposeResponse
+	resp.From = r.str()
+	resp.To = r.str()
+	if n, isNil := r.seqCount(); !isNil {
+		resp.Path = make([]string, n)
+		for i := range resp.Path {
+			resp.Path[i] = r.str()
+		}
+	}
+	if n := r.count(); n > 0 {
+		resp.Hops = make([]HopJSON, n)
+		for i := range resp.Hops {
+			resp.Hops[i] = HopJSON{
+				Mapping:    r.str(),
+				From:       r.str(),
+				To:         r.str(),
+				Provenance: r.str(),
+			}
+		}
+	}
+	resp.Generation = r.uvarint()
+	resp.Key = r.str()
+	resp.Cached = r.boolVal()
+	if r.boolVal() {
+		res := r.resultJSON()
+		resp.Result = &res
+	}
+	if r.boolVal() {
+		tr := TraceJSON{RequestID: r.str()}
+		if n, isNil := r.seqCount(); !isNil {
+			tr.Stages = make([]StageJSON, n)
+			for i := range tr.Stages {
+				tr.Stages[i] = StageJSON{Name: r.str(), DurUS: r.f64()}
+			}
+		}
+		resp.Trace = &tr
+	}
+	return resp
+}
+
+func (r *binReader) resultJSON() ResultJSON {
+	var res ResultJSON
+	if n, isNil := r.seqCount(); !isNil {
+		res.Signature = make(map[string]int, n)
+		for i := 0; i < n; i++ {
+			k := r.str()
+			res.Signature[k] = int(r.varint())
+		}
+	}
+	if n, isNil := r.seqCount(); !isNil {
+		res.Constraints = make([]string, n)
+		for i := range res.Constraints {
+			res.Constraints[i] = r.str()
+		}
+	}
+	if n := r.count(); n > 0 {
+		res.Eliminated = make(map[string]string, n)
+		for i := 0; i < n; i++ {
+			k := r.str()
+			res.Eliminated[k] = r.str()
+		}
+	}
+	res.Remaining = r.strs()
+	res.Fingerprint = r.str()
+	res.Stats = r.statsJSON()
+	return res
+}
+
+func (r *binReader) statsJSON() StatsJSON {
+	var st StatsJSON
+	st.Attempted = int(r.varint())
+	st.Eliminated = int(r.varint())
+	if n := r.count(); n > 0 {
+		st.ByStep = make(map[string]int, n)
+		for i := 0; i < n; i++ {
+			k := r.str()
+			st.ByStep[k] = int(r.varint())
+		}
+	}
+	st.BlowupFails = int(r.varint())
+	st.DurationMS = r.f64()
+	return st
+}
+
+func (r *binReader) errorJSON() ErrorJSON {
+	var e ErrorJSON
+	e.Error = r.str()
+	e.Path = r.strs()
+	if r.boolVal() {
+		st := r.statsJSON()
+		e.Stats = &st
+	}
+	e.ReverseReachable = r.boolVal()
+	e.InverseBlockedBy = r.strs()
+	e.RequestID = r.str()
+	return e
+}
+
+func (r *binReader) batchResponse() BatchResponse {
+	var resp BatchResponse
+	resp.Canceled = r.boolVal()
+	n, isNil := r.seqCount()
+	if isNil {
+		return resp
+	}
+	resp.Results = make([]BatchItem, n)
+	for i := range resp.Results {
+		resp.Results[i].Status = int(r.varint())
+		if r.boolVal() {
+			doc := r.doc()
+			if r.err != nil {
+				return resp
+			}
+			v, err := DecodeBinary(doc)
+			if err != nil {
+				r.err = err
+				return resp
+			}
+			cr, ok := v.(*ComposeResponse)
+			if !ok {
+				r.err = fmt.Errorf("server: batch item response has kind %T", v)
+				return resp
+			}
+			resp.Results[i].Response = cr
+		}
+		if r.boolVal() {
+			doc := r.doc()
+			if r.err != nil {
+				return resp
+			}
+			v, err := DecodeBinary(doc)
+			if err != nil {
+				r.err = err
+				return resp
+			}
+			ej, ok := v.(*ErrorJSON)
+			if !ok {
+				r.err = fmt.Errorf("server: batch item error has kind %T", v)
+				return resp
+			}
+			resp.Results[i].Error = ej
+		}
+	}
+	return resp
+}
+
+// doc reads one length-prefixed nested document.
+func (r *binReader) doc() []byte {
+	n := int(r.uvarint())
+	if r.err != nil || n < 0 || n > r.remaining() {
+		r.fail()
+		return nil
+	}
+	d := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return d
+}
+
+// scanBinaryComposeRequest decodes a binary compose request body into a
+// zero-copy view (From/To alias the body buffer, like the JSON
+// scanner's output), so the binary fast path probes the cache without
+// allocating either.
+func scanBinaryComposeRequest(b []byte) (composeReqView, error) {
+	var v composeReqView
+	if len(b) < 2 {
+		return v, errBinTruncated
+	}
+	if b[0] != wireVersion {
+		return v, fmt.Errorf("server: unknown binary wire version 0x%02x", b[0])
+	}
+	if b[1] != binKindComposeReq {
+		return v, fmt.Errorf("server: binary compose body has kind 0x%02x", b[1])
+	}
+	r := binReader{b: b, pos: 2}
+	v.from = r.bytesView()
+	v.to = r.bytesView()
+	v.timeoutMS = r.varint()
+	v.trace = r.boolVal()
+	if r.err != nil {
+		return composeReqView{}, r.err
+	}
+	if r.pos != len(b) {
+		return composeReqView{}, fmt.Errorf("server: %d trailing bytes after binary document", len(b)-r.pos)
+	}
+	return v, nil
+}
+
+// scanBinaryBatchRequest decodes a binary batch request body.
+func scanBinaryBatchRequest(b []byte) (BatchRequest, error) {
+	var req BatchRequest
+	if len(b) < 2 {
+		return req, errBinTruncated
+	}
+	if b[0] != wireVersion {
+		return req, fmt.Errorf("server: unknown binary wire version 0x%02x", b[0])
+	}
+	if b[1] != binKindBatchReq {
+		return req, fmt.Errorf("server: binary batch body has kind 0x%02x", b[1])
+	}
+	r := binReader{b: b, pos: 2}
+	if n := r.count(); n > 0 {
+		req.Requests = make([]ComposeRequest, n)
+		for i := range req.Requests {
+			req.Requests[i] = r.composeRequest()
+		}
+	}
+	if r.err != nil {
+		return BatchRequest{}, r.err
+	}
+	if r.pos != len(b) {
+		return BatchRequest{}, fmt.Errorf("server: %d trailing bytes after binary document", len(b)-r.pos)
+	}
+	return req, nil
+}
+
+// bytesView reads a length-prefixed string as a sub-slice of the
+// document, no copy.
+func (r *binReader) bytesView() []byte {
+	n := int(r.uvarint())
+	if r.err != nil || n < 0 || n > r.remaining() {
+		r.fail()
+		return nil
+	}
+	d := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return d
+}

@@ -1,0 +1,316 @@
+package server
+
+// Tests of the binary wire format: codec round trips, the JSON↔binary
+// equivalence oracle over live responses (every binary body must decode
+// to a struct deep-equal to the decoded JSON body of the identical
+// request), the zero-encode guarantee for binary hits, and the
+// negotiation rules (415 when disabled, per-request Accept).
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// newBinTestServer is newTestServer with the binary wire enabled.
+func newBinTestServer(t *testing.T) *Server {
+	t.Helper()
+	s := New(Config{BinaryWire: true})
+	if rec := do(t, s, "POST", "/v1/register", chainTask); rec.Code != http.StatusOK {
+		t.Fatalf("register: %d %s", rec.Code, rec.Body)
+	}
+	return s
+}
+
+// doWire posts body with the given Content-Type/Accept headers.
+func doWire(t *testing.T, s *Server, path string, body []byte, contentType, accept string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestBinaryRoundTrip pins MarshalBinary∘DecodeBinary as the identity
+// on every wire type, including the nil-vs-empty distinctions the JSON
+// tags create.
+func TestBinaryRoundTrip(t *testing.T) {
+	stats := StatsJSON{Attempted: 3, Eliminated: 2, ByStep: map[string]int{"unfold": 2}, BlowupFails: 1, DurationMS: 1.25}
+	docs := []any{
+		&ComposeRequest{From: "a", To: "b", TimeoutMS: 250, Trace: true},
+		&ComposeRequest{},
+		&BatchRequest{},
+		&BatchRequest{Requests: []ComposeRequest{{From: "a", To: "b"}, {TimeoutMS: -1}}},
+		&ComposeResponse{From: "a", To: "b", Path: []string{"m1"}, Generation: 7, Key: "k", Cached: true,
+			Hops: []HopJSON{{Mapping: "m1", From: "a", To: "b", Provenance: "registered"}},
+			Result: &ResultJSON{Signature: map[string]int{"R": 2}, Constraints: []string{"c1", "c2"},
+				Eliminated: map[string]string{"S": "unfold"}, Remaining: []string{"T"},
+				Fingerprint: "00ff", Stats: stats},
+			Trace: &TraceJSON{RequestID: "r1", Stages: []StageJSON{{Name: "hop", DurUS: 3.5}}}},
+		&ComposeResponse{}, // all-nil collections
+		&ComposeResponse{Path: []string{}, Result: &ResultJSON{Signature: map[string]int{}, Constraints: []string{}}},
+		&ErrorJSON{Error: "boom"},
+		&ErrorJSON{Error: "no path", Path: []string{"m1"}, Stats: &stats, ReverseReachable: true,
+			InverseBlockedBy: []string{"m2"}, RequestID: "r2"},
+		&BatchResponse{},
+		&BatchResponse{Canceled: true, Results: []BatchItem{
+			{Response: &ComposeResponse{From: "a", To: "b"}},
+			{Status: 404, Error: &ErrorJSON{Error: "unknown schema"}},
+		}},
+	}
+	for _, doc := range docs {
+		b, err := MarshalBinary(doc)
+		if err != nil {
+			t.Fatalf("MarshalBinary(%+v): %v", doc, err)
+		}
+		got, err := DecodeBinary(b)
+		if err != nil {
+			t.Fatalf("DecodeBinary(%+v): %v", doc, err)
+		}
+		if !reflect.DeepEqual(got, doc) {
+			t.Fatalf("round trip diverged:\nin  %#v\nout %#v", doc, got)
+		}
+	}
+}
+
+// TestBinaryDecodeMalformed pins that truncation and garbage fail with
+// errors, never panic or over-allocate.
+func TestBinaryDecodeMalformed(t *testing.T) {
+	good, err := MarshalBinary(&ComposeResponse{From: "a", To: "b", Path: []string{"m1"}, Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(good); i++ {
+		if _, err := DecodeBinary(good[:i]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", i)
+		}
+	}
+	for _, b := range [][]byte{nil, {}, {0x01}, {0x02, 0x03}, {0x01, 0x7f},
+		{0x01, 0x03, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}} {
+		if _, err := DecodeBinary(b); err == nil {
+			t.Fatalf("garbage %v decoded successfully", b)
+		}
+	}
+	if _, err := DecodeBinary(append(good, 0)); err == nil {
+		t.Fatal("trailing byte decoded successfully")
+	}
+}
+
+// TestGoldenBinaryEquivalence is the JSON↔binary oracle on a live
+// server: for the same request, the binary response body must decode
+// to a struct deep-equal to the decoded JSON body — cold, hit, traced,
+// error and batch — and the binary hit must serve the entry's
+// pre-encoded bytes without a single binary encode.
+func TestGoldenBinaryEquivalence(t *testing.T) {
+	s := newBinTestServer(t)
+	const reqBody = `{"from":"original","to":"split"}`
+
+	// Cold pass primes the cache (JSON request; the response format is
+	// per-request, so the same entry serves both encodings).
+	if rec := do(t, s, "POST", "/v1/compose", reqBody); rec.Code != http.StatusOK {
+		t.Fatalf("cold: %d %s", rec.Code, rec.Body)
+	}
+
+	jsonHit := do(t, s, "POST", "/v1/compose", reqBody)
+	if jsonHit.Code != http.StatusOK {
+		t.Fatalf("json hit: %d %s", jsonHit.Code, jsonHit.Body)
+	}
+	var wantResp ComposeResponse
+	if err := json.Unmarshal(jsonHit.Body.Bytes(), &wantResp); err != nil {
+		t.Fatal(err)
+	}
+
+	binBefore, jsonBefore := binEncodes.Load(), wireEncodes.Load()
+	binHit := doWire(t, s, "/v1/compose", []byte(reqBody), "", WireContentType)
+	if binHit.Code != http.StatusOK {
+		t.Fatalf("binary hit: %d %s", binHit.Code, binHit.Body)
+	}
+	if ct := binHit.Header().Get("Content-Type"); ct != WireContentType {
+		t.Fatalf("binary hit Content-Type = %q", ct)
+	}
+	if d := binEncodes.Load() - binBefore; d != 0 {
+		t.Fatalf("binary hit encoded %d times, want 0 (pre-encoded bytes)", d)
+	}
+	if d := wireEncodes.Load() - jsonBefore; d != 0 {
+		t.Fatalf("binary hit marshaled JSON %d times, want 0", d)
+	}
+	v, err := DecodeBinary(binHit.Body.Bytes())
+	if err != nil {
+		t.Fatalf("decode binary hit: %v", err)
+	}
+	gotResp, ok := v.(*ComposeResponse)
+	if !ok {
+		t.Fatalf("binary hit decoded to %T", v)
+	}
+	if !reflect.DeepEqual(*gotResp, wantResp) {
+		t.Fatalf("binary hit != json hit:\nbin  %#v\njson %#v", *gotResp, wantResp)
+	}
+
+	// A binary-encoded request body reaches the same fast path.
+	reqDoc, err := MarshalBinary(&ComposeRequest{From: "original", To: "split"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binReq := doWire(t, s, "/v1/compose", reqDoc, WireContentType, WireContentType)
+	if binReq.Code != http.StatusOK {
+		t.Fatalf("binary request: %d %s", binReq.Code, binReq.Body)
+	}
+	if !bytes.Equal(binReq.Body.Bytes(), binHit.Body.Bytes()) {
+		t.Fatal("binary-request hit bytes differ from JSON-request hit bytes")
+	}
+
+	// Traced responses negotiate too; trace contents differ run to run,
+	// so compare everything except the timings' values.
+	binTraced := doWire(t, s, "/v1/compose", []byte(`{"from":"original","to":"split","trace":true}`), "", WireContentType)
+	if binTraced.Code != http.StatusOK {
+		t.Fatalf("binary traced: %d %s", binTraced.Code, binTraced.Body)
+	}
+	tv, err := DecodeBinary(binTraced.Body.Bytes())
+	if err != nil {
+		t.Fatalf("decode binary traced: %v", err)
+	}
+	if tr := tv.(*ComposeResponse).Trace; tr == nil || tr.RequestID == "" || len(tr.Stages) == 0 {
+		t.Fatalf("binary traced response carries no trace: %+v", tv)
+	}
+
+	// Error bodies: byte-for-byte struct equality between the decoded
+	// JSON error and the decoded binary error for the same bad pair.
+	jsonErr := do(t, s, "POST", "/v1/compose", `{"from":"original","to":"nowhere"}`)
+	binErr := doWire(t, s, "/v1/compose", []byte(`{"from":"original","to":"nowhere"}`), "", WireContentType)
+	if jsonErr.Code != http.StatusNotFound || binErr.Code != http.StatusNotFound {
+		t.Fatalf("error statuses: json %d bin %d, want 404", jsonErr.Code, binErr.Code)
+	}
+	var wantErr ErrorJSON
+	if err := json.Unmarshal(jsonErr.Body.Bytes(), &wantErr); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := DecodeBinary(binErr.Body.Bytes())
+	if err != nil {
+		t.Fatalf("decode binary error: %v", err)
+	}
+	gotErr := *ev.(*ErrorJSON)
+	// Request IDs are per-request; equalize before comparing.
+	wantErr.RequestID, gotErr.RequestID = "", ""
+	if !reflect.DeepEqual(gotErr, wantErr) {
+		t.Fatalf("binary error != json error:\nbin  %#v\njson %#v", gotErr, wantErr)
+	}
+}
+
+// TestGoldenBinaryBatchEquivalence extends the oracle to batches: the
+// binary envelope decodes deep-equal to the JSON envelope (same mixed
+// success/error items), and a batch of binary hits splices pre-encoded
+// bytes — zero binary encodes for the responses, one per error body.
+func TestGoldenBinaryBatchEquivalence(t *testing.T) {
+	s := newBinTestServer(t)
+	if rec := do(t, s, "POST", "/v1/compose", `{"from":"original","to":"split"}`); rec.Code != http.StatusOK {
+		t.Fatalf("prime: %d %s", rec.Code, rec.Body)
+	}
+	batchBody := `{"requests":[
+		{"from":"original","to":"split"},
+		{"from":"original","to":"nowhere"},
+		{"from":"original","to":"split"}
+	]}`
+
+	jsonRec := do(t, s, "POST", "/v1/compose/batch", batchBody)
+	if jsonRec.Code != http.StatusOK {
+		t.Fatalf("json batch: %d %s", jsonRec.Code, jsonRec.Body)
+	}
+	var want BatchResponse
+	if err := json.Unmarshal(jsonRec.Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+
+	binBefore := binEncodes.Load()
+	binRec := doWire(t, s, "/v1/compose/batch", []byte(batchBody), "", WireContentType)
+	if binRec.Code != http.StatusOK {
+		t.Fatalf("binary batch: %d %s", binRec.Code, binRec.Body)
+	}
+	// Two hit items splice stored bytes; the one error body is encoded
+	// fresh (it is request-specific), nothing else.
+	if d := binEncodes.Load() - binBefore; d != 1 {
+		t.Fatalf("binary batch encoded %d documents, want 1 (the error body)", d)
+	}
+	v, err := DecodeBinary(binRec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("decode binary batch: %v", err)
+	}
+	got := *v.(*BatchResponse)
+	// The JSON and binary requests are distinct; equalize request IDs.
+	for i := range want.Results {
+		if want.Results[i].Error != nil {
+			want.Results[i].Error.RequestID = ""
+		}
+	}
+	for i := range got.Results {
+		if got.Results[i].Error != nil {
+			got.Results[i].Error.RequestID = ""
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("binary batch != json batch:\nbin  %#v\njson %#v", got, want)
+	}
+
+	// Binary batch request bodies decode to the same fan-out.
+	reqDoc, err := MarshalBinary(&BatchRequest{Requests: []ComposeRequest{
+		{From: "original", To: "split"}, {From: "original", To: "nowhere"}, {From: "original", To: "split"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binReqRec := doWire(t, s, "/v1/compose/batch", reqDoc, WireContentType, WireContentType)
+	if binReqRec.Code != http.StatusOK {
+		t.Fatalf("binary batch request: %d %s", binReqRec.Code, binReqRec.Body)
+	}
+	v2, err := DecodeBinary(binReqRec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := *v2.(*BatchResponse)
+	for i := range got2.Results {
+		if got2.Results[i].Error != nil {
+			got2.Results[i].Error.RequestID = ""
+		}
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatal("binary-request batch diverges from json batch")
+	}
+}
+
+// TestBinaryWireDisabled pins the negotiation rules of a JSON-only
+// server: binary request bodies are refused with 415, and Accept is
+// ignored — the response stays JSON.
+func TestBinaryWireDisabled(t *testing.T) {
+	s := newTestServer(t)
+	doc, err := MarshalBinary(&ComposeRequest{From: "original", To: "split"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := doWire(t, s, "/v1/compose", doc, WireContentType, ""); rec.Code != http.StatusUnsupportedMediaType {
+		t.Fatalf("binary body on JSON-only server: %d, want 415: %s", rec.Code, rec.Body)
+	}
+	if rec := doWire(t, s, "/v1/compose/batch", doc, WireContentType, ""); rec.Code != http.StatusUnsupportedMediaType {
+		t.Fatalf("binary batch body on JSON-only server: %d, want 415: %s", rec.Code, rec.Body)
+	}
+	rec := doWire(t, s, "/v1/compose", []byte(`{"from":"original","to":"split"}`), "", WireContentType)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("accept-binary on JSON-only server: %d %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("accept-binary on JSON-only server got Content-Type %q, want JSON", ct)
+	}
+	// And a malformed binary body on an enabled server is a 400, not 5xx.
+	sb := newBinTestServer(t)
+	if rec := doWire(t, sb, "/v1/compose", []byte{0x01, 0x01, 0xff}, WireContentType, ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed binary body: %d, want 400: %s", rec.Code, rec.Body)
+	}
+}

@@ -95,19 +95,24 @@ type cacheEntry struct {
 	pair pairKey
 	skey string
 	resp *ComposeResponse
-	enc  []byte        // pre-encoded wire body with cached=true; nil only if encoding failed
-	size int64         // exact byte charge: len(enc)+len(skey)+entryOverhead
-	gen  atomic.Uint64 // validated-at watermark; bumped in place by migrate
-	used atomic.Int64  // shard clock value at last touch (approximate LRU)
+	enc  []byte // pre-encoded wire body with cached=true; nil only if encoding failed
+	// encBin is the same cached=true body pre-encoded in the binary wire
+	// format; nil unless the cache was built with bin=true (the server's
+	// BinaryWire option), so the JSON-only deployment pays no extra bytes.
+	encBin []byte
+	size   int64         // exact byte charge: len(enc)+len(encBin)+len(skey)+entryOverhead
+	gen    atomic.Uint64 // validated-at watermark; bumped in place by migrate
+	used   atomic.Int64  // shard clock value at last touch (approximate LRU)
 }
 
 // newCacheEntry builds the stored form of a freshly computed response,
 // paying the single hit-path encode up front: every future hit writes
 // enc verbatim. gen is the generation of the snapshot the response was
-// computed under. An encoding failure (impossible for the wire types,
-// but kept non-fatal) leaves enc nil and the handlers fall back to
-// marshaling per hit.
-func newCacheEntry(pair pairKey, resp *ComposeResponse, gen uint64) *cacheEntry {
+// computed under; bin additionally pre-encodes the binary wire body so
+// binary hits also serve stored bytes. An encoding failure (impossible
+// for the wire types, but kept non-fatal) leaves enc nil and the
+// handlers fall back to marshaling per hit.
+func newCacheEntry(pair pairKey, resp *ComposeResponse, gen uint64, bin bool) *cacheEntry {
 	ent := &cacheEntry{pair: pair, skey: resp.Key, resp: resp}
 	ent.gen.Store(gen)
 	hit := *resp
@@ -115,7 +120,12 @@ func newCacheEntry(pair pairKey, resp *ComposeResponse, gen uint64) *cacheEntry 
 	if b, err := marshalWire(&hit); err == nil {
 		ent.enc = b
 	}
-	ent.size = int64(len(ent.enc)+len(ent.skey)) + entryOverhead
+	if bin {
+		if b, err := MarshalBinary(&hit); err == nil {
+			ent.encBin = b
+		}
+	}
+	ent.size = int64(len(ent.enc)+len(ent.encBin)+len(ent.skey)) + entryOverhead
 	return ent
 }
 
@@ -166,6 +176,9 @@ type cacheShard struct {
 type resultCache struct {
 	shards []*cacheShard
 	mask   uint64
+	// bin makes every stored entry pre-encode its binary wire body too
+	// (server Config.BinaryWire); fixed at construction.
+	bin bool
 }
 
 // minShardCap is the smallest per-shard entry capacity worth sharding
@@ -203,8 +216,9 @@ func nextPow2(n int) int {
 // two, capped at 64 like the derivation — the cap also keeps an absurd
 // -cache-shards from overflowing nextPow2). The shard count is reduced
 // until every shard's slice of whichever bound is active stays useful,
-// so small caches keep tight bounds.
-func newResultCache(max int, maxBytes int64, shards int) *resultCache {
+// so small caches keep tight bounds. bin makes entries pre-encode their
+// binary wire bodies (see cacheEntry.encBin).
+func newResultCache(max int, maxBytes int64, shards int, bin bool) *resultCache {
 	n := shards
 	if n <= 0 {
 		n = defaultShardCount()
@@ -224,7 +238,7 @@ func newResultCache(max int, maxBytes int64, shards int) *resultCache {
 		}
 		break
 	}
-	c := &resultCache{shards: make([]*cacheShard, n), mask: uint64(n - 1)}
+	c := &resultCache{shards: make([]*cacheShard, n), mask: uint64(n - 1), bin: bin}
 	base, rem := max/n, max%n
 	bBase, bRem := maxBytes/int64(n), maxBytes%int64(n)
 	for i := range c.shards {
@@ -322,7 +336,7 @@ func (c *resultCache) do(ctx context.Context, pair pairKey, gen uint64, compute 
 		cl.err = err
 		if err == nil {
 			// Encode outside the lock: the store below is map copies only.
-			cl.ent = newCacheEntry(pair, resp, snapGen)
+			cl.ent = newCacheEntry(pair, resp, snapGen, c.bin)
 		}
 
 		sh.mu.Lock()
@@ -481,6 +495,21 @@ func (c *resultCache) migrate(oldGen, newGen uint64, invalid func(from, to strin
 		sh.mu.Unlock()
 	}
 	return m
+}
+
+// probe is the allocation-free fast-path lookup: the same lock-free
+// load-and-watermark check do performs before anything else, exposed so
+// serveCompose can serve a hit straight off the scanned request view —
+// pair's strings may alias the request body buffer, because nothing
+// here retains them (entries are stored under their own owned pair).
+// Misses fall through to do, which re-probes under its own discipline.
+func (c *resultCache) probe(pair pairKey, gen uint64) (*cacheEntry, bool) {
+	sh := c.shard(pair)
+	if ent := sh.view.Load().items[pair]; ent != nil && ent.gen.Load() >= gen {
+		sh.touch(ent)
+		return ent, true
+	}
+	return nil, false
 }
 
 // valid reports whether pair is cached with a watermark ≥ gen — i.e.

@@ -111,7 +111,8 @@ func TestGoldenBatchSplicesCachedBytes(t *testing.T) {
 	var raw struct {
 		Results []struct {
 			Response json.RawMessage `json:"response"`
-			Error    string          `json:"error"`
+			Status   int             `json:"status"`
+			Error    *ErrorJSON      `json:"error"`
 		} `json:"results"`
 	}
 	if err := json.Unmarshal(batchRec.Body.Bytes(), &raw); err != nil {
@@ -121,8 +122,8 @@ func TestGoldenBatchSplicesCachedBytes(t *testing.T) {
 		t.Fatalf("batch results = %d, want 2", len(raw.Results))
 	}
 	for i, item := range raw.Results {
-		if item.Error != "" {
-			t.Fatalf("item %d error: %s", i, item.Error)
+		if item.Error != nil || item.Status != 0 {
+			t.Fatalf("item %d error: %d %+v", i, item.Status, item.Error)
 		}
 		if !bytes.Equal(item.Response, hitBody) {
 			t.Fatalf("item %d bytes differ from the hit body:\nitem %q\nhit  %q", i, item.Response, hitBody)

@@ -118,7 +118,7 @@ func TestCancelledComposeNeverCachedAndWaitersObserveError(t *testing.T) {
 // and completes the computation — the leader's cancellation is not
 // inherited.
 func TestAbandonedFlightHandsOffToLiveWaiter(t *testing.T) {
-	c := newResultCache(4, 0, 0)
+	c := newResultCache(4, 0, 0, false)
 	pair := pairKey{from: "a", to: "b", cfg: 7}
 
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
@@ -175,7 +175,7 @@ func TestAbandonedFlightHandsOffToLiveWaiter(t *testing.T) {
 // stops waiting when its own context ends, without disturbing the
 // leader's computation.
 func TestWaiterOwnDeadlineWins(t *testing.T) {
-	c := newResultCache(4, 0, 0)
+	c := newResultCache(4, 0, 0, false)
 	pair := pairKey{from: "a", to: "b", cfg: 7}
 	leaderGo := make(chan struct{})
 	leaderIn := make(chan struct{})

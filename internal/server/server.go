@@ -108,6 +108,13 @@ type Config struct {
 	// disables sampling — and with it the response-writer wrapping, so
 	// the hit path is untouched.
 	SlowRequest time.Duration
+	// BinaryWire enables the length-prefixed binary wire format
+	// (mapcompd -wire): compose/batch requests may POST binary bodies
+	// (Content-Type: application/x-mapcomp-wire) and ask for binary
+	// responses (Accept: the same), and cache entries pre-encode their
+	// binary hit body alongside the JSON one. Off by default; a binary
+	// body sent to a JSON-only server is answered with 415.
+	BinaryWire bool
 	// Logger receives slow-request samples; nil means slog.Default().
 	Logger *slog.Logger
 }
@@ -124,6 +131,7 @@ type Server struct {
 	deltaOff bool           // wipe-on-write baseline (Config.DisableDelta)
 	rewarmQ  *rewarmQueue   // nil unless Config.Rewarm
 	slow     time.Duration  // slow-request log threshold; 0 = off
+	binWire  bool           // binary wire format negotiable (Config.BinaryWire)
 	logger   *slog.Logger
 	mux      *http.ServeMux
 
@@ -165,7 +173,7 @@ type migrationRecord struct {
 func New(cfg Config) *Server {
 	s := &Server{cat: cfg.Catalog, cfg: cfg.Compose, persist: cfg.Persist,
 		timeout: cfg.ComposeTimeout, deltaOff: cfg.DisableDelta,
-		slow: cfg.SlowRequest, logger: cfg.Logger}
+		slow: cfg.SlowRequest, binWire: cfg.BinaryWire, logger: cfg.Logger}
 	if s.logger == nil {
 		s.logger = slog.Default()
 	}
@@ -181,7 +189,7 @@ func New(cfg Config) *Server {
 		size = DefaultCacheSize
 	}
 	if size >= 0 {
-		s.cache = newResultCache(size, cfg.CacheBytes, cfg.CacheShards)
+		s.cache = newResultCache(size, cfg.CacheBytes, cfg.CacheShards, cfg.BinaryWire)
 		s.cacheCap = size
 		if size == 0 {
 			// Bytes-only bound: cap Warm's pair sweep at the smallest
@@ -358,8 +366,39 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	writeRaw(w, code, body)
 }
 
+// writeRawBin serves a pre-encoded binary wire document. No trailing
+// newline: the length-prefixed format is self-delimiting.
+func writeRawBin(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", WireContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+}
+
+// writeBin is writeJSON's binary twin: one counted encode, then the
+// raw write.
+func writeBin(w http.ResponseWriter, code int, v any) {
+	body, err := marshalBinary(v)
+	if err != nil {
+		http.Error(w, `{"error":"server: response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	writeRawBin(w, code, body)
+}
+
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, ErrorJSON{Error: err.Error(), RequestID: requestID(w)})
+}
+
+// writeErrorBody renders a structured error in the wire format the
+// request accepted — the compose endpoints negotiate even their
+// failures, so a binary client never has to switch decoders.
+func writeErrorBody(w http.ResponseWriter, code int, body *ErrorJSON, bin bool) {
+	if bin {
+		writeBin(w, code, body)
+		return
+	}
+	writeJSON(w, code, body)
 }
 
 // composeStatus maps a resolution/composition error to an HTTP status:
@@ -445,15 +484,23 @@ func (s *Server) composeContext(ctx context.Context, timeoutMS int64) (context.C
 // writeBodyError classifies a body-read failure: an http.MaxBytesReader
 // overflow is an explicit 413 — and closes the connection — rather than
 // a silently-truncated prefix that might parse or an unbounded read an
-// attacker can drive to OOM; anything else is a 400.
-func writeBodyError(w http.ResponseWriter, what string, err error) {
+// attacker can drive to OOM; anything else is a 400. bin renders the
+// error in the binary wire format for clients that negotiated it.
+func writeBodyErrorNeg(w http.ResponseWriter, what string, err error, bin bool) {
+	code := http.StatusBadRequest
+	var msg string
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
-		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("server: %s body exceeds %d bytes", what, tooBig.Limit))
-		return
+		code = http.StatusRequestEntityTooLarge
+		msg = fmt.Sprintf("server: %s body exceeds %d bytes", what, tooBig.Limit)
+	} else {
+		msg = fmt.Sprintf("server: bad %s request: %v", what, err)
 	}
-	writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad %s request: %w", what, err))
+	writeErrorBody(w, code, &ErrorJSON{Error: msg, RequestID: requestID(w)}, bin)
+}
+
+func writeBodyError(w http.ResponseWriter, what string, err error) {
+	writeBodyErrorNeg(w, what, err, false)
 }
 
 // readBody drains the request body through http.MaxBytesReader.
@@ -600,10 +647,19 @@ func respond(resp *ComposeResponse, kind hitKind) *ComposeResponse {
 
 // writeEntry serves one composition outcome. Anything served from the
 // cache — a hit, a coalesced waiter — writes the entry's pre-encoded
-// cached=true bytes verbatim (zero marshals); the caller that computed
-// pays the one marshal for its cached=false body. The nil-enc fallback
-// covers cache-disabled servers and the (theoretical) encode failure.
-func writeEntry(w http.ResponseWriter, ent *cacheEntry, kind hitKind) {
+// cached=true bytes verbatim (zero marshals, JSON or binary according
+// to what the request accepted); the caller that computed pays the one
+// encode for its cached=false body. The nil-enc fallback covers
+// cache-disabled servers and the (theoretical) encode failure.
+func writeEntry(w http.ResponseWriter, ent *cacheEntry, kind hitKind, bin bool) {
+	if bin {
+		if kind != computed && ent.encBin != nil {
+			writeRawBin(w, http.StatusOK, ent.encBin)
+			return
+		}
+		writeBin(w, http.StatusOK, respond(ent.resp, kind))
+		return
+	}
 	if kind != computed && ent.enc != nil {
 		writeRaw(w, http.StatusOK, ent.enc)
 		return
@@ -612,9 +668,16 @@ func writeEntry(w http.ResponseWriter, ent *cacheEntry, kind hitKind) {
 }
 
 // entryWire returns the wire bytes of one outcome for splicing into a
-// batch envelope: cached outcomes reuse the entry's pre-encoded bytes,
-// fresh computations marshal once.
-func entryWire(ent *cacheEntry, kind hitKind) (json.RawMessage, error) {
+// batch envelope: cached outcomes reuse the entry's pre-encoded bytes
+// (JSON or binary per the negotiated response format), fresh
+// computations encode once.
+func entryWire(ent *cacheEntry, kind hitKind, bin bool) ([]byte, error) {
+	if bin {
+		if kind != computed && ent.encBin != nil {
+			return ent.encBin, nil
+		}
+		return marshalBinary(respond(ent.resp, kind))
+	}
 	if kind != computed && ent.enc != nil {
 		return ent.enc, nil
 	}
@@ -631,27 +694,28 @@ var bodyBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 const maxPooledBody = 64 << 10
 
-// decodeJSON decodes a JSON request body through MaxBytesReader,
-// classifying oversize as 413 and malformed JSON as 400. The body is
-// read into a pooled buffer and unmarshaled in place, so the hot
-// compose path allocates no per-request decoder state.
-func decodeJSON(w http.ResponseWriter, r *http.Request, what string, v any) bool {
+// readBodyBuf reads the request body through MaxBytesReader into a
+// pooled buffer. The caller owns putBodyBuf-ing the buffer when the
+// bytes are no longer referenced — the zero-alloc scanner hands out
+// sub-slices of it, so the return must happen after the request is
+// fully served, never earlier. A MaxBytesReader overflow surfaces as
+// the error (classify with writeBodyErrorNeg → 413).
+func readBodyBuf(w http.ResponseWriter, r *http.Request) (*bytes.Buffer, error) {
 	buf := bodyBufs.Get().(*bytes.Buffer)
-	defer func() {
-		if buf.Cap() <= maxPooledBody {
-			buf.Reset()
-			bodyBufs.Put(buf)
-		}
-	}()
 	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
-		writeBodyError(w, what, err)
-		return false
+		putBodyBuf(buf)
+		return nil, err
 	}
-	if err := json.Unmarshal(buf.Bytes(), v); err != nil {
-		writeBodyError(w, what, err)
-		return false
+	return buf, nil
+}
+
+// putBodyBuf recycles a body buffer. Buffers grown past maxPooledBody
+// are dropped, keeping the discipline documented on bodyBufs.
+func putBodyBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledBody {
+		buf.Reset()
+		bodyBufs.Put(buf)
 	}
-	return true
 }
 
 func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
@@ -669,20 +733,73 @@ func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
 // obs.Trace in its context — the layers below record their stages into
 // it — and its response is marshaled fresh with the trace block (the
 // pre-encoded cache bytes stay trace-free).
+//
+// The request body goes through the zero-alloc scanner first: on the
+// bodies it recognizes (which is every body mapcompose and the
+// benchmarks send) the scanned view probes the result cache with
+// zero-copy strings aliasing the pooled buffer, so a cache hit decodes,
+// probes and serves without a single heap allocation for parsing —
+// TestComposeHitPathAllocBound pins the whole hit path's budget.
+// Anything the scanner declines falls back to json.Unmarshal with
+// identical semantics (FuzzComposeRequest enforces the equivalence).
 func (s *Server) serveCompose(w http.ResponseWriter, r *http.Request) composeOutcome {
+	var binReq, wantBin bool
+	if s.binWire {
+		binReq = r.Header.Get("Content-Type") == WireContentType
+		wantBin = r.Header.Get("Accept") == WireContentType
+	} else if r.Header.Get("Content-Type") == WireContentType {
+		writeError(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("server: binary wire format disabled (start mapcompd with -wire)"))
+		return outError
+	}
+	buf, err := readBodyBuf(w, r)
+	if err != nil {
+		writeBodyErrorNeg(w, "compose", err, wantBin)
+		return outError
+	}
+	defer putBodyBuf(buf)
+	body := buf.Bytes()
+
+	var view composeReqView
+	var scanned bool
+	if binReq {
+		view, err = scanBinaryComposeRequest(body)
+		if err != nil {
+			writeErrorBody(w, http.StatusBadRequest,
+				&ErrorJSON{Error: "server: bad compose request: " + err.Error(), RequestID: requestID(w)}, wantBin)
+			return outError
+		}
+		scanned = true
+	} else {
+		view, scanned = scanComposeRequest(body)
+	}
 	var req ComposeRequest
-	if !decodeJSON(w, r, "compose", &req) {
+	if scanned {
+		if s.cache != nil && !view.trace && len(view.from) > 0 && len(view.to) > 0 {
+			// The zero-copy fast path: probe with strings aliasing the
+			// body buffer. A hit is served entirely from stored bytes; a
+			// miss materializes the request and takes the ordinary path
+			// (which owns every string it retains).
+			if ent, ok := s.cache.probe(view.pair(s.cfgFP), s.cat.Generation()); ok {
+				s.cacheHits.Add(1)
+				writeEntry(w, ent, cacheHit, wantBin)
+				return outHit
+			}
+		}
+		req = view.request()
+	} else if err := json.Unmarshal(body, &req); err != nil {
+		writeBodyErrorNeg(w, "compose", err, wantBin)
 		return outError
 	}
 	if req.From == "" || req.To == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: compose request needs from and to"))
+		writeErrorBody(w, http.StatusBadRequest,
+			&ErrorJSON{Error: "server: compose request needs from and to", RequestID: requestID(w)}, wantBin)
 		return outError
 	}
 	ctx, cancel := s.composeContext(r.Context(), req.TimeoutMS)
 	defer cancel()
 	var ent *cacheEntry
 	var kind hitKind
-	var err error
 	var tr *obs.Trace
 	if req.Trace {
 		ctx, tr = obs.WithTrace(ctx)
@@ -694,9 +811,9 @@ func (s *Server) serveCompose(w http.ResponseWriter, r *http.Request) composeOut
 	}
 	if err != nil {
 		status := composeStatus(err)
-		body := s.composeError(req.From, req.To, err)
-		body.RequestID = requestID(w)
-		writeJSON(w, status, body)
+		errBody := s.composeError(req.From, req.To, err)
+		errBody.RequestID = requestID(w)
+		writeErrorBody(w, status, &errBody, wantBin)
 		if status == http.StatusGatewayTimeout {
 			return outTimeout
 		}
@@ -705,9 +822,13 @@ func (s *Server) serveCompose(w http.ResponseWriter, r *http.Request) composeOut
 	if tr != nil {
 		resp := respond(ent.resp, kind)
 		resp.Trace = newTraceJSON(requestID(w), tr)
-		writeJSON(w, http.StatusOK, resp)
+		if wantBin {
+			writeBin(w, http.StatusOK, resp)
+		} else {
+			writeJSON(w, http.StatusOK, resp)
+		}
 	} else {
-		writeEntry(w, ent, kind)
+		writeEntry(w, ent, kind, wantBin)
 	}
 	switch kind {
 	case cacheHit:
@@ -728,27 +849,68 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// batchOut is one in-flight batch outcome: raw holds the item's
+// pre-encoded response document (JSON or binary, per the negotiated
+// response format), status/errBody the structured failure — the same
+// ErrorJSON body and HTTP status the pair would have produced as a
+// single compose request.
+type batchOut struct {
+	raw     []byte
+	status  int
+	errBody *ErrorJSON
+}
+
 func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) bool {
+	var binReq, wantBin bool
+	if s.binWire {
+		binReq = r.Header.Get("Content-Type") == WireContentType
+		wantBin = r.Header.Get("Accept") == WireContentType
+	} else if r.Header.Get("Content-Type") == WireContentType {
+		writeError(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("server: binary wire format disabled (start mapcompd with -wire)"))
+		return false
+	}
+	buf, err := readBodyBuf(w, r)
+	if err != nil {
+		writeBodyErrorNeg(w, "batch", err, wantBin)
+		return false
+	}
+	defer putBodyBuf(buf)
+	body := buf.Bytes()
+
 	var req BatchRequest
-	if !decodeJSON(w, r, "batch", &req) {
+	if binReq {
+		if req, err = scanBinaryBatchRequest(body); err != nil {
+			writeErrorBody(w, http.StatusBadRequest,
+				&ErrorJSON{Error: "server: bad batch request: " + err.Error(), RequestID: requestID(w)}, wantBin)
+			return false
+		}
+	} else if reqs, ok := scanBatchRequest(body); ok {
+		req.Requests = reqs
+	} else if err := json.Unmarshal(body, &req); err != nil {
+		writeBodyErrorNeg(w, "batch", err, wantBin)
 		return false
 	}
 	if len(req.Requests) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: batch request needs at least one pair"))
+		writeErrorBody(w, http.StatusBadRequest,
+			&ErrorJSON{Error: "server: batch request needs at least one pair", RequestID: requestID(w)}, wantBin)
 		return false
 	}
 	if len(req.Requests) > maxBatch {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: batch of %d exceeds limit %d", len(req.Requests), maxBatch))
+		writeErrorBody(w, http.StatusBadRequest,
+			&ErrorJSON{Error: fmt.Sprintf("server: batch of %d exceeds limit %d", len(req.Requests), maxBatch), RequestID: requestID(w)}, wantBin)
 		return false
 	}
-	items := make([]batchItemWire, len(req.Requests))
+	reqID := requestID(w)
+	items := make([]batchOut, len(req.Requests))
 	// The batch fans out over the worker pool under the request context:
 	// a disconnected client stops the sweep, and each item gets its own
 	// compose deadline so one pathological pair cannot eat the batch.
-	_ = par.DoContext(r.Context(), len(req.Requests), func(i int) {
+	ctxErr := par.DoContext(r.Context(), len(req.Requests), func(i int) {
 		q := req.Requests[i]
 		if q.From == "" || q.To == "" {
-			items[i].Error = "compose request needs from and to"
+			items[i].status = http.StatusBadRequest
+			items[i].errBody = &ErrorJSON{Error: "server: compose request needs from and to", RequestID: reqID}
 			return
 		}
 		ctx, cancel := s.composeContext(r.Context(), q.TimeoutMS)
@@ -759,25 +921,68 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) bool {
 		}
 		ent, kind, err := s.compose(ctx, q.From, q.To)
 		if err != nil {
-			items[i].Error = err.Error()
+			eb := s.composeError(q.From, q.To, err)
+			eb.RequestID = reqID
+			items[i].status = composeStatus(err)
+			items[i].errBody = &eb
 			return
 		}
-		var raw json.RawMessage
+		var raw []byte
 		if tr != nil {
 			resp := respond(ent.resp, kind)
-			resp.Trace = newTraceJSON("", tr)
-			raw, err = marshalWire(resp)
+			resp.Trace = newTraceJSON(reqID, tr)
+			if wantBin {
+				raw, err = marshalBinary(resp)
+			} else {
+				raw, err = marshalWire(resp)
+			}
 		} else {
-			raw, err = entryWire(ent, kind)
+			raw, err = entryWire(ent, kind, wantBin)
 		}
 		if err != nil {
-			items[i].Error = err.Error()
+			items[i].status = http.StatusInternalServerError
+			items[i].errBody = &ErrorJSON{Error: err.Error(), RequestID: reqID}
 			return
 		}
-		items[i].Response = raw
+		items[i].raw = raw
 	})
-	writeJSON(w, http.StatusOK, batchResponseWire{Results: items})
-	return true
+	// DoContext reports the context's error exactly when cancellation
+	// left items unrun. Those items must not ship as empty objects:
+	// mark each one with an explicit cancellation error and surface the
+	// batch-level outcome in the envelope, so a client can tell "this
+	// pair failed" from "the batch died before this pair ran".
+	canceled := ctxErr != nil
+	if canceled {
+		for i := range items {
+			if items[i].raw == nil && items[i].errBody == nil {
+				items[i].status = http.StatusGatewayTimeout
+				items[i].errBody = &ErrorJSON{
+					Error:     "server: batch canceled before this item ran: " + ctxErr.Error(),
+					RequestID: reqID,
+				}
+			}
+		}
+	}
+	if wantBin {
+		out := []byte{wireVersion, binKindBatchResp}
+		out = appendBool(out, canceled)
+		out = appendSeqCount(out, false, len(items))
+		for i := range items {
+			var errDoc []byte
+			if items[i].errBody != nil {
+				errDoc, _ = marshalBinary(items[i].errBody)
+			}
+			out = appendBatchItemRaw(out, items[i].status, items[i].raw, errDoc)
+		}
+		writeRawBin(w, http.StatusOK, out)
+	} else {
+		wireItems := make([]batchItemWire, len(items))
+		for i := range items {
+			wireItems[i] = batchItemWire{Response: items[i].raw, Status: items[i].status, Error: items[i].errBody}
+		}
+		writeJSON(w, http.StatusOK, batchResponseWire{Results: wireItems, Canceled: canceled})
+	}
+	return !canceled
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -786,7 +991,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		if ent, ok := s.cache.get(key); ok {
 			s.resultFetches.Add(1)
-			writeEntry(w, ent, cacheHit)
+			writeEntry(w, ent, cacheHit, s.binWire && r.Header.Get("Accept") == WireContentType)
 			fetchHitSeconds.Observe(time.Since(start))
 			return
 		}

@@ -265,18 +265,27 @@ func TestBatchEndpoint(t *testing.T) {
 		t.Fatalf("got %d results", len(resp.Results))
 	}
 	for i := 0; i < 3; i++ {
-		if resp.Results[i].Response == nil || resp.Results[i].Error != "" {
+		if resp.Results[i].Response == nil || resp.Results[i].Error != nil || resp.Results[i].Status != 0 {
 			t.Fatalf("item %d: %+v", i, resp.Results[i])
 		}
 	}
 	if got := strings.Join(resp.Results[0].Response.Path, ","); got != "m12,m23" {
 		t.Fatalf("item 0 path = %s", got)
 	}
-	if !strings.Contains(resp.Results[3].Error, "unknown schema") {
-		t.Fatalf("item 3 error = %q", resp.Results[3].Error)
+	if resp.Results[3].Error == nil || !strings.Contains(resp.Results[3].Error.Error, "unknown schema") {
+		t.Fatalf("item 3 error = %+v", resp.Results[3].Error)
 	}
-	if !strings.Contains(resp.Results[4].Error, "from and to") {
-		t.Fatalf("item 4 error = %q", resp.Results[4].Error)
+	if resp.Results[3].Status != http.StatusNotFound {
+		t.Fatalf("item 3 status = %d, want 404", resp.Results[3].Status)
+	}
+	if resp.Results[4].Error == nil || !strings.Contains(resp.Results[4].Error.Error, "from and to") {
+		t.Fatalf("item 4 error = %+v", resp.Results[4].Error)
+	}
+	if resp.Results[4].Status != http.StatusBadRequest {
+		t.Fatalf("item 4 status = %d, want 400", resp.Results[4].Status)
+	}
+	if resp.Canceled {
+		t.Fatalf("batch reports canceled")
 	}
 	// Duplicate pairs inside one batch share a single composition.
 	if got := s.Stats().Composes; got != 2 {

@@ -219,15 +219,26 @@ type BatchRequest struct {
 }
 
 // BatchItem is one outcome of a batch: a response or a per-item error
-// (a bad pair does not fail the rest of the batch).
+// (a bad pair does not fail the rest of the batch). A failed item
+// carries the same structured ErrorJSON body single compose returns —
+// partial stats, reverse-reachability hints, request ID — plus the
+// HTTP status single compose would have answered with, so batching
+// loses no error fidelity. Exactly one of Response and Error is set.
 type BatchItem struct {
 	Response *ComposeResponse `json:"response,omitempty"`
-	Error    string           `json:"error,omitempty"`
+	// Status is the HTTP status the item would have received as a single
+	// compose request (400/404/504); 0 on success.
+	Status int        `json:"status,omitempty"`
+	Error  *ErrorJSON `json:"error,omitempty"`
 }
 
-// BatchResponse carries the outcomes in request order.
+// BatchResponse carries the outcomes in request order. Canceled
+// reports that the request's context ended before every item ran:
+// the unprocessed items carry an explicit cancellation error (never an
+// empty object), and the processed ones are genuine outcomes.
 type BatchResponse struct {
-	Results []BatchItem `json:"results"`
+	Results  []BatchItem `json:"results"`
+	Canceled bool        `json:"canceled,omitempty"`
 }
 
 // batchItemWire and batchResponseWire are the server-side encode shapes
@@ -238,11 +249,13 @@ type BatchResponse struct {
 // identical wire form with the public types.
 type batchItemWire struct {
 	Response json.RawMessage `json:"response,omitempty"`
-	Error    string          `json:"error,omitempty"`
+	Status   int             `json:"status,omitempty"`
+	Error    *ErrorJSON      `json:"error,omitempty"`
 }
 
 type batchResponseWire struct {
-	Results []batchItemWire `json:"results"`
+	Results  []batchItemWire `json:"results"`
+	Canceled bool            `json:"canceled,omitempty"`
 }
 
 // SchemaJSON describes one catalog schema revision.
